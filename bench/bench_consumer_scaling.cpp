@@ -1,0 +1,76 @@
+// §2.1 scalability: "the overall system performance [is] clearly
+// proportional to the number of consumers".
+//
+// Producers (FPU-less nodes) push FFT requests into the space; consumers
+// (FPU nodes) crunch them. Sweeps the consumer count in two regimes:
+// compute-bound (big crunch time — scaling should be near-linear until the
+// producer count caps concurrency) and space-bound (tiny crunch — scaling
+// flattens immediately, showing where the model stops paying off).
+#include <cstdio>
+
+#include <memory>
+#include <vector>
+
+#include "src/cosim/report.hpp"
+#include "src/sim/process.hpp"
+#include "src/svc/worker_pool.hpp"
+#include "src/util/strings.hpp"
+
+using namespace tb;
+using namespace tb::sim::literals;
+
+namespace {
+
+double run_pool(int consumers, sim::Time crunch, int producers) {
+  sim::Simulator sim(1);
+  space::TupleSpace space(sim);
+  svc::LocalSpaceApi api(space);
+  std::vector<std::unique_ptr<svc::FftConsumer>> pool;
+  svc::ConsumerConfig cc;
+  cc.compute_time = crunch;
+  for (int i = 0; i < consumers; ++i) {
+    pool.push_back(std::make_unique<svc::FftConsumer>(api, "c", cc));
+    pool.back()->start();
+  }
+  int finished = 0;
+  sim::Time all_done;
+  for (int p = 0; p < producers; ++p) {
+    svc::ProducerConfig pc;
+    pc.jobs = 8;
+    pc.fft_size = 256;
+    pc.job_id_base = 1'000 * (p + 1);
+    pc.submit_gap = sim::Time::zero();
+    sim::spawn([&, pc]() -> sim::Task<void> {
+      svc::FftProducer producer(api, pc);
+      (void)co_await producer.run();
+      if (++finished == producers) all_done = sim.now();
+    });
+  }
+  sim.run_until(3600_s);
+  for (auto& c : pool) c->stop();
+  return all_done.seconds();
+}
+
+}  // namespace
+
+int main() {
+  std::printf("Consumer scaling (paper section 2.1): 8 producers x 8 "
+              "FFT-256 jobs\n\n");
+
+  for (sim::Time crunch : {100_ms, 1_ms}) {
+    std::printf("crunch time per job: %s\n", crunch.to_string().c_str());
+    cosim::TablePrinter table({"consumers", "makespan (s)", "speedup"});
+    double base = 0.0;
+    for (int consumers : {1, 2, 4, 8, 16}) {
+      const double makespan = run_pool(consumers, crunch, 8);
+      if (base == 0.0) base = makespan;
+      table.add_row({std::to_string(consumers),
+                     util::format_double(makespan, 3),
+                     util::format_double(base / makespan, 2) + "x"});
+    }
+    std::printf("%s\n", table.render().c_str());
+  }
+  std::printf("scaling is proportional while consumers are the bottleneck "
+              "and caps at the number of concurrent producers.\n");
+  return 0;
+}

@@ -1,0 +1,105 @@
+// Micro-benchmarks for the protocol codecs: TpWIRE frames (Tables 1/2),
+// CRC-4, relay segments and GDB-RSP framing.
+#include <benchmark/benchmark.h>
+
+#include "src/cosim/rsp.hpp"
+#include "src/util/crc.hpp"
+#include "src/wire/frame.hpp"
+#include "src/wire/segment.hpp"
+
+namespace {
+
+using namespace tb;
+
+void BM_Crc4(benchmark::State& state) {
+  std::uint64_t body = 0x2A5;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(util::crc4_itu(body, 11));
+    body = (body + 1) & 0x7FF;
+  }
+}
+BENCHMARK(BM_Crc4);
+
+void BM_TxFrameEncode(benchmark::State& state) {
+  std::uint8_t data = 0;
+  for (auto _ : state) {
+    wire::TxFrame frame{wire::Command::kWriteData, data++};
+    benchmark::DoNotOptimize(frame.encode());
+  }
+}
+BENCHMARK(BM_TxFrameEncode);
+
+void BM_TxFrameDecode(benchmark::State& state) {
+  const std::uint16_t word = wire::TxFrame{wire::Command::kReadData, 0x5A}.encode();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(wire::TxFrame::decode(word));
+  }
+}
+BENCHMARK(BM_TxFrameDecode);
+
+void BM_RxFrameRoundTrip(benchmark::State& state) {
+  std::uint8_t data = 0;
+  for (auto _ : state) {
+    wire::RxFrame frame;
+    frame.type = wire::RxType::kData;
+    frame.data = data++;
+    benchmark::DoNotOptimize(wire::RxFrame::decode(frame.encode()));
+  }
+}
+BENCHMARK(BM_RxFrameRoundTrip);
+
+void BM_SegmentEncode(benchmark::State& state) {
+  wire::RelaySegment segment;
+  segment.src = 1;
+  segment.dst = 3;
+  segment.payload.assign(static_cast<std::size_t>(state.range(0)), 0xA7);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(wire::encode_segment(segment));
+  }
+  state.SetBytesProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_SegmentEncode)->Arg(8)->Arg(48)->Arg(256);
+
+void BM_SegmentParse(benchmark::State& state) {
+  wire::RelaySegment segment;
+  segment.src = 1;
+  segment.dst = 3;
+  segment.payload.assign(static_cast<std::size_t>(state.range(0)), 0xA7);
+  const auto encoded = wire::encode_segment(segment);
+  wire::SegmentParser parser;
+  for (auto _ : state) {
+    parser.feed(encoded);
+    benchmark::DoNotOptimize(parser.next());
+  }
+  state.SetBytesProcessed(state.iterations() * static_cast<std::int64_t>(encoded.size()));
+}
+BENCHMARK(BM_SegmentParse)->Arg(8)->Arg(48)->Arg(256);
+
+void BM_RspEncode(benchmark::State& state) {
+  std::vector<std::uint8_t> payload(static_cast<std::size_t>(state.range(0)));
+  for (std::size_t i = 0; i < payload.size(); ++i) {
+    payload[i] = static_cast<std::uint8_t>(i);
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(cosim::rsp_encode(payload));
+  }
+  state.SetBytesProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_RspEncode)->Arg(16)->Arg(256);
+
+void BM_RspParse(benchmark::State& state) {
+  std::vector<std::uint8_t> payload(static_cast<std::size_t>(state.range(0)), 'x');
+  const auto encoded = cosim::rsp_encode(payload);
+  cosim::RspParser parser;
+  for (auto _ : state) {
+    parser.feed(encoded);
+    benchmark::DoNotOptimize(parser.next());
+    parser.take_acks();
+  }
+  state.SetBytesProcessed(state.iterations() * static_cast<std::int64_t>(encoded.size()));
+}
+BENCHMARK(BM_RspParse)->Arg(16)->Arg(256);
+
+}  // namespace
+
+BENCHMARK_MAIN();

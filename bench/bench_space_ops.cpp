@@ -1,0 +1,115 @@
+// Tuplespace core operation costs + the (name, arity)-index ablation.
+//
+// The DESIGN.md ablation: how much does associative matching cost with a
+// linear store versus the indexed store, as the space fills with
+// heterogeneous tuples?
+#include <benchmark/benchmark.h>
+
+#include "src/sim/simulator.hpp"
+#include "src/space/space.hpp"
+
+namespace {
+
+using namespace tb;
+
+space::Template exact_template(int key) {
+  return space::Template(
+      std::string("target"),
+      {space::FieldPattern::exact(space::Value(std::int64_t{key}))});
+}
+
+void fill_noise(space::TupleSpace& space, int noise_tuples) {
+  for (int i = 0; i < noise_tuples; ++i) {
+    space.write(space::make_tuple("noise-" + std::to_string(i % 16),
+                                  std::int64_t{i}, 1.5, "filler"));
+  }
+}
+
+void BM_WriteTake(benchmark::State& state) {
+  sim::Simulator sim;
+  space::SpaceConfig config;
+  config.use_type_index = state.range(0) != 0;
+  space::TupleSpace space(sim, config);
+  fill_noise(space, static_cast<int>(state.range(1)));
+
+  int key = 0;
+  for (auto _ : state) {
+    space.write(space::make_tuple("target", std::int64_t{key}));
+    benchmark::DoNotOptimize(space.take_if_exists(exact_template(key)));
+    ++key;
+  }
+}
+BENCHMARK(BM_WriteTake)
+    ->ArgsProduct({{0, 1}, {0, 100, 1'000, 10'000}})
+    ->ArgNames({"index", "noise"});
+
+void BM_ReadMissWorstCase(benchmark::State& state) {
+  // A miss must inspect every candidate: the index prunes to the (empty)
+  // bucket; the linear scan walks the whole store.
+  sim::Simulator sim;
+  space::SpaceConfig config;
+  config.use_type_index = state.range(0) != 0;
+  space::TupleSpace space(sim, config);
+  fill_noise(space, static_cast<int>(state.range(1)));
+
+  const space::Template missing = exact_template(-1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(space.read_if_exists(missing));
+  }
+}
+BENCHMARK(BM_ReadMissWorstCase)
+    ->ArgsProduct({{0, 1}, {1'000, 10'000}})
+    ->ArgNames({"index", "noise"});
+
+void BM_NotifyFanout(benchmark::State& state) {
+  sim::Simulator sim;
+  space::TupleSpace space(sim);
+  const auto registrations = static_cast<int>(state.range(0));
+  std::uint64_t fired = 0;
+  for (int i = 0; i < registrations; ++i) {
+    space.notify(space::Template(std::string("event"),
+                                 {space::FieldPattern::any()}),
+                 space::kLeaseForever,
+                 [&fired](const space::Tuple&) { ++fired; });
+  }
+  for (auto _ : state) {
+    space.write(space::make_tuple("event", std::int64_t{1}));
+    sim.run();  // dispatch the scheduled notifications
+  }
+  benchmark::DoNotOptimize(fired);
+}
+BENCHMARK(BM_NotifyFanout)->Arg(1)->Arg(16)->Arg(128);
+
+void BM_BlockedTakeWakeup(benchmark::State& state) {
+  sim::Simulator sim;
+  space::TupleSpace space(sim);
+  const space::Template tmpl(std::string("t"), {space::FieldPattern::any()});
+  for (auto _ : state) {
+    bool done = false;
+    space.take_async(tmpl, space::kLeaseForever,
+                     [&done](std::optional<space::Tuple>) { done = true; });
+    space.write(space::make_tuple("t", std::int64_t{1}));
+    sim.run();
+    benchmark::DoNotOptimize(done);
+  }
+}
+BENCHMARK(BM_BlockedTakeWakeup);
+
+void BM_LeaseChurn(benchmark::State& state) {
+  // Write with finite leases and let the expiry events fire.
+  sim::Simulator sim;
+  space::TupleSpace space(sim);
+  using namespace tb::sim::literals;
+  for (auto _ : state) {
+    for (int i = 0; i < 64; ++i) {
+      space.write(space::make_tuple("burst", std::int64_t{i}), 1_ms);
+    }
+    sim.run_for(2_ms);
+  }
+  benchmark::DoNotOptimize(space.stats().expirations);
+}
+BENCHMARK(BM_LeaseChurn);
+
+}  // namespace
+
+BENCHMARK_MAIN();

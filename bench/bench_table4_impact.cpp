@@ -1,0 +1,73 @@
+// Regenerates the paper's Table 4: "Estimation of the impact of tuplespace
+// communication middleware on TpWIRE. Lease Time = 160s."
+//
+// Figure 7 topology: C++ client on Slave1 writes an entry into the space
+// server on Slave3 and takes it back, while a CBR source on Slave2 loads
+// the bus toward Slave4. Cells report write+take middleware time; "Out of
+// Time" when the entry's lease expired before the take reached the server.
+#include <cstdio>
+
+#include "src/cosim/impact.hpp"
+#include "src/cosim/report.hpp"
+#include "src/util/strings.hpp"
+
+using namespace tb;
+
+int main() {
+  std::printf("Table 4 — impact of the tuplespace middleware on TpWIRE "
+              "(Lease Time = 160 s)\n\n");
+
+  // "2x1-wire (B)" is our extension: the same exchange over the paper's
+  // other scaling variant — two independent 1-wire buses with a cross-bus
+  // relay (src/cosim/impact.hpp, run_impact_mode_b).
+  cosim::TablePrinter table({"CBR", "1-wire", "2-wire (A)", "2x1-wire (B)",
+                             "bus util 1w", "cycles 1w"});
+  auto render_cell = [](const cosim::ImpactResult& result) -> std::string {
+    if (!result.completed) return "DID NOT FINISH";
+    if (result.out_of_time) return "Out of Time";
+    return util::format_double(result.total.seconds(), 0) + "s";
+  };
+  for (double rate : {0.0, 0.3, 1.0}) {
+    std::vector<std::string> row;
+    row.push_back(util::format_double(rate, 1) + " B/s");
+    std::string util_cell, cycles_cell;
+    for (int wires : {1, 2}) {
+      cosim::ImpactConfig config;
+      config.set_wires(wires);
+      config.cbr_rate_bps = rate;
+      const cosim::ImpactResult result = cosim::run_impact(config);
+      row.push_back(render_cell(result));
+      if (wires == 1) {
+        util_cell = util::format_double(result.bus_utilization * 100.0, 1) + "%";
+        cycles_cell = std::to_string(result.bus_cycles);
+      }
+    }
+    cosim::ImpactConfig mode_b;
+    mode_b.cbr_rate_bps = rate;
+    row.push_back(render_cell(cosim::run_impact_mode_b(mode_b)));
+    row.push_back(util_cell);
+    row.push_back(cycles_cell);
+    table.add_row(std::move(row));
+  }
+  std::printf("%s\n", table.render().c_str());
+
+  std::printf("paper's Table 4:  0 B/s: 140s / 116s   0.3 B/s: 151s / 122s   "
+              "1 B/s: Out of Time / 129s\n\n");
+
+  // Where does the crossover sit? Sweep the CBR rate on the 1-wire bus.
+  std::printf("1-wire lease-expiry crossover sweep:\n");
+  cosim::TablePrinter sweep({"CBR (B/s)", "result", "take arrival vs lease"});
+  for (double rate : {0.0, 0.2, 0.4, 0.6, 0.8, 1.0}) {
+    cosim::ImpactConfig config;
+    config.cbr_rate_bps = rate;
+    const cosim::ImpactResult result = cosim::run_impact(config);
+    sweep.add_row(
+        {util::format_double(rate, 1),
+         result.out_of_time
+             ? "Out of Time"
+             : util::format_double(result.total.seconds(), 0) + "s",
+         result.out_of_time ? "expired in transit" : "alive"});
+  }
+  std::printf("%s", sweep.render().c_str());
+  return 0;
+}

@@ -1,0 +1,151 @@
+// Figures 3-5 ablation: what each layer of the paper's software stack costs.
+//
+//  * transport: in-process RMI (Fig. 3) vs Ethernet/TCP socket (Fig. 4) vs
+//    TpWIRE mailboxes through the master relay (Fig. 5/7);
+//  * representation: XML entries (the paper's choice) vs a binary codec;
+//  * co-simulation plumbing: GDB remote-serial-protocol framing overhead.
+#include <cstdio>
+
+#include "src/cosim/report.hpp"
+#include "src/cosim/rsp.hpp"
+#include "src/cosim/rsp_pipe.hpp"
+#include "src/cosim/scenario.hpp"
+#include "src/mw/loopback.hpp"
+#include "src/mw/net_transport.hpp"
+#include "src/net/network.hpp"
+#include "src/sim/process.hpp"
+#include "src/util/strings.hpp"
+
+using namespace tb;
+using namespace tb::sim::literals;
+
+namespace {
+
+space::Template entry_template() {
+  return space::Template(
+      std::string("entry"),
+      {space::FieldPattern::typed(space::ValueType::kInt),
+       space::FieldPattern::typed(space::ValueType::kBytes)});
+}
+
+space::Tuple sample_entry() {
+  std::vector<std::uint8_t> blob(64);
+  for (std::size_t i = 0; i < blob.size(); ++i) {
+    blob[i] = static_cast<std::uint8_t>(i);
+  }
+  return space::make_tuple("entry", std::int64_t{1}, std::move(blob));
+}
+
+/// Round-trip (write + take) time through a client bound to `transport`.
+double measure(sim::Simulator& sim, mw::SpaceClient& client) {
+  double seconds = -1.0;
+  sim::spawn([&]() -> sim::Task<void> {
+    const sim::Time start = sim.now();
+    (void)co_await client.write(sample_entry(), space::kLeaseForever);
+    (void)co_await client.take(entry_template(), 3600_s);
+    seconds = (sim.now() - start).seconds();
+    sim.stop();
+  });
+  sim.run_until(sim::Time::sec(7'200));
+  return seconds;
+}
+
+double loopback_case(bool xml) {
+  sim::Simulator sim(1);
+  space::TupleSpace space(sim);
+  std::unique_ptr<mw::Codec> codec;
+  if (xml) codec = std::make_unique<mw::XmlCodec>();
+  else codec = std::make_unique<mw::BinaryCodec>();
+  mw::LoopbackHub hub(sim, 5_ms);
+  mw::SpaceServer server(space, hub, *codec);
+  mw::LoopbackClient& transport = hub.create_client();
+  mw::SpaceClient client(sim, transport, *codec);
+  return measure(sim, client);
+}
+
+double net_case(bool xml, double bandwidth_bps) {
+  sim::Simulator sim(1);
+  space::TupleSpace space(sim);
+  std::unique_ptr<mw::Codec> codec;
+  if (xml) codec = std::make_unique<mw::XmlCodec>();
+  else codec = std::make_unique<mw::BinaryCodec>();
+  net::Network network(sim);
+  net::Node& board = network.add_node("board");
+  net::Node& host = network.add_node("host");
+  net::LinkParams link;
+  link.bandwidth_bps = bandwidth_bps;
+  link.prop_delay = 1_ms;
+  network.connect(board, host, link);
+  mw::NetServerTransport server_transport(sim, host, 1);
+  mw::SpaceServer server(space, server_transport, *codec);
+  mw::NetClientTransport client_transport(sim, board, 1,
+                                          server_transport.listen_address());
+  mw::SpaceClient client(sim, client_transport, *codec);
+  return measure(sim, client);
+}
+
+double rsp_pipe_case(bool xml) {
+  sim::Simulator sim(1);
+  space::TupleSpace space(sim);
+  std::unique_ptr<mw::Codec> codec;
+  if (xml) codec = std::make_unique<mw::XmlCodec>();
+  else codec = std::make_unique<mw::BinaryCodec>();
+  cosim::RspPipe pipe(sim);  // 115200-baud serial, the gdb stub's tty
+  mw::SpaceServer server(space, pipe.server_end(), *codec);
+  mw::SpaceClient client(sim, pipe.client_end(), *codec);
+  return measure(sim, client);
+}
+
+double wire_case(bool xml) {
+  cosim::ScenarioConfig config;
+  config.use_xml_codec = xml;
+  cosim::WireScenario scenario(config);
+  mw::SpaceClient& client = scenario.add_client(0);
+  scenario.start();
+  return measure(scenario.sim(), client);
+}
+
+}  // namespace
+
+int main() {
+  std::printf("Transport-stack ablation: write+take of a 64-byte entry\n");
+  std::printf("(TpWIRE at the Table-4 calibration: 6 kbit/s, firmware "
+              "turnaround)\n\n");
+
+  cosim::TablePrinter table({"transport", "codec", "round trip"});
+  table.add_row({"loopback (RMI, Fig.3)", "xml",
+                 util::format_seconds(loopback_case(true))});
+  table.add_row({"loopback (RMI, Fig.3)", "binary",
+                 util::format_seconds(loopback_case(false))});
+  table.add_row({"10 Mb/s ethernet (Fig.4)", "xml",
+                 util::format_seconds(net_case(true, 10e6))});
+  table.add_row({"10 Mb/s ethernet (Fig.4)", "binary",
+                 util::format_seconds(net_case(false, 10e6))});
+  table.add_row({"gdb-RSP serial pipe (Fig.5 glue)", "xml",
+                 util::format_seconds(rsp_pipe_case(true))});
+  table.add_row({"gdb-RSP serial pipe (Fig.5 glue)", "binary",
+                 util::format_seconds(rsp_pipe_case(false))});
+  table.add_row({"TpWIRE 1-wire (Fig.5/7)", "xml",
+                 util::format_seconds(wire_case(true))});
+  table.add_row({"TpWIRE 1-wire (Fig.5/7)", "binary",
+                 util::format_seconds(wire_case(false))});
+  std::printf("%s\n", table.render().c_str());
+
+  // GDB RSP framing overhead (the Fig. 5 board bridge).
+  std::printf("GDB remote-serial-protocol framing overhead (board bridge, "
+              "Fig. 5):\n");
+  cosim::TablePrinter rsp({"payload (B)", "wire bytes", "overhead"});
+  for (std::size_t size : {8u, 64u, 512u, 4096u}) {
+    std::vector<std::uint8_t> payload(size);
+    for (std::size_t i = 0; i < size; ++i) {
+      payload[i] = static_cast<std::uint8_t>(i * 13);
+    }
+    const std::size_t wire = cosim::rsp_wire_size(payload);
+    rsp.add_row({std::to_string(size), std::to_string(wire),
+                 util::format_double(
+                     100.0 * (static_cast<double>(wire) - size) / size, 1) +
+                     "%"});
+  }
+  std::printf("%s", rsp.render().c_str());
+  return 0;
+}

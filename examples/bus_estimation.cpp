@@ -1,0 +1,71 @@
+// The paper's headline flow, end to end: validate the bus model (Table 3),
+// then estimate the tuplespace middleware's impact on TpWIRE (Table 4).
+//
+//   ./bus_estimation
+#include <cstdio>
+
+#include "src/cosim/impact.hpp"
+#include "src/cosim/report.hpp"
+#include "src/cosim/validation.hpp"
+#include "src/util/strings.hpp"
+
+using namespace tb;
+
+int main() {
+  // ----- Table 3: validation of the TpWIRE model -------------------------
+  std::printf("== Step 1: validate the bus model (paper Table 3) ==\n");
+  std::printf("Figure 6 topology: CBR on Slave1 -> receiver on Slave2.\n\n");
+
+  cosim::ValidationConfig validation;
+  cosim::ValidationReport report = cosim::run_frame_validation(validation);
+
+  cosim::TablePrinter table3({"frames", "TpICU/SCM (s)", "NS2-model (s)",
+                              "ratio"});
+  for (const cosim::ValidationRow& row : report.rows) {
+    table3.add_row({std::to_string(row.frames),
+                    util::format_double(row.hardware_sec, 3),
+                    util::format_double(row.simulated_sec, 3),
+                    util::format_double(row.ratio, 4)});
+  }
+  std::printf("%s\n", table3.render().c_str());
+  std::printf("scaling factor (hardware/model): %.4f\n\n",
+              report.scaling_factor);
+
+  const cosim::RealtimeCheck realtime =
+      cosim::run_realtime_check(200, 500.0, validation);
+  std::printf("real-time scheduler check: %.3f s sim in %.3f s wall "
+              "(500x), max lag %.3f ms over %llu events\n\n",
+              realtime.sim_seconds, realtime.wall_seconds, realtime.max_lag_ms,
+              static_cast<unsigned long long>(realtime.events));
+
+  // ----- Table 4: middleware impact ---------------------------------------
+  std::printf("== Step 2: tuplespace impact on TpWIRE (paper Table 4) ==\n");
+  std::printf("Figure 7 topology: C++ client on Slave1, space server on "
+              "Slave3,\nCBR Slave2 -> Slave4. Lease Time = 160 s.\n\n");
+
+  cosim::TablePrinter table4({"CBR", "1-wire", "2-wire"});
+  for (double rate : {0.0, 0.3, 1.0}) {
+    std::vector<std::string> row;
+    row.push_back(util::format_double(rate, 1) + " B/s");
+    for (int wires : {1, 2}) {
+      cosim::ImpactConfig config;
+      config.set_wires(wires);
+      config.cbr_rate_bps = rate;
+      const cosim::ImpactResult result = cosim::run_impact(config);
+      if (!result.completed) {
+        row.push_back("DID NOT FINISH");
+      } else if (result.out_of_time) {
+        row.push_back("Out of Time");
+      } else {
+        row.push_back(util::format_double(result.total.seconds(), 0) + "s");
+      }
+    }
+    table4.add_row(std::move(row));
+  }
+  std::printf("%s\n", table4.render().c_str());
+  std::printf("paper's Table 4:      0 B/s: 140s / 116s,  0.3 B/s: 151s / "
+              "122s,  1 B/s: Out of Time / 129s\n");
+  std::printf("\n\"A potential 2-wire implementation of the TpWIRE can almost "
+              "double the performance of the implemented 1-wire bus.\"\n");
+  return 0;
+}

@@ -1,0 +1,68 @@
+// Table 4 — "Estimation of the impact of tuplespace communication
+// middleware on TpWIRE".
+//
+// Figure 7 topology: the C++ client on Slave1 writes an entry into the
+// space server on Slave3 and then takes it back, while a CBR source on
+// Slave2 loads the bus toward a receiver on Slave4. The run reports the
+// write+take round-trip time per (CBR rate, wire count) cell and flags
+// "Out of Time" when the entry's 160 s lease — counted from the client's
+// write — ran out before the take could retrieve it.
+#pragma once
+
+#include <cstdint>
+
+#include "src/cosim/scenario.hpp"
+#include "src/sim/time.hpp"
+
+namespace tb::cosim {
+
+struct ImpactConfig {
+  ScenarioConfig scenario;
+
+  /// Background CBR payload rate in bytes/second (0 = no background load).
+  double cbr_rate_bps = 0.0;
+  std::size_t cbr_packet_size = 1;  ///< the paper's 1-byte packets
+
+  sim::Time lease = sim::Time::sec(160);
+  /// Blob bytes inside the entry — a sample vector of the size §2.1's FFT
+  /// offload scenario ships (calibrated; see EXPERIMENTS.md).
+  std::size_t entry_payload = 480;
+  sim::Time take_timeout = sim::Time::sec(5);  ///< server-side take wait
+  sim::Time max_sim_time = sim::Time::sec(3'600);  ///< scenario watchdog
+
+  /// "The C++ client executes a write-entry operation on the space; later
+  /// on, a take operation is executed" — application think time between the
+  /// write response and the take request. The entry's lease keeps counting
+  /// through it, which is what lets bus congestion push the take past the
+  /// 160 s lifetime (calibrated; see EXPERIMENTS.md).
+  sim::Time think_time = sim::Time::sec(45);
+
+  /// Sets the wire count (mode A scaling) on the scenario link.
+  void set_wires(int wires) { scenario.link.wires = wires; }
+};
+
+struct ImpactResult {
+  bool completed = false;    ///< false = watchdog expired (deadlock guard)
+  bool out_of_time = false;  ///< the take could not retrieve the entry
+  sim::Time write_latency;   ///< write request -> response
+  sim::Time take_latency;    ///< take request -> response
+  /// Middleware time of the exchange: write + take operation latencies
+  /// (the think time in between is the application's, not the bus's).
+  sim::Time total;
+  sim::Time wall_total;      ///< write start -> take completion, incl. think
+  double bus_utilization = 0.0;
+  std::uint64_t bus_cycles = 0;
+  std::uint64_t relay_bytes = 0;
+  std::uint64_t cbr_packets_delivered = 0;
+};
+
+/// Runs one Table 4 cell.
+ImpactResult run_impact(const ImpactConfig& config);
+
+/// Runs the same exchange over the §3.2 mode-B alternative: two independent
+/// 1-wire buses (client + CBR source on bus 0, server + sink on bus 1) with
+/// a cross-bus relay. Every client/server byte crosses both buses, but the
+/// two polling loops run concurrently. `scenario.link.wires` is ignored.
+ImpactResult run_impact_mode_b(const ImpactConfig& config);
+
+}  // namespace tb::cosim

@@ -1,0 +1,24 @@
+// Column-aligned text tables for experiment reports (benches & examples).
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace tb::cosim {
+
+class TablePrinter {
+ public:
+  explicit TablePrinter(std::vector<std::string> headers)
+      : headers_(std::move(headers)) {}
+
+  void add_row(std::vector<std::string> cells);
+
+  /// Renders with a header underline and two-space column gaps.
+  std::string render() const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace tb::cosim

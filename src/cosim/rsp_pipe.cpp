@@ -1,0 +1,83 @@
+#include "src/cosim/rsp_pipe.hpp"
+
+#include "src/util/assert.hpp"
+
+namespace tb::cosim {
+
+class RspPipe::ClientEnd final : public mw::ClientTransport {
+ public:
+  explicit ClientEnd(RspPipe& pipe) : pipe_(&pipe) {}
+  void send(std::vector<std::uint8_t> message) override;
+  void push(const std::vector<std::uint8_t>& message) { deliver(message); }
+
+ private:
+  RspPipe* pipe_;
+};
+
+class RspPipe::ServerEnd final : public mw::ServerTransport {
+ public:
+  explicit ServerEnd(RspPipe& pipe) : pipe_(&pipe) {}
+  void send(SessionId session, std::vector<std::uint8_t> message) override;
+  void receive_from_client(const std::vector<std::uint8_t>& message) {
+    deliver(0, message);
+  }
+
+ private:
+  RspPipe* pipe_;
+};
+
+void RspPipe::ClientEnd::send(std::vector<std::uint8_t> message) {
+  note_sent(message.size());
+  pipe_->transfer(message, pipe_->to_server_parser_,
+                  [pipe = pipe_](std::vector<std::uint8_t> payload) {
+                    pipe->server_->receive_from_client(payload);
+                  });
+}
+
+void RspPipe::ServerEnd::send(SessionId session,
+                              std::vector<std::uint8_t> message) {
+  TB_REQUIRE_MSG(session == 0, "RspPipe has a single session (0)");
+  note_sent(message.size());
+  pipe_->transfer(message, pipe_->to_client_parser_,
+                  [pipe = pipe_](std::vector<std::uint8_t> payload) {
+                    pipe->client_->push(payload);
+                  });
+}
+
+RspPipe::RspPipe(sim::Simulator& sim, RspPipeParams params)
+    : sim_(&sim), params_(params) {
+  TB_REQUIRE(params.bytes_per_sec > 0.0);
+  client_ = std::make_unique<ClientEnd>(*this);
+  server_ = std::make_unique<ServerEnd>(*this);
+}
+
+RspPipe::~RspPipe() = default;
+
+mw::ClientTransport& RspPipe::client_end() { return *client_; }
+mw::ServerTransport& RspPipe::server_end() { return *server_; }
+
+void RspPipe::transfer(const std::vector<std::uint8_t>& message,
+                       RspParser& parser,
+                       std::function<void(std::vector<std::uint8_t>)> deliver) {
+  const std::vector<std::uint8_t> framed = rsp_encode(message);
+  stats_.payload_bytes += message.size();
+  stats_.wire_bytes += framed.size() + 1;  // + the peer's ack byte
+
+  // Serialize on the pipe: transmission begins when the line frees up.
+  const sim::Time start = std::max(sim_->now(), pipe_free_at_);
+  const sim::Time tx = sim::Time::from_seconds(
+      static_cast<double>(framed.size() + 1) / params_.bytes_per_sec);
+  pipe_free_at_ = start + tx;
+  const sim::Time arrival = pipe_free_at_ + params_.latency;
+
+  sim_->schedule_at(arrival, [&parser, framed,
+                              deliver = std::move(deliver)] {
+    parser.feed(framed);
+    (void)parser.take_acks();  // the ack byte is accounted in wire_bytes
+    while (auto payload = parser.next()) {
+      deliver(std::move(*payload));
+    }
+  });
+}
+
+}  // namespace tb::cosim

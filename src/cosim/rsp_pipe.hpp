@@ -1,0 +1,70 @@
+// A GDB-RSP-framed byte pipe as a message transport.
+//
+// Models the Figure 5 co-simulation glue as a first-class link: the board
+// client's messages cross a serial byte pipe framed with the gdb remote
+// serial protocol ($payload#checksum + ack), rate-limited and latency-bound
+// like the tty the paper's gdb stub would ride on. One client, one session.
+// bench_transport_stack uses it to price the prototyping glue against the
+// modeled transports.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "src/cosim/rsp.hpp"
+#include "src/mw/transport.hpp"
+#include "src/sim/simulator.hpp"
+
+namespace tb::cosim {
+
+struct RspPipeParams {
+  double bytes_per_sec = 11'520.0;  ///< ~115200 baud serial
+  sim::Time latency = sim::Time::us(200);
+};
+
+class RspPipe {
+ public:
+  RspPipe(sim::Simulator& sim, RspPipeParams params = {});
+  ~RspPipe();
+
+  mw::ClientTransport& client_end();
+  mw::ServerTransport& server_end();
+
+  struct Stats {
+    std::uint64_t wire_bytes = 0;      ///< RSP-framed bytes on the pipe
+    std::uint64_t payload_bytes = 0;   ///< before framing
+  };
+  const Stats& stats() const { return stats_; }
+
+  /// Framing overhead so far: wire / payload.
+  double expansion() const {
+    return payload_zero() ? 1.0
+                          : static_cast<double>(stats_.wire_bytes) /
+                                static_cast<double>(stats_.payload_bytes);
+  }
+
+ private:
+  bool payload_zero() const { return stats_.payload_bytes == 0; }
+
+  class ClientEnd;
+  class ServerEnd;
+
+  /// Serializes a message across the pipe and hands the decoded payload to
+  /// `deliver` after transmission + latency.
+  void transfer(const std::vector<std::uint8_t>& message,
+                RspParser& parser,
+                std::function<void(std::vector<std::uint8_t>)> deliver);
+
+  sim::Simulator* sim_;
+  RspPipeParams params_;
+  sim::Time pipe_free_at_;  ///< the serial line is half-duplex-ish: serialize
+  RspParser to_server_parser_;
+  RspParser to_client_parser_;
+  std::unique_ptr<ClientEnd> client_;
+  std::unique_ptr<ServerEnd> server_;
+  Stats stats_;
+};
+
+}  // namespace tb::cosim

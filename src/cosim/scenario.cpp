@@ -1,0 +1,68 @@
+#include "src/cosim/scenario.hpp"
+
+#include "src/util/assert.hpp"
+
+namespace tb::cosim {
+
+WireScenario::WireScenario(ScenarioConfig config) : config_(config) {
+  TB_REQUIRE(config.slave_count >= 1);
+  TB_REQUIRE(config.slave_count <= wire::kMaxNodeId);
+  TB_REQUIRE(!config.with_server ||
+             (config.server_slave >= 0 &&
+              config.server_slave < config.slave_count));
+
+  sim_ = std::make_unique<sim::Simulator>(config.seed);
+  bus_ = std::make_unique<wire::OneWireBus>(*sim_, config.link, config.faults);
+
+  std::vector<std::uint8_t> node_ids;
+  for (int i = 0; i < config.slave_count; ++i) {
+    const auto node_id = static_cast<std::uint8_t>(i + 1);
+    slaves_.push_back(
+        std::make_unique<wire::SlaveDevice>(*sim_, node_id, config_.link));
+    bus_->attach(*slaves_.back());
+    node_ids.push_back(node_id);
+  }
+
+  master_ = std::make_unique<wire::Master>(*bus_, config.master);
+  relay_ = std::make_unique<wire::MasterRelay>(*master_, node_ids,
+                                               config.relay);
+
+  if (config.use_xml_codec) {
+    codec_ = std::make_unique<mw::XmlCodec>();
+  } else {
+    codec_ = std::make_unique<mw::BinaryCodec>();
+  }
+
+  if (config.with_server) {
+    space_ = std::make_unique<space::TupleSpace>(*sim_, config.space);
+    server_transport_ = std::make_unique<mw::WireServerTransport>(
+        *sim_, *slaves_[config.server_slave], config.transport);
+    server_ = std::make_unique<mw::SpaceServer>(*space_, *server_transport_,
+                                                *codec_, config.server);
+  }
+}
+
+WireScenario::~WireScenario() {
+  // Stop the relay's polling coroutine before the members it uses vanish.
+  if (relay_) relay_->stop();
+}
+
+void WireScenario::start() { relay_->start(); }
+
+mw::SpaceClient& WireScenario::add_client(int slave_index,
+                                          mw::ClientConfig client_config) {
+  TB_REQUIRE(slave_index >= 0 && slave_index < slave_count());
+  TB_REQUIRE_MSG(has_server(), "scenario built without a server");
+  TB_REQUIRE_MSG(slave_index != config_.server_slave,
+                 "client cannot share the server's slave");
+  ClientSlot slot;
+  slot.transport = std::make_unique<mw::WireClientTransport>(
+      *sim_, *slaves_[slave_index], node_id(config_.server_slave),
+      config_.transport);
+  slot.client = std::make_unique<mw::SpaceClient>(*sim_, *slot.transport,
+                                                  *codec_, client_config);
+  clients_.push_back(std::move(slot));
+  return *clients_.back().client;
+}
+
+}  // namespace tb::cosim

@@ -1,0 +1,97 @@
+#include "src/cosim/validation.hpp"
+
+#include "src/sim/process.hpp"
+#include "src/sim/realtime.hpp"
+#include "src/sim/simulator.hpp"
+#include "src/util/assert.hpp"
+#include "src/wire/bus.hpp"
+#include "src/wire/master.hpp"
+#include "src/wire/timing.hpp"
+
+namespace tb::cosim {
+
+namespace {
+
+/// One validation setup: bus + slaves + master, with a process that issues
+/// back-to-back cycles to the target slave.
+struct FrameRig {
+  sim::Simulator sim;
+  wire::OneWireBus bus;
+  std::vector<std::unique_ptr<wire::SlaveDevice>> slaves;
+  wire::Master master;
+  std::uint64_t completed = 0;
+  bool failed = false;
+
+  FrameRig(const ValidationConfig& config)
+      : sim(config.seed), bus(sim, config.link), master(bus) {
+    TB_REQUIRE(config.target_slave >= 0 &&
+               config.target_slave < config.slave_count);
+    for (int i = 0; i < config.slave_count; ++i) {
+      slaves.push_back(std::make_unique<wire::SlaveDevice>(
+          sim, static_cast<std::uint8_t>(i + 1), config.link));
+      bus.attach(*slaves.back());
+    }
+  }
+
+  sim::Task<void> drive(std::uint8_t node, std::uint64_t frames) {
+    for (std::uint64_t i = 0; i < frames; ++i) {
+      wire::PingResult r = co_await master.ping(node);
+      if (!r.ok()) {
+        failed = true;
+        co_return;
+      }
+      ++completed;
+    }
+  }
+};
+
+}  // namespace
+
+ValidationReport run_frame_validation(const ValidationConfig& config) {
+  ValidationReport report;
+  const wire::AnalyticTiming hardware(config.link,
+                                      config.controller_overhead_bits);
+
+  double ratio_sum = 0.0;
+  for (std::uint64_t frames : config.frame_counts) {
+    FrameRig rig(config);
+    const auto node = static_cast<std::uint8_t>(config.target_slave + 1);
+    sim::spawn(rig.drive(node, frames));
+    rig.sim.run();
+    TB_REQUIRE_MSG(!rig.failed && rig.completed == frames,
+                   "validation drive failed");
+
+    ValidationRow row;
+    row.frames = frames;
+    row.simulated_sec = rig.sim.now().seconds();
+    row.hardware_sec =
+        hardware.frames(frames, config.target_slave).seconds();
+    row.ratio = row.hardware_sec / row.simulated_sec;
+    ratio_sum += row.ratio;
+    report.rows.push_back(row);
+  }
+  report.scaling_factor =
+      report.rows.empty() ? 0.0 : ratio_sum / static_cast<double>(report.rows.size());
+  return report;
+}
+
+RealtimeCheck run_realtime_check(std::uint64_t frames, double scale,
+                                 const ValidationConfig& config) {
+  FrameRig rig(config);
+  const auto node = static_cast<std::uint8_t>(config.target_slave + 1);
+  sim::spawn(rig.drive(node, frames));
+
+  sim::RealTimeRunner runner(rig.sim, scale);
+  const auto wall = runner.run_until(sim::Time::max());
+  TB_REQUIRE_MSG(!rig.failed && rig.completed == frames,
+                 "realtime drive failed");
+
+  RealtimeCheck check;
+  check.sim_seconds = rig.sim.now().seconds();
+  check.wall_seconds = static_cast<double>(wall.count()) * 1e-9;
+  check.max_lag_ms = static_cast<double>(runner.max_lag().count()) * 1e-6;
+  check.events = runner.events_run();
+  return check;
+}
+
+}  // namespace tb::cosim

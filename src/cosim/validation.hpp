@@ -1,0 +1,62 @@
+// Table 3 — "Validation NS2-TpWIRE".
+//
+// The paper validates its NS-2 TpWIRE model by sending N 1-byte CBR frames
+// between two slaves (Figure 6) and comparing (a) the real TpICU/SCM
+// hardware time against (b) the simulated time, under the real-time
+// scheduler; the ratio becomes the scaling factor applied in later
+// co-simulation. Our stand-in for the unavailable hardware is the
+// closed-form AnalyticTiming model with a configurable per-cycle controller
+// firmware overhead (DESIGN.md §2); the event-driven bus plays the NS-2
+// model. run_frame_validation() emits the same rows — frames vs seconds per
+// model — and derives the scaling factor; run_realtime_check() reproduces
+// the real-time-scheduler fidelity measurement.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "src/wire/config.hpp"
+
+namespace tb::cosim {
+
+struct ValidationConfig {
+  wire::LinkConfig link;
+  std::vector<std::uint64_t> frame_counts = {1'000, 10'000, 100'000};
+  int slave_count = 2;
+  int target_slave = 1;  ///< chain position of the responder (Slave2)
+  /// Firmware overhead (bit periods per cycle) of the "hardware" model.
+  double controller_overhead_bits = 4.0;
+  std::uint64_t seed = 1;
+
+  ValidationConfig() { link.bit_rate_hz = 9'600; }
+};
+
+struct ValidationRow {
+  std::uint64_t frames = 0;
+  double hardware_sec = 0.0;  ///< AnalyticTiming stand-in (TpICU/SCM)
+  double simulated_sec = 0.0; ///< event-driven bus (NS-2 model)
+  double ratio = 0.0;         ///< hardware / simulated
+};
+
+struct ValidationReport {
+  std::vector<ValidationRow> rows;
+  double scaling_factor = 0.0;  ///< mean ratio across rows
+};
+
+/// Runs the frame-level validation: N back-to-back communication cycles to
+/// the target slave, simulated vs closed form.
+ValidationReport run_frame_validation(const ValidationConfig& config);
+
+struct RealtimeCheck {
+  double sim_seconds = 0.0;
+  double wall_seconds = 0.0;
+  double max_lag_ms = 0.0;   ///< worst deviation from ideal firing instants
+  std::uint64_t events = 0;
+};
+
+/// Replays `frames` cycles under the real-time scheduler at `scale` sim
+/// seconds per wall second, reporting pacing fidelity.
+RealtimeCheck run_realtime_check(std::uint64_t frames, double scale,
+                                 const ValidationConfig& config);
+
+}  // namespace tb::cosim

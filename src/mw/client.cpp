@@ -1,0 +1,240 @@
+#include "src/mw/client.hpp"
+
+#include <climits>
+
+#include "src/util/assert.hpp"
+
+namespace tb::mw {
+
+SpaceClient::SpaceClient(sim::Simulator& sim, ClientTransport& transport,
+                         const Codec& codec, ClientConfig config)
+    : sim_(&sim), transport_(&transport), codec_(&codec), config_(config) {
+  transport_->on_message().connect(
+      [this](const std::vector<std::uint8_t>& bytes) { handle_bytes(bytes); });
+}
+
+std::int64_t SpaceClient::duration_ns_of(sim::Time t) {
+  return t == space::kLeaseForever ? INT64_MAX : t.count_ns();
+}
+
+void SpaceClient::handle_bytes(const std::vector<std::uint8_t>& bytes) {
+  std::optional<Message> message = codec_->decode(bytes);
+  if (!message) {
+    ++stats_.decode_errors;
+    return;
+  }
+  if (message->type == MsgType::kEvent) {
+    ++stats_.events;
+    auto it = event_callbacks_.find(message->handle);
+    if (it != event_callbacks_.end() && message->tuple) {
+      it->second(*message->tuple);
+    }
+    return;
+  }
+  auto it = pending_.find(message->request_id);
+  if (it == pending_.end()) {
+    ++stats_.stray_responses;
+    return;
+  }
+  Pending pending = std::move(it->second);
+  pending_.erase(it);
+  sim_->cancel(pending.timeout_event);
+  ++stats_.completed;
+  // Decouple from the transport's delivery stack (it may be deep inside a
+  // bus-relay coroutine).
+  sim_->schedule_in(sim::Time::zero(),
+                    [complete = std::move(pending.complete),
+                     m = std::move(*message)]() mutable {
+                      complete(std::move(m));
+                    });
+}
+
+void SpaceClient::arm_timeout(std::uint64_t request_id) {
+  auto it = pending_.find(request_id);
+  TB_ASSERT(it != pending_.end());
+  it->second.timeout_event =
+      sim_->schedule_in(config_.rpc_timeout, [this, request_id] {
+        auto pos = pending_.find(request_id);
+        TB_ASSERT(pos != pending_.end());
+        ++stats_.rpc_timeouts;
+        if (pos->second.retries_left > 0) {
+          --pos->second.retries_left;
+          ++stats_.retransmissions;
+          transport_->send(pos->second.encoded);  // same bytes, same id
+          arm_timeout(request_id);
+          return;
+        }
+        auto complete = std::move(pos->second.complete);
+        pending_.erase(pos);
+        complete(std::nullopt);
+      });
+}
+
+void SpaceClient::call(Message request,
+                       std::function<void(std::optional<Message>)> on_done) {
+  request.request_id = next_request_id_++;
+  request.created_at_ns = sim_->now().count_ns();
+  ++stats_.calls;
+
+  Pending pending;
+  pending.complete = std::move(on_done);
+  pending.encoded = codec_->encode(request);
+  pending.retries_left = config_.rpc_retries;
+  std::vector<std::uint8_t> wire_bytes = pending.encoded;
+  const std::uint64_t id = request.request_id;
+  pending_.emplace(id, std::move(pending));
+  if (config_.rpc_timeout != space::kLeaseForever) arm_timeout(id);
+  transport_->send(std::move(wire_bytes));
+}
+
+namespace {
+
+struct RpcAwaiter {
+  SpaceClient& client;
+  Message request;
+  void (SpaceClient::*do_call)(Message,
+                               std::function<void(std::optional<Message>)>);
+  std::optional<Message> response;
+
+  bool await_ready() const { return false; }
+  void await_suspend(std::coroutine_handle<> h) {
+    (client.*do_call)(std::move(request),
+                      [this, h](std::optional<Message> r) {
+                        response = std::move(r);
+                        h.resume();
+                      });
+  }
+  std::optional<Message> await_resume() { return std::move(response); }
+};
+
+}  // namespace
+
+auto SpaceClient::rpc(Message request) {
+  return RpcAwaiter{*this, std::move(request), &SpaceClient::call, std::nullopt};
+}
+
+sim::Task<SpaceClient::WriteResult> SpaceClient::write(
+    space::Tuple tuple, sim::Time lease_duration, std::uint64_t txn) {
+  Message request;
+  request.type = MsgType::kWriteRequest;
+  request.tuple = std::move(tuple);
+  request.duration_ns = duration_ns_of(lease_duration);
+  request.txn = txn;
+  std::optional<Message> response = co_await rpc(std::move(request));
+  WriteResult result;
+  if (response && response->type == MsgType::kWriteResponse && response->ok) {
+    result.ok = true;
+    result.lease.id = response->handle;
+    result.lease.expires_at = response->expires_at_ns == INT64_MAX
+                                  ? sim::Time::max()
+                                  : sim::Time::ns(response->expires_at_ns);
+  }
+  co_return result;
+}
+
+sim::Task<std::optional<space::Tuple>> SpaceClient::take(space::Template tmpl,
+                                                         sim::Time timeout,
+                                                         std::uint64_t txn) {
+  Message request;
+  request.type = MsgType::kTakeRequest;
+  request.tmpl = std::move(tmpl);
+  request.duration_ns = duration_ns_of(timeout);
+  request.txn = txn;
+  std::optional<Message> response = co_await rpc(std::move(request));
+  if (!response || response->type != MsgType::kMatchResponse || !response->ok) {
+    co_return std::nullopt;
+  }
+  co_return std::move(response->tuple);
+}
+
+sim::Task<std::optional<space::Tuple>> SpaceClient::read(space::Template tmpl,
+                                                         sim::Time timeout,
+                                                         std::uint64_t txn) {
+  Message request;
+  request.type = MsgType::kReadRequest;
+  request.tmpl = std::move(tmpl);
+  request.duration_ns = duration_ns_of(timeout);
+  request.txn = txn;
+  std::optional<Message> response = co_await rpc(std::move(request));
+  if (!response || response->type != MsgType::kMatchResponse || !response->ok) {
+    co_return std::nullopt;
+  }
+  co_return std::move(response->tuple);
+}
+
+sim::Task<std::optional<std::uint64_t>> SpaceClient::notify(
+    space::Template tmpl, sim::Time lease_duration, EventCallback callback) {
+  TB_REQUIRE(callback != nullptr);
+  Message request;
+  request.type = MsgType::kNotifyRequest;
+  request.tmpl = std::move(tmpl);
+  request.duration_ns = duration_ns_of(lease_duration);
+  std::optional<Message> response = co_await rpc(std::move(request));
+  if (!response || response->type != MsgType::kNotifyResponse || !response->ok) {
+    co_return std::nullopt;
+  }
+  event_callbacks_[response->handle] = std::move(callback);
+  co_return response->handle;
+}
+
+sim::Task<std::optional<space::Lease>> SpaceClient::renew(
+    std::uint64_t lease_id, sim::Time extension) {
+  Message request;
+  request.type = MsgType::kRenewRequest;
+  request.handle = lease_id;
+  request.duration_ns = duration_ns_of(extension);
+  std::optional<Message> response = co_await rpc(std::move(request));
+  if (!response || response->type != MsgType::kRenewResponse || !response->ok) {
+    co_return std::nullopt;
+  }
+  space::Lease lease;
+  lease.id = response->handle;
+  lease.expires_at = response->expires_at_ns == INT64_MAX
+                         ? sim::Time::max()
+                         : sim::Time::ns(response->expires_at_ns);
+  co_return lease;
+}
+
+sim::Task<std::optional<std::uint64_t>> SpaceClient::begin_transaction(
+    sim::Time timeout) {
+  Message request;
+  request.type = MsgType::kTxnBeginRequest;
+  request.duration_ns = duration_ns_of(timeout);
+  std::optional<Message> response = co_await rpc(std::move(request));
+  if (!response || response->type != MsgType::kTxnBeginResponse ||
+      !response->ok) {
+    co_return std::nullopt;
+  }
+  co_return response->handle;
+}
+
+sim::Task<bool> SpaceClient::commit(std::uint64_t txn) {
+  Message request;
+  request.type = MsgType::kTxnCommitRequest;
+  request.handle = txn;
+  std::optional<Message> response = co_await rpc(std::move(request));
+  co_return response && response->type == MsgType::kTxnResolveResponse &&
+      response->ok;
+}
+
+sim::Task<bool> SpaceClient::abort(std::uint64_t txn) {
+  Message request;
+  request.type = MsgType::kTxnAbortRequest;
+  request.handle = txn;
+  std::optional<Message> response = co_await rpc(std::move(request));
+  co_return response && response->type == MsgType::kTxnResolveResponse &&
+      response->ok;
+}
+
+sim::Task<bool> SpaceClient::cancel(std::uint64_t handle) {
+  Message request;
+  request.type = MsgType::kCancelRequest;
+  request.handle = handle;
+  std::optional<Message> response = co_await rpc(std::move(request));
+  const bool ok =
+      response && response->type == MsgType::kCancelResponse && response->ok;
+  if (ok) event_callbacks_.erase(handle);
+  co_return ok;
+}
+
+}  // namespace tb::mw

@@ -1,0 +1,138 @@
+// The C++ space client — the board-side API of the paper's architecture
+// (Figure 4/5): JavaSpaces-style operations, each a coroutine that sends a
+// request through the transport and suspends until the correlated response
+// arrives.
+//
+//   mw::SpaceClient client(sim, transport, codec);
+//   auto w = co_await client.write(tuple, Time::sec(160));
+//   auto t = co_await client.take(tmpl, Time::sec(20));
+//
+// Completion resumes through a zero-delay simulator event, so client
+// coroutines may immediately issue further operations regardless of which
+// transport delivered the response. An optional rpc_timeout bounds every
+// call (nullopt result) as a safety net on lossy transports.
+#pragma once
+
+#include <coroutine>
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <unordered_map>
+
+#include "src/mw/codec.hpp"
+#include "src/mw/transport.hpp"
+#include "src/sim/process.hpp"
+#include "src/sim/simulator.hpp"
+#include "src/space/space.hpp"
+
+namespace tb::mw {
+
+struct ClientConfig {
+  /// Upper bound on any single request/response attempt;
+  /// space::kLeaseForever disables the bound (and retransmission).
+  sim::Time rpc_timeout = space::kLeaseForever;
+
+  /// Retransmissions after an rpc_timeout expiry. The request is resent
+  /// byte-identical (same request id), so the server's duplicate cache
+  /// keeps every operation exactly-once even on lossy transports.
+  int rpc_retries = 0;
+};
+
+class SpaceClient {
+ public:
+  using EventCallback = std::function<void(const space::Tuple&)>;
+
+  SpaceClient(sim::Simulator& sim, ClientTransport& transport,
+              const Codec& codec, ClientConfig config = {});
+
+  SpaceClient(const SpaceClient&) = delete;
+  SpaceClient& operator=(const SpaceClient&) = delete;
+
+  struct WriteResult {
+    bool ok = false;
+    space::Lease lease;  ///< id 0 when the entry expired in transit
+  };
+
+  /// Writes a tuple with the given lease duration (kLeaseForever allowed).
+  /// Under a transaction the write stays provisional until commit.
+  sim::Task<WriteResult> write(space::Tuple tuple, sim::Time lease_duration,
+                               std::uint64_t txn = space::kNoTxn);
+
+  /// Blocking take/read with server-side timeout; nullopt = no match (or
+  /// rpc timeout). Under a transaction the server answers if-exists
+  /// (no parking) and a take holds the entry until the txn resolves.
+  sim::Task<std::optional<space::Tuple>> take(space::Template tmpl,
+                                              sim::Time timeout,
+                                              std::uint64_t txn = space::kNoTxn);
+  sim::Task<std::optional<space::Tuple>> read(space::Template tmpl,
+                                              sim::Time timeout,
+                                              std::uint64_t txn = space::kNoTxn);
+
+  /// Opens a server-side transaction that auto-aborts after `timeout`.
+  /// Returns its id, or nullopt on transport failure.
+  sim::Task<std::optional<std::uint64_t>> begin_transaction(
+      sim::Time timeout = space::kLeaseForever);
+
+  /// Resolves a transaction. False when it no longer exists (timed out,
+  /// already resolved) or the call failed.
+  sim::Task<bool> commit(std::uint64_t txn);
+  sim::Task<bool> abort(std::uint64_t txn);
+
+  /// Registers an event callback; returns the registration id (for cancel),
+  /// nullopt on failure.
+  sim::Task<std::optional<std::uint64_t>> notify(space::Template tmpl,
+                                                 sim::Time lease_duration,
+                                                 EventCallback callback);
+
+  /// Renews a tuple lease; returns the new lease or nullopt when gone.
+  sim::Task<std::optional<space::Lease>> renew(std::uint64_t lease_id,
+                                               sim::Time extension);
+
+  /// Cancels a tuple lease or notify registration.
+  sim::Task<bool> cancel(std::uint64_t handle);
+
+  struct Stats {
+    std::uint64_t calls = 0;
+    std::uint64_t completed = 0;
+    std::uint64_t rpc_timeouts = 0;   ///< attempts that expired
+    std::uint64_t retransmissions = 0;
+    std::uint64_t events = 0;
+    std::uint64_t decode_errors = 0;
+    std::uint64_t stray_responses = 0;  ///< no pending call (late arrival)
+  };
+  const Stats& stats() const { return stats_; }
+
+ private:
+  friend struct RpcAwaiter;
+
+  struct Pending {
+    std::function<void(std::optional<Message>)> complete;
+    sim::EventHandle timeout_event;
+    std::vector<std::uint8_t> encoded;  ///< for retransmission
+    int retries_left = 0;
+  };
+
+  void arm_timeout(std::uint64_t request_id);
+
+  /// Sends `request` (stamping id + timestamp) and completes `on_done`
+  /// via a zero-delay event with the response (nullopt on rpc timeout).
+  void call(Message request, std::function<void(std::optional<Message>)> on_done);
+
+  void handle_bytes(const std::vector<std::uint8_t>& bytes);
+
+  /// Awaitable wrapper over call().
+  auto rpc(Message request);
+
+  static std::int64_t duration_ns_of(sim::Time t);
+
+  sim::Simulator* sim_;
+  ClientTransport* transport_;
+  const Codec* codec_;
+  ClientConfig config_;
+  std::uint64_t next_request_id_ = 1;
+  std::unordered_map<std::uint64_t, Pending> pending_;
+  std::unordered_map<std::uint64_t, EventCallback> event_callbacks_;
+  Stats stats_;
+};
+
+}  // namespace tb::mw

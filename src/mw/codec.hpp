@@ -1,0 +1,49 @@
+// Message codec interface.
+//
+// Two implementations reproduce the paper's stack and its obvious ablation:
+//  * XmlCodec    — "XML is used to represent data entries" (Figure 4). The
+//                  verbose text encoding is a first-order contributor to the
+//                  middleware's load on the bus.
+//  * BinaryCodec — compact TLV encoding; bench_transport_stack quantifies
+//                  how much of Table 4's cost is the XML representation.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "src/mw/message.hpp"
+
+namespace tb::mw {
+
+class Codec {
+ public:
+  virtual ~Codec() = default;
+
+  virtual std::vector<std::uint8_t> encode(const Message& message) const = 0;
+
+  /// nullopt on malformed input.
+  virtual std::optional<Message> decode(
+      std::span<const std::uint8_t> bytes) const = 0;
+
+  virtual const char* name() const = 0;
+};
+
+class XmlCodec final : public Codec {
+ public:
+  std::vector<std::uint8_t> encode(const Message& message) const override;
+  std::optional<Message> decode(
+      std::span<const std::uint8_t> bytes) const override;
+  const char* name() const override { return "xml"; }
+};
+
+class BinaryCodec final : public Codec {
+ public:
+  std::vector<std::uint8_t> encode(const Message& message) const override;
+  std::optional<Message> decode(
+      std::span<const std::uint8_t> bytes) const override;
+  const char* name() const override { return "binary"; }
+};
+
+}  // namespace tb::mw

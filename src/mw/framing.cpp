@@ -1,0 +1,40 @@
+#include "src/mw/framing.hpp"
+
+namespace tb::mw {
+
+std::vector<std::uint8_t> MessageFramer::frame(
+    std::span<const std::uint8_t> message) {
+  std::vector<std::uint8_t> out;
+  out.reserve(message.size() + 4);
+  const auto size = static_cast<std::uint32_t>(message.size());
+  out.push_back(static_cast<std::uint8_t>(size >> 24));
+  out.push_back(static_cast<std::uint8_t>(size >> 16));
+  out.push_back(static_cast<std::uint8_t>(size >> 8));
+  out.push_back(static_cast<std::uint8_t>(size));
+  out.insert(out.end(), message.begin(), message.end());
+  return out;
+}
+
+void MessageFramer::feed(std::span<const std::uint8_t> bytes) {
+  if (corrupted_) return;
+  buffer_.insert(buffer_.end(), bytes.begin(), bytes.end());
+}
+
+std::optional<std::vector<std::uint8_t>> MessageFramer::next() {
+  if (corrupted_ || buffer_.size() < 4) return std::nullopt;
+  const std::uint32_t size = (static_cast<std::uint32_t>(buffer_[0]) << 24) |
+                             (static_cast<std::uint32_t>(buffer_[1]) << 16) |
+                             (static_cast<std::uint32_t>(buffer_[2]) << 8) |
+                             static_cast<std::uint32_t>(buffer_[3]);
+  if (size > kMaxMessage) {
+    corrupted_ = true;
+    return std::nullopt;
+  }
+  if (buffer_.size() < 4 + static_cast<std::size_t>(size)) return std::nullopt;
+  buffer_.erase(buffer_.begin(), buffer_.begin() + 4);
+  std::vector<std::uint8_t> message(buffer_.begin(), buffer_.begin() + size);
+  buffer_.erase(buffer_.begin(), buffer_.begin() + size);
+  return message;
+}
+
+}  // namespace tb::mw

@@ -1,0 +1,41 @@
+// Length-prefixed message framing over byte streams.
+//
+// Both stream transports (net packets, TpWIRE mailbox segments) deliver
+// arbitrary byte chunks; the framer restores message boundaries with a
+// 32-bit big-endian length prefix.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <optional>
+#include <span>
+#include <vector>
+
+namespace tb::mw {
+
+class MessageFramer {
+ public:
+  /// Maximum accepted message size; a larger prefix marks stream corruption.
+  static constexpr std::size_t kMaxMessage = 16 * 1024 * 1024;
+
+  /// Prepends the length prefix.
+  static std::vector<std::uint8_t> frame(std::span<const std::uint8_t> message);
+
+  /// Appends stream bytes; complete messages become available via next().
+  void feed(std::span<const std::uint8_t> bytes);
+
+  /// Pops the next complete message, if any.
+  std::optional<std::vector<std::uint8_t>> next();
+
+  /// True once an oversized length prefix poisoned the stream; the framer
+  /// stops producing messages (callers should reset the connection).
+  bool corrupted() const { return corrupted_; }
+
+  std::size_t buffered_bytes() const { return buffer_.size(); }
+
+ private:
+  std::deque<std::uint8_t> buffer_;
+  bool corrupted_ = false;
+};
+
+}  // namespace tb::mw

@@ -1,0 +1,35 @@
+#include "src/mw/loopback.hpp"
+
+#include "src/util/assert.hpp"
+
+namespace tb::mw {
+
+void LoopbackClient::send(std::vector<std::uint8_t> message) {
+  note_sent(message.size());
+  hub_->client_to_server(session_, std::move(message));
+}
+
+LoopbackClient& LoopbackHub::create_client() {
+  const SessionId session = clients_.size();
+  clients_.push_back(
+      std::unique_ptr<LoopbackClient>(new LoopbackClient(*this, session)));
+  return *clients_.back();
+}
+
+void LoopbackHub::send(SessionId session, std::vector<std::uint8_t> message) {
+  TB_REQUIRE_MSG(session < clients_.size(), "unknown loopback session");
+  note_sent(message.size());
+  LoopbackClient* client = clients_[session].get();
+  sim_->schedule_in(delay_, [client, m = std::move(message)] {
+    client->deliver(m);
+  });
+}
+
+void LoopbackHub::client_to_server(SessionId session,
+                                   std::vector<std::uint8_t> message) {
+  sim_->schedule_in(delay_, [this, session, m = std::move(message)] {
+    deliver(session, m);
+  });
+}
+
+}  // namespace tb::mw

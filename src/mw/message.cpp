@@ -1,0 +1,40 @@
+#include "src/mw/message.hpp"
+
+#include <sstream>
+
+namespace tb::mw {
+
+const char* to_string(MsgType type) {
+  switch (type) {
+    case MsgType::kWriteRequest: return "write-req";
+    case MsgType::kWriteResponse: return "write-resp";
+    case MsgType::kReadRequest: return "read-req";
+    case MsgType::kTakeRequest: return "take-req";
+    case MsgType::kMatchResponse: return "match-resp";
+    case MsgType::kNotifyRequest: return "notify-req";
+    case MsgType::kNotifyResponse: return "notify-resp";
+    case MsgType::kEvent: return "event";
+    case MsgType::kRenewRequest: return "renew-req";
+    case MsgType::kRenewResponse: return "renew-resp";
+    case MsgType::kCancelRequest: return "cancel-req";
+    case MsgType::kCancelResponse: return "cancel-resp";
+    case MsgType::kTxnBeginRequest: return "txn-begin-req";
+    case MsgType::kTxnBeginResponse: return "txn-begin-resp";
+    case MsgType::kTxnCommitRequest: return "txn-commit-req";
+    case MsgType::kTxnAbortRequest: return "txn-abort-req";
+    case MsgType::kTxnResolveResponse: return "txn-resolve-resp";
+    case MsgType::kError: return "error";
+  }
+  return "?";
+}
+
+std::string Message::to_string() const {
+  std::ostringstream os;
+  os << mw::to_string(type) << "#" << request_id;
+  if (tuple) os << ' ' << tuple->to_string();
+  if (tmpl) os << ' ' << tmpl->to_string();
+  if (!error.empty()) os << " error=" << error;
+  return os.str();
+}
+
+}  // namespace tb::mw

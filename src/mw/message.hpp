@@ -1,0 +1,67 @@
+// Space-protocol messages exchanged between SpaceClient and SpaceServer.
+//
+// Mirrors the paper's client/server architecture (Figures 3-5): the C++
+// client on the board talks to the space server through a message protocol
+// ("XML is used to represent data entries"); JavaSpaces-style operations
+// each map to a request/response pair, and notify events are pushed
+// server -> client.
+//
+// `created_at_ns` is the sender-side timestamp. With
+// ServerConfig::lease_from_send_time (default), a written entry's lease
+// counts from this instant rather than from server arrival — the entry's
+// lifetime is a property of the tuple, not of the transport. This is what
+// makes Table 4's "Out of Time" observable: when bus congestion stretches
+// the write+take round trip past the 160 s lease, the entry is already
+// expired by the time the take reaches the server.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "src/space/tuple.hpp"
+
+namespace tb::mw {
+
+enum class MsgType : std::uint8_t {
+  kWriteRequest = 0,
+  kWriteResponse,
+  kReadRequest,
+  kTakeRequest,
+  kMatchResponse,   ///< answers both read and take
+  kNotifyRequest,
+  kNotifyResponse,
+  kEvent,           ///< server push for a notify registration
+  kRenewRequest,
+  kRenewResponse,
+  kCancelRequest,
+  kCancelResponse,
+  kTxnBeginRequest,
+  kTxnBeginResponse,   ///< handle = transaction id
+  kTxnCommitRequest,
+  kTxnAbortRequest,
+  kTxnResolveResponse, ///< answers commit and abort
+  kError,
+};
+
+const char* to_string(MsgType type);
+
+struct Message {
+  MsgType type = MsgType::kError;
+  std::uint64_t request_id = 0;   ///< request/response correlation
+  std::int64_t created_at_ns = 0; ///< sender-side timestamp
+
+  std::optional<space::Tuple> tuple;     ///< write payload / match result / event
+  std::optional<space::Template> tmpl;   ///< read/take/notify pattern
+  std::int64_t duration_ns = 0;          ///< lease or timeout; INT64_MAX = forever
+  std::uint64_t handle = 0;              ///< lease id / notify registration id
+  std::int64_t expires_at_ns = 0;        ///< lease expiry (write/renew responses)
+  bool ok = false;                       ///< generic success flag
+  std::uint64_t txn = 0;                 ///< transaction scope (0 = none)
+  std::string error;                     ///< kError details
+
+  bool operator==(const Message&) const = default;
+  std::string to_string() const;
+};
+
+}  // namespace tb::mw

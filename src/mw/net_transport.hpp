@@ -1,0 +1,67 @@
+// Space transport over the packet network (the Figure 4 socket/Ethernet
+// configuration).
+//
+// Messages are length-prefixed (MessageFramer) and chopped into MTU-sized
+// packets with a fixed per-packet header overhead — a TCP-without-loss
+// abstraction that is honest for the paper's comparison: §4.3 rejects this
+// configuration on cost grounds, not because TCP dynamics matter at these
+// loads. Links must be provisioned so queues do not overflow (a dropped
+// packet poisons the stream; the framer then reports corruption).
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+
+#include "src/mw/framing.hpp"
+#include "src/mw/transport.hpp"
+#include "src/net/agent.hpp"
+
+namespace tb::mw {
+
+struct NetTransportParams {
+  std::size_t mtu_payload = 1460;      ///< payload bytes per packet
+  std::size_t header_overhead = 40;    ///< TCP/IP-ish header bytes
+};
+
+class NetClientTransport final : public ClientTransport, private net::Agent {
+ public:
+  NetClientTransport(sim::Simulator& sim, net::Node& node, std::uint16_t port,
+                     net::Address server, NetTransportParams params = {});
+
+  void send(std::vector<std::uint8_t> message) override;
+
+ private:
+  void recv(net::Packet packet) override;
+
+  net::Address server_;
+  NetTransportParams params_;
+  MessageFramer framer_;
+  std::uint64_t seq_ = 0;
+};
+
+class NetServerTransport final : public ServerTransport, private net::Agent {
+ public:
+  NetServerTransport(sim::Simulator& sim, net::Node& node, std::uint16_t port,
+                     NetTransportParams params = {});
+
+  void send(SessionId session, std::vector<std::uint8_t> message) override;
+
+  net::Address listen_address() const { return address(); }
+
+ private:
+  void recv(net::Packet packet) override;
+  static SessionId session_of(const net::Address& addr) {
+    return (static_cast<SessionId>(addr.node) << 16) | addr.port;
+  }
+
+  struct Session {
+    net::Address peer;
+    MessageFramer framer;
+    std::uint64_t seq = 0;
+  };
+
+  NetTransportParams params_;
+  std::unordered_map<SessionId, Session> sessions_;
+};
+
+}  // namespace tb::mw

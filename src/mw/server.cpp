@@ -1,0 +1,283 @@
+#include "src/mw/server.hpp"
+
+#include <climits>
+
+#include "src/util/assert.hpp"
+
+namespace tb::mw {
+
+SpaceServer::SpaceServer(space::TupleSpace& space, ServerTransport& transport,
+                         const Codec& codec, ServerConfig config)
+    : space_(&space), transport_(&transport), codec_(&codec), config_(config) {
+  transport_->on_message().connect(
+      [this](SessionId session, const std::vector<std::uint8_t>& bytes) {
+        handle_bytes(session, bytes);
+      });
+}
+
+sim::Time SpaceServer::duration_of(std::int64_t ns) {
+  if (ns == INT64_MAX) return space::kLeaseForever;
+  return sim::Time::ns(ns);
+}
+
+void SpaceServer::handle_bytes(SessionId session,
+                               const std::vector<std::uint8_t>& bytes) {
+  std::optional<Message> request = codec_->decode(bytes);
+  if (!request) {
+    ++stats_.decode_errors;
+    return;
+  }
+
+  SessionState& state = sessions_[session];
+  if (auto cached = state.responses.find(request->request_id);
+      cached != state.responses.end()) {
+    // Retransmitted request whose response we already produced: replay it
+    // without re-executing the operation.
+    ++stats_.duplicates_replayed;
+    transport_->send(session, cached->second);
+    return;
+  }
+  if (state.in_flight.contains(request->request_id)) {
+    ++stats_.duplicates_ignored;  // original still parked (blocked take)
+    return;
+  }
+  state.in_flight.insert(request->request_id);
+
+  ++stats_.requests;
+  // The RMI/socket-wrapper hop inside the server host.
+  space_->simulator().schedule_in(
+      config_.service_delay,
+      [this, session, req = std::move(*request)]() mutable {
+        process(session, std::move(req));
+      });
+}
+
+void SpaceServer::respond(SessionId session, Message response) {
+  response.created_at_ns = space_->simulator().now().count_ns();
+  ++stats_.responses;
+  std::vector<std::uint8_t> encoded = codec_->encode(response);
+
+  SessionState& state = sessions_[session];
+  state.in_flight.erase(response.request_id);
+  if (state.responses.try_emplace(response.request_id, encoded).second) {
+    state.response_order.push_back(response.request_id);
+    if (state.response_order.size() > kResponseCacheSize) {
+      state.responses.erase(state.response_order.front());
+      state.response_order.pop_front();
+    }
+  }
+  transport_->send(session, std::move(encoded));
+}
+
+void SpaceServer::process(SessionId session, Message request) {
+  switch (request.type) {
+    case MsgType::kWriteRequest:
+      handle_write(session, request);
+      return;
+    case MsgType::kReadRequest:
+      handle_match(session, request, /*take=*/false);
+      return;
+    case MsgType::kTakeRequest:
+      handle_match(session, request, /*take=*/true);
+      return;
+    case MsgType::kNotifyRequest:
+      handle_notify(session, request);
+      return;
+    case MsgType::kRenewRequest:
+      handle_renew(session, request);
+      return;
+    case MsgType::kCancelRequest:
+      handle_cancel(session, request);
+      return;
+    case MsgType::kTxnBeginRequest:
+    case MsgType::kTxnCommitRequest:
+    case MsgType::kTxnAbortRequest:
+      handle_txn(session, request);
+      return;
+    default: {
+      Message err;
+      err.type = MsgType::kError;
+      err.request_id = request.request_id;
+      err.error = "unexpected message type";
+      respond(session, err);
+      return;
+    }
+  }
+}
+
+void SpaceServer::handle_write(SessionId session, const Message& request) {
+  Message response;
+  response.type = MsgType::kWriteResponse;
+  response.request_id = request.request_id;
+  if (!request.tuple) {
+    response.ok = false;
+    response.error = "write without tuple";
+    respond(session, response);
+    return;
+  }
+
+  sim::Time lease_duration = duration_of(request.duration_ns);
+  if (config_.lease_from_send_time && lease_duration != space::kLeaseForever) {
+    const sim::Time in_transit =
+        space_->simulator().now() - sim::Time::ns(request.created_at_ns);
+    lease_duration -= in_transit;
+    if (lease_duration <= sim::Time::zero()) {
+      // Expired in transit: acknowledge, but never store ("the entry
+      // lifetime is out-of-date" — paper §5).
+      ++stats_.dead_on_arrival;
+      response.ok = true;
+      response.handle = 0;
+      response.expires_at_ns = request.created_at_ns + request.duration_ns;
+      respond(session, response);
+      return;
+    }
+  }
+
+  if (request.txn != space::kNoTxn &&
+      !space_->transaction_open(request.txn)) {
+    response.ok = false;
+    response.error = "unknown transaction";
+    respond(session, response);
+    return;
+  }
+  const space::Lease lease =
+      space_->write(*request.tuple, lease_duration, request.txn);
+  response.ok = true;
+  response.handle = lease.id;
+  response.expires_at_ns = lease.expires_at == sim::Time::max()
+                               ? INT64_MAX
+                               : lease.expires_at.count_ns();
+  respond(session, response);
+}
+
+void SpaceServer::handle_match(SessionId session, const Message& request,
+                               bool take) {
+  if (!request.tmpl) {
+    Message response;
+    response.type = MsgType::kError;
+    response.request_id = request.request_id;
+    response.error = "match without template";
+    respond(session, response);
+    return;
+  }
+  const sim::Time timeout = duration_of(request.duration_ns);
+  auto completion = [this, session, id = request.request_id](
+                        std::optional<space::Tuple> result) {
+    Message response;
+    response.type = MsgType::kMatchResponse;
+    response.request_id = id;
+    response.ok = result.has_value();
+    if (result) response.tuple = std::move(result);
+    respond(session, response);
+  };
+  if (request.txn != space::kNoTxn) {
+    // Transactional matches are if-exists only (blocking under a
+    // transaction would let a parked operation outlive its transaction).
+    if (!space_->transaction_open(request.txn)) {
+      completion(std::nullopt);
+      return;
+    }
+    completion(take ? space_->take_if_exists(*request.tmpl, request.txn)
+                    : space_->read_if_exists(*request.tmpl, request.txn));
+    return;
+  }
+  if (take) {
+    space_->take_async(*request.tmpl, timeout, std::move(completion));
+  } else {
+    space_->read_async(*request.tmpl, timeout, std::move(completion));
+  }
+}
+
+void SpaceServer::handle_txn(SessionId session, const Message& request) {
+  Message response;
+  response.request_id = request.request_id;
+  switch (request.type) {
+    case MsgType::kTxnBeginRequest:
+      response.type = MsgType::kTxnBeginResponse;
+      response.ok = true;
+      response.handle =
+          space_->begin_transaction(duration_of(request.duration_ns));
+      break;
+    case MsgType::kTxnCommitRequest:
+      response.type = MsgType::kTxnResolveResponse;
+      response.ok = space_->commit(request.handle);
+      break;
+    case MsgType::kTxnAbortRequest:
+      response.type = MsgType::kTxnResolveResponse;
+      response.ok = space_->abort(request.handle);
+      break;
+    default:
+      response.type = MsgType::kError;
+      response.error = "bad txn request";
+      break;
+  }
+  respond(session, response);
+}
+
+void SpaceServer::handle_notify(SessionId session, const Message& request) {
+  Message response;
+  response.request_id = request.request_id;
+  if (!request.tmpl) {
+    response.type = MsgType::kError;
+    response.error = "notify without template";
+    respond(session, response);
+    return;
+  }
+  // The callback outlives this frame; capture what it needs by value.
+  // Registration id becomes known only after notify() returns, so route
+  // through a slot the callback reads.
+  auto reg_slot = std::make_shared<std::uint64_t>(0);
+  const std::uint64_t registration = space_->notify(
+      *request.tmpl, duration_of(request.duration_ns),
+      [this, session, reg_slot](const space::Tuple& tuple) {
+        Message event;
+        event.type = MsgType::kEvent;
+        event.handle = *reg_slot;
+        event.tuple = tuple;
+        event.created_at_ns = space_->simulator().now().count_ns();
+        ++stats_.events_pushed;
+        transport_->send(session, codec_->encode(event));
+      });
+  *reg_slot = registration;
+  notify_sessions_[registration] = session;
+
+  response.type = MsgType::kNotifyResponse;
+  response.ok = true;
+  response.handle = registration;
+  respond(session, response);
+}
+
+void SpaceServer::handle_renew(SessionId session, const Message& request) {
+  Message response;
+  response.type = MsgType::kRenewResponse;
+  response.request_id = request.request_id;
+  const std::optional<space::Lease> lease =
+      space_->renew(request.handle, duration_of(request.duration_ns));
+  response.ok = lease.has_value();
+  if (lease) {
+    response.handle = lease->id;
+    response.expires_at_ns = lease->expires_at == sim::Time::max()
+                                 ? INT64_MAX
+                                 : lease->expires_at.count_ns();
+  }
+  respond(session, response);
+}
+
+void SpaceServer::handle_cancel(SessionId session, const Message& request) {
+  Message response;
+  response.type = MsgType::kCancelResponse;
+  response.request_id = request.request_id;
+  // Space ids are globally unique, so try tuples first, then notify
+  // registrations.
+  if (space_->cancel(request.handle)) {
+    response.ok = true;
+  } else if (space_->cancel_notify(request.handle)) {
+    notify_sessions_.erase(request.handle);
+    response.ok = true;
+  } else {
+    response.ok = false;
+  }
+  respond(session, response);
+}
+
+}  // namespace tb::mw

@@ -1,0 +1,95 @@
+// The space server: TupleSpace exposed over a ServerTransport.
+//
+// Plays the paper's "SpaceServer" Java class (Figure 3/4): requests arrive
+// as encoded messages, cross a configurable service delay (the RMI +
+// Java/socket-wrapper hop inside the server host), run against the
+// TupleSpace, and responses travel back. Blocking read/take requests park
+// inside the space and answer when a match or the timeout arrives; notify
+// registrations push kEvent messages to their session.
+//
+// Lease accounting (ServerConfig::lease_from_send_time, default on): a
+// written entry's lifetime counts from the client-side send timestamp, so
+// transport time eats into the lease — the mechanism behind Table 4's
+// "Out of Time" row (see message.hpp).
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <set>
+#include <unordered_map>
+
+#include "src/mw/codec.hpp"
+#include "src/mw/transport.hpp"
+#include "src/sim/simulator.hpp"
+#include "src/space/space.hpp"
+
+namespace tb::mw {
+
+struct ServerConfig {
+  /// Per-request processing latency (RMI dispatch + socket wrapper).
+  sim::Time service_delay = sim::Time::ms(2);
+
+  /// Count entry leases from the request's send timestamp rather than from
+  /// server arrival.
+  bool lease_from_send_time = true;
+};
+
+class SpaceServer {
+ public:
+  SpaceServer(space::TupleSpace& space, ServerTransport& transport,
+              const Codec& codec, ServerConfig config = {});
+
+  SpaceServer(const SpaceServer&) = delete;
+  SpaceServer& operator=(const SpaceServer&) = delete;
+
+  struct Stats {
+    std::uint64_t requests = 0;
+    std::uint64_t responses = 0;
+    std::uint64_t events_pushed = 0;
+    std::uint64_t decode_errors = 0;
+    std::uint64_t dead_on_arrival = 0;  ///< writes whose lease had expired in transit
+    std::uint64_t duplicates_replayed = 0;  ///< cached response resent
+    std::uint64_t duplicates_ignored = 0;   ///< original still in flight
+  };
+  const Stats& stats() const { return stats_; }
+
+  space::TupleSpace& space() { return *space_; }
+
+ private:
+  using SessionId = ServerTransport::SessionId;
+
+  void handle_bytes(SessionId session, const std::vector<std::uint8_t>& bytes);
+  void process(SessionId session, Message request);
+  void respond(SessionId session, Message response);
+
+  void handle_write(SessionId session, const Message& request);
+  void handle_match(SessionId session, const Message& request, bool take);
+  void handle_notify(SessionId session, const Message& request);
+  void handle_renew(SessionId session, const Message& request);
+  void handle_cancel(SessionId session, const Message& request);
+  void handle_txn(SessionId session, const Message& request);
+
+  static sim::Time duration_of(std::int64_t ns);
+
+  space::TupleSpace* space_;
+  ServerTransport* transport_;
+  const Codec* codec_;
+  ServerConfig config_;
+  /// notify registration -> owning session (for event push & cancel).
+  std::unordered_map<std::uint64_t, SessionId> notify_sessions_;
+
+  /// Duplicate-request suppression: clients on lossy transports retransmit
+  /// byte-identical requests (same id); replaying the cached response keeps
+  /// non-idempotent operations (write, take) exactly-once.
+  struct SessionState {
+    std::unordered_map<std::uint64_t, std::vector<std::uint8_t>> responses;
+    std::deque<std::uint64_t> response_order;  ///< FIFO eviction
+    std::set<std::uint64_t> in_flight;
+  };
+  static constexpr std::size_t kResponseCacheSize = 64;
+  std::unordered_map<SessionId, SessionState> sessions_;
+
+  Stats stats_;
+};
+
+}  // namespace tb::mw

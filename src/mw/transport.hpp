@@ -1,0 +1,90 @@
+// Message transports between SpaceClient and SpaceServer.
+//
+// The transport is deliberately message-oriented: codecs produce whole
+// messages, and each implementation owns its own framing/segmentation. Three
+// implementations reproduce the paper's architecture alternatives:
+//  * LoopbackTransport  — in-process with fixed delay (the Java RMI prototype
+//    of Figure 3);
+//  * NetTransport       — over an Ethernet/TCP-like net link (the socket
+//    configuration of Figure 4, whose cost §4.3 argues against);
+//  * WireTransport      — over TpWIRE slave mailboxes via the master relay
+//    (the Figure 5/7 board configuration the paper evaluates).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "src/sim/signal.hpp"
+
+namespace tb::mw {
+
+struct TransportStats {
+  std::uint64_t messages_sent = 0;
+  std::uint64_t bytes_sent = 0;  ///< message payload bytes, pre-framing
+  std::uint64_t messages_received = 0;
+  std::uint64_t bytes_received = 0;
+};
+
+/// Client endpoint: one connection to the server.
+class ClientTransport {
+ public:
+  virtual ~ClientTransport() = default;
+
+  /// Queues a whole encoded message toward the server.
+  virtual void send(std::vector<std::uint8_t> message) = 0;
+
+  /// Fires once per complete message from the server.
+  sim::Signal<const std::vector<std::uint8_t>&>& on_message() {
+    return on_message_;
+  }
+
+  const TransportStats& stats() const { return stats_; }
+
+ protected:
+  void note_sent(std::size_t bytes) {
+    ++stats_.messages_sent;
+    stats_.bytes_sent += bytes;
+  }
+  void deliver(const std::vector<std::uint8_t>& message) {
+    ++stats_.messages_received;
+    stats_.bytes_received += message.size();
+    on_message_.emit(message);
+  }
+
+  TransportStats stats_;
+  sim::Signal<const std::vector<std::uint8_t>&> on_message_;
+};
+
+/// Server endpoint: talks to many clients, each identified by a session id
+/// (transport-specific: loopback client index, network address hash, or
+/// TpWIRE node id).
+class ServerTransport {
+ public:
+  using SessionId = std::uint64_t;
+
+  virtual ~ServerTransport() = default;
+
+  virtual void send(SessionId session, std::vector<std::uint8_t> message) = 0;
+
+  sim::Signal<SessionId, const std::vector<std::uint8_t>&>& on_message() {
+    return on_message_;
+  }
+
+  const TransportStats& stats() const { return stats_; }
+
+ protected:
+  void note_sent(std::size_t bytes) {
+    ++stats_.messages_sent;
+    stats_.bytes_sent += bytes;
+  }
+  void deliver(SessionId session, const std::vector<std::uint8_t>& message) {
+    ++stats_.messages_received;
+    stats_.bytes_received += message.size();
+    on_message_.emit(session, message);
+  }
+
+  TransportStats stats_;
+  sim::Signal<SessionId, const std::vector<std::uint8_t>&> on_message_;
+};
+
+}  // namespace tb::mw

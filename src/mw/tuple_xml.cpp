@@ -1,0 +1,167 @@
+#include "src/mw/tuple_xml.hpp"
+
+#include <charconv>
+#include <cstdio>
+#include <cstdlib>
+
+#include "src/util/hex.hpp"
+#include "src/util/strings.hpp"
+
+namespace tb::mw {
+namespace {
+
+std::optional<std::int64_t> parse_i64(std::string_view s) {
+  std::int64_t v = 0;
+  auto trimmed = util::trim(s);
+  auto [ptr, ec] =
+      std::from_chars(trimmed.data(), trimmed.data() + trimmed.size(), v);
+  if (ec != std::errc{} || ptr != trimmed.data() + trimmed.size()) {
+    return std::nullopt;
+  }
+  return v;
+}
+
+std::optional<space::ValueType> value_type_from(std::string_view s) {
+  for (int i = 0; i <= static_cast<int>(space::ValueType::kBytes); ++i) {
+    const auto t = static_cast<space::ValueType>(i);
+    if (s == space::to_string(t)) return t;
+  }
+  return std::nullopt;
+}
+
+}  // namespace
+
+XmlNode value_to_xml(const space::Value& value) {
+  XmlNode node;
+  switch (value.type()) {
+    case space::ValueType::kInt:
+      node.name = "int";
+      node.text = std::to_string(value.as_int());
+      break;
+    case space::ValueType::kFloat: {
+      node.name = "float";
+      char buf[64];
+      std::snprintf(buf, sizeof buf, "%.17g", value.as_float());
+      node.text = buf;
+      break;
+    }
+    case space::ValueType::kBool:
+      node.name = "bool";
+      node.text = value.as_bool() ? "true" : "false";
+      break;
+    case space::ValueType::kString:
+      node.name = "string";
+      node.text = value.as_string();
+      break;
+    case space::ValueType::kBytes:
+      node.name = "bytes";
+      node.text = util::to_hex(value.as_bytes());
+      break;
+  }
+  return node;
+}
+
+std::optional<space::Value> value_from_xml(const XmlNode& node) {
+  if (node.name == "int") {
+    auto v = parse_i64(node.text);
+    if (!v) return std::nullopt;
+    return space::Value(*v);
+  }
+  if (node.name == "float") {
+    char* end = nullptr;
+    const double v = std::strtod(node.text.c_str(), &end);
+    if (end != node.text.c_str() + node.text.size()) return std::nullopt;
+    return space::Value(v);
+  }
+  if (node.name == "bool") {
+    if (node.text == "true") return space::Value(true);
+    if (node.text == "false") return space::Value(false);
+    return std::nullopt;
+  }
+  if (node.name == "string") return space::Value(node.text);
+  if (node.name == "bytes") {
+    auto bytes = util::from_hex(node.text);
+    if (!bytes) return std::nullopt;
+    return space::Value(std::move(*bytes));
+  }
+  return std::nullopt;
+}
+
+XmlNode tuple_to_xml(const space::Tuple& tuple) {
+  XmlNode node;
+  node.name = "tuple";
+  node.attributes["name"] = tuple.name;
+  for (const space::Value& v : tuple.fields) {
+    node.children.push_back(value_to_xml(v));
+  }
+  return node;
+}
+
+std::optional<space::Tuple> tuple_from_xml(const XmlNode& node) {
+  if (node.name != "tuple") return std::nullopt;
+  auto name = node.attribute("name");
+  if (!name) return std::nullopt;
+  space::Tuple tuple;
+  tuple.name = *name;
+  for (const XmlNode& child : node.children) {
+    auto v = value_from_xml(child);
+    if (!v) return std::nullopt;
+    tuple.fields.push_back(std::move(*v));
+  }
+  return tuple;
+}
+
+XmlNode template_to_xml(const space::Template& tmpl) {
+  XmlNode node;
+  node.name = "template";
+  if (tmpl.name) node.attributes["name"] = *tmpl.name;
+  for (const space::FieldPattern& p : tmpl.fields) {
+    XmlNode field;
+    if (p.is_exact()) {
+      field.name = "exact";
+      field.children.push_back(value_to_xml(p.exact_value()));
+    } else if (p.is_typed()) {
+      field.name = "typed";
+      field.text = space::to_string(p.typed_type());
+    } else {
+      field.name = "any";
+    }
+    node.children.push_back(std::move(field));
+  }
+  return node;
+}
+
+std::optional<space::Template> template_from_xml(const XmlNode& node) {
+  if (node.name != "template") return std::nullopt;
+  space::Template tmpl;
+  if (auto name = node.attribute("name")) tmpl.name = *name;
+  for (const XmlNode& field : node.children) {
+    if (field.name == "exact") {
+      if (field.children.size() != 1) return std::nullopt;
+      auto v = value_from_xml(field.children[0]);
+      if (!v) return std::nullopt;
+      tmpl.fields.push_back(space::FieldPattern::exact(std::move(*v)));
+    } else if (field.name == "typed") {
+      auto t = value_type_from(util::trim(field.text));
+      if (!t) return std::nullopt;
+      tmpl.fields.push_back(space::FieldPattern::typed(*t));
+    } else if (field.name == "any") {
+      tmpl.fields.push_back(space::FieldPattern::any());
+    } else {
+      return std::nullopt;
+    }
+  }
+  return tmpl;
+}
+
+std::string tuple_to_xml_string(const space::Tuple& tuple) {
+  return tuple_to_xml(tuple).serialize();
+}
+
+std::optional<space::Tuple> tuple_from_xml_string(std::string_view text) {
+  auto doc = xml_parse(text);
+  if (!doc) return std::nullopt;
+  return tuple_from_xml(*doc);
+}
+
+}  // namespace tb::mw

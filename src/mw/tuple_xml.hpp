@@ -1,0 +1,40 @@
+// XML-Tuples: standalone XML representations of tuples and templates.
+//
+// The paper's reference [8] (Moffat, "XML-Tuples and XML-Spaces") is the
+// lineage of its "XML is used to represent data entries" choice. This
+// module exposes that representation as a first-class API — the same
+// element grammar the message codec embeds:
+//
+//   <tuple name="sensor"><int>7</int><string>on</string></tuple>
+//   <template name="sensor"><exact><int>7</int></exact><any/></template>
+//
+// XmlCodec builds on these functions; they are also useful on their own for
+// persisting or displaying space contents.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "src/mw/xml.hpp"
+#include "src/space/tuple.hpp"
+
+namespace tb::mw {
+
+/// Element grammar: value nodes.
+XmlNode value_to_xml(const space::Value& value);
+std::optional<space::Value> value_from_xml(const XmlNode& node);
+
+/// <tuple name="...">value*</tuple>
+XmlNode tuple_to_xml(const space::Tuple& tuple);
+std::optional<space::Tuple> tuple_from_xml(const XmlNode& node);
+
+/// <template [name="..."]>(<exact>value</exact>|<typed>t</typed>|<any/>)*</template>
+XmlNode template_to_xml(const space::Template& tmpl);
+std::optional<space::Template> template_from_xml(const XmlNode& node);
+
+/// Whole-document conveniences.
+std::string tuple_to_xml_string(const space::Tuple& tuple);
+std::optional<space::Tuple> tuple_from_xml_string(std::string_view text);
+
+}  // namespace tb::mw

@@ -1,0 +1,159 @@
+#include "src/mw/wire_transport.hpp"
+
+#include "src/util/assert.hpp"
+
+namespace tb::mw {
+
+WireEndpoint::WireEndpoint(sim::Simulator& sim, wire::SlaveDevice& slave,
+                           WireTransportParams params)
+    : sim_(&sim), slave_(&slave), params_(params) {
+  TB_REQUIRE(params.max_segment_payload > kFragmentHeaderBytes);
+  TB_REQUIRE(params.max_segment_payload <= wire::kMaxSegmentPayload);
+  TB_REQUIRE(params.max_partial_messages > 0);
+  slave_->on_inbox_byte().connect([this](std::uint8_t) { drain_inbox(); });
+}
+
+void WireEndpoint::send_message(std::uint8_t dst_node,
+                                const std::vector<std::uint8_t>& message) {
+  const std::size_t chunk_size =
+      params_.max_segment_payload - kFragmentHeaderBytes;
+  const std::uint16_t msg_id = next_msg_id_++;
+  // ceil(size / chunk); an empty message still ships one header-only frag.
+  const std::size_t total =
+      message.empty() ? 1 : (message.size() + chunk_size - 1) / chunk_size;
+  TB_REQUIRE_MSG(total <= 0xFFFF, "message too large for fragment index");
+
+  for (std::size_t index = 0; index < total; ++index) {
+    const std::size_t offset = index * chunk_size;
+    const std::size_t chunk =
+        std::min(chunk_size, message.size() - std::min(offset, message.size()));
+    wire::RelaySegment segment;
+    segment.src = slave_->node_id();
+    segment.dst = dst_node;
+    segment.payload.reserve(kFragmentHeaderBytes + chunk);
+    auto put_u16 = [&](std::uint16_t v) {
+      segment.payload.push_back(static_cast<std::uint8_t>(v >> 8));
+      segment.payload.push_back(static_cast<std::uint8_t>(v));
+    };
+    put_u16(msg_id);
+    put_u16(static_cast<std::uint16_t>(index));
+    put_u16(static_cast<std::uint16_t>(total));
+    segment.payload.insert(segment.payload.end(), message.begin() + offset,
+                           message.begin() + offset + chunk);
+    const auto encoded = wire::encode_segment(segment);
+    pending_.insert(pending_.end(), encoded.begin(), encoded.end());
+    ++endpoint_stats_.fragments_sent;
+  }
+  pump_outbox();
+}
+
+void WireEndpoint::pump_outbox() {
+  while (!pending_.empty()) {
+    // host_send takes a contiguous span; feed the deque's front run.
+    std::vector<std::uint8_t> batch(pending_.begin(), pending_.end());
+    const std::size_t accepted = slave_->host_send(batch);
+    pending_.erase(pending_.begin(), pending_.begin() + accepted);
+    if (accepted < batch.size()) break;  // outbox full: retry on the timer
+  }
+  if (!pending_.empty() && !flush_scheduled_) {
+    flush_scheduled_ = true;
+    sim_->schedule_in(params_.flush_period, [this] {
+      flush_scheduled_ = false;
+      pump_outbox();
+    });
+  }
+}
+
+void WireEndpoint::accept_fragment(std::uint8_t src,
+                                   const std::vector<std::uint8_t>& payload) {
+  if (payload.size() < kFragmentHeaderBytes) {
+    ++endpoint_stats_.header_errors;
+    return;
+  }
+  const auto u16_at = [&](std::size_t i) {
+    return static_cast<std::uint16_t>((payload[i] << 8) | payload[i + 1]);
+  };
+  const std::uint16_t msg_id = u16_at(0);
+  const std::uint16_t index = u16_at(2);
+  const std::uint16_t total = u16_at(4);
+  if (total == 0 || index >= total) {
+    ++endpoint_stats_.header_errors;
+    return;
+  }
+  ++endpoint_stats_.fragments_received;
+
+  auto& per_src = partials_[src];
+  Partial& partial = per_src[msg_id];
+  if (partial.total == 0) partial.total = total;
+  if (partial.total != total) {  // header corruption slipped the segment CRC
+    ++endpoint_stats_.header_errors;
+    per_src.erase(msg_id);
+    return;
+  }
+  auto [it, inserted] = partial.fragments.try_emplace(
+      index,
+      std::vector<std::uint8_t>(payload.begin() + kFragmentHeaderBytes,
+                                payload.end()));
+  if (inserted) ++partial.received;
+
+  if (partial.received == partial.total) {
+    std::vector<std::uint8_t> message;
+    for (auto& [idx, bytes] : partial.fragments) {
+      message.insert(message.end(), bytes.begin(), bytes.end());
+    }
+    per_src.erase(msg_id);
+    ++endpoint_stats_.messages_reassembled;
+    on_inbound(src, message);
+    return;
+  }
+
+  // Bound the reassembly buffer: evict the oldest incomplete message.
+  if (per_src.size() > params_.max_partial_messages) {
+    per_src.erase(per_src.begin());
+    ++endpoint_stats_.partials_evicted;
+  }
+}
+
+void WireEndpoint::drain_inbox() {
+  const std::vector<std::uint8_t> bytes = slave_->host_receive();
+  segment_parser_.feed(bytes);
+  while (auto segment = segment_parser_.next()) {
+    accept_fragment(segment->src, segment->payload);
+  }
+}
+
+WireClientTransport::WireClientTransport(sim::Simulator& sim,
+                                         wire::SlaveDevice& slave,
+                                         std::uint8_t server_node,
+                                         WireTransportParams params)
+    : WireEndpoint(sim, slave, params), server_node_(server_node) {}
+
+void WireClientTransport::send(std::vector<std::uint8_t> message) {
+  note_sent(message.size());
+  send_message(server_node_, message);
+}
+
+void WireClientTransport::on_inbound(std::uint8_t src_node,
+                                     const std::vector<std::uint8_t>& message) {
+  if (src_node != server_node_) return;  // stray traffic: not ours
+  deliver(message);
+}
+
+WireServerTransport::WireServerTransport(sim::Simulator& sim,
+                                         wire::SlaveDevice& slave,
+                                         WireTransportParams params)
+    : WireEndpoint(sim, slave, params) {}
+
+void WireServerTransport::send(SessionId session,
+                               std::vector<std::uint8_t> message) {
+  TB_REQUIRE_MSG(session <= wire::kMaxNodeId, "session must be a node id");
+  note_sent(message.size());
+  send_message(static_cast<std::uint8_t>(session), message);
+}
+
+void WireServerTransport::on_inbound(std::uint8_t src_node,
+                                     const std::vector<std::uint8_t>& message) {
+  deliver(src_node, message);
+}
+
+}  // namespace tb::mw

@@ -1,0 +1,131 @@
+// Space transport over TpWIRE slave mailboxes (the configuration the paper
+// evaluates: Figures 5 and 7).
+//
+// Both endpoints are slaves on the bus; the master relay shuttles their
+// relay segments. Outbound: messages are split into *self-describing
+// fragments* — each relay segment carries (msg_id, frag_index, frag_total)
+// plus a chunk — and fed into the local slave's outbox with back-pressure
+// (a full outbox parks the remainder in a local queue a flush timer
+// retries, the way a board CPU pumps a bounded hardware FIFO). Inbound:
+// fragments reassemble per (source, msg_id).
+//
+// Fragmentation instead of stream framing is deliberate: the mailbox path
+// loses data on un-retryable FIFO-port frames (a popped byte whose RX frame
+// was corrupted is gone). With a length-prefixed stream one lost byte would
+// desynchronize everything after it; with datagram fragments a loss costs
+// exactly one message, which the SpaceClient's request retransmission
+// recovers (see client.hpp).
+//
+// Every payload byte costs segment + fragment overhead plus the relay's
+// per-byte bus cycles — the mechanism behind Table 4's numbers.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <unordered_map>
+#include <vector>
+
+#include "src/mw/transport.hpp"
+#include "src/sim/simulator.hpp"
+#include "src/wire/segment.hpp"
+#include "src/wire/slave.hpp"
+
+namespace tb::mw {
+
+struct WireTransportParams {
+  std::size_t max_segment_payload = 48;  ///< bytes per relay segment
+  sim::Time flush_period = sim::Time::ms(20);  ///< outbox retry cadence
+  std::size_t max_partial_messages = 32;  ///< reassembly buffer per source
+};
+
+/// Fragment header prepended to every relay-segment payload.
+inline constexpr std::size_t kFragmentHeaderBytes = 6;  // id, index, total (u16 each)
+
+/// Shared mailbox pump for both endpoint roles.
+class WireEndpoint {
+ public:
+  WireEndpoint(sim::Simulator& sim, wire::SlaveDevice& slave,
+               WireTransportParams params);
+
+  WireEndpoint(const WireEndpoint&) = delete;
+  WireEndpoint& operator=(const WireEndpoint&) = delete;
+  virtual ~WireEndpoint() = default;
+
+  wire::SlaveDevice& slave() { return *slave_; }
+
+  /// Bytes waiting locally because the outbox was full.
+  std::size_t backlog_bytes() const { return pending_.size(); }
+
+  struct EndpointStats {
+    std::uint64_t fragments_sent = 0;
+    std::uint64_t fragments_received = 0;
+    std::uint64_t messages_reassembled = 0;
+    std::uint64_t partials_evicted = 0;  ///< incomplete messages dropped
+    std::uint64_t header_errors = 0;
+  };
+  const EndpointStats& endpoint_stats() const { return endpoint_stats_; }
+
+ protected:
+  /// Fragments `message`, queues the fragments for `dst_node`.
+  void send_message(std::uint8_t dst_node,
+                    const std::vector<std::uint8_t>& message);
+
+  /// Invoked once per complete inbound message with its source node.
+  virtual void on_inbound(std::uint8_t src_node,
+                          const std::vector<std::uint8_t>& message) = 0;
+
+  sim::Simulator& simulator() { return *sim_; }
+
+ private:
+  struct Partial {
+    std::uint16_t total = 0;
+    std::size_t received = 0;
+    std::map<std::uint16_t, std::vector<std::uint8_t>> fragments;
+  };
+
+  void pump_outbox();
+  void drain_inbox();
+  void accept_fragment(std::uint8_t src, const std::vector<std::uint8_t>& payload);
+
+  sim::Simulator* sim_;
+  wire::SlaveDevice* slave_;
+  WireTransportParams params_;
+  std::uint16_t next_msg_id_ = 1;
+  std::deque<std::uint8_t> pending_;  ///< encoded segments awaiting outbox room
+  bool flush_scheduled_ = false;
+  wire::SegmentParser segment_parser_;
+  /// (src, msg_id) keyed reassembly state; ordered map gives cheap
+  /// oldest-first eviction since msg ids are (wrapping) monotonic.
+  std::unordered_map<std::uint8_t, std::map<std::uint16_t, Partial>> partials_;
+  EndpointStats endpoint_stats_;
+};
+
+class WireClientTransport final : public ClientTransport, public WireEndpoint {
+ public:
+  WireClientTransport(sim::Simulator& sim, wire::SlaveDevice& slave,
+                      std::uint8_t server_node, WireTransportParams params = {});
+
+  void send(std::vector<std::uint8_t> message) override;
+
+ private:
+  void on_inbound(std::uint8_t src_node,
+                  const std::vector<std::uint8_t>& message) override;
+
+  std::uint8_t server_node_;
+};
+
+/// Sessions are source node ids.
+class WireServerTransport final : public ServerTransport, public WireEndpoint {
+ public:
+  WireServerTransport(sim::Simulator& sim, wire::SlaveDevice& slave,
+                      WireTransportParams params = {});
+
+  void send(SessionId session, std::vector<std::uint8_t> message) override;
+
+ private:
+  void on_inbound(std::uint8_t src_node,
+                  const std::vector<std::uint8_t>& message) override;
+};
+
+}  // namespace tb::mw

@@ -1,0 +1,41 @@
+// Minimal XML document model and parser.
+//
+// The paper serializes entries as XML over the socket wrapper; this is the
+// supporting substrate: elements, attributes and text content — the subset
+// the space protocol emits. No namespaces, DTDs or processing instructions;
+// comments are skipped. The parser is strict about well-formedness within
+// that subset and reports failures as std::nullopt.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace tb::mw {
+
+struct XmlNode {
+  std::string name;
+  std::map<std::string, std::string> attributes;
+  std::vector<XmlNode> children;
+  std::string text;  ///< concatenated character data directly inside this node
+
+  /// First child with the given element name, or nullptr.
+  const XmlNode* child(std::string_view child_name) const;
+
+  /// All children with the given element name.
+  std::vector<const XmlNode*> children_named(std::string_view child_name) const;
+
+  /// Attribute value, or nullopt.
+  std::optional<std::string> attribute(std::string_view key) const;
+
+  /// Serializes this node (and subtree) without pretty-printing.
+  std::string serialize() const;
+};
+
+/// Parses a single-rooted document. nullopt on malformed input.
+std::optional<XmlNode> xml_parse(std::string_view text);
+
+}  // namespace tb::mw

@@ -1,0 +1,138 @@
+#include <charconv>
+
+#include "src/mw/codec.hpp"
+#include "src/mw/tuple_xml.hpp"
+#include "src/mw/xml.hpp"
+#include "src/util/strings.hpp"
+
+namespace tb::mw {
+namespace {
+
+const char* msg_type_tag(MsgType type) { return to_string(type); }
+
+std::optional<MsgType> msg_type_from(std::string_view tag) {
+  for (int i = 0; i <= static_cast<int>(MsgType::kError); ++i) {
+    const auto t = static_cast<MsgType>(i);
+    if (tag == to_string(t)) return t;
+  }
+  return std::nullopt;
+}
+
+std::string i64_str(std::int64_t v) { return std::to_string(v); }
+
+std::optional<std::int64_t> parse_i64(std::string_view s) {
+  std::int64_t v = 0;
+  auto trimmed = util::trim(s);
+  auto [ptr, ec] =
+      std::from_chars(trimmed.data(), trimmed.data() + trimmed.size(), v);
+  if (ec != std::errc{} || ptr != trimmed.data() + trimmed.size()) {
+    return std::nullopt;
+  }
+  return v;
+}
+
+std::optional<std::uint64_t> parse_u64(std::string_view s) {
+  std::uint64_t v = 0;
+  auto trimmed = util::trim(s);
+  auto [ptr, ec] =
+      std::from_chars(trimmed.data(), trimmed.data() + trimmed.size(), v);
+  if (ec != std::errc{} || ptr != trimmed.data() + trimmed.size()) {
+    return std::nullopt;
+  }
+  return v;
+}
+
+void add_text_child(XmlNode& parent, const char* name, std::string text) {
+  XmlNode child;
+  child.name = name;
+  child.text = std::move(text);
+  parent.children.push_back(std::move(child));
+}
+
+}  // namespace
+
+std::vector<std::uint8_t> XmlCodec::encode(const Message& message) const {
+  XmlNode root;
+  root.name = "msg";
+  root.attributes["type"] = msg_type_tag(message.type);
+  root.attributes["id"] = std::to_string(message.request_id);
+  root.attributes["at"] = i64_str(message.created_at_ns);
+  if (message.tuple) root.children.push_back(tuple_to_xml(*message.tuple));
+  if (message.tmpl) root.children.push_back(template_to_xml(*message.tmpl));
+  if (message.duration_ns != 0)
+    add_text_child(root, "duration", i64_str(message.duration_ns));
+  if (message.handle != 0)
+    add_text_child(root, "handle", std::to_string(message.handle));
+  if (message.expires_at_ns != 0)
+    add_text_child(root, "expires", i64_str(message.expires_at_ns));
+  if (message.txn != 0) add_text_child(root, "txn", std::to_string(message.txn));
+  add_text_child(root, "ok", message.ok ? "true" : "false");
+  if (!message.error.empty()) add_text_child(root, "error", message.error);
+  const std::string xml = root.serialize();
+  return {xml.begin(), xml.end()};
+}
+
+std::optional<Message> XmlCodec::decode(
+    std::span<const std::uint8_t> bytes) const {
+  const std::string_view text(reinterpret_cast<const char*>(bytes.data()),
+                              bytes.size());
+  std::optional<XmlNode> root = xml_parse(text);
+  if (!root || root->name != "msg") return std::nullopt;
+
+  Message message;
+  auto type_attr = root->attribute("type");
+  if (!type_attr) return std::nullopt;
+  auto type = msg_type_from(*type_attr);
+  if (!type) return std::nullopt;
+  message.type = *type;
+
+  auto id_attr = root->attribute("id");
+  if (!id_attr) return std::nullopt;
+  auto id = parse_u64(*id_attr);
+  if (!id) return std::nullopt;
+  message.request_id = *id;
+
+  if (auto at_attr = root->attribute("at")) {
+    auto at = parse_i64(*at_attr);
+    if (!at) return std::nullopt;
+    message.created_at_ns = *at;
+  }
+
+  if (const XmlNode* node = root->child("tuple")) {
+    auto tuple = tuple_from_xml(*node);
+    if (!tuple) return std::nullopt;
+    message.tuple = std::move(tuple);
+  }
+  if (const XmlNode* node = root->child("template")) {
+    auto tmpl = template_from_xml(*node);
+    if (!tmpl) return std::nullopt;
+    message.tmpl = std::move(tmpl);
+  }
+  if (const XmlNode* node = root->child("duration")) {
+    auto v = parse_i64(node->text);
+    if (!v) return std::nullopt;
+    message.duration_ns = *v;
+  }
+  if (const XmlNode* node = root->child("handle")) {
+    auto v = parse_u64(node->text);
+    if (!v) return std::nullopt;
+    message.handle = *v;
+  }
+  if (const XmlNode* node = root->child("expires")) {
+    auto v = parse_i64(node->text);
+    if (!v) return std::nullopt;
+    message.expires_at_ns = *v;
+  }
+  if (const XmlNode* node = root->child("txn")) {
+    auto v = parse_u64(node->text);
+    if (!v) return std::nullopt;
+    message.txn = *v;
+  }
+  if (const XmlNode* node = root->child("ok")) {
+    message.ok = (util::trim(node->text) == "true");
+  }
+  if (const XmlNode* node = root->child("error")) message.error = node->text;
+  return message;
+}
+
+}  // namespace tb::mw

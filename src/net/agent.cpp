@@ -1,0 +1,19 @@
+#include "src/net/agent.hpp"
+
+namespace tb::net {
+
+std::uint64_t Agent::next_uid_ = 1;
+
+Agent::Agent(sim::Simulator& sim, Node& node, std::uint16_t port)
+    : sim_(&sim), node_(&node), port_(port) {
+  node.bind(port, *this);
+}
+
+void Agent::send(Packet packet) {
+  packet.uid = next_uid_++;
+  packet.src = address();
+  packet.created_at = sim_->now();
+  node_->send(std::move(packet));
+}
+
+}  // namespace tb::net

@@ -1,0 +1,40 @@
+// Agent base class (the NS-2 Agent analogue): a protocol endpoint bound to
+// a node port. Subclasses override recv(); send() stamps uid/src/time and
+// injects into the node, which routes toward the destination.
+#pragma once
+
+#include <cstdint>
+
+#include "src/net/node.hpp"
+#include "src/net/packet.hpp"
+#include "src/sim/simulator.hpp"
+
+namespace tb::net {
+
+class Agent {
+ public:
+  Agent(sim::Simulator& sim, Node& node, std::uint16_t port);
+  virtual ~Agent() = default;
+
+  Agent(const Agent&) = delete;
+  Agent& operator=(const Agent&) = delete;
+
+  /// Called by the node when a packet addressed to this agent arrives.
+  virtual void recv(Packet packet) = 0;
+
+  Address address() const { return {node_->id(), port_}; }
+  Node& node() { return *node_; }
+  sim::Simulator& simulator() { return *sim_; }
+
+ protected:
+  /// Fills in uid, src and creation time, then hands to the node.
+  void send(Packet packet);
+
+ private:
+  static std::uint64_t next_uid_;
+  sim::Simulator* sim_;
+  Node* node_;
+  std::uint16_t port_;
+};
+
+}  // namespace tb::net

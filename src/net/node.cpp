@@ -1,0 +1,44 @@
+#include "src/net/node.hpp"
+
+#include "src/net/agent.hpp"
+#include "src/net/link.hpp"
+#include "src/util/assert.hpp"
+
+namespace tb::net {
+
+void Node::bind(std::uint16_t port, Agent& agent) {
+  TB_REQUIRE_MSG(!agents_.contains(port), "port already bound");
+  agents_[port] = &agent;
+}
+
+void Node::add_route(std::uint32_t dst_node, SimplexLink& link) {
+  TB_REQUIRE_MSG(&link.from() == this, "route must use an outgoing link");
+  routes_[dst_node] = &link;
+}
+
+void Node::receive(Packet packet) {
+  if (packet.dst.node == id_) {
+    auto it = agents_.find(packet.dst.port);
+    if (it == agents_.end()) {
+      ++stats_.no_agent;
+      return;
+    }
+    ++stats_.delivered;
+    it->second->recv(std::move(packet));
+    return;
+  }
+  if (packet.ttl == 0) {
+    ++stats_.ttl_expired;
+    return;
+  }
+  auto it = routes_.find(packet.dst.node);
+  if (it == routes_.end()) {
+    ++stats_.no_route;
+    return;
+  }
+  --packet.ttl;
+  ++stats_.forwarded;
+  it->second->transmit(std::move(packet));
+}
+
+}  // namespace tb::net

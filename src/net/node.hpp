@@ -1,0 +1,61 @@
+// Network node: agent attachment points plus static next-hop routing.
+//
+// NS-2 computes routes from the scripted topology; here routes are installed
+// explicitly (Network::connect installs the two directly-connected routes,
+// and add_route handles multi-hop topologies). A node receiving a packet
+// either delivers it to the agent bound to dst.port (when dst.node matches)
+// or forwards it along the next hop, decrementing TTL.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+
+#include "src/net/packet.hpp"
+
+namespace tb::net {
+
+class Agent;
+class SimplexLink;
+
+class Node {
+ public:
+  Node(std::uint32_t id, std::string name) : id_(id), name_(std::move(name)) {}
+
+  Node(const Node&) = delete;
+  Node& operator=(const Node&) = delete;
+
+  std::uint32_t id() const { return id_; }
+  const std::string& name() const { return name_; }
+
+  /// Binds an agent to a local port. One agent per port.
+  void bind(std::uint16_t port, Agent& agent);
+
+  /// Next hop for packets addressed to `dst_node`.
+  void add_route(std::uint32_t dst_node, SimplexLink& link);
+
+  /// Entry point for packets arriving from a link (or injected locally).
+  void receive(Packet packet);
+
+  /// Sends a locally originated packet (delivers immediately when
+  /// dst.node == id()).
+  void send(Packet packet) { receive(std::move(packet)); }
+
+  struct Stats {
+    std::uint64_t delivered = 0;   ///< handed to a local agent
+    std::uint64_t forwarded = 0;
+    std::uint64_t no_route = 0;
+    std::uint64_t no_agent = 0;
+    std::uint64_t ttl_expired = 0;
+  };
+  const Stats& stats() const { return stats_; }
+
+ private:
+  std::uint32_t id_;
+  std::string name_;
+  std::unordered_map<std::uint16_t, Agent*> agents_;
+  std::unordered_map<std::uint32_t, SimplexLink*> routes_;
+  Stats stats_;
+};
+
+}  // namespace tb::net

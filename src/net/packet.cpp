@@ -1,0 +1,21 @@
+#include "src/net/packet.hpp"
+
+#include <sstream>
+
+namespace tb::net {
+
+std::string Address::to_string() const {
+  std::ostringstream os;
+  os << node << ':' << port;
+  return os.str();
+}
+
+std::string Packet::to_string() const {
+  std::ostringstream os;
+  os << "pkt{uid=" << uid << " flow=" << flow_id << " seq=" << seq << ' '
+     << src.to_string() << "->" << dst.to_string() << " size=" << size_bytes
+     << '}';
+  return os.str();
+}
+
+}  // namespace tb::net

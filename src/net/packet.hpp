@@ -1,0 +1,47 @@
+// Network packet (the NS-2 Packet analogue).
+//
+// Carries explicit header fields rather than NS-2's header stack: enough for
+// the traffic generators, links, static routing and the flow monitors. The
+// byte payload is optional — pure load packets (CBR background traffic)
+// carry only a size.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/sim/time.hpp"
+
+namespace tb::net {
+
+/// (node, port) addressing; port selects the agent within the node.
+struct Address {
+  std::uint32_t node = 0;
+  std::uint16_t port = 0;
+
+  bool operator==(const Address&) const = default;
+  std::string to_string() const;
+};
+
+enum class PacketType : std::uint8_t {
+  kData = 0,
+  kAck,
+  kControl,
+};
+
+struct Packet {
+  std::uint64_t uid = 0;       ///< globally unique, stamped by the sender
+  std::uint32_t flow_id = 0;   ///< groups packets for monitoring
+  std::uint64_t seq = 0;       ///< per-flow sequence number
+  PacketType type = PacketType::kData;
+  Address src;
+  Address dst;
+  std::size_t size_bytes = 0;  ///< wire size (headers + payload)
+  std::uint8_t ttl = 32;
+  std::vector<std::uint8_t> payload;  ///< may be smaller than size_bytes
+  sim::Time created_at;        ///< stamped by the sender
+
+  std::string to_string() const;
+};
+
+}  // namespace tb::net

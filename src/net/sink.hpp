@@ -1,0 +1,65 @@
+// Receiving agents: a counting sink and an echo responder.
+#pragma once
+
+#include <functional>
+
+#include "src/net/agent.hpp"
+#include "src/util/stats.hpp"
+
+namespace tb::net {
+
+/// Terminates flows; records per-packet latency (created_at -> arrival).
+class SinkAgent : public Agent {
+ public:
+  SinkAgent(sim::Simulator& sim, Node& node, std::uint16_t port)
+      : Agent(sim, node, port) {}
+
+  void recv(Packet packet) override {
+    ++received_;
+    bytes_ += packet.size_bytes;
+    latency_.add((simulator().now() - packet.created_at).seconds());
+    if (on_packet_) on_packet_(packet);
+  }
+
+  /// Optional tap invoked for every arrival.
+  void set_on_packet(std::function<void(const Packet&)> fn) {
+    on_packet_ = std::move(fn);
+  }
+
+  std::uint64_t packets_received() const { return received_; }
+  std::uint64_t bytes_received() const { return bytes_; }
+  const util::SampleSet& latency() const { return latency_; }
+
+ private:
+  std::uint64_t received_ = 0;
+  std::uint64_t bytes_ = 0;
+  util::SampleSet latency_;
+  std::function<void(const Packet&)> on_packet_;
+};
+
+/// Bounces every data packet back to its source as an ACK of equal size —
+/// a cheap RTT probe.
+class EchoAgent : public Agent {
+ public:
+  EchoAgent(sim::Simulator& sim, Node& node, std::uint16_t port)
+      : Agent(sim, node, port) {}
+
+  void recv(Packet packet) override {
+    ++received_;
+    if (packet.type == PacketType::kAck) return;  // don't echo echoes
+    Packet reply;
+    reply.type = PacketType::kAck;
+    reply.flow_id = packet.flow_id;
+    reply.seq = packet.seq;
+    reply.dst = packet.src;
+    reply.size_bytes = packet.size_bytes;
+    send(std::move(reply));
+  }
+
+  std::uint64_t packets_received() const { return received_; }
+
+ private:
+  std::uint64_t received_ = 0;
+};
+
+}  // namespace tb::net

@@ -1,0 +1,115 @@
+#include "src/net/traffic.hpp"
+
+#include "src/util/assert.hpp"
+
+namespace tb::net {
+
+CbrGenerator::CbrGenerator(sim::Simulator& sim, Node& node, std::uint16_t port,
+                           Address destination, CbrParams params)
+    : Agent(sim, node, port), destination_(destination), params_(params) {
+  TB_REQUIRE(params.packet_size > 0);
+}
+
+void CbrGenerator::start() {
+  TB_REQUIRE_MSG(params_.rate_bytes_per_sec > 0.0,
+                 "a zero-rate CBR source must simply not be started");
+  if (running_) return;
+  running_ = true;
+  emit_and_reschedule();
+}
+
+void CbrGenerator::emit_and_reschedule() {
+  if (!running_) return;
+  Packet packet;
+  packet.flow_id = params_.flow_id;
+  packet.seq = seq_++;
+  packet.dst = destination_;
+  packet.size_bytes = params_.packet_size;
+  send(std::move(packet));
+  ++sent_;
+  bytes_ += params_.packet_size;
+  const sim::Time gap = sim::Time::from_seconds(
+      static_cast<double>(params_.packet_size) / params_.rate_bytes_per_sec);
+  simulator().schedule_in(gap, [this] { emit_and_reschedule(); });
+}
+
+PoissonGenerator::PoissonGenerator(sim::Simulator& sim, Node& node,
+                                   std::uint16_t port, Address destination,
+                                   PoissonParams params)
+    : Agent(sim, node, port),
+      destination_(destination),
+      params_(params),
+      rng_(sim.rng().fork(0x706F69)) {
+  TB_REQUIRE(params.mean_rate_pps > 0.0);
+}
+
+void PoissonGenerator::start() {
+  if (running_) return;
+  running_ = true;
+  const sim::Time first =
+      sim::Time::from_seconds(rng_.exponential(1.0 / params_.mean_rate_pps));
+  simulator().schedule_in(first, [this] { emit_and_reschedule(); });
+}
+
+void PoissonGenerator::emit_and_reschedule() {
+  if (!running_) return;
+  Packet packet;
+  packet.flow_id = params_.flow_id;
+  packet.seq = seq_++;
+  packet.dst = destination_;
+  packet.size_bytes = params_.packet_size;
+  send(std::move(packet));
+  ++sent_;
+  const sim::Time gap =
+      sim::Time::from_seconds(rng_.exponential(1.0 / params_.mean_rate_pps));
+  simulator().schedule_in(gap, [this] { emit_and_reschedule(); });
+}
+
+OnOffGenerator::OnOffGenerator(sim::Simulator& sim, Node& node,
+                               std::uint16_t port, Address destination,
+                               OnOffParams params)
+    : Agent(sim, node, port),
+      destination_(destination),
+      params_(params),
+      rng_(sim.rng().fork(0x6F6E6F66)) {
+  TB_REQUIRE(params.mean_on_sec > 0.0);
+  TB_REQUIRE(params.mean_off_sec > 0.0);
+  TB_REQUIRE(params.on_rate_bytes_per_sec > 0.0);
+  TB_REQUIRE(params.packet_size > 0);
+}
+
+void OnOffGenerator::start() {
+  if (running_) return;
+  running_ = true;
+  begin_burst();
+}
+
+void OnOffGenerator::begin_burst() {
+  if (!running_) return;
+  ++bursts_;
+  burst_end_ = simulator().now() +
+               sim::Time::from_seconds(rng_.exponential(params_.mean_on_sec));
+  emit_or_end_burst();
+}
+
+void OnOffGenerator::emit_or_end_burst() {
+  if (!running_) return;
+  if (simulator().now() >= burst_end_) {
+    const sim::Time off =
+        sim::Time::from_seconds(rng_.exponential(params_.mean_off_sec));
+    simulator().schedule_in(off, [this] { begin_burst(); });
+    return;
+  }
+  Packet packet;
+  packet.flow_id = params_.flow_id;
+  packet.seq = seq_++;
+  packet.dst = destination_;
+  packet.size_bytes = params_.packet_size;
+  send(std::move(packet));
+  ++sent_;
+  const sim::Time gap = sim::Time::from_seconds(
+      static_cast<double>(params_.packet_size) / params_.on_rate_bytes_per_sec);
+  simulator().schedule_in(gap, [this] { emit_or_end_burst(); });
+}
+
+}  // namespace tb::net

@@ -1,0 +1,114 @@
+// Traffic generators (NS-2's CBR / Exponential On-Off / Poisson sources).
+//
+// The Constant Bit Rate source is the paper's workload for both experiments:
+// Table 3 validates the TpWIRE model with a CBR pushing 1-byte packets
+// between two slaves (Figure 6), and Table 4 sweeps CBR rates of
+// 0 / 0.3 / 1 byte-per-second as background load (Figure 7).
+#pragma once
+
+#include <cstdint>
+
+#include "src/net/agent.hpp"
+#include "src/sim/simulator.hpp"
+#include "src/util/rng.hpp"
+
+namespace tb::net {
+
+struct CbrParams {
+  double rate_bytes_per_sec = 1.0;
+  std::size_t packet_size = 1;  ///< payload bytes per packet
+  std::uint32_t flow_id = 0;
+};
+
+/// Sends fixed-size packets at a constant byte rate; the inter-packet gap is
+/// packet_size / rate.
+class CbrGenerator : public Agent {
+ public:
+  CbrGenerator(sim::Simulator& sim, Node& node, std::uint16_t port,
+               Address destination, CbrParams params);
+
+  void start();
+  void stop() { running_ = false; }
+  bool running() const { return running_; }
+
+  void recv(Packet) override {}  // source only
+
+  std::uint64_t packets_sent() const { return sent_; }
+  std::uint64_t bytes_sent() const { return bytes_; }
+
+ private:
+  void emit_and_reschedule();
+
+  Address destination_;
+  CbrParams params_;
+  bool running_ = false;
+  std::uint64_t sent_ = 0;
+  std::uint64_t bytes_ = 0;
+  std::uint64_t seq_ = 0;
+};
+
+struct PoissonParams {
+  double mean_rate_pps = 10.0;  ///< packets per second
+  std::size_t packet_size = 64;
+  std::uint32_t flow_id = 0;
+};
+
+/// Poisson arrivals: exponential inter-packet gaps.
+class PoissonGenerator : public Agent {
+ public:
+  PoissonGenerator(sim::Simulator& sim, Node& node, std::uint16_t port,
+                   Address destination, PoissonParams params);
+
+  void start();
+  void stop() { running_ = false; }
+  void recv(Packet) override {}
+
+  std::uint64_t packets_sent() const { return sent_; }
+
+ private:
+  void emit_and_reschedule();
+
+  Address destination_;
+  PoissonParams params_;
+  util::Xoshiro256 rng_;
+  bool running_ = false;
+  std::uint64_t sent_ = 0;
+  std::uint64_t seq_ = 0;
+};
+
+struct OnOffParams {
+  double mean_on_sec = 0.5;       ///< exponential burst duration
+  double mean_off_sec = 0.5;      ///< exponential silence duration
+  double on_rate_bytes_per_sec = 1000.0;
+  std::size_t packet_size = 64;
+  std::uint32_t flow_id = 0;
+};
+
+/// Exponential on/off source: CBR during bursts, silent between them.
+class OnOffGenerator : public Agent {
+ public:
+  OnOffGenerator(sim::Simulator& sim, Node& node, std::uint16_t port,
+                 Address destination, OnOffParams params);
+
+  void start();
+  void stop() { running_ = false; }
+  void recv(Packet) override {}
+
+  std::uint64_t packets_sent() const { return sent_; }
+  std::uint64_t bursts() const { return bursts_; }
+
+ private:
+  void begin_burst();
+  void emit_or_end_burst();
+
+  Address destination_;
+  OnOffParams params_;
+  util::Xoshiro256 rng_;
+  bool running_ = false;
+  sim::Time burst_end_;
+  std::uint64_t sent_ = 0;
+  std::uint64_t seq_ = 0;
+  std::uint64_t bursts_ = 0;
+};
+
+}  // namespace tb::net

@@ -1,0 +1,11 @@
+#include "src/sim/process.hpp"
+
+namespace tb::sim {
+
+void spawn(Task<void> task) {
+  TB_REQUIRE_MSG(task.valid(), "cannot spawn an empty task");
+  auto handle = task.release_detached();
+  handle.resume();  // run to the first suspension point (or completion)
+}
+
+}  // namespace tb::sim

@@ -1,0 +1,228 @@
+// Coroutine processes on top of the event kernel.
+//
+// This provides the role SystemC's SC_THREAD plays in the paper's
+// co-simulation: sequential model code that suspends on simulated time
+// (`co_await delay(sim, t)`) or on conditions (`co_await trigger.wait()`),
+// scheduled by the same deterministic event queue as everything else.
+//
+// Usage:
+//   Task<void> producer(Simulator& sim, ...) {
+//     co_await delay(sim, Time::ms(10));
+//     ...
+//   }
+//   spawn(producer(sim, ...));   // detached: runs to completion
+//
+// Tasks are lazy: nothing runs until the task is spawned or co_awaited.
+// A co_awaited child propagates its exception to the awaiting parent; an
+// exception escaping a detached process propagates out of Simulator::run().
+#pragma once
+
+#include <coroutine>
+#include <exception>
+#include <optional>
+#include <utility>
+
+#include "src/sim/simulator.hpp"
+#include "src/util/assert.hpp"
+
+namespace tb::sim {
+
+namespace detail {
+
+struct PromiseBase {
+  std::coroutine_handle<> continuation;
+  std::exception_ptr exception;
+  bool detached = false;
+
+  struct FinalAwaiter {
+    bool detached;
+    std::coroutine_handle<> continuation;
+    // Detached frames self-destruct by completing the final suspend.
+    bool await_ready() const noexcept { return detached; }
+    std::coroutine_handle<> await_suspend(std::coroutine_handle<>) const noexcept {
+      return continuation ? continuation : std::noop_coroutine();
+    }
+    void await_resume() const noexcept {}
+  };
+
+  std::suspend_always initial_suspend() noexcept { return {}; }
+  FinalAwaiter final_suspend() noexcept { return {detached, continuation}; }
+
+  void unhandled_exception() {
+    if (detached) throw;  // surfaces through Simulator::run()
+    exception = std::current_exception();
+  }
+};
+
+}  // namespace detail
+
+/// Lazily started coroutine returning T. Move-only; owns the frame unless
+/// detached via spawn().
+template <typename T = void>
+class [[nodiscard]] Task;
+
+template <>
+class [[nodiscard]] Task<void> {
+ public:
+  struct promise_type : detail::PromiseBase {
+    Task get_return_object() {
+      return Task(std::coroutine_handle<promise_type>::from_promise(*this));
+    }
+    void return_void() noexcept {}
+  };
+  using handle_type = std::coroutine_handle<promise_type>;
+
+  Task() = default;
+  explicit Task(handle_type h) : handle_(h) {}
+  Task(Task&& other) noexcept : handle_(std::exchange(other.handle_, nullptr)) {}
+  Task& operator=(Task&& other) noexcept {
+    if (this != &other) {
+      destroy();
+      handle_ = std::exchange(other.handle_, nullptr);
+    }
+    return *this;
+  }
+  ~Task() { destroy(); }
+
+  Task(const Task&) = delete;
+  Task& operator=(const Task&) = delete;
+
+  bool valid() const { return handle_ != nullptr; }
+  bool done() const { return !handle_ || handle_.done(); }
+
+  /// Awaiting a task starts it (symmetric transfer) and resumes the awaiter
+  /// on completion, rethrowing any exception from the child.
+  auto operator co_await() && {
+    struct Awaiter {
+      handle_type h;
+      bool await_ready() const { return !h || h.done(); }
+      std::coroutine_handle<> await_suspend(std::coroutine_handle<> cont) {
+        h.promise().continuation = cont;
+        return h;
+      }
+      void await_resume() {
+        if (h && h.promise().exception) std::rethrow_exception(h.promise().exception);
+      }
+    };
+    return Awaiter{handle_};
+  }
+
+  /// Releases ownership: the frame destroys itself on completion.
+  handle_type release_detached() {
+    TB_REQUIRE(handle_ != nullptr);
+    handle_.promise().detached = true;
+    return std::exchange(handle_, nullptr);
+  }
+
+ private:
+  void destroy() {
+    if (handle_) {
+      handle_.destroy();
+      handle_ = nullptr;
+    }
+  }
+  handle_type handle_ = nullptr;
+};
+
+template <typename T>
+class [[nodiscard]] Task {
+ public:
+  struct promise_type : detail::PromiseBase {
+    std::optional<T> value;
+    Task get_return_object() {
+      return Task(std::coroutine_handle<promise_type>::from_promise(*this));
+    }
+    void return_value(T v) { value = std::move(v); }
+  };
+  using handle_type = std::coroutine_handle<promise_type>;
+
+  Task() = default;
+  explicit Task(handle_type h) : handle_(h) {}
+  Task(Task&& other) noexcept : handle_(std::exchange(other.handle_, nullptr)) {}
+  Task& operator=(Task&& other) noexcept {
+    if (this != &other) {
+      destroy();
+      handle_ = std::exchange(other.handle_, nullptr);
+    }
+    return *this;
+  }
+  ~Task() { destroy(); }
+
+  Task(const Task&) = delete;
+  Task& operator=(const Task&) = delete;
+
+  bool valid() const { return handle_ != nullptr; }
+  bool done() const { return !handle_ || handle_.done(); }
+
+  auto operator co_await() && {
+    struct Awaiter {
+      handle_type h;
+      bool await_ready() const { return !h || h.done(); }
+      std::coroutine_handle<> await_suspend(std::coroutine_handle<> cont) {
+        h.promise().continuation = cont;
+        return h;
+      }
+      T await_resume() {
+        if (h.promise().exception) std::rethrow_exception(h.promise().exception);
+        TB_ASSERT(h.promise().value.has_value());
+        return std::move(*h.promise().value);
+      }
+    };
+    return Awaiter{handle_};
+  }
+
+ private:
+  void destroy() {
+    if (handle_) {
+      handle_.destroy();
+      handle_ = nullptr;
+    }
+  }
+  handle_type handle_ = nullptr;
+};
+
+/// Starts a detached process: runs synchronously until its first suspension,
+/// then continues under simulator control. The frame frees itself when the
+/// coroutine finishes.
+///
+/// LIFETIME: the coroutine frame stores references to its *parameters*, but
+/// a lambda coroutine's captures live in the closure object, which the frame
+/// only points to. `spawn(lambda())` would therefore dangle once the
+/// temporary closure dies — use the callable overload below, which copies
+/// the closure into a wrapper frame that owns it for the process lifetime.
+void spawn(Task<void> task);
+
+namespace detail {
+/// Wrapper frame that keeps the closure alive for the whole process.
+template <typename Fn>
+Task<void> run_owned_callable(Fn fn) {
+  co_await fn();
+}
+}  // namespace detail
+
+/// Spawns `fn()` as a detached process, keeping a copy of the callable (and
+/// thus a lambda's captures) alive until the process completes. Prefer this
+/// for lambda coroutines: `spawn([&]() -> Task<void> { ... });`
+template <typename Fn>
+  requires(!std::same_as<std::remove_cvref_t<Fn>, Task<void>> &&
+           std::same_as<std::invoke_result_t<std::remove_cvref_t<Fn>&>,
+                        Task<void>>)
+void spawn(Fn&& fn) {
+  spawn(detail::run_owned_callable<std::remove_cvref_t<Fn>>(
+      std::forward<Fn>(fn)));
+}
+
+/// Awaitable that resumes the coroutine after `d` of simulated time.
+struct DelayAwaiter {
+  Simulator& sim;
+  Time d;
+  bool await_ready() const { return d <= Time::zero(); }
+  void await_suspend(std::coroutine_handle<> h) {
+    sim.schedule_in(d, [h] { h.resume(); });
+  }
+  void await_resume() const {}
+};
+
+inline DelayAwaiter delay(Simulator& sim, Time d) { return DelayAwaiter{sim, d}; }
+
+}  // namespace tb::sim

@@ -1,0 +1,85 @@
+#include "src/sim/simulator.hpp"
+
+#include <sstream>
+
+#include "src/util/assert.hpp"
+#include "src/util/strings.hpp"
+
+namespace tb::sim {
+
+std::string Time::to_string() const {
+  return util::format_seconds(seconds());
+}
+
+Simulator::Simulator(std::uint64_t seed) : rng_(seed) {}
+
+EventHandle Simulator::schedule_at(Time at, std::function<void()> fn) {
+  TB_REQUIRE_MSG(at >= now_, "cannot schedule an event in the past");
+  TB_REQUIRE(fn != nullptr);
+  const std::uint64_t id = next_id_++;
+  queue_.push(QueueEntry{at, next_seq_++, id});
+  live_events_.emplace(id, std::move(fn));
+  return EventHandle(id);
+}
+
+EventHandle Simulator::schedule_in(Time delay, std::function<void()> fn) {
+  TB_REQUIRE_MSG(delay >= Time::zero(), "negative delay");
+  return schedule_at(now_ + delay, std::move(fn));
+}
+
+bool Simulator::cancel(EventHandle handle) {
+  if (!handle.valid()) return false;
+  return live_events_.erase(handle.id()) > 0;
+}
+
+bool Simulator::is_pending(EventHandle handle) const {
+  return handle.valid() && live_events_.contains(handle.id());
+}
+
+bool Simulator::dispatch_next(Time limit, bool bounded) {
+  while (!queue_.empty()) {
+    const QueueEntry entry = queue_.top();
+    auto it = live_events_.find(entry.id);
+    if (it == live_events_.end()) {
+      queue_.pop();  // lazily discard a cancelled event
+      continue;
+    }
+    if (bounded && entry.at > limit) return false;
+    queue_.pop();
+    std::function<void()> fn = std::move(it->second);
+    live_events_.erase(it);
+    TB_ASSERT(entry.at >= now_);
+    now_ = entry.at;
+    ++executed_;
+    fn();
+    return true;
+  }
+  return false;
+}
+
+std::optional<Time> Simulator::next_event_time() {
+  while (!queue_.empty()) {
+    const QueueEntry& entry = queue_.top();
+    if (live_events_.contains(entry.id)) return entry.at;
+    queue_.pop();
+  }
+  return std::nullopt;
+}
+
+bool Simulator::step() { return dispatch_next(Time::zero(), /*bounded=*/false); }
+
+void Simulator::run() {
+  stop_requested_ = false;
+  while (!stop_requested_ && dispatch_next(Time::zero(), /*bounded=*/false)) {
+  }
+}
+
+void Simulator::run_until(Time until) {
+  TB_REQUIRE(until >= now_);
+  stop_requested_ = false;
+  while (!stop_requested_ && dispatch_next(until, /*bounded=*/true)) {
+  }
+  if (!stop_requested_ && now_ < until) now_ = until;
+}
+
+}  // namespace tb::sim

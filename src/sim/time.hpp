@@ -1,0 +1,65 @@
+// Simulated time.
+//
+// A single strong type represents both instants and durations, held as
+// signed 64-bit nanoseconds. Nanosecond resolution covers bit periods of any
+// realistic TpWIRE clock (the paper's bus tops out at 1 Mbyte/s) while an
+// int64 range of ±292 years dwarfs the 160 s lease horizons of Table 4.
+// Integer time makes event ordering exact — no floating-point tie ambiguity.
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <string>
+
+namespace tb::sim {
+
+class Time {
+ public:
+  constexpr Time() = default;
+
+  static constexpr Time zero() { return Time(0); }
+  static constexpr Time max() { return Time(INT64_MAX); }
+  static constexpr Time ns(std::int64_t v) { return Time(v); }
+  static constexpr Time us(std::int64_t v) { return Time(v * 1'000); }
+  static constexpr Time ms(std::int64_t v) { return Time(v * 1'000'000); }
+  static constexpr Time sec(std::int64_t v) { return Time(v * 1'000'000'000); }
+
+  /// Converts fractional seconds, rounding to the nearest nanosecond.
+  static Time from_seconds(double s) {
+    return Time(static_cast<std::int64_t>(s * 1e9 + (s >= 0 ? 0.5 : -0.5)));
+  }
+
+  constexpr std::int64_t count_ns() const { return ns_; }
+  constexpr double seconds() const { return static_cast<double>(ns_) * 1e-9; }
+
+  constexpr auto operator<=>(const Time&) const = default;
+
+  constexpr Time operator+(Time other) const { return Time(ns_ + other.ns_); }
+  constexpr Time operator-(Time other) const { return Time(ns_ - other.ns_); }
+  constexpr Time& operator+=(Time other) { ns_ += other.ns_; return *this; }
+  constexpr Time& operator-=(Time other) { ns_ -= other.ns_; return *this; }
+  constexpr Time operator*(std::int64_t k) const { return Time(ns_ * k); }
+  constexpr std::int64_t operator/(Time other) const { return ns_ / other.ns_; }
+
+  /// Scales by a real factor (used for bit-period arithmetic), rounding.
+  Time scaled(double factor) const {
+    return from_seconds(seconds() * factor);
+  }
+
+  std::string to_string() const;
+
+ private:
+  constexpr explicit Time(std::int64_t ns) : ns_(ns) {}
+  std::int64_t ns_ = 0;
+};
+
+constexpr Time operator*(std::int64_t k, Time t) { return t * k; }
+
+namespace literals {
+constexpr Time operator""_ns(unsigned long long v) { return Time::ns(static_cast<std::int64_t>(v)); }
+constexpr Time operator""_us(unsigned long long v) { return Time::us(static_cast<std::int64_t>(v)); }
+constexpr Time operator""_ms(unsigned long long v) { return Time::ms(static_cast<std::int64_t>(v)); }
+constexpr Time operator""_s(unsigned long long v) { return Time::sec(static_cast<std::int64_t>(v)); }
+}  // namespace literals
+
+}  // namespace tb::sim

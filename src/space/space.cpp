@@ -1,0 +1,416 @@
+#include "src/space/space.hpp"
+
+#include <algorithm>
+
+#include "src/util/assert.hpp"
+
+namespace tb::space {
+
+TupleSpace::TupleSpace(sim::Simulator& sim, SpaceConfig config)
+    : sim_(&sim), config_(config) {}
+
+std::uint64_t TupleSpace::bucket_key(const std::string& name,
+                                     std::size_t arity) {
+  // FNV-1a over the name, mixed with the arity.
+  std::uint64_t h = 0xCBF29CE484222325ull;
+  for (char c : name) {
+    h ^= static_cast<std::uint8_t>(c);
+    h *= 0x100000001B3ull;
+  }
+  return h ^ (arity * 0x9E3779B97F4A7C15ull);
+}
+
+void TupleSpace::deliver(MatchCallback callback, std::optional<Tuple> result) {
+  sim_->schedule_in(sim::Time::zero(),
+                    [cb = std::move(callback), r = std::move(result)]() mutable {
+                      cb(std::move(r));
+                    });
+}
+
+void TupleSpace::fire_notifications(const Tuple& tuple) {
+  // Notify registrations fire for every matching write, even when a blocked
+  // take consumes the entry before it reaches the store (JavaSpaces
+  // semantics: the event is the write itself).
+  for (auto& [id, reg] : notifies_) {
+    if (reg.tmpl.matches(tuple)) {
+      ++stats_.notifications;
+      sim_->schedule_in(sim::Time::zero(), [cb = reg.callback, t = tuple] {
+        cb(t);
+      });
+    }
+  }
+}
+
+void TupleSpace::publish(std::uint64_t id, Tuple tuple, sim::Time expires_at) {
+  // Serve blocked operations FIFO. Blocked reads each get a copy; the first
+  // matching blocked take consumes the tuple.
+  for (auto it = waiters_.begin(); it != waiters_.end();) {
+    if (!it->tmpl.matches(tuple)) {
+      ++it;
+      continue;
+    }
+    Waiter waiter = std::move(*it);
+    it = waiters_.erase(it);
+    sim_->cancel(waiter.timeout_event);
+    if (waiter.take) {
+      ++stats_.takes;
+      deliver(std::move(waiter.callback), std::move(tuple));
+      return;  // consumed before reaching the store
+    }
+    ++stats_.reads;
+    deliver(std::move(waiter.callback), tuple);  // copy to each reader
+  }
+
+  Entry entry;
+  entry.id = id;
+  entry.expires_at = expires_at;
+  if (expires_at != sim::Time::max()) {
+    entry.expiry_event =
+        sim_->schedule_at(expires_at, [this, id] { expire_entry(id); });
+  }
+  if (config_.use_type_index) {
+    index_[bucket_key(tuple.name, tuple.arity())].insert(id);
+  }
+  entry.tuple = std::move(tuple);
+  entries_.emplace(id, std::move(entry));
+  stats_.peak_size = std::max(stats_.peak_size, entries_.size());
+}
+
+Lease TupleSpace::write(Tuple tuple, sim::Time lease_duration,
+                        std::uint64_t txn) {
+  TB_REQUIRE(lease_duration > sim::Time::zero());
+  Lease lease;
+  lease.id = next_id_++;
+  lease.expires_at = lease_duration == kLeaseForever
+                         ? sim::Time::max()
+                         : sim_->now() + lease_duration;
+
+  if (txn != kNoTxn) {
+    Txn* transaction = find_txn(txn);
+    TB_REQUIRE_MSG(transaction != nullptr, "unknown transaction");
+    transaction->writes.push_back(
+        PendingWrite{lease.id, std::move(tuple), lease.expires_at});
+    return lease;
+  }
+
+  ++stats_.writes;
+  fire_notifications(tuple);
+  publish(lease.id, std::move(tuple), lease.expires_at);
+  return lease;
+}
+
+std::map<std::uint64_t, TupleSpace::Entry>::iterator TupleSpace::find_match(
+    const Template& tmpl) {
+  const sim::Time now = sim_->now();
+  if (config_.use_type_index && tmpl.name.has_value()) {
+    const auto bucket = index_.find(bucket_key(*tmpl.name, tmpl.arity()));
+    if (bucket == index_.end()) return entries_.end();
+    for (std::uint64_t id : bucket->second) {
+      auto it = entries_.find(id);
+      TB_ASSERT(it != entries_.end());
+      ++stats_.scan_steps;
+      if (it->second.expires_at <= now) continue;  // expiry event still queued
+      if (tmpl.matches(it->second.tuple)) return it;
+    }
+    return entries_.end();
+  }
+  for (auto it = entries_.begin(); it != entries_.end(); ++it) {
+    ++stats_.scan_steps;
+    if (it->second.expires_at <= now) continue;
+    if (tmpl.matches(it->second.tuple)) return it;
+  }
+  return entries_.end();
+}
+
+void TupleSpace::erase_entry(std::map<std::uint64_t, Entry>::iterator it) {
+  sim_->cancel(it->second.expiry_event);
+  if (config_.use_type_index) {
+    const auto bucket =
+        index_.find(bucket_key(it->second.tuple.name, it->second.tuple.arity()));
+    TB_ASSERT(bucket != index_.end());
+    bucket->second.erase(it->first);
+    if (bucket->second.empty()) index_.erase(bucket);
+  }
+  entries_.erase(it);
+}
+
+std::optional<Tuple> TupleSpace::read_if_exists(const Template& tmpl,
+                                                std::uint64_t txn) {
+  auto it = find_match(tmpl);
+  if (it != entries_.end()) {
+    ++stats_.reads;
+    return it->second.tuple;
+  }
+  if (txn != kNoTxn) {
+    Txn* transaction = find_txn(txn);
+    TB_REQUIRE_MSG(transaction != nullptr, "unknown transaction");
+    // A transaction sees its own provisional writes.
+    for (const PendingWrite& pending : transaction->writes) {
+      if (pending.expires_at > sim_->now() && tmpl.matches(pending.tuple)) {
+        ++stats_.reads;
+        return pending.tuple;
+      }
+    }
+  }
+  ++stats_.misses;
+  return std::nullopt;
+}
+
+std::optional<Tuple> TupleSpace::take_if_exists(const Template& tmpl,
+                                                std::uint64_t txn) {
+  auto it = find_match(tmpl);
+  if (it != entries_.end()) {
+    ++stats_.takes;
+    Tuple result = it->second.tuple;  // erase_entry still needs name/arity
+    if (txn != kNoTxn) {
+      Txn* transaction = find_txn(txn);
+      TB_REQUIRE_MSG(transaction != nullptr, "unknown transaction");
+      // Hold the committed entry: invisible to everyone until the
+      // transaction resolves; abort restores it with its remaining lease.
+      transaction->held.push_back(
+          HeldEntry{it->first, result, it->second.expires_at});
+    }
+    erase_entry(it);
+    return result;
+  }
+  if (txn != kNoTxn) {
+    Txn* transaction = find_txn(txn);
+    TB_REQUIRE_MSG(transaction != nullptr, "unknown transaction");
+    // Taking one's own provisional write simply unwrites it.
+    for (auto pending = transaction->writes.begin();
+         pending != transaction->writes.end(); ++pending) {
+      if (pending->expires_at > sim_->now() && tmpl.matches(pending->tuple)) {
+        ++stats_.takes;
+        Tuple result = std::move(pending->tuple);
+        transaction->writes.erase(pending);
+        return result;
+      }
+    }
+  }
+  ++stats_.misses;
+  return std::nullopt;
+}
+
+std::vector<Tuple> TupleSpace::read_all(const Template& tmpl,
+                                        std::size_t max) {
+  std::vector<Tuple> out;
+  const sim::Time now = sim_->now();
+  if (config_.use_type_index && tmpl.name.has_value()) {
+    const auto bucket = index_.find(bucket_key(*tmpl.name, tmpl.arity()));
+    if (bucket == index_.end()) return out;
+    for (std::uint64_t id : bucket->second) {
+      if (out.size() >= max) break;
+      auto it = entries_.find(id);
+      TB_ASSERT(it != entries_.end());
+      ++stats_.scan_steps;
+      if (it->second.expires_at <= now) continue;
+      if (tmpl.matches(it->second.tuple)) {
+        ++stats_.reads;
+        out.push_back(it->second.tuple);
+      }
+    }
+    return out;
+  }
+  for (const auto& [id, entry] : entries_) {
+    if (out.size() >= max) break;
+    ++stats_.scan_steps;
+    if (entry.expires_at <= now) continue;
+    if (tmpl.matches(entry.tuple)) {
+      ++stats_.reads;
+      out.push_back(entry.tuple);
+    }
+  }
+  return out;
+}
+
+std::vector<Tuple> TupleSpace::take_all(const Template& tmpl,
+                                        std::size_t max) {
+  std::vector<Tuple> out;
+  while (out.size() < max) {
+    auto it = find_match(tmpl);
+    if (it == entries_.end()) break;
+    ++stats_.takes;
+    out.push_back(it->second.tuple);
+    erase_entry(it);
+  }
+  return out;
+}
+
+TupleSpace::Txn* TupleSpace::find_txn(std::uint64_t txn) {
+  auto it = transactions_.find(txn);
+  return it == transactions_.end() ? nullptr : &it->second;
+}
+
+std::uint64_t TupleSpace::begin_transaction(sim::Time timeout) {
+  TB_REQUIRE(timeout > sim::Time::zero());
+  Txn transaction;
+  transaction.id = next_id_++;
+  if (timeout != kLeaseForever) {
+    transaction.timeout_event =
+        sim_->schedule_in(timeout, [this, id = transaction.id] {
+          auto it = transactions_.find(id);
+          if (it != transactions_.end()) {
+            resolve_txn(it, /*commit_it=*/false);
+          }
+        });
+  }
+  const std::uint64_t id = transaction.id;
+  transactions_.emplace(id, std::move(transaction));
+  return id;
+}
+
+void TupleSpace::resolve_txn(std::map<std::uint64_t, Txn>::iterator it,
+                             bool commit_it) {
+  Txn transaction = std::move(it->second);
+  transactions_.erase(it);  // resolved before callbacks can observe it
+  sim_->cancel(transaction.timeout_event);
+
+  if (commit_it) {
+    ++stats_.commits;
+    for (PendingWrite& pending : transaction.writes) {
+      if (pending.expires_at <= sim_->now()) continue;  // died while pending
+      ++stats_.writes;
+      fire_notifications(pending.tuple);
+      publish(pending.id, std::move(pending.tuple), pending.expires_at);
+    }
+    // Held takes become permanent: nothing to do.
+    return;
+  }
+
+  ++stats_.aborts;
+  // Restore held entries (original id and remaining lease) without firing
+  // notifications: their writes were already announced. Blocked operations
+  // do get served — the entry is available again.
+  for (HeldEntry& held : transaction.held) {
+    if (held.expires_at <= sim_->now()) continue;
+    publish(held.original_id, std::move(held.tuple), held.expires_at);
+  }
+}
+
+bool TupleSpace::commit(std::uint64_t txn) {
+  auto it = transactions_.find(txn);
+  if (it == transactions_.end()) return false;
+  resolve_txn(it, /*commit_it=*/true);
+  return true;
+}
+
+bool TupleSpace::abort(std::uint64_t txn) {
+  auto it = transactions_.find(txn);
+  if (it == transactions_.end()) return false;
+  resolve_txn(it, /*commit_it=*/false);
+  return true;
+}
+
+void TupleSpace::blocking_match(Template tmpl, sim::Time timeout,
+                                MatchCallback callback, bool take) {
+  TB_REQUIRE(callback != nullptr);
+  auto it = find_match(tmpl);
+  if (it != entries_.end()) {
+    if (take) {
+      ++stats_.takes;
+      Tuple result = it->second.tuple;
+      erase_entry(it);
+      deliver(std::move(callback), std::move(result));
+    } else {
+      ++stats_.reads;
+      deliver(std::move(callback), it->second.tuple);
+    }
+    return;
+  }
+  if (timeout <= sim::Time::zero()) {
+    ++stats_.misses;
+    deliver(std::move(callback), std::nullopt);
+    return;
+  }
+
+  Waiter waiter;
+  waiter.id = next_id_++;
+  waiter.tmpl = std::move(tmpl);
+  waiter.take = take;
+  waiter.callback = std::move(callback);
+  if (timeout != kLeaseForever) {
+    waiter.timeout_event =
+        sim_->schedule_in(timeout, [this, id = waiter.id] {
+          auto pos = std::find_if(waiters_.begin(), waiters_.end(),
+                                  [id](const Waiter& w) { return w.id == id; });
+          TB_ASSERT(pos != waiters_.end());
+          MatchCallback cb = std::move(pos->callback);
+          waiters_.erase(pos);
+          ++stats_.misses;
+          cb(std::nullopt);  // already on an event: no extra hop needed
+        });
+  }
+  waiters_.push_back(std::move(waiter));
+  stats_.peak_blocked = std::max(stats_.peak_blocked, waiters_.size());
+}
+
+void TupleSpace::read_async(Template tmpl, sim::Time timeout,
+                            MatchCallback callback) {
+  blocking_match(std::move(tmpl), timeout, std::move(callback), /*take=*/false);
+}
+
+void TupleSpace::take_async(Template tmpl, sim::Time timeout,
+                            MatchCallback callback) {
+  blocking_match(std::move(tmpl), timeout, std::move(callback), /*take=*/true);
+}
+
+std::uint64_t TupleSpace::notify(Template tmpl, sim::Time lease_duration,
+                                 NotifyCallback callback) {
+  TB_REQUIRE(callback != nullptr);
+  TB_REQUIRE(lease_duration > sim::Time::zero());
+  NotifyReg reg;
+  reg.id = next_id_++;
+  reg.tmpl = std::move(tmpl);
+  reg.callback = std::move(callback);
+  if (lease_duration != kLeaseForever) {
+    reg.expiry_event = sim_->schedule_in(
+        lease_duration, [this, id = reg.id] { notifies_.erase(id); });
+  }
+  const std::uint64_t id = reg.id;
+  notifies_.emplace(id, std::move(reg));
+  return id;
+}
+
+bool TupleSpace::cancel_notify(std::uint64_t registration) {
+  auto it = notifies_.find(registration);
+  if (it == notifies_.end()) return false;
+  sim_->cancel(it->second.expiry_event);
+  notifies_.erase(it);
+  return true;
+}
+
+std::optional<Lease> TupleSpace::renew(std::uint64_t tuple_id,
+                                       sim::Time extension) {
+  TB_REQUIRE(extension > sim::Time::zero());
+  auto it = entries_.find(tuple_id);
+  if (it == entries_.end()) return std::nullopt;
+  sim_->cancel(it->second.expiry_event);
+  it->second.expires_at = extension == kLeaseForever
+                              ? sim::Time::max()
+                              : sim_->now() + extension;
+  if (it->second.expires_at != sim::Time::max()) {
+    it->second.expiry_event = sim_->schedule_at(
+        it->second.expires_at, [this, tuple_id] { expire_entry(tuple_id); });
+  } else {
+    it->second.expiry_event = sim::EventHandle();
+  }
+  ++stats_.renewals;
+  return Lease{tuple_id, it->second.expires_at};
+}
+
+bool TupleSpace::cancel(std::uint64_t tuple_id) {
+  auto it = entries_.find(tuple_id);
+  if (it == entries_.end()) return false;
+  erase_entry(it);
+  ++stats_.cancellations;
+  return true;
+}
+
+void TupleSpace::expire_entry(std::uint64_t id) {
+  auto it = entries_.find(id);
+  if (it == entries_.end()) return;
+  ++stats_.expirations;
+  erase_entry(it);
+}
+
+}  // namespace tb::space

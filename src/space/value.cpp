@@ -1,0 +1,53 @@
+#include "src/space/value.hpp"
+
+#include <sstream>
+
+#include "src/util/hex.hpp"
+
+namespace tb::space {
+
+const char* to_string(ValueType type) {
+  switch (type) {
+    case ValueType::kInt: return "int";
+    case ValueType::kFloat: return "float";
+    case ValueType::kBool: return "bool";
+    case ValueType::kString: return "string";
+    case ValueType::kBytes: return "bytes";
+  }
+  return "?";
+}
+
+std::string Value::to_string() const {
+  std::ostringstream os;
+  switch (type()) {
+    case ValueType::kInt:
+      os << as_int();
+      break;
+    case ValueType::kFloat:
+      os << as_float();
+      break;
+    case ValueType::kBool:
+      os << (as_bool() ? "true" : "false");
+      break;
+    case ValueType::kString:
+      os << '"' << as_string() << '"';
+      break;
+    case ValueType::kBytes:
+      os << "0x" << util::to_hex(as_bytes());
+      break;
+  }
+  return os.str();
+}
+
+std::size_t Value::byte_size() const {
+  switch (type()) {
+    case ValueType::kInt: return 8;
+    case ValueType::kFloat: return 8;
+    case ValueType::kBool: return 1;
+    case ValueType::kString: return as_string().size();
+    case ValueType::kBytes: return as_bytes().size();
+  }
+  return 0;
+}
+
+}  // namespace tb::space

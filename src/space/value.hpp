@@ -1,0 +1,64 @@
+// Typed field values for tuples (the paper's "ordered set of typed values").
+//
+// Five types cover the JavaSpaces-entry shapes the factory-automation
+// scenarios need: integers (sensor readings, node ids), floats (FFT data),
+// booleans (states), strings (service names, schemas) and raw bytes
+// (payload blobs).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <variant>
+#include <vector>
+
+namespace tb::space {
+
+enum class ValueType : std::uint8_t {
+  kInt = 0,
+  kFloat,
+  kBool,
+  kString,
+  kBytes,
+};
+
+const char* to_string(ValueType type);
+
+class Value {
+ public:
+  using Storage = std::variant<std::int64_t, double, bool, std::string,
+                               std::vector<std::uint8_t>>;
+
+  Value() : storage_(std::int64_t{0}) {}
+  Value(std::int64_t v) : storage_(v) {}                       // NOLINT
+  Value(int v) : storage_(static_cast<std::int64_t>(v)) {}     // NOLINT
+  Value(double v) : storage_(v) {}                             // NOLINT
+  Value(bool v) : storage_(v) {}                               // NOLINT
+  Value(std::string v) : storage_(std::move(v)) {}             // NOLINT
+  Value(const char* v) : storage_(std::string(v)) {}           // NOLINT
+  Value(std::vector<std::uint8_t> v) : storage_(std::move(v)) {}  // NOLINT
+
+  ValueType type() const { return static_cast<ValueType>(storage_.index()); }
+
+  std::int64_t as_int() const { return std::get<std::int64_t>(storage_); }
+  double as_float() const { return std::get<double>(storage_); }
+  bool as_bool() const { return std::get<bool>(storage_); }
+  const std::string& as_string() const { return std::get<std::string>(storage_); }
+  const std::vector<std::uint8_t>& as_bytes() const {
+    return std::get<std::vector<std::uint8_t>>(storage_);
+  }
+
+  bool is(ValueType t) const { return type() == t; }
+
+  bool operator==(const Value&) const = default;
+
+  /// Human-readable rendering (bytes shown as hex, strings quoted).
+  std::string to_string() const;
+
+  /// Approximate in-memory / wire footprint in bytes, used by benches.
+  std::size_t byte_size() const;
+
+ private:
+  Storage storage_;
+};
+
+}  // namespace tb::space

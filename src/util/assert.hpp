@@ -1,0 +1,48 @@
+// Lightweight always-on assertion macros for invariant checking.
+//
+// Unlike <cassert>, these fire in release builds too: a protocol model that
+// silently corrupts frames in RelWithDebInfo is worse than one that aborts.
+// Use TB_ASSERT for internal invariants and TB_REQUIRE for precondition
+// violations that callers could plausibly trigger (the latter throws so it is
+// testable with EXPECT_THROW).
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace tb::util {
+
+/// Thrown by TB_REQUIRE on precondition violation.
+class PreconditionError : public std::logic_error {
+ public:
+  explicit PreconditionError(const std::string& what) : std::logic_error(what) {}
+};
+
+[[noreturn]] inline void throw_precondition(const char* expr, const char* file,
+                                            int line, const std::string& msg) {
+  std::ostringstream os;
+  os << "precondition failed: " << expr << " at " << file << ':' << line;
+  if (!msg.empty()) os << " — " << msg;
+  throw PreconditionError(os.str());
+}
+
+}  // namespace tb::util
+
+/// Precondition check: throws tb::util::PreconditionError when violated.
+#define TB_REQUIRE(expr)                                                  \
+  do {                                                                    \
+    if (!(expr))                                                          \
+      ::tb::util::throw_precondition(#expr, __FILE__, __LINE__, {});      \
+  } while (0)
+
+/// Precondition check with an explanatory message.
+#define TB_REQUIRE_MSG(expr, msg)                                         \
+  do {                                                                    \
+    if (!(expr))                                                          \
+      ::tb::util::throw_precondition(#expr, __FILE__, __LINE__, (msg));   \
+  } while (0)
+
+/// Internal invariant: also throws (keeps the library usable from tests and
+/// long-running simulations without aborting the whole process).
+#define TB_ASSERT(expr) TB_REQUIRE(expr)

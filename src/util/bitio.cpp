@@ -1,0 +1,42 @@
+#include "src/util/bitio.hpp"
+
+namespace tb::util {
+
+void BitWriter::write_bits(std::uint64_t value, int count) {
+  TB_REQUIRE(count >= 0 && count <= 64);
+  for (int i = count - 1; i >= 0; --i) {
+    const bool bit = (value >> i) & 1u;
+    const std::size_t byte_index = bit_count_ / 8;
+    const int bit_index = 7 - static_cast<int>(bit_count_ % 8);
+    if (byte_index == bytes_.size()) bytes_.push_back(0);
+    if (bit) bytes_[byte_index] |= static_cast<std::uint8_t>(1u << bit_index);
+    ++bit_count_;
+  }
+}
+
+std::uint64_t BitWriter::as_word() const {
+  TB_REQUIRE(bit_count_ <= 64);
+  std::uint64_t word = 0;
+  BitReader reader(bytes_.data(), bit_count_);
+  for (std::size_t i = 0; i < bit_count_; ++i) {
+    word = (word << 1) | (reader.read_bit() ? 1u : 0u);
+  }
+  return word;
+}
+
+std::uint64_t BitReader::read_bits(int count) {
+  TB_REQUIRE(count >= 0 && count <= 64);
+  TB_REQUIRE_MSG(static_cast<std::size_t>(count) <= remaining(),
+                 "bit stream underflow");
+  std::uint64_t value = 0;
+  for (int i = 0; i < count; ++i) {
+    const std::size_t byte_index = cursor_ / 8;
+    const int bit_index = 7 - static_cast<int>(cursor_ % 8);
+    const bool bit = (data_[byte_index] >> bit_index) & 1u;
+    value = (value << 1) | (bit ? 1u : 0u);
+    ++cursor_;
+  }
+  return value;
+}
+
+}  // namespace tb::util

@@ -1,0 +1,67 @@
+// MSB-first bit-level reader/writer used by the TpWIRE frame codecs.
+//
+// TpWIRE frames are 16-bit serial words transmitted start-bit first; the
+// codec layers (src/wire/frame.hpp) describe fields in transmission order and
+// rely on these helpers for exact bit placement.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "src/util/assert.hpp"
+
+namespace tb::util {
+
+/// Accumulates bits MSB-first into a growing byte vector.
+class BitWriter {
+ public:
+  /// Appends the low `count` bits of `value`, most-significant bit first.
+  /// `count` must be in [0, 64].
+  void write_bits(std::uint64_t value, int count);
+
+  /// Appends a single bit.
+  void write_bit(bool bit) { write_bits(bit ? 1 : 0, 1); }
+
+  /// Number of bits written so far.
+  std::size_t bit_count() const { return bit_count_; }
+
+  /// Returns the bytes written so far; the final partial byte (if any) is
+  /// padded with zero bits on the right.
+  const std::vector<std::uint8_t>& bytes() const { return bytes_; }
+
+  /// Interprets the whole stream as one big-endian integer (<= 64 bits).
+  std::uint64_t as_word() const;
+
+ private:
+  std::vector<std::uint8_t> bytes_;
+  std::size_t bit_count_ = 0;
+};
+
+/// Reads bits MSB-first from a byte span.
+class BitReader {
+ public:
+  BitReader(const std::uint8_t* data, std::size_t bit_count)
+      : data_(data), bit_limit_(bit_count) {}
+
+  explicit BitReader(const std::vector<std::uint8_t>& bytes)
+      : BitReader(bytes.data(), bytes.size() * 8) {}
+
+  /// Reads `count` bits (<= 64) as an unsigned big-endian value.
+  std::uint64_t read_bits(int count);
+
+  /// Reads a single bit.
+  bool read_bit() { return read_bits(1) != 0; }
+
+  /// Bits remaining before the limit.
+  std::size_t remaining() const { return bit_limit_ - cursor_; }
+
+  /// Current bit position.
+  std::size_t position() const { return cursor_; }
+
+ private:
+  const std::uint8_t* data_;
+  std::size_t bit_limit_;
+  std::size_t cursor_ = 0;
+};
+
+}  // namespace tb::util

@@ -1,0 +1,101 @@
+#include "src/util/byte_buffer.hpp"
+
+#include <bit>
+#include <cstring>
+
+namespace tb::util {
+
+void ByteBuffer::put_u16(std::uint16_t v) {
+  put_u8(static_cast<std::uint8_t>(v >> 8));
+  put_u8(static_cast<std::uint8_t>(v));
+}
+
+void ByteBuffer::put_u32(std::uint32_t v) {
+  put_u16(static_cast<std::uint16_t>(v >> 16));
+  put_u16(static_cast<std::uint16_t>(v));
+}
+
+void ByteBuffer::put_u64(std::uint64_t v) {
+  put_u32(static_cast<std::uint32_t>(v >> 32));
+  put_u32(static_cast<std::uint32_t>(v));
+}
+
+void ByteBuffer::put_f64(double v) {
+  static_assert(sizeof(double) == sizeof(std::uint64_t));
+  put_u64(std::bit_cast<std::uint64_t>(v));
+}
+
+void ByteBuffer::put_varint(std::uint64_t v) {
+  while (v >= 0x80) {
+    put_u8(static_cast<std::uint8_t>(v) | 0x80);
+    v >>= 7;
+  }
+  put_u8(static_cast<std::uint8_t>(v));
+}
+
+void ByteBuffer::put_bytes(std::span<const std::uint8_t> data) {
+  put_varint(data.size());
+  append(data);
+}
+
+void ByteBuffer::put_string(std::string_view s) {
+  put_varint(s.size());
+  bytes_.insert(bytes_.end(), s.begin(), s.end());
+}
+
+void ByteBuffer::append(std::span<const std::uint8_t> data) {
+  bytes_.insert(bytes_.end(), data.begin(), data.end());
+}
+
+std::span<const std::uint8_t> ByteCursor::take_raw(std::size_t n) {
+  TB_REQUIRE_MSG(n <= remaining(), "byte buffer underflow");
+  auto out = data_.subspan(pos_, n);
+  pos_ += n;
+  return out;
+}
+
+std::uint8_t ByteCursor::get_u8() { return take_raw(1)[0]; }
+
+std::uint16_t ByteCursor::get_u16() {
+  auto b = take_raw(2);
+  return static_cast<std::uint16_t>((b[0] << 8) | b[1]);
+}
+
+std::uint32_t ByteCursor::get_u32() {
+  std::uint32_t hi = get_u16(), lo = get_u16();
+  return (hi << 16) | lo;
+}
+
+std::uint64_t ByteCursor::get_u64() {
+  std::uint64_t hi = get_u32(), lo = get_u32();
+  return (hi << 32) | lo;
+}
+
+double ByteCursor::get_f64() { return std::bit_cast<double>(get_u64()); }
+
+std::uint64_t ByteCursor::get_varint() {
+  std::uint64_t v = 0;
+  int shift = 0;
+  while (true) {
+    TB_REQUIRE_MSG(shift < 64, "varint too long");
+    std::uint8_t byte = get_u8();
+    v |= static_cast<std::uint64_t>(byte & 0x7F) << shift;
+    if (!(byte & 0x80)) break;
+    shift += 7;
+  }
+  return v;
+}
+
+std::vector<std::uint8_t> ByteCursor::get_bytes() {
+  std::size_t n = get_varint();
+  auto raw = take_raw(n);
+  return {raw.begin(), raw.end()};
+}
+
+std::string ByteCursor::get_string() {
+  std::size_t n = get_varint();
+  auto raw = take_raw(n);
+  return {raw.begin(), raw.end()};
+}
+
+}  // namespace tb::util

@@ -1,0 +1,63 @@
+#include "src/util/fft.hpp"
+
+#include <cmath>
+#include <numbers>
+
+#include "src/util/assert.hpp"
+
+namespace tb::util {
+
+bool is_power_of_two(std::size_t n) { return n >= 1 && (n & (n - 1)) == 0; }
+
+std::size_t next_power_of_two(std::size_t n) {
+  TB_REQUIRE(n >= 1);
+  std::size_t p = 1;
+  while (p < n) p <<= 1;
+  return p;
+}
+
+void fft(std::vector<Complex>& data) {
+  const std::size_t n = data.size();
+  TB_REQUIRE_MSG(is_power_of_two(n), "FFT size must be a power of two");
+  // Bit-reversal permutation.
+  for (std::size_t i = 1, j = 0; i < n; ++i) {
+    std::size_t bit = n >> 1;
+    for (; j & bit; bit >>= 1) j ^= bit;
+    j ^= bit;
+    if (i < j) std::swap(data[i], data[j]);
+  }
+  // Butterflies.
+  for (std::size_t len = 2; len <= n; len <<= 1) {
+    const double angle = -2.0 * std::numbers::pi / static_cast<double>(len);
+    const Complex wlen(std::cos(angle), std::sin(angle));
+    for (std::size_t i = 0; i < n; i += len) {
+      Complex w(1.0, 0.0);
+      for (std::size_t k = 0; k < len / 2; ++k) {
+        const Complex u = data[i + k];
+        const Complex v = data[i + k + len / 2] * w;
+        data[i + k] = u + v;
+        data[i + k + len / 2] = u - v;
+        w *= wlen;
+      }
+    }
+  }
+}
+
+void ifft(std::vector<Complex>& data) {
+  for (auto& x : data) x = std::conj(x);
+  fft(data);
+  const double inv_n = 1.0 / static_cast<double>(data.size());
+  for (auto& x : data) x = std::conj(x) * inv_n;
+}
+
+std::vector<double> magnitude_spectrum(const std::vector<double>& signal) {
+  TB_REQUIRE(!signal.empty());
+  std::vector<Complex> buf(next_power_of_two(signal.size()), Complex(0, 0));
+  for (std::size_t i = 0; i < signal.size(); ++i) buf[i] = Complex(signal[i], 0);
+  fft(buf);
+  std::vector<double> mag(buf.size());
+  for (std::size_t i = 0; i < buf.size(); ++i) mag[i] = std::abs(buf[i]);
+  return mag;
+}
+
+}  // namespace tb::util

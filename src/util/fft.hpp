@@ -1,0 +1,31 @@
+// Radix-2 iterative FFT.
+//
+// The paper's §2.1 motivates tuplespaces with an FFT-offload scenario:
+// FPU-less producer nodes write sample vectors into the space and FPU-capable
+// consumer nodes compute the transform. This module supplies that workload so
+// the scalability experiment runs real computation rather than sleeps.
+#pragma once
+
+#include <complex>
+#include <vector>
+
+namespace tb::util {
+
+using Complex = std::complex<double>;
+
+/// In-place decimation-in-time FFT. Size must be a power of two (>= 1).
+void fft(std::vector<Complex>& data);
+
+/// In-place inverse FFT (conjugate method, normalized by 1/N).
+void ifft(std::vector<Complex>& data);
+
+/// Magnitude spectrum of a real signal (zero-padded to the next power of 2).
+std::vector<double> magnitude_spectrum(const std::vector<double>& signal);
+
+/// True iff n is a power of two (n >= 1).
+bool is_power_of_two(std::size_t n);
+
+/// Smallest power of two >= n (n >= 1).
+std::size_t next_power_of_two(std::size_t n);
+
+}  // namespace tb::util

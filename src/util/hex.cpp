@@ -1,0 +1,70 @@
+#include "src/util/hex.hpp"
+
+#include <cctype>
+#include <sstream>
+
+namespace tb::util {
+namespace {
+
+constexpr char kDigits[] = "0123456789abcdef";
+
+int digit_value(char c) {
+  if (c >= '0' && c <= '9') return c - '0';
+  if (c >= 'a' && c <= 'f') return c - 'a' + 10;
+  if (c >= 'A' && c <= 'F') return c - 'A' + 10;
+  return -1;
+}
+
+}  // namespace
+
+std::string to_hex(std::span<const std::uint8_t> data) {
+  std::string out;
+  out.reserve(data.size() * 2);
+  for (std::uint8_t b : data) {
+    out.push_back(kDigits[b >> 4]);
+    out.push_back(kDigits[b & 0xF]);
+  }
+  return out;
+}
+
+std::optional<std::vector<std::uint8_t>> from_hex(std::string_view hex) {
+  if (hex.size() % 2 != 0) return std::nullopt;
+  std::vector<std::uint8_t> out;
+  out.reserve(hex.size() / 2);
+  for (std::size_t i = 0; i < hex.size(); i += 2) {
+    const int hi = digit_value(hex[i]);
+    const int lo = digit_value(hex[i + 1]);
+    if (hi < 0 || lo < 0) return std::nullopt;
+    out.push_back(static_cast<std::uint8_t>((hi << 4) | lo));
+  }
+  return out;
+}
+
+std::string hex_dump(std::span<const std::uint8_t> data) {
+  std::ostringstream os;
+  for (std::size_t row = 0; row < data.size(); row += 16) {
+    // Offset column.
+    char offset[32];
+    std::snprintf(offset, sizeof offset, "%08zx  ", row);
+    os << offset;
+    // Hex column.
+    for (std::size_t i = 0; i < 16; ++i) {
+      if (row + i < data.size()) {
+        os << kDigits[data[row + i] >> 4] << kDigits[data[row + i] & 0xF] << ' ';
+      } else {
+        os << "   ";
+      }
+      if (i == 7) os << ' ';
+    }
+    // ASCII column.
+    os << " |";
+    for (std::size_t i = 0; i < 16 && row + i < data.size(); ++i) {
+      const char c = static_cast<char>(data[row + i]);
+      os << (std::isprint(static_cast<unsigned char>(c)) ? c : '.');
+    }
+    os << "|\n";
+  }
+  return os.str();
+}
+
+}  // namespace tb::util

@@ -1,0 +1,22 @@
+// Hex encoding / decoding and dump formatting for protocol debugging.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace tb::util {
+
+/// Lowercase hex string, no separators: {0xDE, 0xAD} -> "dead".
+std::string to_hex(std::span<const std::uint8_t> data);
+
+/// Parses a hex string (even length, [0-9a-fA-F]); nullopt on bad input.
+std::optional<std::vector<std::uint8_t>> from_hex(std::string_view hex);
+
+/// Classic 16-bytes-per-row offset/hex/ascii dump.
+std::string hex_dump(std::span<const std::uint8_t> data);
+
+}  // namespace tb::util

@@ -1,0 +1,67 @@
+#include "src/util/log.hpp"
+
+#include <iostream>
+#include <mutex>
+
+namespace tb::util {
+namespace {
+
+struct GlobalLogState {
+  std::mutex mutex;
+  LogLevel level = LogLevel::Warn;
+  std::function<void(std::string_view)> sink;
+};
+
+GlobalLogState& state() {
+  static GlobalLogState s;
+  return s;
+}
+
+}  // namespace
+
+LogLevel LogConfig::level() {
+  std::lock_guard lock(state().mutex);
+  return state().level;
+}
+
+void LogConfig::set_level(LogLevel level) {
+  std::lock_guard lock(state().mutex);
+  state().level = level;
+}
+
+void LogConfig::set_sink(std::function<void(std::string_view)> sink) {
+  std::lock_guard lock(state().mutex);
+  state().sink = std::move(sink);
+}
+
+void LogConfig::reset_sink() {
+  std::lock_guard lock(state().mutex);
+  state().sink = nullptr;
+}
+
+void LogConfig::emit(std::string_view line) {
+  std::function<void(std::string_view)> sink;
+  {
+    std::lock_guard lock(state().mutex);
+    sink = state().sink;
+  }
+  if (sink) {
+    sink(line);
+  } else {
+    std::cerr << line << '\n';
+  }
+}
+
+const char* Logger::level_name(LogLevel level) {
+  switch (level) {
+    case LogLevel::Trace: return "TRACE";
+    case LogLevel::Debug: return "DEBUG";
+    case LogLevel::Info: return "INFO";
+    case LogLevel::Warn: return "WARN";
+    case LogLevel::Error: return "ERROR";
+    case LogLevel::Off: return "OFF";
+  }
+  return "?";
+}
+
+}  // namespace tb::util

@@ -1,0 +1,59 @@
+// Minimal leveled logger with per-component tags.
+//
+// Simulation components log through a named Logger so traces can be filtered
+// per subsystem ("wire.master", "mw.server", ...). The global level defaults
+// to Warn so tests and benchmarks stay quiet; examples raise it to Info.
+#pragma once
+
+#include <functional>
+#include <sstream>
+#include <string>
+#include <string_view>
+
+namespace tb::util {
+
+enum class LogLevel { Trace = 0, Debug, Info, Warn, Error, Off };
+
+/// Global log configuration shared by all Logger instances.
+class LogConfig {
+ public:
+  static LogLevel level();
+  static void set_level(LogLevel level);
+
+  /// Replaces the output sink (default: stderr). Used by tests to capture
+  /// output. The sink receives fully formatted lines without a newline.
+  static void set_sink(std::function<void(std::string_view)> sink);
+  static void reset_sink();
+  static void emit(std::string_view line);
+};
+
+/// Named logging facade; cheap to construct and copy.
+class Logger {
+ public:
+  explicit Logger(std::string tag) : tag_(std::move(tag)) {}
+
+  bool enabled(LogLevel level) const { return level >= LogConfig::level(); }
+
+  template <typename... Args>
+  void log(LogLevel level, const Args&... args) const {
+    if (!enabled(level)) return;
+    std::ostringstream os;
+    os << '[' << level_name(level) << "] " << tag_ << ": ";
+    (os << ... << args);
+    LogConfig::emit(os.str());
+  }
+
+  template <typename... Args> void trace(const Args&... a) const { log(LogLevel::Trace, a...); }
+  template <typename... Args> void debug(const Args&... a) const { log(LogLevel::Debug, a...); }
+  template <typename... Args> void info(const Args&... a) const { log(LogLevel::Info, a...); }
+  template <typename... Args> void warn(const Args&... a) const { log(LogLevel::Warn, a...); }
+  template <typename... Args> void error(const Args&... a) const { log(LogLevel::Error, a...); }
+
+  const std::string& tag() const { return tag_; }
+
+ private:
+  static const char* level_name(LogLevel level);
+  std::string tag_;
+};
+
+}  // namespace tb::util

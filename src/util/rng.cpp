@@ -1,0 +1,73 @@
+#include "src/util/rng.hpp"
+
+#include <cmath>
+
+#include "src/util/assert.hpp"
+
+namespace tb::util {
+namespace {
+
+std::uint64_t splitmix64(std::uint64_t& x) {
+  x += 0x9E3779B97F4A7C15ull;
+  std::uint64_t z = x;
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+  return z ^ (z >> 31);
+}
+
+std::uint64_t rotl(std::uint64_t x, int k) {
+  return (x << k) | (x >> (64 - k));
+}
+
+}  // namespace
+
+Xoshiro256::Xoshiro256(std::uint64_t seed) {
+  std::uint64_t sm = seed;
+  for (auto& word : s_) word = splitmix64(sm);
+}
+
+std::uint64_t Xoshiro256::next_u64() {
+  const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+  const std::uint64_t t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = rotl(s_[3], 45);
+  return result;
+}
+
+double Xoshiro256::next_double() {
+  // 53 high bits -> [0,1) with full double precision.
+  return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+}
+
+std::uint64_t Xoshiro256::uniform(std::uint64_t lo, std::uint64_t hi) {
+  TB_REQUIRE(lo <= hi);
+  const std::uint64_t span = hi - lo;
+  if (span == ~0ull) return next_u64();
+  // Rejection sampling for an unbiased draw in [0, span].
+  const std::uint64_t range = span + 1;
+  const std::uint64_t limit = ~0ull - (~0ull % range);
+  std::uint64_t draw;
+  do {
+    draw = next_u64();
+  } while (draw > limit);
+  return lo + draw % range;
+}
+
+double Xoshiro256::exponential(double mean) {
+  TB_REQUIRE(mean > 0.0);
+  double u;
+  do {
+    u = next_double();
+  } while (u <= 0.0);
+  return -mean * std::log(u);
+}
+
+Xoshiro256 Xoshiro256::fork(std::uint64_t label) {
+  return Xoshiro256(next_u64() ^ (label * 0xD1B54A32D192ED03ull));
+}
+
+}  // namespace tb::util

@@ -1,0 +1,44 @@
+// Deterministic pseudo-random number generation for simulations.
+//
+// xoshiro256** — fast, high-quality, and fully reproducible across platforms
+// (std::mt19937 distributions are not guaranteed bit-identical between
+// standard library implementations, which would make simulation results
+// machine-dependent). Each traffic generator / error injector takes its own
+// stream so adding a component never perturbs another component's draws.
+#pragma once
+
+#include <cstdint>
+
+namespace tb::util {
+
+/// xoshiro256** 1.0 by Blackman & Vigna (public domain reference algorithm).
+class Xoshiro256 {
+ public:
+  /// Seeds the state from a single 64-bit seed via SplitMix64 expansion.
+  explicit Xoshiro256(std::uint64_t seed = 0x9E3779B97F4A7C15ull);
+
+  /// Next raw 64-bit draw.
+  std::uint64_t next_u64();
+
+  /// Uniform double in [0, 1).
+  double next_double();
+
+  /// Uniform integer in [lo, hi] (inclusive). Requires lo <= hi.
+  std::uint64_t uniform(std::uint64_t lo, std::uint64_t hi);
+
+  /// Exponentially distributed value with the given mean (> 0).
+  double exponential(double mean);
+
+  /// Bernoulli draw with probability p in [0, 1].
+  bool bernoulli(double p) { return next_double() < p; }
+
+  /// Derives an independent child stream (jump-free: re-seeds from a draw
+  /// mixed with the label so sibling streams differ even for equal labels
+  /// drawn at different times).
+  Xoshiro256 fork(std::uint64_t label);
+
+ private:
+  std::uint64_t s_[4];
+};
+
+}  // namespace tb::util

@@ -1,0 +1,31 @@
+// Small string helpers shared by the XML-ish codec and report printers.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace tb::util {
+
+/// Splits on a single-character delimiter; empty fields are preserved.
+std::vector<std::string> split(std::string_view s, char delim);
+
+/// Trims ASCII whitespace from both ends.
+std::string_view trim(std::string_view s);
+
+bool starts_with(std::string_view s, std::string_view prefix);
+bool ends_with(std::string_view s, std::string_view suffix);
+
+/// Escapes &, <, >, ", ' as XML character entities.
+std::string xml_escape(std::string_view s);
+
+/// Inverse of xml_escape; unknown entities are passed through verbatim.
+std::string xml_unescape(std::string_view s);
+
+/// Fixed-precision decimal rendering (printf "%.*f").
+std::string format_double(double v, int precision);
+
+/// Renders seconds with engineering units: "1.50 ms", "140 s", ...
+std::string format_seconds(double seconds);
+
+}  // namespace tb::util

@@ -1,0 +1,123 @@
+#include "src/wire/bus.hpp"
+
+#include "src/util/assert.hpp"
+
+namespace tb::wire {
+
+const char* to_string(CycleResult::Status status) {
+  switch (status) {
+    case CycleResult::Status::kOk: return "ok";
+    case CycleResult::Status::kTimeout: return "timeout";
+    case CycleResult::Status::kCrcError: return "crc-error";
+  }
+  return "?";
+}
+
+OneWireBus::OneWireBus(sim::Simulator& sim, LinkConfig link, FaultConfig faults)
+    : sim_(&sim), link_(link), faults_(faults), rng_(sim.rng().fork(0x6275)) {
+  TB_REQUIRE(link.bit_rate_hz > 0);
+  TB_REQUIRE(link.wires >= 1);
+}
+
+int OneWireBus::attach(SlaveDevice& slave) {
+  for (const SlaveDevice* existing : chain_) {
+    TB_REQUIRE_MSG(existing->node_id() != slave.node_id(),
+                   "duplicate node id on the bus");
+  }
+  chain_.push_back(&slave);
+  return static_cast<int>(chain_.size()) - 1;
+}
+
+std::uint16_t OneWireBus::maybe_corrupt(std::uint16_t word, double prob,
+                                        std::uint64_t& counter) {
+  if (prob <= 0.0 || !rng_.bernoulli(prob)) return word;
+  ++counter;
+  const int bit = static_cast<int>(rng_.uniform(0, kFrameBits - 1));
+  return word ^ static_cast<std::uint16_t>(1u << bit);
+}
+
+sim::Task<CycleResult> OneWireBus::cycle(TxFrame frame, bool expect_reply) {
+  TB_REQUIRE_MSG(!busy_, "bus cycle while the medium is busy");
+  busy_ = true;
+  ++stats_.cycles;
+  const sim::Time start = sim_->now();
+
+  const std::uint16_t word =
+      maybe_corrupt(frame.encode(), faults_.tx_corrupt_prob, stats_.tx_corrupted);
+
+  // TX frame leaves the master.
+  co_await sim::delay(*sim_, link_.frame_duration());
+
+  // The frame repeats through the chain; each node sees it one hop later.
+  int responder = -1;
+  RxFrame response;
+  sim::Time responder_saw_at;
+  for (std::size_t i = 0; i < chain_.size(); ++i) {
+    co_await sim::delay(*sim_, link_.hop_delay());
+    std::optional<RxFrame> r = chain_[i]->observe_frame(word);
+    if (r.has_value()) {
+      TB_ASSERT(responder < 0);  // at most one selected slave may answer
+      responder = static_cast<int>(i);
+      response = *r;
+      responder_saw_at = sim_->now();
+    }
+  }
+
+  CycleResult result;
+  const sim::Time timeout_at = start + link_.frame_duration() + link_.rx_timeout();
+
+  if (!expect_reply) {
+    // Broadcast cycle: nobody answers; wait the fixed broadcast gap.
+    const sim::Time until = start + link_.frame_duration() + link_.broadcast_gap();
+    if (until > sim_->now()) co_await sim::delay(*sim_, until - sim_->now());
+    result.status = CycleResult::Status::kOk;
+    ++stats_.ok;
+  } else if (responder < 0) {
+    if (timeout_at > sim_->now()) co_await sim::delay(*sim_, timeout_at - sim_->now());
+    result.status = CycleResult::Status::kTimeout;
+    ++stats_.timeouts;
+  } else {
+    // The RX frame crosses every node between the responder and the master;
+    // each (responder included) ORs its pending interrupt into INT.
+    for (int i = responder; i >= 0; --i) {
+      if (chain_[i]->pending_interrupt()) response.intr = true;
+    }
+    const sim::Time rx_at_master = responder_saw_at + link_.response_delay() +
+                                   link_.frame_duration() +
+                                   link_.hop_delay() * (responder + 1);
+    if (rx_at_master > timeout_at) {
+      // Response exists but arrives after the master gave up.
+      if (timeout_at > sim_->now())
+        co_await sim::delay(*sim_, timeout_at - sim_->now());
+      result.status = CycleResult::Status::kTimeout;
+      ++stats_.timeouts;
+    } else {
+      if (rx_at_master > sim_->now())
+        co_await sim::delay(*sim_, rx_at_master - sim_->now());
+      const std::uint16_t rx_word = maybe_corrupt(
+          response.encode(), faults_.rx_corrupt_prob, stats_.rx_corrupted);
+      const std::optional<RxFrame> decoded = RxFrame::decode(rx_word);
+      if (decoded.has_value()) {
+        result.status = CycleResult::Status::kOk;
+        result.rx = decoded;
+        ++stats_.ok;
+      } else {
+        result.status = CycleResult::Status::kCrcError;
+        ++stats_.crc_errors;
+      }
+    }
+  }
+
+  co_await sim::delay(*sim_, link_.interframe_gap());
+  stats_.busy_time += sim_->now() - start;
+  busy_ = false;
+  co_return result;
+}
+
+double OneWireBus::utilization() const {
+  const double elapsed = sim_->now().seconds();
+  if (elapsed <= 0.0) return 0.0;
+  return stats_.busy_time.seconds() / elapsed;
+}
+
+}  // namespace tb::wire

@@ -1,0 +1,101 @@
+// TpWIRE 1-wire bus medium (paper §3.1, Figure 2).
+//
+// Models the daisy chain as a shared half-duplex medium driven exclusively
+// by the master. One communication cycle:
+//
+//   master TX (frame_duration) → frame repeats through the chain (hop delay
+//   per node) → the selected slave turns around (response_delay) and drives
+//   the RX frame back (rx passes the same hops; every slave it crosses ORs
+//   its pending-interrupt into the INT bit) → interframe gap.
+//
+// If no slave answers (wrong/broadcast selection, corrupted TX, slave in
+// reset) the master waits out rx_timeout. Fault injection flips one random
+// bit per corrupted frame and lets the receiver's real CRC check decide —
+// with a single flip, CRC-4 x⁴+x+1 always detects, so corrupt-TX surfaces
+// as a timeout and corrupt-RX as a CRC error, exactly the two retry causes
+// the paper names ("If any Slave responds within an expected time period, or
+// an error occurs during the receive of TX or RX frames").
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "src/sim/process.hpp"
+#include "src/sim/simulator.hpp"
+#include "src/util/rng.hpp"
+#include "src/wire/config.hpp"
+#include "src/wire/frame.hpp"
+#include "src/wire/slave.hpp"
+
+namespace tb::wire {
+
+/// Outcome of one communication cycle as the master sees it.
+struct CycleResult {
+  enum class Status : std::uint8_t {
+    kOk,        ///< valid RX received (or broadcast cycle completed)
+    kTimeout,   ///< no RX within rx_timeout
+    kCrcError,  ///< RX arrived but failed start-bit/CRC validation
+  };
+  Status status = Status::kTimeout;
+  std::optional<RxFrame> rx;
+
+  bool ok() const { return status == Status::kOk; }
+};
+
+const char* to_string(CycleResult::Status status);
+
+class OneWireBus {
+ public:
+  OneWireBus(sim::Simulator& sim, LinkConfig link, FaultConfig faults = {});
+
+  OneWireBus(const OneWireBus&) = delete;
+  OneWireBus& operator=(const OneWireBus&) = delete;
+
+  /// Appends a slave to the end of the daisy chain; returns its position.
+  /// The slave must outlive the bus.
+  int attach(SlaveDevice& slave);
+
+  std::size_t slave_count() const { return chain_.size(); }
+  SlaveDevice& slave_at(std::size_t pos) { return *chain_.at(pos); }
+
+  /// Runs one communication cycle. `expect_reply` is false for cycles under
+  /// broadcast selection (and for the broadcast SELECT itself), where the
+  /// master only waits out the broadcast gap. Callers must serialize cycles
+  /// (the Master's mutex does); concurrent entry is a precondition error.
+  sim::Task<CycleResult> cycle(TxFrame frame, bool expect_reply);
+
+  const LinkConfig& link() const { return link_; }
+  sim::Simulator& simulator() { return *sim_; }
+
+  /// True while a cycle occupies the medium.
+  bool busy() const { return busy_; }
+
+  struct Stats {
+    std::uint64_t cycles = 0;
+    std::uint64_t ok = 0;
+    std::uint64_t timeouts = 0;
+    std::uint64_t crc_errors = 0;
+    std::uint64_t tx_corrupted = 0;
+    std::uint64_t rx_corrupted = 0;
+    sim::Time busy_time;  ///< total medium occupancy
+  };
+  const Stats& stats() const { return stats_; }
+
+  /// Fraction of [0, now] the medium was occupied.
+  double utilization() const;
+
+ private:
+  std::uint16_t maybe_corrupt(std::uint16_t word, double prob,
+                              std::uint64_t& counter);
+
+  sim::Simulator* sim_;
+  LinkConfig link_;
+  FaultConfig faults_;
+  util::Xoshiro256 rng_;
+  std::vector<SlaveDevice*> chain_;
+  bool busy_ = false;
+  Stats stats_;
+};
+
+}  // namespace tb::wire

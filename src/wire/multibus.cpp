@@ -1,0 +1,36 @@
+#include "src/wire/multibus.hpp"
+
+#include "src/util/assert.hpp"
+
+namespace tb::wire {
+
+MultiBusSystem::MultiBusSystem(sim::Simulator& sim, LinkConfig per_bus_link,
+                               int bus_count, FaultConfig faults,
+                               MasterConfig master_config) {
+  TB_REQUIRE(bus_count >= 1);
+  per_bus_link.wires = 1;
+  for (int i = 0; i < bus_count; ++i) {
+    buses_.push_back(std::make_unique<OneWireBus>(sim, per_bus_link, faults));
+    masters_.push_back(std::make_unique<Master>(*buses_.back(), master_config));
+  }
+}
+
+int MultiBusSystem::attach(int bus_index, SlaveDevice& slave) {
+  TB_REQUIRE(bus_index >= 0 && bus_index < bus_count());
+  TB_REQUIRE_MSG(!node_to_bus_.contains(slave.node_id()),
+                 "node id already attached to a bus");
+  node_to_bus_[slave.node_id()] = bus_index;
+  return buses_[bus_index]->attach(slave);
+}
+
+Master& MultiBusSystem::master_for_node(std::uint8_t node_id) {
+  return *masters_.at(bus_for_node(node_id));
+}
+
+int MultiBusSystem::bus_for_node(std::uint8_t node_id) const {
+  auto it = node_to_bus_.find(node_id);
+  TB_REQUIRE_MSG(it != node_to_bus_.end(), "node not attached to any bus");
+  return it->second;
+}
+
+}  // namespace tb::wire

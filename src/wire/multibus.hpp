@@ -1,0 +1,48 @@
+// n-wire scaling, mode B (paper §3.2): "Each line is used to implement one
+// 1-wire bus, thus having n parallel 1-wire transmissions."
+//
+// A MultiBusSystem owns n independent OneWireBus instances, each with its own
+// Master, and a node-id -> bus routing table. Unlike mode A (which stripes
+// data bits and saturates at 2x — see LinkConfig::frame_bits_on_wire), mode B
+// multiplies aggregate transaction throughput by n as long as traffic spreads
+// across buses, which bench_nwire_scaling demonstrates.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "src/wire/bus.hpp"
+#include "src/wire/master.hpp"
+
+namespace tb::wire {
+
+class MultiBusSystem {
+ public:
+  /// Creates `bus_count` identical 1-wire buses. `per_bus_link.wires` is
+  /// forced to 1 (mode B lines are independent serial buses).
+  MultiBusSystem(sim::Simulator& sim, LinkConfig per_bus_link, int bus_count,
+                 FaultConfig faults = {}, MasterConfig master_config = {});
+
+  int bus_count() const { return static_cast<int>(buses_.size()); }
+  OneWireBus& bus(int index) { return *buses_.at(index); }
+  Master& master(int index) { return *masters_.at(index); }
+
+  /// Attaches a slave to the given bus; node ids are unique system-wide.
+  /// Returns the chain position on that bus.
+  int attach(int bus_index, SlaveDevice& slave);
+
+  /// The master that reaches the given node.
+  Master& master_for_node(std::uint8_t node_id);
+
+  /// Bus index hosting the node.
+  int bus_for_node(std::uint8_t node_id) const;
+
+ private:
+  std::vector<std::unique_ptr<OneWireBus>> buses_;
+  std::vector<std::unique_ptr<Master>> masters_;
+  std::unordered_map<std::uint8_t, int> node_to_bus_;
+};
+
+}  // namespace tb::wire

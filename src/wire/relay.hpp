@@ -1,0 +1,78 @@
+// Master relay: the polling/store-and-forward application on the master.
+//
+// The TpWIRE topology is strictly master/slave, so the master runs a relay
+// loop that makes slave-to-slave communication possible:
+//
+//   round-robin over slaves:
+//     probe (1 frame; a SELECT/PING status reply carries the INT flag)
+//     if the slave has a pending interrupt:
+//       read its outbox depth, drain up to max_drain_per_visit bytes,
+//       parse relay segments, push each to its destination slave's inbox
+//   sleep poll_period when a full round moved nothing.
+//
+// Every relayed byte costs multiple communication cycles (probe + address
+// setup + port reads + port writes) — this protocol overhead is precisely
+// the "impact of the tuplespace middleware on the bus" that the paper's
+// Table 4 quantifies, and why a 1 B/s CBR flow can starve a space operation.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "src/sim/process.hpp"
+#include "src/wire/master.hpp"
+#include "src/wire/segment.hpp"
+
+namespace tb::wire {
+
+struct RelayConfig {
+  /// Idle wait after a round in which no slave had traffic.
+  ///
+  /// CONSTRAINT: must stay well below the slave reset timeout (2048 bit
+  /// periods at the programmed bus speed) — a slave that sees no valid
+  /// frame for that long resets itself and wipes its mailboxes. On a fast
+  /// clock (1 Mbit/s -> ~2 ms watchdog) the master has to poll almost
+  /// continuously; this is a real cost of the TpWIRE protocol that the
+  /// impact experiments account for.
+  sim::Time poll_period = sim::Time::ms(50);
+
+  /// Byte budget per slave visit; bounds head-of-line blocking.
+  std::size_t max_drain_per_visit = 64;
+};
+
+class MasterRelay {
+ public:
+  /// `nodes` lists the slave node ids to serve, in polling order.
+  MasterRelay(Master& master, std::vector<std::uint8_t> nodes,
+              RelayConfig config = {});
+
+  /// Spawns the relay process. Runs until stop().
+  void start();
+  void stop() { running_ = false; }
+  bool running() const { return running_; }
+
+  struct Stats {
+    std::uint64_t rounds = 0;
+    std::uint64_t probes = 0;
+    std::uint64_t bytes_drained = 0;
+    std::uint64_t segments_forwarded = 0;
+    std::uint64_t segments_dropped = 0;  ///< unknown destination or push failure
+    std::uint64_t crc_failures = 0;      ///< corrupted segments (parser total)
+  };
+  const Stats& stats() const { return stats_; }
+
+ private:
+  sim::Task<void> run();
+  sim::Task<bool> service(std::uint8_t node);  ///< true if bytes moved
+  sim::Task<void> forward(const RelaySegment& segment);
+
+  Master* master_;
+  std::vector<std::uint8_t> nodes_;
+  RelayConfig config_;
+  bool running_ = false;
+  std::unordered_map<std::uint8_t, SegmentParser> parsers_;
+  Stats stats_;
+};
+
+}  // namespace tb::wire

@@ -1,0 +1,83 @@
+#include "src/wire/segment.hpp"
+
+#include "src/util/assert.hpp"
+#include "src/util/crc.hpp"
+
+namespace tb::wire {
+
+std::vector<std::uint8_t> encode_segment(const RelaySegment& segment) {
+  TB_REQUIRE(segment.payload.size() <= kMaxSegmentPayload);
+  TB_REQUIRE(segment.src <= kMaxNodeId);
+  TB_REQUIRE(segment.dst <= kBroadcastNodeId);
+  std::vector<std::uint8_t> out;
+  out.reserve(segment_wire_size(segment.payload.size()));
+  out.push_back(kSegmentMagic);
+  out.push_back(segment.src);
+  out.push_back(segment.dst);
+  out.push_back(static_cast<std::uint8_t>(segment.payload.size() & 0xFF));
+  out.push_back(static_cast<std::uint8_t>(segment.payload.size() >> 8));
+  out.insert(out.end(), segment.payload.begin(), segment.payload.end());
+  // CRC over src..payload (everything after the magic).
+  out.push_back(util::crc8({out.data() + 1, out.size() - 1}));
+  return out;
+}
+
+void SegmentParser::feed(std::span<const std::uint8_t> bytes) {
+  for (std::uint8_t b : bytes) feed_byte(b);
+}
+
+void SegmentParser::feed_byte(std::uint8_t byte) {
+  switch (state_) {
+    case State::kMagic:
+      if (byte == kSegmentMagic) {
+        header_.clear();
+        payload_.clear();
+        state_ = State::kHeader;
+      } else {
+        ++resync_bytes_;
+      }
+      return;
+
+    case State::kHeader:
+      header_.push_back(byte);
+      if (header_.size() == kSegmentHeaderBytes - 1) {  // src,dst,len_lo,len_hi
+        expected_payload_ = static_cast<std::size_t>(header_[2]) |
+                            (static_cast<std::size_t>(header_[3]) << 8);
+        state_ = expected_payload_ > 0 ? State::kPayload : State::kCrc;
+      }
+      return;
+
+    case State::kPayload:
+      payload_.push_back(byte);
+      if (payload_.size() == expected_payload_) state_ = State::kCrc;
+      return;
+
+    case State::kCrc: {
+      std::vector<std::uint8_t> covered;
+      covered.reserve(header_.size() + payload_.size());
+      covered.insert(covered.end(), header_.begin(), header_.end());
+      covered.insert(covered.end(), payload_.begin(), payload_.end());
+      if (util::crc8(covered) == byte) {
+        RelaySegment segment;
+        segment.src = header_[0];
+        segment.dst = header_[1];
+        segment.payload = payload_;
+        ready_.push_back(std::move(segment));
+        ++parsed_;
+      } else {
+        ++crc_failures_;
+      }
+      state_ = State::kMagic;
+      return;
+    }
+  }
+}
+
+std::optional<RelaySegment> SegmentParser::next() {
+  if (ready_.empty()) return std::nullopt;
+  RelaySegment segment = std::move(ready_.front());
+  ready_.erase(ready_.begin());
+  return segment;
+}
+
+}  // namespace tb::wire

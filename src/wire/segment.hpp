@@ -1,0 +1,74 @@
+// Relay segment framing.
+//
+// TpWIRE slaves can talk to the master only (paper §3.1), so any
+// slave-to-slave byte flow — CBR background traffic and the tuplespace
+// transport alike — is shuttled by the master: it drains the source slave's
+// outbox and pushes into the destination slave's inbox. The mailboxes are
+// plain byte FIFOs, so flows are framed into segments the relay can route:
+//
+//   | 0xA5 | src | dst | len_lo | len_hi | payload... | crc8 |
+//
+// crc8 covers src..payload. dst 127 broadcasts to every other node. The
+// parser is incremental (bytes arrive one mailbox pop at a time) and
+// resynchronizes on the 0xA5 magic after a CRC error, counting the damage.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "src/wire/frame.hpp"
+
+namespace tb::wire {
+
+struct RelaySegment {
+  std::uint8_t src = 0;
+  std::uint8_t dst = 0;
+  std::vector<std::uint8_t> payload;
+
+  bool broadcast() const { return dst == kBroadcastNodeId; }
+  bool operator==(const RelaySegment&) const = default;
+};
+
+inline constexpr std::uint8_t kSegmentMagic = 0xA5;
+inline constexpr std::size_t kSegmentHeaderBytes = 5;  // magic..len_hi
+inline constexpr std::size_t kSegmentTrailerBytes = 1; // crc8
+inline constexpr std::size_t kMaxSegmentPayload = 0xFFFF;
+
+/// Wire size of a segment carrying `payload_size` bytes.
+constexpr std::size_t segment_wire_size(std::size_t payload_size) {
+  return kSegmentHeaderBytes + payload_size + kSegmentTrailerBytes;
+}
+
+/// Serializes one segment.
+std::vector<std::uint8_t> encode_segment(const RelaySegment& segment);
+
+/// Incremental decoder: feed mailbox bytes, poll complete segments.
+class SegmentParser {
+ public:
+  /// Consumes bytes; completed segments become available via next().
+  void feed(std::span<const std::uint8_t> bytes);
+  void feed_byte(std::uint8_t byte);
+
+  /// Pops the next fully parsed segment, if any.
+  std::optional<RelaySegment> next();
+
+  std::uint64_t segments_parsed() const { return parsed_; }
+  std::uint64_t crc_failures() const { return crc_failures_; }
+  std::uint64_t resync_bytes() const { return resync_bytes_; }
+
+ private:
+  enum class State { kMagic, kHeader, kPayload, kCrc };
+
+  State state_ = State::kMagic;
+  std::vector<std::uint8_t> header_;
+  std::vector<std::uint8_t> payload_;
+  std::size_t expected_payload_ = 0;
+  std::vector<RelaySegment> ready_;
+  std::uint64_t parsed_ = 0;
+  std::uint64_t crc_failures_ = 0;
+  std::uint64_t resync_bytes_ = 0;
+};
+
+}  // namespace tb::wire

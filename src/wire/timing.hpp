@@ -1,0 +1,71 @@
+// Closed-form TpWIRE timing model.
+//
+// Serves two roles:
+//  1. Oracle for unit tests: the event-driven bus must agree with the
+//     closed form bit-for-bit when no faults are injected.
+//  2. Stand-in for the physical TpICU/SCM measurements of Table 3. The real
+//     controller spends extra per-cycle firmware time that a pure protocol
+//     model does not see; `controller_overhead_bits` captures it, and the
+//     validation harness (src/cosim/validation.hpp) derives the resulting
+//     scaling factor exactly as the paper does against hardware.
+#pragma once
+
+#include <cstdint>
+
+#include "src/sim/time.hpp"
+#include "src/wire/config.hpp"
+
+namespace tb::wire {
+
+class AnalyticTiming {
+ public:
+  /// `controller_overhead_bits`: additional per-cycle cost, in bit periods,
+  /// modelling the target controller's firmware overhead (0 = ideal model).
+  explicit AnalyticTiming(LinkConfig link, double controller_overhead_bits = 0.0)
+      : link_(link), overhead_bits_(controller_overhead_bits) {}
+
+  /// One full communication cycle with a reply, for a slave at the given
+  /// daisy-chain position (0 = nearest the master):
+  /// TX frame + inbound hops + turnaround + RX frame + outbound hops + gap.
+  sim::Time reply_cycle(int chain_pos) const {
+    return link_.frame_duration() + link_.hop_delay() * (chain_pos + 1) +
+           link_.response_delay() + link_.frame_duration() +
+           link_.hop_delay() * (chain_pos + 1) + link_.interframe_gap() +
+           overhead();
+  }
+
+  /// Cycle that ends in an RX timeout (no responder).
+  sim::Time timeout_cycle() const {
+    return link_.frame_duration() + link_.rx_timeout() + link_.interframe_gap() +
+           overhead();
+  }
+
+  /// Broadcast cycle (no replies, fixed gap).
+  sim::Time broadcast_cycle() const {
+    return link_.frame_duration() + link_.broadcast_gap() +
+           link_.interframe_gap() + overhead();
+  }
+
+  /// Time to run `frames` back-to-back reply cycles (the Table 3 workload:
+  /// a CBR source pushing 1-byte packets through the model).
+  sim::Time frames(std::uint64_t count, int chain_pos) const {
+    return reply_cycle(chain_pos) * static_cast<std::int64_t>(count);
+  }
+
+  /// Payload throughput in bytes/second when each reply cycle moves one
+  /// DATA byte (the protocol's best case).
+  double data_rate_bps(int chain_pos) const {
+    return 1.0 / reply_cycle(chain_pos).seconds();
+  }
+
+  const LinkConfig& link() const { return link_; }
+  double controller_overhead_bits() const { return overhead_bits_; }
+
+ private:
+  sim::Time overhead() const { return link_.bits(overhead_bits_); }
+
+  LinkConfig link_;
+  double overhead_bits_;
+};
+
+}  // namespace tb::wire

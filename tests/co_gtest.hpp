@@ -1,0 +1,27 @@
+// gtest ASSERT_* macros expand to `return;`, which C++ forbids inside a
+// coroutine. These variants report through EXPECT_* and bail out of the
+// coroutine with co_return on failure, preserving early-exit semantics.
+#pragma once
+
+#include <gtest/gtest.h>
+
+#define CO_ASSERT_TRUE(expr)  \
+  do {                        \
+    const bool co_ok_ = static_cast<bool>(expr); \
+    EXPECT_TRUE(co_ok_) << #expr;                \
+    if (!co_ok_) co_return;   \
+  } while (0)
+
+#define CO_ASSERT_FALSE(expr) \
+  do {                        \
+    const bool co_ok_ = !static_cast<bool>(expr); \
+    EXPECT_TRUE(co_ok_) << #expr;                 \
+    if (!co_ok_) co_return;   \
+  } while (0)
+
+#define CO_ASSERT_EQ(a, b)    \
+  do {                        \
+    const bool co_ok_ = ((a) == (b)); \
+    EXPECT_TRUE(co_ok_) << #a " == " #b; \
+    if (!co_ok_) co_return;   \
+  } while (0)

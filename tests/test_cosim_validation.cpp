@@ -1,0 +1,89 @@
+#include "src/cosim/validation.hpp"
+
+#include <gtest/gtest.h>
+
+#include "src/wire/timing.hpp"
+
+namespace tb::cosim {
+namespace {
+
+ValidationConfig small_config() {
+  ValidationConfig config;
+  config.frame_counts = {100, 500};
+  return config;
+}
+
+TEST(Validation, ZeroOverheadModelsAgreeExactly) {
+  ValidationConfig config = small_config();
+  config.controller_overhead_bits = 0.0;
+  const ValidationReport report = run_frame_validation(config);
+  ASSERT_EQ(report.rows.size(), 2u);
+  for (const ValidationRow& row : report.rows) {
+    EXPECT_DOUBLE_EQ(row.hardware_sec, row.simulated_sec);
+    EXPECT_DOUBLE_EQ(row.ratio, 1.0);
+  }
+  EXPECT_DOUBLE_EQ(report.scaling_factor, 1.0);
+}
+
+TEST(Validation, ControllerOverheadProducesStableScalingFactor) {
+  ValidationConfig config = small_config();
+  config.controller_overhead_bits = 4.0;
+  const ValidationReport report = run_frame_validation(config);
+  // The overhead inflates the "hardware" time by a frame-count-independent
+  // factor: exactly the paper's scaling-factor structure.
+  ASSERT_EQ(report.rows.size(), 2u);
+  EXPECT_GT(report.scaling_factor, 1.0);
+  EXPECT_NEAR(report.rows[0].ratio, report.rows[1].ratio, 1e-9);
+  // reply_cycle = 16+2+4+16+2+2 = 42 bits; +4 overhead -> 46/42.
+  const wire::AnalyticTiming ideal(config.link, 0.0);
+  const wire::AnalyticTiming overhead(config.link, 4.0);
+  EXPECT_NEAR(report.scaling_factor,
+              overhead.reply_cycle(1).seconds() / ideal.reply_cycle(1).seconds(),
+              1e-9);
+}
+
+TEST(Validation, TimeScalesLinearlyWithFrameCount) {
+  ValidationConfig config;
+  config.frame_counts = {100, 1'000};
+  const ValidationReport report = run_frame_validation(config);
+  EXPECT_NEAR(report.rows[1].simulated_sec / report.rows[0].simulated_sec,
+              10.0, 1e-6);
+}
+
+TEST(Validation, FasterBusShrinksAbsoluteTimes) {
+  ValidationConfig slow = small_config();
+  slow.link.bit_rate_hz = 9'600;
+  ValidationConfig fast = small_config();
+  fast.link.bit_rate_hz = 96'000;
+  const auto slow_report = run_frame_validation(slow);
+  const auto fast_report = run_frame_validation(fast);
+  EXPECT_NEAR(slow_report.rows[0].simulated_sec /
+                  fast_report.rows[0].simulated_sec,
+              10.0, 0.01);
+}
+
+TEST(Validation, RealtimeCheckPacesAgainstWallClock) {
+  ValidationConfig config = small_config();
+  // 100 frames * ~4.4 ms/frame ~ 0.44 s sim; at 100x ~ 4.4 ms wall.
+  const RealtimeCheck check = run_realtime_check(100, 100.0, config);
+  EXPECT_GT(check.sim_seconds, 0.1);
+  EXPECT_GT(check.wall_seconds, check.sim_seconds / 100.0 * 0.5);
+  EXPECT_GT(check.events, 100u);
+}
+
+TEST(Validation, TargetSlavePositionAffectsTiming) {
+  ValidationConfig near = small_config();
+  near.slave_count = 8;
+  near.target_slave = 0;
+  ValidationConfig far = small_config();
+  far.slave_count = 8;
+  far.target_slave = 7;
+  const auto near_report = run_frame_validation(near);
+  const auto far_report = run_frame_validation(far);
+  // Seven extra hop pairs each way make the far slave measurably slower.
+  EXPECT_GT(far_report.rows[0].simulated_sec,
+            near_report.rows[0].simulated_sec);
+}
+
+}  // namespace
+}  // namespace tb::cosim

@@ -1,0 +1,199 @@
+#include "src/mw/codec.hpp"
+
+#include <gtest/gtest.h>
+
+#include <climits>
+#include <memory>
+
+namespace tb::mw {
+namespace {
+
+Message sample_write_request() {
+  Message m;
+  m.type = MsgType::kWriteRequest;
+  m.request_id = 77;
+  m.created_at_ns = 123'456'789;
+  m.tuple = space::Tuple(
+      "entry", {space::Value(5), space::Value(2.5), space::Value(true),
+                space::Value("text <&> 'quoted'"),
+                space::Value(std::vector<std::uint8_t>{0xDE, 0xAD})});
+  m.duration_ns = 160'000'000'000;
+  return m;
+}
+
+Message sample_take_request() {
+  Message m;
+  m.type = MsgType::kTakeRequest;
+  m.request_id = 78;
+  m.created_at_ns = 1;
+  m.tmpl = space::Template(
+      std::string("entry"),
+      {space::FieldPattern::exact(space::Value(5)),
+       space::FieldPattern::typed(space::ValueType::kBytes),
+       space::FieldPattern::any()});
+  m.duration_ns = INT64_MAX;
+  return m;
+}
+
+Message sample_response() {
+  Message m;
+  m.type = MsgType::kWriteResponse;
+  m.request_id = 77;
+  m.ok = true;
+  m.handle = 12345;
+  m.expires_at_ns = 999;
+  return m;
+}
+
+Message sample_error() {
+  Message m;
+  m.type = MsgType::kError;
+  m.request_id = 9;
+  m.error = "bad things <happened>";
+  return m;
+}
+
+class CodecRoundTrip
+    : public ::testing::TestWithParam<std::pair<const char*, int>> {
+ protected:
+  std::unique_ptr<Codec> make_codec() const {
+    if (std::string(GetParam().first) == "xml") {
+      return std::make_unique<XmlCodec>();
+    }
+    return std::make_unique<BinaryCodec>();
+  }
+
+  Message sample() const {
+    switch (GetParam().second) {
+      case 0: return sample_write_request();
+      case 1: return sample_take_request();
+      case 2: return sample_response();
+      default: return sample_error();
+    }
+  }
+};
+
+TEST_P(CodecRoundTrip, EncodeDecodeIdentity) {
+  auto codec = make_codec();
+  const Message original = sample();
+  const auto bytes = codec->encode(original);
+  ASSERT_FALSE(bytes.empty());
+  auto decoded = codec->decode(bytes);
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(*decoded, original);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllCodecsAllMessages, CodecRoundTrip,
+    ::testing::Values(std::pair{"xml", 0}, std::pair{"xml", 1},
+                      std::pair{"xml", 2}, std::pair{"xml", 3},
+                      std::pair{"binary", 0}, std::pair{"binary", 1},
+                      std::pair{"binary", 2}, std::pair{"binary", 3}));
+
+TEST(XmlCodecTest, ProducesReadableXml) {
+  XmlCodec codec;
+  const auto bytes = codec.encode(sample_write_request());
+  const std::string text(bytes.begin(), bytes.end());
+  EXPECT_NE(text.find("<msg"), std::string::npos);
+  EXPECT_NE(text.find("type=\"write-req\""), std::string::npos);
+  EXPECT_NE(text.find("<tuple name=\"entry\""), std::string::npos);
+}
+
+TEST(XmlCodecTest, RejectsGarbage) {
+  XmlCodec codec;
+  const std::vector<std::uint8_t> garbage = {'h', 'i'};
+  EXPECT_FALSE(codec.decode(garbage).has_value());
+}
+
+TEST(XmlCodecTest, RejectsWrongRoot) {
+  XmlCodec codec;
+  const std::string text = "<notmsg/>";
+  EXPECT_FALSE(
+      codec.decode({reinterpret_cast<const std::uint8_t*>(text.data()),
+                    text.size()})
+          .has_value());
+}
+
+TEST(XmlCodecTest, RejectsUnknownType) {
+  XmlCodec codec;
+  const std::string text = R"(<msg type="nope" id="1"/>)";
+  EXPECT_FALSE(
+      codec.decode({reinterpret_cast<const std::uint8_t*>(text.data()),
+                    text.size()})
+          .has_value());
+}
+
+TEST(BinaryCodecTest, RejectsTruncated) {
+  BinaryCodec codec;
+  auto bytes = codec.encode(sample_write_request());
+  bytes.resize(bytes.size() / 2);
+  EXPECT_FALSE(codec.decode(bytes).has_value());
+}
+
+TEST(BinaryCodecTest, RejectsTrailingBytes) {
+  BinaryCodec codec;
+  auto bytes = codec.encode(sample_response());
+  bytes.push_back(0);
+  EXPECT_FALSE(codec.decode(bytes).has_value());
+}
+
+TEST(BinaryCodecTest, RejectsEmpty) {
+  BinaryCodec codec;
+  EXPECT_FALSE(codec.decode({}).has_value());
+}
+
+TEST(CodecComparison, BinaryIsSubstantiallySmallerThanXml) {
+  XmlCodec xml;
+  BinaryCodec binary;
+  const Message m = sample_write_request();
+  const auto xml_size = xml.encode(m).size();
+  const auto bin_size = binary.encode(m).size();
+  EXPECT_LT(bin_size * 2, xml_size)
+      << "xml=" << xml_size << " binary=" << bin_size;
+}
+
+TEST(XmlCodecTest, ForeverDurationSurvives) {
+  XmlCodec codec;
+  Message m = sample_take_request();  // duration = INT64_MAX
+  auto decoded = codec.decode(codec.encode(m));
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(decoded->duration_ns, INT64_MAX);
+}
+
+TEST(XmlCodecTest, NegativeTimestampsSurvive) {
+  XmlCodec codec;
+  Message m = sample_response();
+  m.created_at_ns = -5;
+  auto decoded = codec.decode(codec.encode(m));
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(decoded->created_at_ns, -5);
+}
+
+TEST(CodecTest, FloatPrecisionPreserved) {
+  for (Codec* codec :
+       std::initializer_list<Codec*>{new XmlCodec, new BinaryCodec}) {
+    Message m;
+    m.type = MsgType::kWriteRequest;
+    m.request_id = 1;
+    m.tuple = space::make_tuple("f", space::Value(0.1 + 0.2));
+    auto decoded = codec->decode(codec->encode(m));
+    ASSERT_TRUE(decoded.has_value());
+    EXPECT_EQ(decoded->tuple->fields[0].as_float(), 0.1 + 0.2);
+    delete codec;
+  }
+}
+
+TEST(CodecTest, EmptyTupleAndTemplate) {
+  BinaryCodec codec;
+  Message m;
+  m.type = MsgType::kWriteRequest;
+  m.request_id = 2;
+  m.tuple = space::make_tuple("empty");
+  m.tmpl = space::Template(std::nullopt, {});
+  auto decoded = codec.decode(codec.encode(m));
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(*decoded, m);
+}
+
+}  // namespace
+}  // namespace tb::mw

@@ -1,0 +1,96 @@
+#include "src/mw/framing.hpp"
+
+#include <gtest/gtest.h>
+
+namespace tb::mw {
+namespace {
+
+TEST(Framer, FramePrependsLength) {
+  const std::vector<std::uint8_t> message = {1, 2, 3};
+  const auto framed = MessageFramer::frame(message);
+  ASSERT_EQ(framed.size(), 7u);
+  EXPECT_EQ(framed[0], 0);
+  EXPECT_EQ(framed[3], 3);
+  EXPECT_EQ(framed[4], 1);
+}
+
+TEST(Framer, WholeMessageRoundTrip) {
+  MessageFramer framer;
+  const std::vector<std::uint8_t> message = {9, 8, 7, 6};
+  framer.feed(MessageFramer::frame(message));
+  auto out = framer.next();
+  ASSERT_TRUE(out.has_value());
+  EXPECT_EQ(*out, message);
+  EXPECT_FALSE(framer.next().has_value());
+}
+
+TEST(Framer, ByteAtATime) {
+  MessageFramer framer;
+  const std::vector<std::uint8_t> message = {0xAA, 0xBB};
+  for (std::uint8_t b : MessageFramer::frame(message)) {
+    const std::uint8_t single[] = {b};
+    framer.feed(single);
+  }
+  auto out = framer.next();
+  ASSERT_TRUE(out.has_value());
+  EXPECT_EQ(*out, message);
+}
+
+TEST(Framer, MultipleMessagesInOneChunk) {
+  MessageFramer framer;
+  std::vector<std::uint8_t> stream;
+  for (int i = 0; i < 3; ++i) {
+    auto framed = MessageFramer::frame(
+        std::vector<std::uint8_t>{static_cast<std::uint8_t>(i)});
+    stream.insert(stream.end(), framed.begin(), framed.end());
+  }
+  framer.feed(stream);
+  for (int i = 0; i < 3; ++i) {
+    auto out = framer.next();
+    ASSERT_TRUE(out.has_value());
+    EXPECT_EQ((*out)[0], i);
+  }
+}
+
+TEST(Framer, EmptyMessageAllowed) {
+  MessageFramer framer;
+  framer.feed(MessageFramer::frame({}));
+  auto out = framer.next();
+  ASSERT_TRUE(out.has_value());
+  EXPECT_TRUE(out->empty());
+}
+
+TEST(Framer, PartialLengthPrefixWaits) {
+  MessageFramer framer;
+  const std::uint8_t partial[] = {0, 0};
+  framer.feed(partial);
+  EXPECT_FALSE(framer.next().has_value());
+  EXPECT_EQ(framer.buffered_bytes(), 2u);
+}
+
+TEST(Framer, OversizeLengthMarksCorruption) {
+  MessageFramer framer;
+  const std::uint8_t poisoned[] = {0xFF, 0xFF, 0xFF, 0xFF};
+  framer.feed(poisoned);
+  EXPECT_FALSE(framer.next().has_value());
+  EXPECT_TRUE(framer.corrupted());
+  // Further feeds are ignored.
+  const std::vector<std::uint8_t> one = {1};
+  framer.feed(MessageFramer::frame(one));
+  EXPECT_FALSE(framer.next().has_value());
+}
+
+TEST(Framer, LargeMessage) {
+  MessageFramer framer;
+  std::vector<std::uint8_t> message(100'000);
+  for (std::size_t i = 0; i < message.size(); ++i) {
+    message[i] = static_cast<std::uint8_t>(i);
+  }
+  framer.feed(MessageFramer::frame(message));
+  auto out = framer.next();
+  ASSERT_TRUE(out.has_value());
+  EXPECT_EQ(*out, message);
+}
+
+}  // namespace
+}  // namespace tb::mw

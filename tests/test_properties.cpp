@@ -1,0 +1,408 @@
+// Property-based tests: invariants checked over exhaustive or randomized
+// input sweeps rather than hand-picked cases.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "src/cosim/rsp.hpp"
+#include "src/mw/codec.hpp"
+#include "src/mw/framing.hpp"
+#include "src/sim/process.hpp"
+#include "src/space/space.hpp"
+#include "src/util/rng.hpp"
+#include "src/wire/bus.hpp"
+#include "src/wire/master.hpp"
+#include "src/wire/segment.hpp"
+#include "src/wire/timing.hpp"
+
+namespace tb {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Frame codec: exhaustive over the whole 16-bit word space.
+
+TEST(FrameProperty, DecodeEncodeIsIdentityOnAllValidWords) {
+  int valid_tx = 0, valid_rx = 0;
+  for (std::uint32_t w = 0; w <= 0xFFFF; ++w) {
+    const auto word = static_cast<std::uint16_t>(w);
+    if (auto tx = wire::TxFrame::decode(word)) {
+      EXPECT_EQ(tx->encode(), word);
+      ++valid_tx;
+    }
+    if (auto rx = wire::RxFrame::decode(word)) {
+      EXPECT_EQ(rx->encode(), word);
+      ++valid_rx;
+    }
+  }
+  // Exactly one valid word per (cmd, data) pair: 8*256; RX additionally
+  // carries the CRC-exempt INT bit: 2*4*256... but TYPE uses 2 bits of the
+  // same field space, so 2 * 4 * 256 = 2048.
+  EXPECT_EQ(valid_tx, 8 * 256);
+  EXPECT_EQ(valid_rx, 2 * 4 * 256);
+}
+
+// ---------------------------------------------------------------------------
+// Event bus vs closed form, across randomized link configurations.
+
+class BusTimingProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(BusTimingProperty, SimMatchesAnalyticForRandomConfigs) {
+  util::Xoshiro256 rng(GetParam());
+  wire::LinkConfig link;
+  link.bit_rate_hz = static_cast<std::uint32_t>(rng.uniform(600, 2'000'000));
+  link.wires = static_cast<int>(rng.uniform(1, 4));
+  link.hop_delay_bits = static_cast<double>(rng.uniform(0, 8));
+  link.response_delay_bits = static_cast<double>(rng.uniform(1, 64));
+  link.interframe_gap_bits = static_cast<double>(rng.uniform(0, 32));
+  const int slaves = static_cast<int>(rng.uniform(1, 8));
+  const int target = static_cast<int>(rng.uniform(0, slaves - 1));
+  // Keep the response inside the timeout window for this property.
+  link.rx_timeout_bits = 2.0 * slaves * link.hop_delay_bits +
+                         link.response_delay_bits + 2 * wire::kFrameBits + 32;
+
+  sim::Simulator sim(GetParam());
+  wire::OneWireBus bus(sim, link);
+  std::vector<std::unique_ptr<wire::SlaveDevice>> devices;
+  for (int i = 0; i < slaves; ++i) {
+    devices.push_back(std::make_unique<wire::SlaveDevice>(
+        sim, static_cast<std::uint8_t>(i + 1), link));
+    bus.attach(*devices.back());
+  }
+  wire::Master master(bus);
+
+  constexpr int kFrames = 25;
+  bool all_ok = true;
+  sim::spawn([&]() -> sim::Task<void> {
+    for (int i = 0; i < kFrames; ++i) {
+      wire::PingResult r =
+          co_await master.ping(static_cast<std::uint8_t>(target + 1));
+      all_ok = all_ok && r.ok();
+    }
+  });
+  sim.run();
+  ASSERT_TRUE(all_ok);
+
+  const wire::AnalyticTiming analytic(link);
+  // Rounding of fractional bit periods to integer nanoseconds can differ by
+  // a few ns per cycle between the two models.
+  const double expected = analytic.frames(kFrames, target).seconds();
+  EXPECT_NEAR(sim.now().seconds(), expected, expected * 1e-6 + 1e-6)
+      << "rate=" << link.bit_rate_hz << " slaves=" << slaves
+      << " target=" << target;
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, BusTimingProperty, ::testing::Range(1, 21));
+
+// ---------------------------------------------------------------------------
+// Segment parser: any chunking of the byte stream reassembles identically.
+
+class SegmentChunkingProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(SegmentChunkingProperty, ArbitrarySplitsReassemble) {
+  util::Xoshiro256 rng(GetParam() * 7919);
+  std::vector<wire::RelaySegment> sent;
+  std::vector<std::uint8_t> stream;
+  for (int i = 0; i < 20; ++i) {
+    wire::RelaySegment segment;
+    segment.src = static_cast<std::uint8_t>(rng.uniform(0, 126));
+    segment.dst = static_cast<std::uint8_t>(rng.uniform(0, 127));
+    segment.payload.resize(rng.uniform(0, 100));
+    for (auto& b : segment.payload) {
+      b = static_cast<std::uint8_t>(rng.uniform(0, 255));
+    }
+    const auto encoded = wire::encode_segment(segment);
+    stream.insert(stream.end(), encoded.begin(), encoded.end());
+    sent.push_back(std::move(segment));
+  }
+
+  wire::SegmentParser parser;
+  std::size_t offset = 0;
+  while (offset < stream.size()) {
+    const std::size_t chunk =
+        std::min<std::size_t>(rng.uniform(1, 17), stream.size() - offset);
+    parser.feed({stream.data() + offset, chunk});
+    offset += chunk;
+  }
+
+  for (const wire::RelaySegment& expected : sent) {
+    auto got = parser.next();
+    ASSERT_TRUE(got.has_value());
+    EXPECT_EQ(*got, expected);
+  }
+  EXPECT_FALSE(parser.next().has_value());
+  EXPECT_EQ(parser.crc_failures(), 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SegmentChunkingProperty,
+                         ::testing::Range(1, 11));
+
+// ---------------------------------------------------------------------------
+// Message codecs: random valid messages round-trip; random corruption never
+// crashes (either decodes to something or reports failure).
+
+space::Value random_value(util::Xoshiro256& rng) {
+  switch (rng.uniform(0, 4)) {
+    case 0: return space::Value(static_cast<std::int64_t>(rng.next_u64()));
+    case 1: return space::Value(rng.next_double() * 1e6 - 5e5);
+    case 2: return space::Value(rng.bernoulli(0.5));
+    case 3: {
+      std::string s;
+      const auto n = rng.uniform(0, 20);
+      for (std::uint64_t i = 0; i < n; ++i) {
+        s.push_back(static_cast<char>(rng.uniform(32, 126)));
+      }
+      return space::Value(std::move(s));
+    }
+    default: {
+      std::vector<std::uint8_t> bytes(rng.uniform(0, 32));
+      for (auto& b : bytes) b = static_cast<std::uint8_t>(rng.uniform(0, 255));
+      return space::Value(std::move(bytes));
+    }
+  }
+}
+
+mw::Message random_message(util::Xoshiro256& rng) {
+  mw::Message m;
+  m.type = static_cast<mw::MsgType>(
+      rng.uniform(0, static_cast<int>(mw::MsgType::kError)));
+  m.request_id = rng.uniform(0, 1'000'000);
+  m.created_at_ns = static_cast<std::int64_t>(rng.uniform(0, 1'000'000'000));
+  m.duration_ns = static_cast<std::int64_t>(rng.uniform(0, 1'000'000'000));
+  m.handle = rng.uniform(0, 100'000);
+  m.txn = rng.uniform(0, 100'000);
+  m.ok = rng.bernoulli(0.5);
+  if (rng.bernoulli(0.5)) {
+    space::Tuple tuple;
+    tuple.name = "n" + std::to_string(rng.uniform(0, 9));
+    const auto fields = rng.uniform(0, 5);
+    for (std::uint64_t i = 0; i < fields; ++i) {
+      tuple.fields.push_back(random_value(rng));
+    }
+    m.tuple = std::move(tuple);
+  }
+  if (rng.bernoulli(0.5)) {
+    space::Template tmpl;
+    if (rng.bernoulli(0.5)) tmpl.name = "t" + std::to_string(rng.uniform(0, 9));
+    const auto fields = rng.uniform(0, 4);
+    for (std::uint64_t i = 0; i < fields; ++i) {
+      switch (rng.uniform(0, 2)) {
+        case 0:
+          tmpl.fields.push_back(space::FieldPattern::exact(random_value(rng)));
+          break;
+        case 1:
+          tmpl.fields.push_back(space::FieldPattern::typed(
+              static_cast<space::ValueType>(rng.uniform(0, 4))));
+          break;
+        default:
+          tmpl.fields.push_back(space::FieldPattern::any());
+      }
+    }
+    m.tmpl = std::move(tmpl);
+  }
+  return m;
+}
+
+class CodecProperty : public ::testing::TestWithParam<const char*> {
+ protected:
+  std::unique_ptr<mw::Codec> make_codec() const {
+    if (std::string(GetParam()) == "xml") return std::make_unique<mw::XmlCodec>();
+    return std::make_unique<mw::BinaryCodec>();
+  }
+};
+
+TEST_P(CodecProperty, RandomMessagesRoundTrip) {
+  auto codec = make_codec();
+  util::Xoshiro256 rng(42);
+  for (int i = 0; i < 200; ++i) {
+    const mw::Message original = random_message(rng);
+    auto decoded = codec->decode(codec->encode(original));
+    ASSERT_TRUE(decoded.has_value()) << original.to_string();
+    EXPECT_EQ(*decoded, original) << original.to_string();
+  }
+}
+
+TEST_P(CodecProperty, RandomCorruptionNeverCrashes) {
+  auto codec = make_codec();
+  util::Xoshiro256 rng(43);
+  for (int i = 0; i < 200; ++i) {
+    auto bytes = codec->encode(random_message(rng));
+    switch (rng.uniform(0, 2)) {
+      case 0:  // truncate
+        bytes.resize(rng.uniform(0, bytes.size()));
+        break;
+      case 1:  // flip a byte
+        if (!bytes.empty()) {
+          bytes[rng.uniform(0, bytes.size() - 1)] ^=
+              static_cast<std::uint8_t>(rng.uniform(1, 255));
+        }
+        break;
+      default:  // append junk
+        bytes.push_back(static_cast<std::uint8_t>(rng.uniform(0, 255)));
+    }
+    // Must not throw; may decode (if still well-formed) or fail cleanly.
+    (void)codec->decode(bytes);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Codecs, CodecProperty,
+                         ::testing::Values("xml", "binary"));
+
+// ---------------------------------------------------------------------------
+// Framer: random chunk boundaries never change the reassembled messages.
+
+TEST(FramerProperty, RandomChunking) {
+  util::Xoshiro256 rng(7);
+  for (int round = 0; round < 20; ++round) {
+    std::vector<std::vector<std::uint8_t>> messages;
+    std::vector<std::uint8_t> stream;
+    for (int i = 0; i < 10; ++i) {
+      std::vector<std::uint8_t> m(rng.uniform(0, 200));
+      for (auto& b : m) b = static_cast<std::uint8_t>(rng.uniform(0, 255));
+      auto framed = mw::MessageFramer::frame(m);
+      stream.insert(stream.end(), framed.begin(), framed.end());
+      messages.push_back(std::move(m));
+    }
+    mw::MessageFramer framer;
+    std::size_t offset = 0;
+    while (offset < stream.size()) {
+      const std::size_t chunk =
+          std::min<std::size_t>(rng.uniform(1, 33), stream.size() - offset);
+      framer.feed({stream.data() + offset, chunk});
+      offset += chunk;
+    }
+    for (const auto& expected : messages) {
+      auto got = framer.next();
+      ASSERT_TRUE(got.has_value());
+      EXPECT_EQ(*got, expected);
+    }
+    EXPECT_FALSE(framer.next().has_value());
+  }
+}
+
+// ---------------------------------------------------------------------------
+// RSP: random payloads with junk and acks interleaved between packets.
+
+TEST(RspProperty, RandomPayloadsWithInterPacketNoise) {
+  util::Xoshiro256 rng(11);
+  cosim::RspParser parser;
+  for (int i = 0; i < 100; ++i) {
+    std::vector<std::uint8_t> payload(rng.uniform(0, 64));
+    for (auto& b : payload) b = static_cast<std::uint8_t>(rng.uniform(0, 255));
+    if (rng.bernoulli(0.3)) parser.feed_byte('+');
+    parser.feed(cosim::rsp_encode(payload));
+    auto decoded = parser.next();
+    ASSERT_TRUE(decoded.has_value());
+    EXPECT_EQ(*decoded, payload);
+  }
+  EXPECT_EQ(parser.checksum_errors(), 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Tuplespace: indexed and linear stores behave identically under a random
+// operation sequence (a small model-equivalence check).
+
+class SpaceEquivalenceProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(SpaceEquivalenceProperty, IndexedAndLinearAgreeOnRandomOps) {
+  util::Xoshiro256 rng(GetParam() * 104'729);
+  sim::Simulator sim_a(1), sim_b(1);
+  space::SpaceConfig no_index;
+  no_index.use_type_index = false;
+  space::TupleSpace indexed(sim_a), linear(sim_b, no_index);
+
+  auto random_tuple = [&] {
+    return space::make_tuple(
+        "k" + std::to_string(rng.uniform(0, 3)),
+        static_cast<std::int64_t>(rng.uniform(0, 5)));
+  };
+  auto random_template = [&]() -> space::Template {
+    space::Template tmpl;
+    if (rng.bernoulli(0.8)) tmpl.name = "k" + std::to_string(rng.uniform(0, 3));
+    if (rng.bernoulli(0.5)) {
+      tmpl.fields.push_back(space::FieldPattern::exact(
+          space::Value(static_cast<std::int64_t>(rng.uniform(0, 5)))));
+    } else {
+      tmpl.fields.push_back(space::FieldPattern::any());
+    }
+    return tmpl;
+  };
+
+  for (int op = 0; op < 500; ++op) {
+    switch (rng.uniform(0, 2)) {
+      case 0: {
+        const space::Tuple t = random_tuple();
+        indexed.write(t);
+        linear.write(t);
+        break;
+      }
+      case 1: {
+        const space::Template tmpl = random_template();
+        EXPECT_EQ(indexed.take_if_exists(tmpl), linear.take_if_exists(tmpl));
+        break;
+      }
+      default: {
+        const space::Template tmpl = random_template();
+        EXPECT_EQ(indexed.read_if_exists(tmpl), linear.read_if_exists(tmpl));
+      }
+    }
+    ASSERT_EQ(indexed.size(), linear.size());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SpaceEquivalenceProperty,
+                         ::testing::Range(1, 9));
+
+// ---------------------------------------------------------------------------
+// Master under random fault rates: block writes either fail cleanly or
+// leave the slave's memory exactly right (never torn).
+
+class FaultSweepProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(FaultSweepProperty, BlockWritesAreNeverTorn) {
+  util::Xoshiro256 rng(GetParam() * 31);
+  wire::FaultConfig faults;
+  faults.tx_corrupt_prob = rng.next_double() * 0.2;
+  faults.rx_corrupt_prob = rng.next_double() * 0.2;
+
+  sim::Simulator sim(GetParam());
+  wire::LinkConfig link;
+  wire::OneWireBus bus(sim, link, faults);
+  wire::SlaveDevice slave(sim, 1, link);
+  bus.attach(slave);
+  wire::Master master(bus);
+
+  std::vector<std::uint8_t> payload(16);
+  for (std::size_t i = 0; i < payload.size(); ++i) {
+    payload[i] = static_cast<std::uint8_t>(rng.uniform(0, 255));
+  }
+
+  wire::WireStatus status = wire::WireStatus::kTimeout;
+  sim::spawn([&]() -> sim::Task<void> {
+    status = co_await master.write_memory(1, 0x40, payload);
+  });
+  sim.run();
+
+  if (status == wire::WireStatus::kOk) {
+    for (std::size_t i = 0; i < payload.size(); ++i) {
+      EXPECT_EQ(slave.memory_at(static_cast<std::uint16_t>(0x40 + i)),
+                payload[i]);
+    }
+  }
+  // Even on failure, bytes before the failure point must be intact and in
+  // order — verify the written prefix matches.
+  std::size_t prefix = 0;
+  while (prefix < payload.size() &&
+         slave.memory_at(static_cast<std::uint16_t>(0x40 + prefix)) ==
+             payload[prefix]) {
+    ++prefix;
+  }
+  for (std::size_t i = prefix; i < payload.size(); ++i) {
+    EXPECT_EQ(slave.memory_at(static_cast<std::uint16_t>(0x40 + i)), 0)
+        << "hole or stray write at offset " << i;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FaultSweepProperty, ::testing::Range(1, 16));
+
+}  // namespace
+}  // namespace tb

@@ -1,0 +1,71 @@
+#include "src/sim/realtime.hpp"
+
+#include <gtest/gtest.h>
+
+#include "src/util/assert.hpp"
+
+namespace tb::sim {
+namespace {
+
+using namespace tb::sim::literals;
+
+TEST(RealTime, PacesEventsAgainstWallClock) {
+  Simulator sim;
+  int fired = 0;
+  for (int i = 1; i <= 5; ++i) {
+    sim.schedule_at(Time::ms(i * 10), [&] { ++fired; });
+  }
+  // 50 ms of sim time at 10x speed ~ 5 ms wall.
+  RealTimeRunner runner(sim, 10.0);
+  const auto wall = runner.run_until(50_ms);
+  EXPECT_EQ(fired, 5);
+  EXPECT_GE(wall.count(), 4'000'000);    // at least ~4 ms
+  EXPECT_LT(wall.count(), 500'000'000);  // sanity ceiling
+}
+
+TEST(RealTime, FasterScaleRunsFasterWall) {
+  auto time_for_scale = [](double scale) {
+    Simulator sim;
+    for (int i = 1; i <= 10; ++i) sim.schedule_at(Time::ms(i * 2), [] {});
+    RealTimeRunner runner(sim, scale);
+    return runner.run_until(20_ms).count();
+  };
+  const auto slow = time_for_scale(2.0);   // ~10 ms wall
+  const auto fast = time_for_scale(40.0);  // ~0.5 ms wall
+  EXPECT_GT(slow, fast);
+}
+
+TEST(RealTime, EmptyQueueReturnsImmediately) {
+  Simulator sim;
+  RealTimeRunner runner(sim, 1.0);
+  const auto wall = runner.run_until(1_s);
+  EXPECT_LT(wall.count(), 100'000'000);  // far less than 1 s
+  EXPECT_EQ(runner.events_run(), 0u);
+}
+
+TEST(RealTime, StopsAtWindowBoundary) {
+  Simulator sim;
+  int fired = 0;
+  sim.schedule_at(1_ms, [&] { ++fired; });
+  sim.schedule_at(1_s, [&] { ++fired; });
+  RealTimeRunner runner(sim, 1000.0);
+  runner.run_until(10_ms);
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(sim.pending_events(), 1u);
+}
+
+TEST(RealTime, RejectsNonPositiveScale) {
+  Simulator sim;
+  EXPECT_THROW(RealTimeRunner(sim, 0.0), util::PreconditionError);
+}
+
+TEST(RealTime, ReportsEventsRun) {
+  Simulator sim;
+  for (int i = 1; i <= 7; ++i) sim.schedule_at(Time::us(i), [] {});
+  RealTimeRunner runner(sim, 1e6);
+  runner.run_until(1_ms);
+  EXPECT_EQ(runner.events_run(), 7u);
+}
+
+}  // namespace
+}  // namespace tb::sim

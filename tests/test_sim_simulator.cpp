@@ -1,0 +1,188 @@
+#include "src/sim/simulator.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "src/util/assert.hpp"
+
+namespace tb::sim {
+namespace {
+
+using namespace tb::sim::literals;
+
+TEST(Simulator, StartsAtZero) {
+  Simulator sim;
+  EXPECT_EQ(sim.now(), Time::zero());
+  EXPECT_EQ(sim.pending_events(), 0u);
+}
+
+TEST(Simulator, EventsRunInTimeOrder) {
+  Simulator sim;
+  std::vector<int> order;
+  sim.schedule_at(30_ns, [&] { order.push_back(3); });
+  sim.schedule_at(10_ns, [&] { order.push_back(1); });
+  sim.schedule_at(20_ns, [&] { order.push_back(2); });
+  sim.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(sim.now(), 30_ns);
+}
+
+TEST(Simulator, SameTimeEventsRunInScheduleOrder) {
+  Simulator sim;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) {
+    sim.schedule_at(5_ns, [&order, i] { order.push_back(i); });
+  }
+  sim.run();
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(order[i], i);
+}
+
+TEST(Simulator, ScheduleInIsRelative) {
+  Simulator sim;
+  Time fired;
+  sim.schedule_at(100_ns, [&] {
+    sim.schedule_in(50_ns, [&] { fired = sim.now(); });
+  });
+  sim.run();
+  EXPECT_EQ(fired, 150_ns);
+}
+
+TEST(Simulator, RejectsPastEvents) {
+  Simulator sim;
+  sim.schedule_at(10_ns, [] {});
+  sim.run();
+  EXPECT_THROW(sim.schedule_at(5_ns, [] {}), util::PreconditionError);
+  EXPECT_THROW(sim.schedule_in(Time::ns(-1), [] {}), util::PreconditionError);
+}
+
+TEST(Simulator, CancelPreventsExecution) {
+  Simulator sim;
+  bool ran = false;
+  EventHandle handle = sim.schedule_at(10_ns, [&] { ran = true; });
+  EXPECT_TRUE(sim.is_pending(handle));
+  EXPECT_TRUE(sim.cancel(handle));
+  EXPECT_FALSE(sim.is_pending(handle));
+  sim.run();
+  EXPECT_FALSE(ran);
+}
+
+TEST(Simulator, CancelIsIdempotentAndNullSafe) {
+  Simulator sim;
+  EventHandle handle = sim.schedule_at(10_ns, [] {});
+  EXPECT_TRUE(sim.cancel(handle));
+  EXPECT_FALSE(sim.cancel(handle));
+  EXPECT_FALSE(sim.cancel(EventHandle()));
+}
+
+TEST(Simulator, StepRunsExactlyOneEvent) {
+  Simulator sim;
+  int count = 0;
+  sim.schedule_at(1_ns, [&] { ++count; });
+  sim.schedule_at(2_ns, [&] { ++count; });
+  EXPECT_TRUE(sim.step());
+  EXPECT_EQ(count, 1);
+  EXPECT_TRUE(sim.step());
+  EXPECT_EQ(count, 2);
+  EXPECT_FALSE(sim.step());
+}
+
+TEST(Simulator, RunUntilAdvancesTimeEvenWhenIdle) {
+  Simulator sim;
+  sim.run_until(100_ns);
+  EXPECT_EQ(sim.now(), 100_ns);
+}
+
+TEST(Simulator, RunUntilLeavesLaterEventsPending) {
+  Simulator sim;
+  bool early = false, late = false;
+  sim.schedule_at(10_ns, [&] { early = true; });
+  sim.schedule_at(200_ns, [&] { late = true; });
+  sim.run_until(100_ns);
+  EXPECT_TRUE(early);
+  EXPECT_FALSE(late);
+  EXPECT_EQ(sim.now(), 100_ns);
+  EXPECT_EQ(sim.pending_events(), 1u);
+  sim.run();
+  EXPECT_TRUE(late);
+}
+
+TEST(Simulator, RunUntilIncludesBoundaryEvents) {
+  Simulator sim;
+  bool at_boundary = false;
+  sim.schedule_at(100_ns, [&] { at_boundary = true; });
+  sim.run_until(100_ns);
+  EXPECT_TRUE(at_boundary);
+}
+
+TEST(Simulator, StopHaltsRun) {
+  Simulator sim;
+  int count = 0;
+  sim.schedule_at(1_ns, [&] {
+    ++count;
+    sim.stop();
+  });
+  sim.schedule_at(2_ns, [&] { ++count; });
+  sim.run();
+  EXPECT_EQ(count, 1);
+  sim.run();  // resumes past the stop
+  EXPECT_EQ(count, 2);
+}
+
+TEST(Simulator, NextEventTimeSkipsCancelled) {
+  Simulator sim;
+  EventHandle a = sim.schedule_at(5_ns, [] {});
+  sim.schedule_at(10_ns, [] {});
+  sim.cancel(a);
+  ASSERT_TRUE(sim.next_event_time().has_value());
+  EXPECT_EQ(*sim.next_event_time(), 10_ns);
+}
+
+TEST(Simulator, NextEventTimeEmptyQueue) {
+  Simulator sim;
+  EXPECT_FALSE(sim.next_event_time().has_value());
+}
+
+TEST(Simulator, ExecutedEventsCounts) {
+  Simulator sim;
+  for (int i = 0; i < 5; ++i) sim.schedule_at(Time::ns(i + 1), [] {});
+  sim.run();
+  EXPECT_EQ(sim.executed_events(), 5u);
+}
+
+TEST(Simulator, EventsCanScheduleAtCurrentTime) {
+  Simulator sim;
+  std::vector<int> order;
+  sim.schedule_at(10_ns, [&] {
+    order.push_back(1);
+    sim.schedule_in(Time::zero(), [&] { order.push_back(2); });
+  });
+  sim.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2}));
+  EXPECT_EQ(sim.now(), 10_ns);
+}
+
+TEST(Time, ArithmeticAndComparisons) {
+  EXPECT_EQ(1_us, Time::ns(1000));
+  EXPECT_EQ(1_ms, Time::us(1000));
+  EXPECT_EQ(1_s, Time::ms(1000));
+  EXPECT_EQ(2_ms + 3_ms, 5_ms);
+  EXPECT_EQ(5_ms - 3_ms, 2_ms);
+  EXPECT_EQ(3 * 2_ms, 6_ms);
+  EXPECT_LT(1_ms, 2_ms);
+  EXPECT_EQ((10_ms) / (2_ms), 5);
+}
+
+TEST(Time, FromSecondsRounds) {
+  EXPECT_EQ(Time::from_seconds(1.5e-9), Time::ns(2));
+  EXPECT_EQ(Time::from_seconds(1.0), 1_s);
+  EXPECT_EQ(Time::from_seconds(-1.5e-9), Time::ns(-2));
+}
+
+TEST(Time, ScaledMultipliesDuration) {
+  EXPECT_EQ((10_ms).scaled(0.5), 5_ms);
+  EXPECT_EQ((10_ms).scaled(2.0), 20_ms);
+}
+
+}  // namespace
+}  // namespace tb::sim

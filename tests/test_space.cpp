@@ -1,0 +1,385 @@
+#include "src/space/space.hpp"
+
+#include <gtest/gtest.h>
+
+#include "src/util/assert.hpp"
+
+#include <vector>
+
+#include "src/sim/process.hpp"
+#include "src/space/ops.hpp"
+
+namespace tb::space {
+namespace {
+
+using namespace tb::sim::literals;
+
+Template any_named(const std::string& name, std::size_t arity) {
+  std::vector<FieldPattern> fields(arity, FieldPattern::any());
+  return Template(name, std::move(fields));
+}
+
+class SpaceTest : public ::testing::Test {
+ protected:
+  sim::Simulator sim_{1};
+  TupleSpace space_{sim_};
+};
+
+TEST_F(SpaceTest, WriteThenReadIfExists) {
+  space_.write(Tuple("t", {Value(1)}));
+  auto got = space_.read_if_exists(any_named("t", 1));
+  ASSERT_TRUE(got.has_value());
+  EXPECT_EQ(got->fields[0], Value(1));
+  EXPECT_EQ(space_.size(), 1u);  // read is non-destructive
+}
+
+TEST_F(SpaceTest, TakeRemoves) {
+  space_.write(Tuple("t", {Value(1)}));
+  auto got = space_.take_if_exists(any_named("t", 1));
+  ASSERT_TRUE(got.has_value());
+  EXPECT_EQ(space_.size(), 0u);
+  EXPECT_FALSE(space_.take_if_exists(any_named("t", 1)).has_value());
+}
+
+TEST_F(SpaceTest, OldestMatchWinsTotalOrder) {
+  space_.write(Tuple("t", {Value(1)}));
+  space_.write(Tuple("t", {Value(2)}));
+  space_.write(Tuple("t", {Value(3)}));
+  EXPECT_EQ(space_.take_if_exists(any_named("t", 1))->fields[0], Value(1));
+  EXPECT_EQ(space_.take_if_exists(any_named("t", 1))->fields[0], Value(2));
+  EXPECT_EQ(space_.take_if_exists(any_named("t", 1))->fields[0], Value(3));
+}
+
+TEST_F(SpaceTest, AssociativeMatchSkipsNonMatching) {
+  space_.write(Tuple("t", {Value(1)}));
+  space_.write(Tuple("t", {Value(2)}));
+  Template exact_two(std::string("t"), {FieldPattern::exact(Value(2))});
+  EXPECT_EQ(space_.take_if_exists(exact_two)->fields[0], Value(2));
+  EXPECT_EQ(space_.size(), 1u);
+}
+
+TEST_F(SpaceTest, BlockedTakeCompletesOnWrite) {
+  std::optional<Tuple> result;
+  bool completed = false;
+  space_.take_async(any_named("t", 1), kLeaseForever, [&](auto r) {
+    result = std::move(r);
+    completed = true;
+  });
+  EXPECT_EQ(space_.blocked_operations(), 1u);
+  sim_.run_until(10_ms);
+  EXPECT_FALSE(completed);
+  space_.write(Tuple("t", {Value(9)}));
+  sim_.run_until(20_ms);
+  ASSERT_TRUE(completed);
+  ASSERT_TRUE(result.has_value());
+  EXPECT_EQ(result->fields[0], Value(9));
+  EXPECT_EQ(space_.size(), 0u);  // consumed before storage
+}
+
+TEST_F(SpaceTest, BlockedTakeTimesOut) {
+  bool completed = false;
+  std::optional<Tuple> result;
+  space_.take_async(any_named("t", 1), 50_ms, [&](auto r) {
+    result = std::move(r);
+    completed = true;
+  });
+  sim_.run_until(100_ms);
+  EXPECT_TRUE(completed);
+  EXPECT_FALSE(result.has_value());
+  EXPECT_EQ(space_.blocked_operations(), 0u);
+}
+
+TEST_F(SpaceTest, CompetingTakesServedFifo) {
+  std::vector<int> winners;
+  for (int i = 0; i < 3; ++i) {
+    space_.take_async(any_named("t", 1), kLeaseForever,
+                      [&winners, i](auto r) {
+                        if (r) winners.push_back(i);
+                      });
+  }
+  space_.write(Tuple("t", {Value(1)}));
+  sim_.run_until(1_ms);
+  // Exactly one take wins per write, in FIFO order.
+  EXPECT_EQ(winners, (std::vector<int>{0}));
+  space_.write(Tuple("t", {Value(2)}));
+  sim_.run_until(2_ms);
+  EXPECT_EQ(winners, (std::vector<int>{0, 1}));
+}
+
+TEST_F(SpaceTest, BlockedReadsAllSeeTheWrite) {
+  int reads = 0;
+  for (int i = 0; i < 3; ++i) {
+    space_.read_async(any_named("t", 1), kLeaseForever, [&](auto r) {
+      if (r) ++reads;
+    });
+  }
+  space_.write(Tuple("t", {Value(1)}));
+  sim_.run_until(1_ms);
+  EXPECT_EQ(reads, 3);
+  EXPECT_EQ(space_.size(), 1u);  // reads leave the tuple in place
+}
+
+TEST_F(SpaceTest, ReadThenTakeWaitersBothServed) {
+  std::vector<std::string> log;
+  space_.read_async(any_named("t", 1), kLeaseForever,
+                    [&](auto r) { if (r) log.push_back("read"); });
+  space_.take_async(any_named("t", 1), kLeaseForever,
+                    [&](auto r) { if (r) log.push_back("take"); });
+  space_.write(Tuple("t", {Value(1)}));
+  sim_.run_until(1_ms);
+  EXPECT_EQ(log, (std::vector<std::string>{"read", "take"}));
+  EXPECT_EQ(space_.size(), 0u);
+}
+
+TEST_F(SpaceTest, LeaseExpiryRemovesTuple) {
+  space_.write(Tuple("t", {Value(1)}), 100_ms);
+  sim_.run_until(50_ms);
+  EXPECT_EQ(space_.size(), 1u);
+  sim_.run_until(150_ms);
+  EXPECT_EQ(space_.size(), 0u);
+  EXPECT_EQ(space_.stats().expirations, 1u);
+}
+
+TEST_F(SpaceTest, ExpiredTupleNotMatchedAtBoundary) {
+  space_.write(Tuple("t", {Value(1)}), 100_ms);
+  sim_.run_until(100_ms);
+  EXPECT_FALSE(space_.read_if_exists(any_named("t", 1)).has_value());
+}
+
+TEST_F(SpaceTest, RenewExtendsLease) {
+  Lease lease = space_.write(Tuple("t", {Value(1)}), 100_ms);
+  sim_.run_until(50_ms);
+  auto renewed = space_.renew(lease.id, 200_ms);
+  ASSERT_TRUE(renewed.has_value());
+  EXPECT_EQ(renewed->expires_at, 250_ms);
+  sim_.run_until(150_ms);
+  EXPECT_EQ(space_.size(), 1u);  // would have expired without renewal
+  sim_.run_until(300_ms);
+  EXPECT_EQ(space_.size(), 0u);
+}
+
+TEST_F(SpaceTest, RenewGoneTupleFails) {
+  Lease lease = space_.write(Tuple("t", {Value(1)}), 10_ms);
+  sim_.run_until(20_ms);
+  EXPECT_FALSE(space_.renew(lease.id, 100_ms).has_value());
+}
+
+TEST_F(SpaceTest, CancelRemovesTuple) {
+  Lease lease = space_.write(Tuple("t", {Value(1)}));
+  EXPECT_TRUE(space_.cancel(lease.id));
+  EXPECT_EQ(space_.size(), 0u);
+  EXPECT_FALSE(space_.cancel(lease.id));
+}
+
+TEST_F(SpaceTest, NotifyFiresOnMatchingWrite) {
+  std::vector<Tuple> events;
+  space_.notify(any_named("alarm", 1), kLeaseForever,
+                [&](const Tuple& t) { events.push_back(t); });
+  space_.write(Tuple("alarm", {Value(1)}));
+  space_.write(Tuple("other", {Value(2)}));
+  space_.write(Tuple("alarm", {Value(3)}));
+  sim_.run_until(1_ms);
+  ASSERT_EQ(events.size(), 2u);
+  EXPECT_EQ(events[0].fields[0], Value(1));
+  EXPECT_EQ(events[1].fields[0], Value(3));
+}
+
+TEST_F(SpaceTest, NotifyFiresEvenWhenTakeConsumes) {
+  int events = 0;
+  space_.notify(any_named("t", 1), kLeaseForever,
+                [&](const Tuple&) { ++events; });
+  space_.take_async(any_named("t", 1), kLeaseForever, [](auto) {});
+  space_.write(Tuple("t", {Value(1)}));
+  sim_.run_until(1_ms);
+  EXPECT_EQ(events, 1);
+}
+
+TEST_F(SpaceTest, NotifyLeaseExpires) {
+  int events = 0;
+  space_.notify(any_named("t", 1), 50_ms, [&](const Tuple&) { ++events; });
+  sim_.run_until(100_ms);
+  space_.write(Tuple("t", {Value(1)}));
+  sim_.run_until(200_ms);
+  EXPECT_EQ(events, 0);
+  EXPECT_EQ(space_.notify_registrations(), 0u);
+}
+
+TEST_F(SpaceTest, CancelNotifyStopsEvents) {
+  int events = 0;
+  const std::uint64_t reg = space_.notify(
+      any_named("t", 1), kLeaseForever, [&](const Tuple&) { ++events; });
+  EXPECT_TRUE(space_.cancel_notify(reg));
+  EXPECT_FALSE(space_.cancel_notify(reg));
+  space_.write(Tuple("t", {Value(1)}));
+  sim_.run_until(1_ms);
+  EXPECT_EQ(events, 0);
+}
+
+TEST_F(SpaceTest, CallbackMayIssueNewOperations) {
+  // Reentrancy: a take callback writing a response must not corrupt state.
+  std::optional<Tuple> final_result;
+  space_.take_async(any_named("req", 1), kLeaseForever, [&](auto r) {
+    ASSERT_TRUE(r.has_value());
+    space_.write(Tuple("resp", {r->fields[0]}));
+  });
+  space_.take_async(any_named("resp", 1), kLeaseForever,
+                    [&](auto r) { final_result = std::move(r); });
+  space_.write(Tuple("req", {Value(42)}));
+  sim_.run_until(1_ms);
+  ASSERT_TRUE(final_result.has_value());
+  EXPECT_EQ(final_result->fields[0], Value(42));
+}
+
+TEST_F(SpaceTest, IndexedAndLinearModesAgree) {
+  SpaceConfig no_index;
+  no_index.use_type_index = false;
+  sim::Simulator sim2(1);
+  TupleSpace linear(sim2, no_index);
+
+  for (int i = 0; i < 50; ++i) {
+    Tuple t(i % 2 == 0 ? "even" : "odd", {Value(i)});
+    space_.write(t);
+    linear.write(t);
+  }
+  Template evens = any_named("even", 1);
+  for (int i = 0; i < 25; ++i) {
+    auto a = space_.take_if_exists(evens);
+    auto b = linear.take_if_exists(evens);
+    ASSERT_TRUE(a.has_value());
+    ASSERT_TRUE(b.has_value());
+    EXPECT_EQ(*a, *b);
+  }
+  EXPECT_FALSE(space_.take_if_exists(evens).has_value());
+  EXPECT_FALSE(linear.take_if_exists(evens).has_value());
+}
+
+TEST_F(SpaceTest, IndexReducesScanSteps) {
+  SpaceConfig no_index;
+  no_index.use_type_index = false;
+  sim::Simulator sim2(1);
+  TupleSpace linear(sim2, no_index);
+
+  for (int i = 0; i < 100; ++i) {
+    space_.write(Tuple("noise", {Value(i), Value(i)}));
+    linear.write(Tuple("noise", {Value(i), Value(i)}));
+  }
+  space_.write(Tuple("needle", {Value(1)}));
+  linear.write(Tuple("needle", {Value(1)}));
+
+  const auto indexed_before = space_.stats().scan_steps;
+  const auto linear_before = linear.stats().scan_steps;
+  ASSERT_TRUE(space_.read_if_exists(any_named("needle", 1)).has_value());
+  ASSERT_TRUE(linear.read_if_exists(any_named("needle", 1)).has_value());
+  EXPECT_EQ(space_.stats().scan_steps - indexed_before, 1u);
+  EXPECT_EQ(linear.stats().scan_steps - linear_before, 101u);
+}
+
+TEST_F(SpaceTest, WildcardNameTemplateWorksWithIndexOn) {
+  space_.write(Tuple("a", {Value(1)}));
+  space_.write(Tuple("b", {Value(2)}));
+  Template nameless(std::nullopt, {FieldPattern::typed(ValueType::kInt)});
+  // Falls back to the full scan; oldest first.
+  EXPECT_EQ(space_.take_if_exists(nameless)->name, "a");
+  EXPECT_EQ(space_.take_if_exists(nameless)->name, "b");
+}
+
+TEST_F(SpaceTest, CoroutineAdapters) {
+  std::optional<Tuple> got;
+  sim::spawn([&]() -> sim::Task<void> {
+    got = co_await take(space_, any_named("t", 1), 1_s);
+  });
+  sim_.schedule_at(100_ms, [&] { space_.write(Tuple("t", {Value(5)})); });
+  sim_.run();
+  ASSERT_TRUE(got.has_value());
+  EXPECT_EQ(got->fields[0], Value(5));
+}
+
+TEST_F(SpaceTest, CoroutineReadTimesOut) {
+  bool done = false;
+  std::optional<Tuple> got;
+  sim::spawn([&]() -> sim::Task<void> {
+    got = co_await read(space_, any_named("missing", 1), 50_ms);
+    done = true;
+  });
+  sim_.run();
+  EXPECT_TRUE(done);
+  EXPECT_FALSE(got.has_value());
+  EXPECT_EQ(sim_.now(), 50_ms);
+}
+
+TEST_F(SpaceTest, StatsAccumulate) {
+  space_.write(Tuple("t", {Value(1)}));
+  space_.read_if_exists(any_named("t", 1));
+  space_.take_if_exists(any_named("t", 1));
+  space_.take_if_exists(any_named("t", 1));  // miss
+  EXPECT_EQ(space_.stats().writes, 1u);
+  EXPECT_EQ(space_.stats().reads, 1u);
+  EXPECT_EQ(space_.stats().takes, 1u);
+  EXPECT_EQ(space_.stats().misses, 1u);
+  EXPECT_EQ(space_.stats().peak_size, 1u);
+}
+
+TEST_F(SpaceTest, ZeroTimeoutTakeActsAsIfExists) {
+  bool completed = false;
+  std::optional<Tuple> result;
+  space_.take_async(any_named("t", 1), sim::Time::zero(), [&](auto r) {
+    completed = true;
+    result = std::move(r);
+  });
+  sim_.run_until(1_ms);
+  EXPECT_TRUE(completed);
+  EXPECT_FALSE(result.has_value());
+}
+
+TEST_F(SpaceTest, ReadAllReturnsMatchesOldestFirst) {
+  for (int i = 0; i < 5; ++i) space_.write(space::make_tuple("t", std::int64_t{i}));
+  space_.write(space::make_tuple("other", std::int64_t{9}));
+  const auto all = space_.read_all(any_named("t", 1));
+  ASSERT_EQ(all.size(), 5u);
+  for (int i = 0; i < 5; ++i) EXPECT_EQ(all[i].fields[0], Value(std::int64_t{i}));
+  EXPECT_EQ(space_.size(), 6u);  // non-destructive
+}
+
+TEST_F(SpaceTest, ReadAllRespectsMax) {
+  for (int i = 0; i < 5; ++i) space_.write(space::make_tuple("t", std::int64_t{i}));
+  EXPECT_EQ(space_.read_all(any_named("t", 1), 2).size(), 2u);
+}
+
+TEST_F(SpaceTest, ReadAllSkipsExpired) {
+  space_.write(space::make_tuple("t", 1), 50_ms);
+  space_.write(space::make_tuple("t", 2));
+  sim_.run_until(100_ms);
+  const auto all = space_.read_all(any_named("t", 1));
+  ASSERT_EQ(all.size(), 1u);
+  EXPECT_EQ(all[0].fields[0], Value(2));
+}
+
+TEST_F(SpaceTest, ReadAllWorksWithoutNameConstraint) {
+  space_.write(space::make_tuple("a", 1));
+  space_.write(space::make_tuple("b", 2));
+  Template nameless(std::nullopt, {FieldPattern::typed(ValueType::kInt)});
+  EXPECT_EQ(space_.read_all(nameless).size(), 2u);
+}
+
+TEST_F(SpaceTest, TakeAllDrains) {
+  for (int i = 0; i < 4; ++i) space_.write(space::make_tuple("t", std::int64_t{i}));
+  const auto taken = space_.take_all(any_named("t", 1));
+  EXPECT_EQ(taken.size(), 4u);
+  EXPECT_EQ(space_.size(), 0u);
+  EXPECT_TRUE(space_.take_all(any_named("t", 1)).empty());
+}
+
+TEST_F(SpaceTest, TakeAllRespectsMax) {
+  for (int i = 0; i < 4; ++i) space_.write(space::make_tuple("t", std::int64_t{i}));
+  const auto taken = space_.take_all(any_named("t", 1), 3);
+  EXPECT_EQ(taken.size(), 3u);
+  EXPECT_EQ(space_.size(), 1u);
+}
+
+TEST_F(SpaceTest, RejectsNonPositiveLease) {
+  EXPECT_THROW(space_.write(Tuple("t", {}), sim::Time::zero()),
+               util::PreconditionError);
+}
+
+}  // namespace
+}  // namespace tb::space

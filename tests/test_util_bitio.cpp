@@ -1,0 +1,98 @@
+#include "src/util/bitio.hpp"
+
+#include <gtest/gtest.h>
+
+#include "src/util/assert.hpp"
+
+namespace tb::util {
+namespace {
+
+TEST(BitWriter, EmptyHasNoBits) {
+  BitWriter w;
+  EXPECT_EQ(w.bit_count(), 0u);
+  EXPECT_TRUE(w.bytes().empty());
+}
+
+TEST(BitWriter, SingleBitsLandMsbFirst) {
+  BitWriter w;
+  w.write_bit(true);
+  w.write_bit(false);
+  w.write_bit(true);
+  EXPECT_EQ(w.bit_count(), 3u);
+  ASSERT_EQ(w.bytes().size(), 1u);
+  EXPECT_EQ(w.bytes()[0], 0b10100000);
+}
+
+TEST(BitWriter, MultiBitValueSpansBytes) {
+  BitWriter w;
+  w.write_bits(0xABC, 12);
+  ASSERT_EQ(w.bytes().size(), 2u);
+  EXPECT_EQ(w.bytes()[0], 0xAB);
+  EXPECT_EQ(w.bytes()[1], 0xC0);
+}
+
+TEST(BitWriter, AsWordReassembles) {
+  BitWriter w;
+  w.write_bits(0x5, 3);
+  w.write_bits(0x3F, 6);
+  EXPECT_EQ(w.as_word(), (0x5ull << 6) | 0x3F);
+}
+
+TEST(BitWriter, ZeroCountWriteIsNoop) {
+  BitWriter w;
+  w.write_bits(0xFF, 0);
+  EXPECT_EQ(w.bit_count(), 0u);
+}
+
+TEST(BitWriter, RejectsOversizeCount) {
+  BitWriter w;
+  EXPECT_THROW(w.write_bits(0, 65), PreconditionError);
+}
+
+TEST(BitReader, ReadsBackWhatWasWritten) {
+  BitWriter w;
+  w.write_bits(0b101, 3);
+  w.write_bits(0xDE, 8);
+  w.write_bits(0b01, 2);
+  BitReader r(w.bytes().data(), w.bit_count());
+  EXPECT_EQ(r.read_bits(3), 0b101u);
+  EXPECT_EQ(r.read_bits(8), 0xDEu);
+  EXPECT_EQ(r.read_bits(2), 0b01u);
+  EXPECT_EQ(r.remaining(), 0u);
+}
+
+TEST(BitReader, UnderflowThrows) {
+  BitWriter w;
+  w.write_bits(0xF, 4);
+  BitReader r(w.bytes().data(), w.bit_count());
+  EXPECT_THROW(r.read_bits(5), PreconditionError);
+}
+
+TEST(BitReader, TracksPosition) {
+  std::vector<std::uint8_t> bytes = {0xFF, 0x00};
+  BitReader r(bytes);
+  EXPECT_EQ(r.position(), 0u);
+  r.read_bits(10);
+  EXPECT_EQ(r.position(), 10u);
+  EXPECT_EQ(r.remaining(), 6u);
+}
+
+class BitRoundTrip : public ::testing::TestWithParam<int> {};
+
+TEST_P(BitRoundTrip, AllWidths) {
+  const int width = GetParam();
+  const std::uint64_t value =
+      width == 64 ? 0xDEADBEEFCAFEBABEull
+                  : (0xDEADBEEFCAFEBABEull & ((1ull << width) - 1));
+  BitWriter w;
+  w.write_bits(value, width);
+  BitReader r(w.bytes().data(), w.bit_count());
+  EXPECT_EQ(r.read_bits(width), value);
+}
+
+INSTANTIATE_TEST_SUITE_P(Widths, BitRoundTrip,
+                         ::testing::Values(1, 2, 3, 4, 7, 8, 9, 11, 15, 16, 17,
+                                           31, 32, 33, 63, 64));
+
+}  // namespace
+}  // namespace tb::util

@@ -1,0 +1,106 @@
+#include "src/util/byte_buffer.hpp"
+
+#include <gtest/gtest.h>
+
+#include "src/util/assert.hpp"
+
+#include <limits>
+
+namespace tb::util {
+namespace {
+
+TEST(ByteBuffer, PrimitivesRoundTrip) {
+  ByteBuffer buf;
+  buf.put_u8(0xAB);
+  buf.put_u16(0x1234);
+  buf.put_u32(0xDEADBEEF);
+  buf.put_u64(0x0123456789ABCDEFull);
+  buf.put_i64(-42);
+  buf.put_f64(3.141592653589793);
+
+  ByteCursor cursor(buf.bytes());
+  EXPECT_EQ(cursor.get_u8(), 0xAB);
+  EXPECT_EQ(cursor.get_u16(), 0x1234);
+  EXPECT_EQ(cursor.get_u32(), 0xDEADBEEFu);
+  EXPECT_EQ(cursor.get_u64(), 0x0123456789ABCDEFull);
+  EXPECT_EQ(cursor.get_i64(), -42);
+  EXPECT_DOUBLE_EQ(cursor.get_f64(), 3.141592653589793);
+  EXPECT_TRUE(cursor.at_end());
+}
+
+TEST(ByteBuffer, BigEndianLayout) {
+  ByteBuffer buf;
+  buf.put_u16(0x0102);
+  EXPECT_EQ(buf.bytes()[0], 0x01);
+  EXPECT_EQ(buf.bytes()[1], 0x02);
+}
+
+TEST(ByteBuffer, VarintBoundaries) {
+  const std::vector<std::uint64_t> cases = {
+      0, 1, 127, 128, 16383, 16384, 0xFFFFFFFF,
+      std::numeric_limits<std::uint64_t>::max()};
+  for (std::uint64_t v : cases) {
+    ByteBuffer buf;
+    buf.put_varint(v);
+    ByteCursor cursor(buf.bytes());
+    EXPECT_EQ(cursor.get_varint(), v);
+    EXPECT_TRUE(cursor.at_end());
+  }
+}
+
+TEST(ByteBuffer, VarintIsCompactForSmallValues) {
+  ByteBuffer buf;
+  buf.put_varint(5);
+  EXPECT_EQ(buf.size(), 1u);
+}
+
+TEST(ByteBuffer, StringsAndBytes) {
+  ByteBuffer buf;
+  buf.put_string("hello");
+  buf.put_string("");
+  std::vector<std::uint8_t> blob = {1, 2, 3};
+  buf.put_bytes(blob);
+
+  ByteCursor cursor(buf.bytes());
+  EXPECT_EQ(cursor.get_string(), "hello");
+  EXPECT_EQ(cursor.get_string(), "");
+  EXPECT_EQ(cursor.get_bytes(), blob);
+}
+
+TEST(ByteBuffer, AppendRaw) {
+  ByteBuffer buf;
+  std::vector<std::uint8_t> raw = {9, 8, 7};
+  buf.append(raw);
+  EXPECT_EQ(buf.bytes(), raw);
+}
+
+TEST(ByteCursor, UnderflowThrows) {
+  ByteBuffer buf;
+  buf.put_u8(1);
+  ByteCursor cursor(buf.bytes());
+  cursor.get_u8();
+  EXPECT_THROW(cursor.get_u8(), PreconditionError);
+}
+
+TEST(ByteCursor, TruncatedStringThrows) {
+  ByteBuffer buf;
+  buf.put_varint(10);  // claims 10 bytes, provides none
+  ByteCursor cursor(buf.bytes());
+  EXPECT_THROW(cursor.get_string(), PreconditionError);
+}
+
+TEST(ByteCursor, OverlongVarintThrows) {
+  std::vector<std::uint8_t> bad(11, 0x80);  // never terminates
+  ByteCursor cursor(bad);
+  EXPECT_THROW(cursor.get_varint(), PreconditionError);
+}
+
+TEST(ByteBuffer, TakeMovesOutContents) {
+  ByteBuffer buf;
+  buf.put_u8(5);
+  auto bytes = buf.take();
+  EXPECT_EQ(bytes.size(), 1u);
+}
+
+}  // namespace
+}  // namespace tb::util

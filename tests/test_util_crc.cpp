@@ -1,0 +1,75 @@
+#include "src/util/crc.hpp"
+
+#include <gtest/gtest.h>
+
+namespace tb::util {
+namespace {
+
+TEST(Crc4, ZeroMessageHasZeroCrc) {
+  EXPECT_EQ(crc4_itu(0, 11), 0);
+}
+
+TEST(Crc4, MatchesLongDivisionByHand) {
+  // message 0b1 (1 bit): remainder of 1,0000 / 10011 = 10000 ^ 10011 = 0011.
+  EXPECT_EQ(crc4_itu(0b1, 1), 0b0011);
+}
+
+TEST(Crc4, GeneratorItselfDividesToZero) {
+  // The generator polynomial x^4+x+1 = 0b10011 followed by its own CRC must
+  // reduce to zero: crc(0b10011) applied to message||crc yields 0.
+  const std::uint8_t crc = crc4_itu(0b10011, 5);
+  const std::uint64_t with_crc = (0b10011ull << 4) | crc;
+  EXPECT_EQ(crc4_itu(with_crc, 9), 0);
+}
+
+TEST(Crc4, AppendingCrcAlwaysYieldsZeroRemainder) {
+  // Property over all 11-bit TpWIRE frame bodies.
+  for (std::uint64_t body = 0; body < (1u << 11); ++body) {
+    const std::uint8_t crc = crc4_itu(body, 11);
+    EXPECT_EQ(crc4_itu((body << 4) | crc, 15), 0) << "body=" << body;
+  }
+}
+
+TEST(Crc4, DetectsEverySingleBitError) {
+  // x^4+x+1 has >= 2 terms, so any single flipped bit must change the CRC.
+  for (std::uint64_t body : {0ull, 0x7FFull, 0x2A5ull, 0x400ull, 0x123ull}) {
+    const std::uint8_t crc = crc4_itu(body, 11);
+    for (int bit = 0; bit < 11; ++bit) {
+      const std::uint64_t corrupted = body ^ (1ull << bit);
+      EXPECT_NE(crc4_itu(corrupted, 11), crc)
+          << "body=" << body << " bit=" << bit;
+    }
+  }
+}
+
+TEST(Crc8, KnownVector) {
+  // CRC-8 (poly 0x07, init 0) of "123456789" is 0xF4.
+  const std::uint8_t data[] = {'1', '2', '3', '4', '5', '6', '7', '8', '9'};
+  EXPECT_EQ(crc8(data), 0xF4);
+}
+
+TEST(Crc8, EmptyIsZero) {
+  EXPECT_EQ(crc8({}), 0);
+}
+
+TEST(Crc16Ccitt, KnownVector) {
+  // CRC-16/CCITT-FALSE of "123456789" is 0x29B1.
+  const std::uint8_t data[] = {'1', '2', '3', '4', '5', '6', '7', '8', '9'};
+  EXPECT_EQ(crc16_ccitt(data), 0x29B1);
+}
+
+TEST(Crc16Ccitt, EmptyIsInit) {
+  EXPECT_EQ(crc16_ccitt({}), 0xFFFF);
+}
+
+TEST(Crc8, SingleByteChangesCrc) {
+  for (int b = 0; b < 256; ++b) {
+    const auto byte = static_cast<std::uint8_t>(b);
+    const std::uint8_t one[] = {byte};
+    const std::uint8_t other[] = {static_cast<std::uint8_t>(byte ^ 1)};
+    EXPECT_NE(crc8(one), crc8(other));
+  }
+}
+
+}  // namespace
+}  // namespace tb::util

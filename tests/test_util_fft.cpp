@@ -1,0 +1,109 @@
+#include "src/util/fft.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numbers>
+
+#include "src/util/assert.hpp"
+
+namespace tb::util {
+namespace {
+
+TEST(Fft, PowerOfTwoHelpers) {
+  EXPECT_TRUE(is_power_of_two(1));
+  EXPECT_TRUE(is_power_of_two(2));
+  EXPECT_TRUE(is_power_of_two(1024));
+  EXPECT_FALSE(is_power_of_two(0));
+  EXPECT_FALSE(is_power_of_two(3));
+  EXPECT_FALSE(is_power_of_two(1023));
+  EXPECT_EQ(next_power_of_two(1), 1u);
+  EXPECT_EQ(next_power_of_two(5), 8u);
+  EXPECT_EQ(next_power_of_two(1024), 1024u);
+  EXPECT_EQ(next_power_of_two(1025), 2048u);
+}
+
+TEST(Fft, ImpulseHasFlatSpectrum) {
+  std::vector<Complex> data(8, Complex(0, 0));
+  data[0] = Complex(1, 0);
+  fft(data);
+  for (const Complex& c : data) {
+    EXPECT_NEAR(std::abs(c), 1.0, 1e-12);
+  }
+}
+
+TEST(Fft, ConstantSignalConcentratesInDc) {
+  std::vector<Complex> data(16, Complex(1, 0));
+  fft(data);
+  EXPECT_NEAR(std::abs(data[0]), 16.0, 1e-9);
+  for (std::size_t i = 1; i < data.size(); ++i) {
+    EXPECT_NEAR(std::abs(data[i]), 0.0, 1e-9);
+  }
+}
+
+TEST(Fft, SinePeaksAtItsFrequencyBin) {
+  const std::size_t n = 64;
+  const int k = 5;
+  std::vector<Complex> data(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    data[i] = Complex(
+        std::sin(2.0 * std::numbers::pi * k * static_cast<double>(i) / n), 0);
+  }
+  fft(data);
+  // A real sine splits between bins k and n-k with magnitude n/2.
+  EXPECT_NEAR(std::abs(data[k]), n / 2.0, 1e-9);
+  EXPECT_NEAR(std::abs(data[n - k]), n / 2.0, 1e-9);
+  EXPECT_NEAR(std::abs(data[k + 1]), 0.0, 1e-9);
+}
+
+TEST(Fft, InverseRecoversSignal) {
+  std::vector<Complex> original;
+  for (int i = 0; i < 32; ++i) {
+    original.emplace_back(std::cos(0.3 * i) + 0.1 * i, std::sin(0.7 * i));
+  }
+  std::vector<Complex> data = original;
+  fft(data);
+  ifft(data);
+  for (std::size_t i = 0; i < original.size(); ++i) {
+    EXPECT_NEAR(data[i].real(), original[i].real(), 1e-9);
+    EXPECT_NEAR(data[i].imag(), original[i].imag(), 1e-9);
+  }
+}
+
+TEST(Fft, ParsevalEnergyConservation) {
+  std::vector<Complex> data;
+  for (int i = 0; i < 128; ++i) data.emplace_back(std::sin(i * 0.11), 0.0);
+  double time_energy = 0.0;
+  for (const Complex& c : data) time_energy += std::norm(c);
+  fft(data);
+  double freq_energy = 0.0;
+  for (const Complex& c : data) freq_energy += std::norm(c);
+  EXPECT_NEAR(freq_energy / static_cast<double>(data.size()), time_energy, 1e-6);
+}
+
+TEST(Fft, RejectsNonPowerOfTwo) {
+  std::vector<Complex> data(6, Complex(0, 0));
+  EXPECT_THROW(fft(data), PreconditionError);
+}
+
+TEST(Fft, SizeOneIsIdentity) {
+  std::vector<Complex> data = {Complex(3.5, -1.25)};
+  fft(data);
+  EXPECT_DOUBLE_EQ(data[0].real(), 3.5);
+  EXPECT_DOUBLE_EQ(data[0].imag(), -1.25);
+}
+
+TEST(MagnitudeSpectrum, PadsToPowerOfTwo) {
+  std::vector<double> signal(5, 1.0);
+  const std::vector<double> mag = magnitude_spectrum(signal);
+  EXPECT_EQ(mag.size(), 8u);
+  EXPECT_NEAR(mag[0], 5.0, 1e-9);  // DC bin carries the sum
+}
+
+TEST(MagnitudeSpectrum, RejectsEmpty) {
+  std::vector<double> empty;
+  EXPECT_THROW(magnitude_spectrum(empty), PreconditionError);
+}
+
+}  // namespace
+}  // namespace tb::util

@@ -1,0 +1,81 @@
+#include "src/util/log.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace tb::util {
+namespace {
+
+/// Restores global log state after each test.
+class LogTest : public ::testing::Test {
+ protected:
+  LogTest() {
+    LogConfig::set_sink([this](std::string_view line) {
+      lines_.emplace_back(line);
+    });
+    LogConfig::set_level(LogLevel::Trace);
+  }
+  ~LogTest() override {
+    LogConfig::reset_sink();
+    LogConfig::set_level(LogLevel::Warn);
+  }
+
+  std::vector<std::string> lines_;
+};
+
+TEST_F(LogTest, FormatsLevelTagAndMessage) {
+  Logger log("wire.master");
+  log.info("retry ", 3, " of ", 5);
+  ASSERT_EQ(lines_.size(), 1u);
+  EXPECT_EQ(lines_[0], "[INFO] wire.master: retry 3 of 5");
+}
+
+TEST_F(LogTest, LevelFiltering) {
+  LogConfig::set_level(LogLevel::Warn);
+  Logger log("x");
+  log.trace("no");
+  log.debug("no");
+  log.info("no");
+  log.warn("yes");
+  log.error("yes");
+  EXPECT_EQ(lines_.size(), 2u);
+}
+
+TEST_F(LogTest, OffSilencesEverything) {
+  LogConfig::set_level(LogLevel::Off);
+  Logger log("x");
+  log.error("nope");
+  EXPECT_TRUE(lines_.empty());
+}
+
+TEST_F(LogTest, EnabledReflectsLevel) {
+  LogConfig::set_level(LogLevel::Info);
+  Logger log("x");
+  EXPECT_FALSE(log.enabled(LogLevel::Debug));
+  EXPECT_TRUE(log.enabled(LogLevel::Info));
+  EXPECT_TRUE(log.enabled(LogLevel::Error));
+}
+
+TEST_F(LogTest, AllLevelNamesRender) {
+  Logger log("t");
+  log.trace("a");
+  log.debug("a");
+  log.info("a");
+  log.warn("a");
+  log.error("a");
+  ASSERT_EQ(lines_.size(), 5u);
+  EXPECT_NE(lines_[0].find("[TRACE]"), std::string::npos);
+  EXPECT_NE(lines_[1].find("[DEBUG]"), std::string::npos);
+  EXPECT_NE(lines_[2].find("[INFO]"), std::string::npos);
+  EXPECT_NE(lines_[3].find("[WARN]"), std::string::npos);
+  EXPECT_NE(lines_[4].find("[ERROR]"), std::string::npos);
+}
+
+TEST_F(LogTest, TagAccessor) {
+  Logger log("net.link");
+  EXPECT_EQ(log.tag(), "net.link");
+}
+
+}  // namespace
+}  // namespace tb::util

@@ -1,0 +1,102 @@
+#include "src/util/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "src/util/assert.hpp"
+
+namespace tb::util {
+namespace {
+
+TEST(Rng, DeterministicForSameSeed) {
+  Xoshiro256 a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Xoshiro256 a(1), b(2);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.next_u64() == b.next_u64()) ++equal;
+  }
+  EXPECT_LT(equal, 2);
+}
+
+TEST(Rng, DoubleInUnitInterval) {
+  Xoshiro256 rng(7);
+  for (int i = 0; i < 10'000; ++i) {
+    const double d = rng.next_double();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(Rng, UniformStaysInBounds) {
+  Xoshiro256 rng(11);
+  for (int i = 0; i < 10'000; ++i) {
+    const std::uint64_t v = rng.uniform(10, 20);
+    EXPECT_GE(v, 10u);
+    EXPECT_LE(v, 20u);
+  }
+}
+
+TEST(Rng, UniformCoversFullRange) {
+  Xoshiro256 rng(13);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 1'000; ++i) seen.insert(rng.uniform(0, 7));
+  EXPECT_EQ(seen.size(), 8u);
+}
+
+TEST(Rng, UniformSingletonRange) {
+  Xoshiro256 rng(17);
+  EXPECT_EQ(rng.uniform(5, 5), 5u);
+}
+
+TEST(Rng, UniformRejectsInvertedRange) {
+  Xoshiro256 rng(19);
+  EXPECT_THROW(rng.uniform(10, 9), PreconditionError);
+}
+
+TEST(Rng, ExponentialMeanApproximatelyCorrect) {
+  Xoshiro256 rng(23);
+  double sum = 0.0;
+  const int n = 100'000;
+  for (int i = 0; i < n; ++i) sum += rng.exponential(2.0);
+  const double mean = sum / n;
+  EXPECT_NEAR(mean, 2.0, 0.05);
+}
+
+TEST(Rng, ExponentialIsPositive) {
+  Xoshiro256 rng(29);
+  for (int i = 0; i < 1'000; ++i) EXPECT_GT(rng.exponential(1.0), 0.0);
+}
+
+TEST(Rng, ExponentialRejectsNonPositiveMean) {
+  Xoshiro256 rng(31);
+  EXPECT_THROW(rng.exponential(0.0), PreconditionError);
+}
+
+TEST(Rng, BernoulliFrequencyMatchesP) {
+  Xoshiro256 rng(37);
+  int hits = 0;
+  const int n = 100'000;
+  for (int i = 0; i < n; ++i) {
+    if (rng.bernoulli(0.3)) ++hits;
+  }
+  EXPECT_NEAR(static_cast<double>(hits) / n, 0.3, 0.01);
+}
+
+TEST(Rng, ForkedStreamsAreIndependent) {
+  Xoshiro256 parent(1);
+  Xoshiro256 childA = parent.fork(1);
+  Xoshiro256 childB = parent.fork(1);  // same label, later draw -> distinct
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (childA.next_u64() == childB.next_u64()) ++equal;
+  }
+  EXPECT_LT(equal, 2);
+}
+
+}  // namespace
+}  // namespace tb::util

@@ -1,0 +1,78 @@
+#include "src/util/strings.hpp"
+
+#include <gtest/gtest.h>
+
+namespace tb::util {
+namespace {
+
+TEST(Split, BasicFields) {
+  const auto parts = split("a,b,c", ',');
+  ASSERT_EQ(parts.size(), 3u);
+  EXPECT_EQ(parts[0], "a");
+  EXPECT_EQ(parts[1], "b");
+  EXPECT_EQ(parts[2], "c");
+}
+
+TEST(Split, PreservesEmptyFields) {
+  const auto parts = split(",x,,", ',');
+  ASSERT_EQ(parts.size(), 4u);
+  EXPECT_EQ(parts[0], "");
+  EXPECT_EQ(parts[1], "x");
+  EXPECT_EQ(parts[2], "");
+  EXPECT_EQ(parts[3], "");
+}
+
+TEST(Split, NoDelimiterYieldsWhole) {
+  const auto parts = split("abc", ',');
+  ASSERT_EQ(parts.size(), 1u);
+  EXPECT_EQ(parts[0], "abc");
+}
+
+TEST(Trim, StripsBothEnds) {
+  EXPECT_EQ(trim("  hi\t\n"), "hi");
+  EXPECT_EQ(trim("hi"), "hi");
+  EXPECT_EQ(trim("   "), "");
+  EXPECT_EQ(trim(""), "");
+}
+
+TEST(StartsEndsWith, Basics) {
+  EXPECT_TRUE(starts_with("foobar", "foo"));
+  EXPECT_FALSE(starts_with("foobar", "bar"));
+  EXPECT_TRUE(ends_with("foobar", "bar"));
+  EXPECT_FALSE(ends_with("foobar", "foo"));
+  EXPECT_TRUE(starts_with("x", ""));
+  EXPECT_FALSE(starts_with("", "x"));
+}
+
+TEST(XmlEscape, EscapesSpecials) {
+  EXPECT_EQ(xml_escape("a<b>&\"c'"), "a&lt;b&gt;&amp;&quot;c&apos;");
+}
+
+TEST(XmlEscape, RoundTrips) {
+  const std::string original = R"(a <tag attr="v">&'text' </tag>)";
+  EXPECT_EQ(xml_unescape(xml_escape(original)), original);
+}
+
+TEST(XmlUnescape, UnknownEntityPassesThrough) {
+  EXPECT_EQ(xml_unescape("&unknown;x"), "&unknown;x");
+}
+
+TEST(XmlUnescape, LoneAmpersand) {
+  EXPECT_EQ(xml_unescape("a & b"), "a & b");
+}
+
+TEST(FormatDouble, FixedPrecision) {
+  EXPECT_EQ(format_double(3.14159, 2), "3.14");
+  EXPECT_EQ(format_double(-1.0, 0), "-1");
+}
+
+TEST(FormatSeconds, PicksUnits) {
+  EXPECT_EQ(format_seconds(0.0), "0 s");
+  EXPECT_EQ(format_seconds(1.5e-9), "1.50 ns");
+  EXPECT_EQ(format_seconds(2.5e-6), "2.50 us");
+  EXPECT_EQ(format_seconds(0.004), "4.00 ms");
+  EXPECT_EQ(format_seconds(140.0), "140.00 s");
+}
+
+}  // namespace
+}  // namespace tb::util

@@ -1,0 +1,161 @@
+#include "src/wire/frame.hpp"
+
+#include <gtest/gtest.h>
+
+#include "src/util/crc.hpp"
+
+namespace tb::wire {
+namespace {
+
+TEST(TxFrame, LayoutMatchesTable1) {
+  // start(0) | CMD[2:0] | DATA[7:0] | CRC[3:0]
+  TxFrame frame{Command::kWriteData, 0xA5};
+  const std::uint16_t word = frame.encode();
+  EXPECT_EQ(word >> 15, 0u);                      // start bit
+  EXPECT_EQ((word >> 12) & 0x7, 2u);              // CMD = kWriteData
+  EXPECT_EQ((word >> 4) & 0xFF, 0xA5u);           // DATA
+  EXPECT_EQ(word & 0xF, frame.crc());             // CRC
+}
+
+TEST(TxFrame, CrcCoversCmdAndData) {
+  TxFrame frame{Command::kReadData, 0x12};
+  const std::uint64_t body = (3ull << 8) | 0x12;
+  EXPECT_EQ(frame.crc(), util::crc4_itu(body, 11));
+}
+
+TEST(TxFrame, RoundTripAllCommandsAllData) {
+  for (int cmd = 0; cmd < 8; ++cmd) {
+    for (int data = 0; data < 256; ++data) {
+      TxFrame frame{static_cast<Command>(cmd),
+                    static_cast<std::uint8_t>(data)};
+      FrameError error = FrameError::kCrc;
+      auto decoded = TxFrame::decode(frame.encode(), &error);
+      ASSERT_TRUE(decoded.has_value()) << "cmd=" << cmd << " data=" << data;
+      EXPECT_EQ(*decoded, frame);
+      EXPECT_EQ(error, FrameError::kNone);
+    }
+  }
+}
+
+TEST(TxFrame, StartBitOneRejected) {
+  TxFrame frame{Command::kPing, 0};
+  FrameError error = FrameError::kNone;
+  EXPECT_FALSE(TxFrame::decode(frame.encode() | 0x8000, &error).has_value());
+  EXPECT_EQ(error, FrameError::kStartBit);
+}
+
+TEST(TxFrame, EverySingleBitFlipIsDetected) {
+  // Single-bit errors anywhere in the 16-bit word must be caught by the
+  // start-bit check or the CRC (x^4+x+1 detects all single-bit errors).
+  for (int cmd = 0; cmd < 8; ++cmd) {
+    for (int data : {0x00, 0x5A, 0xFF, 0x01, 0x80}) {
+      const std::uint16_t word =
+          TxFrame{static_cast<Command>(cmd), static_cast<std::uint8_t>(data)}
+              .encode();
+      for (int bit = 0; bit < 16; ++bit) {
+        const std::uint16_t corrupted = word ^ static_cast<std::uint16_t>(1 << bit);
+        EXPECT_FALSE(TxFrame::decode(corrupted).has_value())
+            << "cmd=" << cmd << " data=" << data << " bit=" << bit;
+      }
+    }
+  }
+}
+
+TEST(RxFrame, LayoutMatchesTable2) {
+  // start(0) | INT | TYPE[1:0] | DATA[7:0] | CRC[3:0]
+  RxFrame frame;
+  frame.intr = true;
+  frame.type = RxType::kData;
+  frame.data = 0x3C;
+  const std::uint16_t word = frame.encode();
+  EXPECT_EQ(word >> 15, 0u);
+  EXPECT_EQ((word >> 14) & 1, 1u);
+  EXPECT_EQ((word >> 12) & 0x3, 1u);
+  EXPECT_EQ((word >> 4) & 0xFF, 0x3Cu);
+  EXPECT_EQ(word & 0xF, frame.crc());
+}
+
+TEST(RxFrame, CrcExcludesIntBit) {
+  // The INT bit is ORed in by intermediate slaves after CRC generation, so
+  // two frames differing only in INT must carry the same CRC.
+  RxFrame a;
+  a.type = RxType::kStatus;
+  a.data = 0x77;
+  RxFrame b = a;
+  b.intr = true;
+  EXPECT_EQ(a.crc(), b.crc());
+  EXPECT_TRUE(RxFrame::decode(b.encode()).has_value());
+}
+
+TEST(RxFrame, RoundTripAllTypesDataInt) {
+  for (int type = 0; type < 4; ++type) {
+    for (int data = 0; data < 256; ++data) {
+      for (bool intr : {false, true}) {
+        RxFrame frame;
+        frame.intr = intr;
+        frame.type = static_cast<RxType>(type);
+        frame.data = static_cast<std::uint8_t>(data);
+        auto decoded = RxFrame::decode(frame.encode());
+        ASSERT_TRUE(decoded.has_value());
+        EXPECT_EQ(*decoded, frame);
+      }
+    }
+  }
+}
+
+TEST(RxFrame, StatusHelperPacksNodeIdAndInterrupt) {
+  const RxFrame frame = RxFrame::status(42, true);
+  EXPECT_EQ(frame.type, RxType::kStatus);
+  EXPECT_EQ(frame.status_node_id(), 42);
+  EXPECT_TRUE(frame.status_interrupt());
+
+  const RxFrame quiet = RxFrame::status(126, false);
+  EXPECT_EQ(quiet.status_node_id(), 126);
+  EXPECT_FALSE(quiet.status_interrupt());
+}
+
+TEST(RxFrame, EverySingleBitFlipIsDetectedExceptInt) {
+  RxFrame frame;
+  frame.type = RxType::kFlags;
+  frame.data = 0x99;
+  const std::uint16_t word = frame.encode();
+  for (int bit = 0; bit < 16; ++bit) {
+    const std::uint16_t corrupted = word ^ static_cast<std::uint16_t>(1 << bit);
+    auto decoded = RxFrame::decode(corrupted);
+    if (bit == 14) {
+      // The INT bit is legitimately mutable in flight.
+      ASSERT_TRUE(decoded.has_value());
+      EXPECT_TRUE(decoded->intr);
+    } else {
+      EXPECT_FALSE(decoded.has_value()) << "bit=" << bit;
+    }
+  }
+}
+
+TEST(NodeAddressing, TwoAddressesPerNode) {
+  EXPECT_EQ(memory_address(0), 0);
+  EXPECT_EQ(system_address(0), 1);
+  EXPECT_EQ(memory_address(42), 84);
+  EXPECT_EQ(system_address(42), 85);
+  EXPECT_EQ(node_id_of_address(84), 42);
+  EXPECT_EQ(node_id_of_address(85), 42);
+  EXPECT_FALSE(is_system_address(84));
+  EXPECT_TRUE(is_system_address(85));
+}
+
+TEST(NodeAddressing, BroadcastIsNode127) {
+  EXPECT_EQ(node_id_of_address(memory_address(kBroadcastNodeId)),
+            kBroadcastNodeId);
+  EXPECT_EQ(kMaxNodeId, 126);
+}
+
+TEST(Frame, ToStringIsHumanReadable) {
+  const TxFrame tx{Command::kSelect, 2};
+  EXPECT_NE(tx.to_string().find("SELECT"), std::string::npos);
+  RxFrame rx;
+  rx.type = RxType::kNak;
+  EXPECT_NE(rx.to_string().find("NAK"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace tb::wire

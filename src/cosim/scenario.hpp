@@ -11,6 +11,9 @@
 #include <memory>
 #include <vector>
 
+#include "src/fault/injector.hpp"
+#include "src/fault/invariants.hpp"
+#include "src/fault/plan.hpp"
 #include "src/mw/client.hpp"
 #include "src/mw/codec.hpp"
 #include "src/mw/server.hpp"
@@ -32,6 +35,14 @@ struct ScenarioConfig {
   mw::WireTransportParams transport;
   mw::ServerConfig server;
   space::SpaceConfig space;
+
+  /// Deterministic fault plan; leave default (inactive) for a clean run.
+  /// Any active channel turns the scenario into a chaos scenario: the plan
+  /// is installed on the bus, slaves and simulator at construction.
+  fault::FaultPlanConfig fault;
+
+  /// Invariant-checker tuning (deadline slack for delay-spiky plans).
+  fault::InvariantChecker::Config checker;
 
   int slave_count = 4;       ///< Figure 7: Slave1..Slave4 (node ids 1..4)
   int server_slave = 2;      ///< index of the server's slave (Slave3)
@@ -58,6 +69,9 @@ struct ScenarioConfig {
     wire::RelayConfig relay;
     relay.poll_period = sim::Time::ms(250);
     relay.max_drain_per_visit = 256;
+    // Scenario producers are all small-segment (transport fragments ≤ 48
+    // bytes, CBR packets): a longer claimed payload is stream damage.
+    relay.max_segment_payload = 64;
     return relay;
   }
 };
@@ -73,9 +87,19 @@ class WireScenario {
   /// Starts the master relay (must run for any slave-to-slave traffic).
   void start();
 
+  /// Stops the relay and lets its poll coroutine run to completion so no
+  /// suspended frame outlives the simulator (keeps sanitized runs clean).
+  /// Call after the workload, before reading end-of-run assertions.
+  void shutdown();
+
   /// Creates a space client whose transport lives on the given slave.
   mw::SpaceClient& add_client(int slave_index,
                               mw::ClientConfig client_config = {});
+
+  /// Endpoint stats for the i-th added client (creation order).
+  mw::WireClientTransport& client_transport(int index) {
+    return *clients_.at(index).transport;
+  }
 
   sim::Simulator& sim() { return *sim_; }
   wire::OneWireBus& bus() { return *bus_; }
@@ -89,9 +113,19 @@ class WireScenario {
 
   space::TupleSpace& space() { return *space_; }
   mw::SpaceServer& server() { return *server_; }
+  /// Mailbox-pump stats for the server's endpoint (chaos tests inspect
+  /// fragment loss and reassembly evictions here).
+  mw::WireServerTransport& server_transport() { return *server_transport_; }
   bool has_server() const { return server_ != nullptr; }
   const mw::Codec& codec() const { return *codec_; }
   const ScenarioConfig& config() const { return config_; }
+
+  /// Always present: rides the bus/master trace signals from construction.
+  /// Call `checker().finish()` after the workload for the space ledger check.
+  fault::InvariantChecker& checker() { return *checker_; }
+
+  bool has_faults() const { return fault_plan_ != nullptr; }
+  fault::FaultPlan& fault_plan() { return *fault_plan_; }
 
  private:
   ScenarioConfig config_;
@@ -104,6 +138,9 @@ class WireScenario {
   std::unique_ptr<space::TupleSpace> space_;
   std::unique_ptr<mw::WireServerTransport> server_transport_;
   std::unique_ptr<mw::SpaceServer> server_;
+  std::unique_ptr<fault::FaultPlan> fault_plan_;
+  std::unique_ptr<fault::FaultInjector> injector_;
+  std::unique_ptr<fault::InvariantChecker> checker_;
 
   struct ClientSlot {
     std::unique_ptr<mw::WireClientTransport> transport;

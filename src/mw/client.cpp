@@ -53,13 +53,15 @@ void SpaceClient::arm_timeout(std::uint64_t request_id) {
   auto it = pending_.find(request_id);
   TB_ASSERT(it != pending_.end());
   it->second.timeout_event =
-      sim_->schedule_in(config_.rpc_timeout, [this, request_id] {
+      sim_->schedule_in(it->second.next_timeout, [this, request_id] {
         auto pos = pending_.find(request_id);
         TB_ASSERT(pos != pending_.end());
         ++stats_.rpc_timeouts;
         if (pos->second.retries_left > 0) {
           --pos->second.retries_left;
           ++stats_.retransmissions;
+          pos->second.next_timeout =
+              pos->second.next_timeout.scaled(config_.rpc_backoff);
           transport_->send(pos->second.encoded);  // same bytes, same id
           arm_timeout(request_id);
           return;
@@ -80,6 +82,7 @@ void SpaceClient::call(Message request,
   pending.complete = std::move(on_done);
   pending.encoded = codec_->encode(request);
   pending.retries_left = config_.rpc_retries;
+  pending.next_timeout = config_.rpc_timeout;
   std::vector<std::uint8_t> wire_bytes = pending.encoded;
   const std::uint64_t id = request.request_id;
   pending_.emplace(id, std::move(pending));

@@ -36,6 +36,14 @@ struct ClientConfig {
   /// byte-identical (same request id), so the server's duplicate cache
   /// keeps every operation exactly-once even on lossy transports.
   int rpc_retries = 0;
+
+  /// Multiplier applied to the timeout before each retransmission
+  /// (1.0 = fixed cadence). Fixed-cadence retries phase-lock with any
+  /// periodic transport outage whose period divides rpc_timeout — every
+  /// attempt then lands in the same fault window and the call fails with
+  /// retries to spare. A backoff > 1 walks successive attempts out of
+  /// phase (chaos soaks run with 1.5).
+  double rpc_backoff = 1.0;
 };
 
 class SpaceClient {
@@ -110,6 +118,7 @@ class SpaceClient {
     sim::EventHandle timeout_event;
     std::vector<std::uint8_t> encoded;  ///< for retransmission
     int retries_left = 0;
+    sim::Time next_timeout;  ///< grows by rpc_backoff per retransmission
   };
 
   void arm_timeout(std::uint64_t request_id);

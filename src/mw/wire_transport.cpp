@@ -10,6 +10,9 @@ WireEndpoint::WireEndpoint(sim::Simulator& sim, wire::SlaveDevice& slave,
   TB_REQUIRE(params.max_segment_payload > kFragmentHeaderBytes);
   TB_REQUIRE(params.max_segment_payload <= wire::kMaxSegmentPayload);
   TB_REQUIRE(params.max_partial_messages > 0);
+  // Peers emit segments no larger than the negotiated fragment size, so a
+  // longer length field in the inbox stream is damage, not data.
+  segment_parser_.set_max_payload(params.max_segment_payload);
   slave_->on_inbox_byte().connect([this](std::uint8_t) { drain_inbox(); });
 }
 

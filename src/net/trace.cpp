@@ -1,6 +1,7 @@
 #include "src/net/trace.hpp"
 
 #include <cstdio>
+#include <fstream>
 #include <sstream>
 
 #include "src/net/node.hpp"
@@ -38,7 +39,21 @@ void Tracer::record(TraceOp op, const SimplexLink& link, const Packet& packet) {
   rec.size_bytes = packet.size_bytes;
   rec.seq = packet.seq;
   rec.uid = packet.uid;
+  lines_.push_back(rec.format());
   records_.push_back(rec);
+}
+
+void Tracer::attach(wire::OneWireBus& bus) {
+  bus.on_cycle().connect([this](const wire::CycleTrace& cycle) {
+    char buf[128];
+    char rx[8] = "-";
+    if (cycle.rx_seen) std::snprintf(rx, sizeof rx, "%04x", cycle.rx_word);
+    std::snprintf(buf, sizeof buf, "w %.9f cyc %04x %s %s %d",
+                  cycle.end.seconds(), cycle.tx_word,
+                  wire::to_string(cycle.status), rx, cycle.responder);
+    lines_.push_back(buf);
+    ++wire_cycles_;
+  });
 }
 
 std::size_t Tracer::count(TraceOp op) const {
@@ -51,8 +66,15 @@ std::size_t Tracer::count(TraceOp op) const {
 
 std::string Tracer::dump() const {
   std::ostringstream os;
-  for (const TraceRecord& rec : records_) os << rec.format() << '\n';
+  for (const std::string& line : lines_) os << line << '\n';
   return os.str();
+}
+
+bool Tracer::write_file(const std::string& path) const {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) return false;
+  out << dump();
+  return static_cast<bool>(out);
 }
 
 }  // namespace tb::net

@@ -16,6 +16,7 @@
 #include "src/net/link.hpp"
 #include "src/net/packet.hpp"
 #include "src/sim/simulator.hpp"
+#include "src/wire/bus.hpp"
 
 namespace tb::net {
 
@@ -40,8 +41,14 @@ struct TraceRecord {
   std::string format() const;
 };
 
-/// Records every event on the links it is attached to. Attach before
-/// traffic starts; records accumulate for the tracer's lifetime.
+/// Records every event on the links and buses it is attached to. Attach
+/// before traffic starts; records accumulate for the tracer's lifetime.
+///
+/// Attached TpWIRE buses contribute one line per communication cycle:
+///   w <time> cyc <tx_word> <status> <rx_word|-> <responder>
+/// with the words as physically transmitted (fault injection included), so
+/// the dump is a byte-exact fingerprint of everything the medium carried —
+/// the replay artifact the fault subsystem's one-line seed reports point at.
 class Tracer {
  public:
   explicit Tracer(sim::Simulator& sim) : sim_(&sim) {}
@@ -52,20 +59,31 @@ class Tracer {
   /// Hooks all four event signals of the link.
   void attach(SimplexLink& link);
 
+  /// Hooks the bus's per-cycle trace signal.
+  void attach(wire::OneWireBus& bus);
+
   const std::vector<TraceRecord>& records() const { return records_; }
   std::size_t size() const { return records_.size(); }
 
   /// Count of records with the given op.
   std::size_t count(TraceOp op) const;
 
-  /// The whole trace as NS-2-style text.
+  std::size_t wire_cycles() const { return wire_cycles_; }
+
+  /// The whole trace as text: NS-2-style link lines and TpWIRE cycle lines
+  /// interleaved in event order.
   std::string dump() const;
+
+  /// Writes dump() to a file; returns false on I/O failure.
+  bool write_file(const std::string& path) const;
 
  private:
   void record(TraceOp op, const SimplexLink& link, const Packet& packet);
 
   sim::Simulator* sim_;
   std::vector<TraceRecord> records_;
+  std::vector<std::string> lines_;  ///< all events, formatted, in order
+  std::size_t wire_cycles_ = 0;
 };
 
 }  // namespace tb::net

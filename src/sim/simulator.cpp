@@ -24,6 +24,10 @@ EventHandle Simulator::schedule_at(Time at, std::function<void()> fn) {
 
 EventHandle Simulator::schedule_in(Time delay, std::function<void()> fn) {
   TB_REQUIRE_MSG(delay >= Time::zero(), "negative delay");
+  if (perturb_delay_ && delay > Time::zero()) {
+    delay = perturb_delay_(now_, delay);
+    TB_REQUIRE_MSG(delay >= Time::zero(), "perturbed delay went negative");
+  }
   return schedule_at(now_ + delay, std::move(fn));
 }
 

@@ -85,6 +85,17 @@ class Simulator {
   /// Root RNG for the simulation; components should fork() child streams.
   util::Xoshiro256& rng() { return rng_; }
 
+  /// Clock-skew / jitter hook (fault injection): every relative delay passed
+  /// to schedule_in() is remapped through `f(now, delay)` before scheduling.
+  /// The hook must be a pure function of its arguments (and of deterministic
+  /// state such as a forked RNG stream) so runs stay reproducible; it must
+  /// return a non-negative delay. Pass nullptr to remove.
+  using DelayPerturbation = std::function<Time(Time now, Time delay)>;
+  void set_delay_perturbation(DelayPerturbation f) {
+    perturb_delay_ = std::move(f);
+  }
+  bool has_delay_perturbation() const { return perturb_delay_ != nullptr; }
+
  private:
   struct QueueEntry {
     Time at;
@@ -106,6 +117,7 @@ class Simulator {
   std::priority_queue<QueueEntry, std::vector<QueueEntry>, std::greater<>> queue_;
   std::unordered_map<std::uint64_t, std::function<void()>> live_events_;
   util::Xoshiro256 rng_;
+  DelayPerturbation perturb_delay_;
 };
 
 }  // namespace tb::sim

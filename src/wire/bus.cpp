@@ -29,11 +29,15 @@ int OneWireBus::attach(SlaveDevice& slave) {
 }
 
 std::uint16_t OneWireBus::maybe_corrupt(std::uint16_t word, double prob,
-                                        std::uint64_t& counter) {
-  if (prob <= 0.0 || !rng_.bernoulli(prob)) return word;
-  ++counter;
-  const int bit = static_cast<int>(rng_.uniform(0, kFrameBits - 1));
-  return word ^ static_cast<std::uint16_t>(1u << bit);
+                                        bool rx, std::uint64_t& counter) {
+  const std::uint16_t original = word;
+  if (prob > 0.0 && rng_.bernoulli(prob)) {
+    const int bit = static_cast<int>(rng_.uniform(0, kFrameBits - 1));
+    word ^= static_cast<std::uint16_t>(1u << bit);
+  }
+  if (word_fault_) word = word_fault_(word, rx);
+  if (word != original) ++counter;
+  return word;
 }
 
 sim::Task<CycleResult> OneWireBus::cycle(TxFrame frame, bool expect_reply) {
@@ -42,8 +46,13 @@ sim::Task<CycleResult> OneWireBus::cycle(TxFrame frame, bool expect_reply) {
   ++stats_.cycles;
   const sim::Time start = sim_->now();
 
-  const std::uint16_t word =
-      maybe_corrupt(frame.encode(), faults_.tx_corrupt_prob, stats_.tx_corrupted);
+  const std::uint16_t word = maybe_corrupt(
+      frame.encode(), faults_.tx_corrupt_prob, /*rx=*/false, stats_.tx_corrupted);
+
+  CycleTrace trace;
+  trace.start = start;
+  trace.tx_word = word;
+  trace.expect_reply = expect_reply;
 
   // TX frame leaves the master.
   co_await sim::delay(*sim_, link_.frame_duration());
@@ -94,8 +103,11 @@ sim::Task<CycleResult> OneWireBus::cycle(TxFrame frame, bool expect_reply) {
     } else {
       if (rx_at_master > sim_->now())
         co_await sim::delay(*sim_, rx_at_master - sim_->now());
-      const std::uint16_t rx_word = maybe_corrupt(
-          response.encode(), faults_.rx_corrupt_prob, stats_.rx_corrupted);
+      const std::uint16_t rx_word =
+          maybe_corrupt(response.encode(), faults_.rx_corrupt_prob, /*rx=*/true,
+                        stats_.rx_corrupted);
+      trace.rx_seen = true;
+      trace.rx_word = rx_word;
       const std::optional<RxFrame> decoded = RxFrame::decode(rx_word);
       if (decoded.has_value()) {
         result.status = CycleResult::Status::kOk;
@@ -111,6 +123,10 @@ sim::Task<CycleResult> OneWireBus::cycle(TxFrame frame, bool expect_reply) {
   co_await sim::delay(*sim_, link_.interframe_gap());
   stats_.busy_time += sim_->now() - start;
   busy_ = false;
+  trace.end = sim_->now();
+  trace.responder = responder;
+  trace.status = result.status;
+  on_cycle_.emit(trace);
   co_return result;
 }
 

@@ -21,7 +21,10 @@
 #include <optional>
 #include <vector>
 
+#include <functional>
+
 #include "src/sim/process.hpp"
+#include "src/sim/signal.hpp"
 #include "src/sim/simulator.hpp"
 #include "src/util/rng.hpp"
 #include "src/wire/config.hpp"
@@ -44,6 +47,21 @@ struct CycleResult {
 };
 
 const char* to_string(CycleResult::Status status);
+
+/// One communication cycle as seen on the medium — the bus-level trace
+/// record. `tx_word` / `rx_word` are the words as physically transmitted,
+/// i.e. after any fault injection; invariant checkers re-validate CRCs from
+/// them and tracers format them into replayable trace lines.
+struct CycleTrace {
+  sim::Time start;
+  sim::Time end;
+  std::uint16_t tx_word = 0;
+  bool expect_reply = true;
+  int responder = -1;           ///< chain position that answered, -1 = none
+  bool rx_seen = false;         ///< an RX word reached the master in time
+  std::uint16_t rx_word = 0;    ///< valid only when rx_seen
+  CycleResult::Status status = CycleResult::Status::kTimeout;
+};
 
 class OneWireBus {
  public:
@@ -85,8 +103,18 @@ class OneWireBus {
   /// Fraction of [0, now] the medium was occupied.
   double utilization() const;
 
+  /// Deterministic word-level fault hook (tb::fault). Runs after the
+  /// probabilistic FaultConfig corruption, on every word in both directions
+  /// (`rx` says which); whatever it returns is what the receivers see.
+  /// Corrupted words are counted in tx_corrupted / rx_corrupted.
+  using WordFault = std::function<std::uint16_t(std::uint16_t word, bool rx)>;
+  void set_word_fault(WordFault hook) { word_fault_ = std::move(hook); }
+
+  /// Fires once per completed communication cycle, in cycle order.
+  sim::Signal<const CycleTrace&>& on_cycle() { return on_cycle_; }
+
  private:
-  std::uint16_t maybe_corrupt(std::uint16_t word, double prob,
+  std::uint16_t maybe_corrupt(std::uint16_t word, double prob, bool rx,
                               std::uint64_t& counter);
 
   sim::Simulator* sim_;
@@ -95,6 +123,8 @@ class OneWireBus {
   util::Xoshiro256 rng_;
   std::vector<SlaveDevice*> chain_;
   bool busy_ = false;
+  WordFault word_fault_;
+  sim::Signal<const CycleTrace&> on_cycle_;
   Stats stats_;
 };
 

@@ -46,21 +46,29 @@ sim::Task<CycleResult> Master::transact(TxFrame frame, bool expect_reply,
   last_cycle_at_ = bus_->simulator().now();
   const int attempts =
       policy == RetryPolicy::kNone ? 1 : 1 + bus_->link().retry_limit;
+  TransactTrace trace;
+  trace.start = bus_->simulator().now();
+  trace.tx_word = frame.encode();
+  trace.expect_reply = expect_reply;
   CycleResult result;
   for (int attempt = 0; attempt < attempts; ++attempt) {
     if (attempt > 0) ++stats_.retries;
     ++stats_.frames_sent;
+    ++trace.attempts;
     result = co_await bus_->cycle(frame, expect_reply);
     last_cycle_at_ = bus_->simulator().now();
-    if (result.status == CycleResult::Status::kOk) co_return result;
+    if (result.status == CycleResult::Status::kOk) break;
     // A failed cycle leaves slave-side state unknown: drop every cache.
     selected_address_.reset();
     node_cache_.clear();
     if (policy == RetryPolicy::kTimeoutOnly &&
         result.status != CycleResult::Status::kTimeout) {
-      co_return result;  // command may have executed: do not repeat it
+      break;  // command may have executed: do not repeat it
     }
   }
+  trace.end = bus_->simulator().now();
+  trace.status = status_of(result);
+  on_transact_.emit(trace);
   co_return result;
 }
 
@@ -464,8 +472,29 @@ sim::Task<WireStatus> Master::inbox_push(std::uint8_t node,
   WireStatus status = WireStatus::kOk;
   std::size_t count = 0;
   for (std::uint8_t byte : bytes) {
-    status = co_await reg_write(node, SysReg::kInboxPort, byte,
-                                RetryPolicy::kTimeoutOnly);
+    status = co_await ensure_selected(system_address(node));
+    if (status != WireStatus::kOk) break;
+    status = co_await ensure_address(
+        node, static_cast<std::uint16_t>(SysReg::kInboxPort));
+    if (status != WireStatus::kOk) break;
+    CycleResult r = co_await transact(TxFrame{Command::kWriteData, byte},
+                                      /*expect_reply=*/true,
+                                      RetryPolicy::kTimeoutOnly);
+    status = status_of(r);
+    // A corrupted RX on the data cycle still proves execution: the slave
+    // stores the byte before emitting its status reply, and a timeout-only
+    // transact resends solely after silent cycles, so exactly one attempt
+    // ever reached the slave. The ack is lost, the byte is not. Stopping
+    // here would leave a truncated segment in the destination inbox and
+    // desynchronize the receiver's stream parser into the next segment —
+    // one flipped ack bit must not cost a cascade of good segments. (The
+    // rare corrupted *NAK* of a full inbox is miscounted as delivered; the
+    // sticky overflow flag and the segment CRC own that case.)
+    if (status == WireStatus::kCrcError ||
+        status == WireStatus::kBadResponse) {
+      ++stats_.ack_losses;
+      status = WireStatus::kOk;
+    }
     if (status != WireStatus::kOk) break;
     ++count;
   }

@@ -17,10 +17,14 @@
 //    without auto-increment) retry transparently at frame level;
 //  * auto-increment block transfers re-seek the address pointer before
 //    retrying, because a lost RX frame leaves the slave's pointer advanced;
-//  * mailbox FIFO ports are never retried at frame level — a pop/push that
-//    executed but whose RX was corrupted cannot be distinguished from one
-//    that never executed, so integrity is owned by the transport layer's
-//    sequenced segments (src/mw/segment.hpp).
+//  * mailbox FIFO pops retry only on timeout — a pop whose RX was corrupted
+//    already removed the byte from the outbox, and its value is gone, so
+//    the enclosing segment is surrendered to the transport layer's CRC
+//    (src/mw/segment.hpp);
+//  * mailbox FIFO pushes treat a corrupted RX as delivered — the slave
+//    stores the byte before emitting its status reply, so a bad RX word is
+//    a lost ack, not a lost byte, and the push sequence continues rather
+//    than leaving a truncated segment in the destination inbox.
 #pragma once
 
 #include <cstdint>
@@ -31,6 +35,7 @@
 
 #include "src/sim/comutex.hpp"
 #include "src/sim/process.hpp"
+#include "src/sim/signal.hpp"
 #include "src/wire/bus.hpp"
 
 namespace tb::wire {
@@ -143,8 +148,25 @@ class Master {
     std::uint64_t failures = 0;        ///< operations that returned non-Ok
     std::uint64_t select_skips = 0;    ///< SELECTs avoided by the cache
     std::uint64_t address_skips = 0;   ///< WRITE_ADDR pairs avoided
+    std::uint64_t ack_losses = 0;      ///< inbox pushes whose ack was lost
   };
   const Stats& stats() const { return stats_; }
+
+  /// One frame-level transaction (a TX frame plus all its retries) as the
+  /// master resolved it — the hook invariant checkers use to bound retry
+  /// counts and transaction latency.
+  struct TransactTrace {
+    sim::Time start;
+    sim::Time end;
+    std::uint16_t tx_word = 0;
+    bool expect_reply = true;
+    int attempts = 0;           ///< bus cycles spent, retries included
+    WireStatus status = WireStatus::kTimeout;
+  };
+
+  /// Fires when a frame transaction resolves (every attempt exhausted or a
+  /// valid RX received), in completion order.
+  sim::Signal<const TransactTrace&>& on_transact() { return on_transact_; }
 
   OneWireBus& bus() { return *bus_; }
 
@@ -186,6 +208,7 @@ class Master {
   std::optional<std::uint8_t> selected_address_;  ///< nullopt after broadcast
   std::unordered_map<std::uint8_t, NodeCache> node_cache_;
   sim::Time last_cycle_at_;  ///< bus activity timestamp for staleness
+  sim::Signal<const TransactTrace&> on_transact_;
   Stats stats_;
 };
 

@@ -51,7 +51,9 @@ sim::Task<bool> MasterRelay::service(std::uint8_t node) {
     co_return false;
   }
   stats_.bytes_drained += drained.data.size();
-  SegmentParser& parser = parsers_[node];
+  auto [it, inserted] = parsers_.try_emplace(node);
+  SegmentParser& parser = it->second;
+  if (inserted) parser.set_max_payload(config_.max_segment_payload);
   parser.feed(drained.data);
   while (std::optional<RelaySegment> segment = parser.next()) {
     co_await forward(*segment);

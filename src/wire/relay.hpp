@@ -39,6 +39,14 @@ struct RelayConfig {
 
   /// Byte budget per slave visit; bounds head-of-line blocking.
   std::size_t max_drain_per_visit = 64;
+
+  /// Sanity bound handed to each per-node segment parser. A lost mailbox
+  /// byte can mis-frame the drained stream so a payload byte poses as a
+  /// segment header; without a bound its garbage 16-bit length field lets
+  /// the ghost swallow up to 64 KiB of good segments before the CRC
+  /// exposes it. Deployments whose producers are all small-segment
+  /// (transport fragments, CBR packets) should tighten this further.
+  std::size_t max_segment_payload = 1'024;
 };
 
 class MasterRelay {

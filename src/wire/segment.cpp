@@ -27,9 +27,28 @@ void SegmentParser::feed(std::span<const std::uint8_t> bytes) {
 }
 
 void SegmentParser::feed_byte(std::uint8_t byte) {
+  // A failed frame's bytes are re-scanned, not discarded: step() appends
+  // them (minus the false magic, so progress is guaranteed) to `pending`
+  // right after the position that exposed the failure, preserving stream
+  // order. Iterative rather than recursive — a pathological run of magic
+  // bytes would otherwise nest one re-scan per byte.
+  std::vector<std::uint8_t> pending{byte};
+  for (std::size_t i = 0; i < pending.size(); ++i) {
+    std::vector<std::uint8_t> salvage;
+    step(pending[i], salvage);
+    if (!salvage.empty()) {
+      pending.insert(pending.begin() + static_cast<std::ptrdiff_t>(i) + 1,
+                     salvage.begin(), salvage.end());
+    }
+  }
+}
+
+void SegmentParser::step(std::uint8_t byte,
+                         std::vector<std::uint8_t>& salvage) {
   switch (state_) {
     case State::kMagic:
       if (byte == kSegmentMagic) {
+        raw_.assign(1, byte);
         header_.clear();
         payload_.clear();
         state_ = State::kHeader;
@@ -39,20 +58,29 @@ void SegmentParser::feed_byte(std::uint8_t byte) {
       return;
 
     case State::kHeader:
+      raw_.push_back(byte);
       header_.push_back(byte);
       if (header_.size() == kSegmentHeaderBytes - 1) {  // src,dst,len_lo,len_hi
         expected_payload_ = static_cast<std::size_t>(header_[2]) |
                             (static_cast<std::size_t>(header_[3]) << 8);
+        if (expected_payload_ > max_payload_) {
+          ++length_errors_;
+          salvage.assign(raw_.begin() + 1, raw_.end());
+          state_ = State::kMagic;
+          return;
+        }
         state_ = expected_payload_ > 0 ? State::kPayload : State::kCrc;
       }
       return;
 
     case State::kPayload:
+      raw_.push_back(byte);
       payload_.push_back(byte);
       if (payload_.size() == expected_payload_) state_ = State::kCrc;
       return;
 
     case State::kCrc: {
+      raw_.push_back(byte);
       std::vector<std::uint8_t> covered;
       covered.reserve(header_.size() + payload_.size());
       covered.insert(covered.end(), header_.begin(), header_.end());
@@ -64,8 +92,10 @@ void SegmentParser::feed_byte(std::uint8_t byte) {
         segment.payload = payload_;
         ready_.push_back(std::move(segment));
         ++parsed_;
+        raw_.clear();
       } else {
         ++crc_failures_;
+        salvage.assign(raw_.begin() + 1, raw_.end());
       }
       state_ = State::kMagic;
       return;

@@ -11,6 +11,15 @@
 // crc8 covers src..payload. dst 127 broadcasts to every other node. The
 // parser is incremental (bytes arrive one mailbox pop at a time) and
 // resynchronizes on the 0xA5 magic after a CRC error, counting the damage.
+//
+// Resynchronization re-scans the bytes of the failed frame rather than
+// discarding them: a single byte lost in transit (a mailbox pop whose RX
+// frame was corrupted) shifts the stream so the parser swallows the next
+// segment's header as payload — without the re-scan, one lost byte costs
+// every segment consumed while mis-framed. A length sanity cap
+// (set_max_payload) bounds the same failure when the mis-framed "length"
+// field is garbage: a ghost header claiming a 16-bit payload would
+// otherwise absorb kilobytes of good segments before the CRC exposes it.
 #pragma once
 
 #include <cstdint>
@@ -54,20 +63,34 @@ class SegmentParser {
   /// Pops the next fully parsed segment, if any.
   std::optional<RelaySegment> next();
 
+  /// Rejects in-flight frames whose header claims more than `cap` payload
+  /// bytes (counted under length_errors) and re-scans them immediately.
+  /// Streams whose producers are known to emit small segments should set a
+  /// tight cap; the default accepts anything encodable.
+  void set_max_payload(std::size_t cap) { max_payload_ = cap; }
+
   std::uint64_t segments_parsed() const { return parsed_; }
   std::uint64_t crc_failures() const { return crc_failures_; }
+  std::uint64_t length_errors() const { return length_errors_; }
   std::uint64_t resync_bytes() const { return resync_bytes_; }
 
  private:
   enum class State { kMagic, kHeader, kPayload, kCrc };
 
+  /// Advances the state machine by one byte; on a failed frame, appends the
+  /// frame's bytes (minus its false magic) to `salvage` for re-scanning.
+  void step(std::uint8_t byte, std::vector<std::uint8_t>& salvage);
+
   State state_ = State::kMagic;
+  std::size_t max_payload_ = kMaxSegmentPayload;
+  std::vector<std::uint8_t> raw_;  ///< bytes of the in-progress frame
   std::vector<std::uint8_t> header_;
   std::vector<std::uint8_t> payload_;
   std::size_t expected_payload_ = 0;
   std::vector<RelaySegment> ready_;
   std::uint64_t parsed_ = 0;
   std::uint64_t crc_failures_ = 0;
+  std::uint64_t length_errors_ = 0;
   std::uint64_t resync_bytes_ = 0;
 };
 

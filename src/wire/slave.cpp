@@ -17,7 +17,25 @@ SlaveDevice::SlaveDevice(sim::Simulator& sim, std::uint8_t node_id,
 }
 
 bool SlaveDevice::pending_interrupt() const {
-  return manual_interrupt_ || !outbox_.empty();
+  if (stuck_interrupt_) return true;  // INT line stuck asserted
+  return alive_ && (manual_interrupt_ || !outbox_.empty());
+}
+
+void SlaveDevice::kill() {
+  if (!alive_) return;
+  alive_ = false;
+  ++stats_.kills;
+}
+
+void SlaveDevice::restart() {
+  if (alive_) return;
+  alive_ = true;
+  ++stats_.restarts;
+  apply_reset();
+  reset_until_ = sim_->now() + link_->reset_pulse();
+  // A rebooted node has no memory of past bus activity: the watchdog stays
+  // quiet until the next valid frame re-arms it.
+  seen_valid_frame_ = false;
 }
 
 void SlaveDevice::check_watchdog() {
@@ -47,6 +65,7 @@ void SlaveDevice::apply_reset() {
 
 std::optional<RxFrame> SlaveDevice::observe_frame(std::uint16_t word) {
   ++stats_.frames_observed;
+  if (!alive_) return std::nullopt;  // dead node: repeater only
   check_watchdog();
   if (in_reset()) return std::nullopt;  // unresponsive during the reset pulse
 
@@ -235,6 +254,7 @@ void SlaveDevice::write_command_register(std::uint8_t value) {
 }
 
 std::size_t SlaveDevice::host_send(std::span<const std::uint8_t> bytes) {
+  if (!alive_) return 0;  // the board CPU is down with the node
   std::size_t accepted = 0;
   for (std::uint8_t b : bytes) {
     if (outbox_.size() >= config_.outbox_capacity) break;
@@ -245,6 +265,7 @@ std::size_t SlaveDevice::host_send(std::span<const std::uint8_t> bytes) {
 }
 
 std::vector<std::uint8_t> SlaveDevice::host_receive() {
+  if (!alive_) return {};  // the board CPU is down with the node
   std::vector<std::uint8_t> out(inbox_.begin(), inbox_.end());
   inbox_.clear();
   return out;

@@ -131,6 +131,24 @@ class SlaveDevice {
   /// Board-triggered interrupt request (e.g. a sensor event).
   void raise_interrupt() { manual_interrupt_ = true; }
 
+  // --- fault injection (tb::fault) ----------------------------------------
+
+  /// Power failure: the node stops decoding frames and never responds (the
+  /// repeater keeps passing words down the chain, so the rest of the bus
+  /// still works). Mailboxes and registers survive until restart wipes them.
+  void kill();
+
+  /// Power restore: behaves like a cold boot — full reset (mailboxes wiped,
+  /// sticky WAS_RESET set) followed by the normal 33-bit reset pulse.
+  void restart();
+
+  bool alive() const { return alive_; }
+
+  /// Hardware fault: the INT line is stuck asserted. Every passing RX frame
+  /// reports a pending interrupt regardless of actual mailbox state.
+  void set_stuck_interrupt(bool stuck) { stuck_interrupt_ = stuck; }
+  bool stuck_interrupt() const { return stuck_interrupt_; }
+
   void set_spi(std::unique_ptr<SpiPeripheral> spi);
 
   /// Memory-mapped I/O: overrides the RAM byte at `addr` with device
@@ -154,6 +172,8 @@ class SlaveDevice {
     std::uint64_t commands_executed = 0; ///< executed while selected
     std::uint64_t resets = 0;            ///< watchdog + soft resets
     std::uint64_t naks = 0;
+    std::uint64_t kills = 0;             ///< injected power failures
+    std::uint64_t restarts = 0;          ///< injected power restores
   };
   const Stats& stats() const { return stats_; }
 
@@ -184,6 +204,8 @@ class SlaveDevice {
   bool broadcast_selected_ = false;  ///< executing under broadcast selection
   bool system_space_ = false;    ///< odd node address selected
   bool manual_interrupt_ = false;
+  bool alive_ = true;            ///< false between kill() and restart()
+  bool stuck_interrupt_ = false; ///< INT line stuck asserted (fault)
   std::uint8_t spi_result_ = 0;
   std::unique_ptr<SpiPeripheral> spi_;
 

@@ -34,11 +34,13 @@ TEST(FrameProperty, DecodeEncodeIsIdentityOnAllValidWords) {
       ++valid_rx;
     }
   }
-  // Exactly one valid word per (cmd, data) pair: 8*256; RX additionally
-  // carries the CRC-exempt INT bit: 2*4*256... but TYPE uses 2 bits of the
-  // same field space, so 2 * 4 * 256 = 2048.
-  EXPECT_EQ(valid_tx, 8 * 256);
-  EXPECT_EQ(valid_rx, 2 * 4 * 256);
+  // TX: exactly one valid word per (cmd, data) pair — 8 commands × 256 data
+  // values = 2048. RX: the INT bit is excluded from the CRC, so both INT
+  // settings of every (type, data) pair decode — 2 × 4 types × 256 = 2048.
+  // Both counts are exact: anything else means the CRC accepts or rejects
+  // words it should not.
+  ASSERT_EQ(valid_tx, 8 * 256);
+  ASSERT_EQ(valid_rx, 2 * 4 * 256);
 }
 
 // ---------------------------------------------------------------------------

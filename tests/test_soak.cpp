@@ -78,6 +78,7 @@ TEST(Soak, HoursOfMixedTrafficOnTheFigure7Stack) {
 
   scenario.sim().run_until(sim::Time::sec(2 * 3'600));  // 2 simulated hours
   cbr.stop();
+  scenario.shutdown();
 
   EXPECT_EQ(a_completed, kRounds);
   EXPECT_EQ(b_completed, kRounds);

@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "src/cosim/report.hpp"
+#include "src/obs/report.hpp"
 #include "src/sim/process.hpp"
 #include "src/svc/worker_pool.hpp"
 #include "src/util/strings.hpp"
@@ -54,23 +55,37 @@ double run_pool(int consumers, sim::Time crunch, int producers) {
 }  // namespace
 
 int main() {
+  const bool short_mode = obs::bench_short_mode();
+  obs::BenchReport bench("consumer_scaling");
+  bench.add_param("producers", obs::JsonValue(std::int64_t{8}));
+  bench.add_param("jobs_per_producer", obs::JsonValue(std::int64_t{8}));
   std::printf("Consumer scaling (paper section 2.1): 8 producers x 8 "
               "FFT-256 jobs\n\n");
 
+  const std::vector<int> sweep = short_mode ? std::vector<int>{1, 2, 8}
+                                            : std::vector<int>{1, 2, 4, 8, 16};
   for (sim::Time crunch : {100_ms, 1_ms}) {
     std::printf("crunch time per job: %s\n", crunch.to_string().c_str());
+    const std::string regime = crunch == 100_ms ? "crunch100ms" : "crunch1ms";
     cosim::TablePrinter table({"consumers", "makespan (s)", "speedup"});
     double base = 0.0;
-    for (int consumers : {1, 2, 4, 8, 16}) {
+    for (int consumers : sweep) {
       const double makespan = run_pool(consumers, crunch, 8);
       if (base == 0.0) base = makespan;
       table.add_row({std::to_string(consumers),
                      util::format_double(makespan, 3),
                      util::format_double(base / makespan, 2) + "x"});
+      if (consumers == 1 || consumers == 8) {
+        bench.add_key_metric(
+            regime + ".makespan_s." + std::to_string(consumers) + "consumers",
+            makespan, obs::Better::kLower, {.unit = "s"});
+      }
     }
     std::printf("%s\n", table.render().c_str());
+    bench.add_table(regime, table.headers(), table.rows());
   }
   std::printf("scaling is proportional while consumers are the bottleneck "
               "and caps at the number of concurrent producers.\n");
+  std::printf("bench report: %s\n", bench.write().c_str());
   return 0;
 }

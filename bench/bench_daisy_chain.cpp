@@ -11,10 +11,12 @@
 #include <vector>
 
 #include "src/cosim/report.hpp"
+#include "src/obs/report.hpp"
 #include "src/sim/process.hpp"
 #include "src/util/strings.hpp"
 #include "src/wire/bus.hpp"
 #include "src/wire/master.hpp"
+#include "src/wire/metrics.hpp"
 #include "src/wire/timing.hpp"
 
 using namespace tb;
@@ -28,7 +30,8 @@ struct ChainResult {
   bool int_seen_from_far = false;
 };
 
-ChainResult run_chain(int slaves, bool scale_rx_timeout) {
+ChainResult run_chain(int slaves, bool scale_rx_timeout,
+                      obs::Snapshot* snapshot_out = nullptr) {
   sim::Simulator sim(1);
   wire::LinkConfig link;
   link.bit_rate_hz = 9'600;
@@ -46,6 +49,12 @@ ChainResult run_chain(int slaves, bool scale_rx_timeout) {
     bus.attach(*devices.back());
   }
   wire::Master master(bus);
+  obs::Registry registry;
+  if (snapshot_out != nullptr) {
+    sim.bind_metrics(registry);
+    wire::bind_metrics(registry, bus);
+    wire::bind_metrics(registry, master);
+  }
 
   ChainResult result;
   bool done = false;
@@ -78,25 +87,52 @@ ChainResult run_chain(int slaves, bool scale_rx_timeout) {
   });
   sim.run();
   if (!done) std::fprintf(stderr, "chain %d did not complete!\n", slaves);
+  // Snapshot before the sim (whose clock the registry borrows) goes away.
+  if (snapshot_out != nullptr) *snapshot_out = registry.snapshot();
   return result;
 }
 
 }  // namespace
 
 int main() {
+  const bool short_mode = obs::bench_short_mode();
+  obs::BenchReport report("daisy_chain");
+  report.add_param("bit_rate_hz", obs::JsonValue(std::int64_t{9'600}));
+
   std::printf("TpWIRE daisy chain (Fig. 2) at 9600 bit/s, 1 bit-period per "
               "hop\n\n");
   std::printf("default rx timeout (96 bit periods):\n");
   cosim::TablePrinter table({"slaves", "cycle to 1st (ms)", "cycle to last (ms)",
                              "poll round (ms)", "INT propagated"});
-  for (int slaves : {1, 2, 4, 8, 16, 32, 64, 126}) {
-    const ChainResult r = run_chain(slaves, /*scale_rx_timeout=*/false);
+  const std::vector<int> default_sweep =
+      short_mode ? std::vector<int>{1, 4, 16}
+                 : std::vector<int>{1, 2, 4, 8, 16, 32, 64, 126};
+  for (int slaves : default_sweep) {
+    obs::Snapshot snapshot;
+    const ChainResult r = run_chain(slaves, /*scale_rx_timeout=*/false,
+                                    slaves == 16 ? &snapshot : nullptr);
     table.add_row({std::to_string(slaves), util::format_double(r.first_ms, 3),
                    util::format_double(r.last_ms, 3),
                    util::format_double(r.poll_round_ms, 2),
                    r.int_seen_from_far ? "yes" : "NO"});
+    if (slaves == 16) {
+      // Simulated-time quantities: deterministic across machines, so they
+      // gate the regression check at the default threshold.
+      report.add_key_metric("chain16.cycle_first_ms", r.first_ms,
+                            obs::Better::kLower, {.unit = "ms"});
+      report.add_key_metric("chain16.cycle_last_ms", r.last_ms,
+                            obs::Better::kLower, {.unit = "ms"});
+      report.add_key_metric("chain16.poll_round_ms", r.poll_round_ms,
+                            obs::Better::kLower, {.unit = "ms"});
+      report.add_key_metric("chain16.int_propagated",
+                            r.int_seen_from_far ? 1.0 : 0.0,
+                            obs::Better::kHigher,
+                            {.unit = "bool", .tolerance_pct = 0.0});
+      report.add_registry(snapshot, "chain16");
+    }
   }
   std::printf("%s\n", table.render().c_str());
+  report.add_table("default_timeout", table.headers(), table.rows());
   std::printf("beyond ~40 slaves the tail's round trip exceeds the default "
               "96-bit rx timeout:\nevery cycle to a far slave burns the full "
               "retry budget and fails. The master\nmust program the timeout "
@@ -104,18 +140,26 @@ int main() {
 
   cosim::TablePrinter scaled({"slaves", "cycle to last (ms)", "poll round (ms)",
                               "INT propagated"});
-  for (int slaves : {32, 64, 126}) {
+  const std::vector<int> scaled_sweep =
+      short_mode ? std::vector<int>{32} : std::vector<int>{32, 64, 126};
+  for (int slaves : scaled_sweep) {
     const ChainResult r = run_chain(slaves, /*scale_rx_timeout=*/true);
     scaled.add_row({std::to_string(slaves), util::format_double(r.last_ms, 3),
                     util::format_double(r.poll_round_ms, 2),
                     r.int_seen_from_far ? "yes" : "NO"});
+    if (slaves == 32) {
+      report.add_key_metric("chain32_scaled.cycle_last_ms", r.last_ms,
+                            obs::Better::kLower, {.unit = "ms"});
+    }
   }
   std::printf("%s\n", scaled.render().c_str());
+  report.add_table("scaled_timeout", scaled.headers(), scaled.rows());
   std::printf("spec limit: 127 node ids (126 slaves + broadcast id 127)\n");
 
   const wire::AnalyticTiming analytic(wire::LinkConfig{.bit_rate_hz = 9'600});
   std::printf("closed form: cycle(pos) = 2*frame + 2*(pos+1)*hop + "
               "turnaround + gap = %.3f ms at pos 0\n",
               analytic.reply_cycle(0).seconds() * 1e3);
+  std::printf("bench report: %s\n", report.write().c_str());
   return 0;
 }

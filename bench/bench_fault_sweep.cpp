@@ -10,6 +10,7 @@
 #include <cstdio>
 
 #include "src/cosim/report.hpp"
+#include "src/obs/report.hpp"
 #include "src/fault/injector.hpp"
 #include "src/fault/invariants.hpp"
 #include "src/fault/plan.hpp"
@@ -32,7 +33,7 @@ struct SweepOutcome {
   double elapsed_s = 0.0;
 };
 
-SweepOutcome run_ber(double ber, std::uint64_t seed) {
+SweepOutcome run_ber(double ber, std::uint64_t seed, int ops) {
   sim::Simulator sim(1);
   wire::LinkConfig link;
   link.bit_rate_hz = 9'600;
@@ -54,9 +55,8 @@ SweepOutcome run_ber(double ber, std::uint64_t seed) {
   checker.watch_master(master);
 
   SweepOutcome outcome;
-  constexpr int kOps = 2'000;
   sim::spawn([&]() -> sim::Task<void> {
-    for (int i = 0; i < kOps; ++i) {
+    for (int i = 0; i < ops; ++i) {
       wire::PingResult r = co_await master.ping(1);
       if (r.ok()) ++outcome.ok;
       else ++outcome.failed;
@@ -75,11 +75,22 @@ SweepOutcome run_ber(double ber, std::uint64_t seed) {
 }  // namespace
 
 int main() {
-  std::printf("Retry rate vs injected BER (2000 pings, seed-deterministic)\n\n");
+  const bool short_mode = obs::bench_short_mode();
+  const int kOps = short_mode ? 500 : 2'000;
+  obs::BenchReport bench("fault_sweep");
+  bench.add_param("ops", obs::JsonValue(std::int64_t{kOps}));
+  bench.add_param("seed", obs::JsonValue(std::int64_t{0x5EED}));
+
+  std::printf("Retry rate vs injected BER (%d pings, seed-deterministic)\n\n",
+              kOps);
   cosim::TablePrinter table({"BER", "bits flipped", "retries/op", "failed",
                              "frames/op", "ops/s", "violations"});
-  for (double ber : {0.0, 1e-5, 1e-4, 1e-3, 5e-3}) {
-    const SweepOutcome o = run_ber(ber, 0x5EED);
+  const std::vector<double> bers =
+      short_mode ? std::vector<double>{0.0, 1e-4, 1e-3}
+                 : std::vector<double>{0.0, 1e-5, 1e-4, 1e-3, 5e-3};
+  std::uint64_t total_violations = 0;
+  for (double ber : bers) {
+    const SweepOutcome o = run_ber(ber, 0x5EED, kOps);
     const double ops = static_cast<double>(o.ok + o.failed);
     table.add_row({util::format_double(ber, 5),
                    std::to_string(o.bits_flipped),
@@ -88,10 +99,28 @@ int main() {
                    util::format_double(static_cast<double>(o.frames) / ops, 3),
                    util::format_double(ops / o.elapsed_s, 1),
                    std::to_string(o.violations)});
+    total_violations += o.violations;
+    if (ber == 1e-3) {
+      bench.add_key_metric("ber1e-3.retries_per_op",
+                           static_cast<double>(o.retries) / ops,
+                           obs::Better::kLower, {.unit = "retries/op"});
+      bench.add_key_metric("ber1e-3.failed", static_cast<double>(o.failed),
+                           obs::Better::kLower, {.unit = "ops"});
+      bench.add_key_metric("ber1e-3.ops_per_sim_s", ops / o.elapsed_s,
+                           obs::Better::kHigher, {.unit = "ops/s"});
+    }
   }
   std::printf("%s\n", table.render().c_str());
+  bench.add_table("ber_sweep", table.headers(), table.rows());
+  // Safety property, not a performance number: any accepted-corrupt frame
+  // is a hard failure regardless of magnitude.
+  bench.add_key_metric("invariant_violations",
+                       static_cast<double>(total_violations),
+                       obs::Better::kLower,
+                       {.unit = "count", .tolerance_pct = 0.0});
   std::printf("retries/op tracks 1 - (1-BER)^32 (one TX + one RX word per "
               "cycle) until the budget saturates; violations stay 0 at every "
               "rate — corrupted frames are rejected, never accepted.\n");
+  std::printf("bench report: %s\n", bench.write().c_str());
   return 0;
 }

@@ -2,6 +2,7 @@
 // CRC-4, relay segments and GDB-RSP framing.
 #include <benchmark/benchmark.h>
 
+#include "bench/gbench_report.hpp"
 #include "src/cosim/rsp.hpp"
 #include "src/util/crc.hpp"
 #include "src/wire/frame.hpp"
@@ -102,4 +103,4 @@ BENCHMARK(BM_RspParse)->Arg(16)->Arg(256);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+TB_BENCHMARK_MAIN("frame_codec")

@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "src/cosim/report.hpp"
+#include "src/obs/report.hpp"
 #include "src/sim/process.hpp"
 #include "src/util/strings.hpp"
 #include "src/wire/multibus.hpp"
@@ -72,21 +73,38 @@ std::uint64_t mode_b_rate(int buses) {
 }  // namespace
 
 int main() {
+  const bool short_mode = obs::bench_short_mode();
+  obs::BenchReport bench("nwire_scaling");
+  bench.add_param("bit_rate_hz", obs::JsonValue(std::int64_t{9'600}));
   std::printf("TpWIRE n-wire scaling (paper section 3.2), 9600 bit/s lines, "
               "1 s of polling\n\n");
 
   const std::uint64_t base = mode_a_rate(1);
+  bench.add_key_metric("mode_a.cycles_per_s.1wire",
+                       static_cast<double>(base), obs::Better::kHigher,
+                       {.unit = "cycles/s"});
   cosim::TablePrinter table({"wires", "mode A cycles/s", "mode A speedup",
                              "mode B cycles/s", "mode B speedup"});
-  for (int n : {1, 2, 4, 8}) {
+  const std::vector<int> sweep =
+      short_mode ? std::vector<int>{1, 2, 4} : std::vector<int>{1, 2, 4, 8};
+  for (int n : sweep) {
     const std::uint64_t a = mode_a_rate(n);
     const std::uint64_t b = mode_b_rate(n);
     table.add_row({std::to_string(n), std::to_string(a),
                    util::format_double(static_cast<double>(a) / base, 2) + "x",
                    std::to_string(b),
                    util::format_double(static_cast<double>(b) / base, 2) + "x"});
+    if (n == 4) {
+      bench.add_key_metric("mode_a.speedup.4wire",
+                           static_cast<double>(a) / base,
+                           obs::Better::kHigher, {.unit = "x"});
+      bench.add_key_metric("mode_b.speedup.4wire",
+                           static_cast<double>(b) / base,
+                           obs::Better::kHigher, {.unit = "x"});
+    }
   }
   std::printf("%s\n", table.render().c_str());
+  bench.add_table("scaling", table.headers(), table.rows());
 
   std::printf("frame duration on the wire (bit periods):\n");
   for (int n : {1, 2, 3, 4, 8}) {
@@ -97,5 +115,6 @@ int main() {
   std::printf("\nmode A saturates at 2x (\"can almost double the "
               "performance\"); mode B keeps scaling but needs a master per "
               "line.\n");
+  std::printf("bench report: %s\n", bench.write().c_str());
   return 0;
 }

@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "src/cosim/report.hpp"
+#include "src/obs/report.hpp"
 #include "src/sim/process.hpp"
 #include "src/util/strings.hpp"
 #include "src/wire/bus.hpp"
@@ -92,19 +93,33 @@ CacheOutcome run_cache(bool cache_enabled) {
 }  // namespace
 
 int main() {
+  const bool short_mode = obs::bench_short_mode();
+  obs::BenchReport bench("retry_ablation");
   std::printf("Ablation 1: retry budget vs frame corruption (400 pings)\n\n");
   cosim::TablePrinter retries({"corruption", "retries", "ok", "failed",
                                "avg op (ms)"});
-  for (double p : {0.01, 0.05, 0.15}) {
+  const std::vector<double> probs =
+      short_mode ? std::vector<double>{0.05} : std::vector<double>{0.01, 0.05,
+                                                                   0.15};
+  for (double p : probs) {
     for (int limit : {0, 1, 3, 5}) {
       const RetryOutcome outcome = run_retries(limit, p);
       retries.add_row({util::format_double(p * 100, 0) + "%",
                        std::to_string(limit), std::to_string(outcome.ok),
                        std::to_string(outcome.failed),
                        util::format_double(outcome.avg_op_ms, 2)});
+      if (p == 0.05 && limit == 3) {
+        bench.add_key_metric("corrupt5pct.limit3.ok",
+                             static_cast<double>(outcome.ok),
+                             obs::Better::kHigher, {.unit = "ops"});
+        bench.add_key_metric("corrupt5pct.limit3.avg_op_ms",
+                             outcome.avg_op_ms, obs::Better::kLower,
+                             {.unit = "ms"});
+      }
     }
   }
   std::printf("%s\n", retries.render().c_str());
+  bench.add_table("retry_budget", retries.headers(), retries.rows());
 
   std::printf("Ablation 2: master state cache during mailbox shuttling "
               "(128 bytes, 16-byte slices)\n\n");
@@ -116,9 +131,17 @@ int main() {
   cache.add_row({"off", std::to_string(without.cycles),
                  util::format_double(without.elapsed_ms, 1)});
   std::printf("%s\n", cache.render().c_str());
+  bench.add_table("state_cache", cache.headers(), cache.rows());
+  bench.add_key_metric("cache_on.bus_cycles", static_cast<double>(with.cycles),
+                       obs::Better::kLower,
+                       {.unit = "cycles", .tolerance_pct = 0.0});
+  bench.add_key_metric("cache_off.bus_cycles",
+                       static_cast<double>(without.cycles), obs::Better::kLower,
+                       {.unit = "cycles", .tolerance_pct = 0.0});
   std::printf("the cache cuts %.0f%% of the bus cycles — the difference "
               "between Table 4 finishing and not.\n",
               100.0 * (1.0 - static_cast<double>(with.cycles) /
                                  static_cast<double>(without.cycles)));
+  std::printf("bench report: %s\n", bench.write().c_str());
   return 0;
 }

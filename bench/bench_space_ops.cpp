@@ -5,6 +5,7 @@
 // heterogeneous tuples?
 #include <benchmark/benchmark.h>
 
+#include "bench/gbench_report.hpp"
 #include "src/sim/simulator.hpp"
 #include "src/space/space.hpp"
 
@@ -112,4 +113,4 @@ BENCHMARK(BM_LeaseChurn);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+TB_BENCHMARK_MAIN("space_ops")

@@ -7,11 +7,15 @@
 
 #include "src/cosim/report.hpp"
 #include "src/cosim/validation.hpp"
+#include "src/obs/report.hpp"
 #include "src/util/strings.hpp"
 
 using namespace tb;
 
 int main() {
+  const bool short_mode = obs::bench_short_mode();
+  obs::BenchReport bench("table3_validation");
+
   std::printf("Table 3 — Validation NS2-TpWIRE\n");
   std::printf("Topology (Fig. 6): Master -> [Slave1 CBR] -> [Slave2 receiver]; "
               "9600 bit/s 1-wire.\n");
@@ -19,7 +23,10 @@ int main() {
               "controller firmware overhead per cycle (DESIGN.md).\n\n");
 
   cosim::ValidationConfig config;
-  config.frame_counts = {1'000, 10'000, 100'000};
+  config.frame_counts = short_mode
+                            ? std::vector<std::uint64_t>{1'000, 10'000}
+                            : std::vector<std::uint64_t>{1'000, 10'000,
+                                                         100'000};
 
   const cosim::ValidationReport report = cosim::run_frame_validation(config);
   cosim::TablePrinter table({"Num. Frame", "TpICU/SCM (s)", "NS2 (s)",
@@ -35,6 +42,16 @@ int main() {
               "(constant across frame counts -> usable as a timing-accuracy "
               "correction, as in the paper)\n\n",
               report.scaling_factor);
+  bench.add_table("validation", table.headers(), table.rows());
+  // The scaling factor is the paper's headline validation number; any drift
+  // means the bus model's timing changed.
+  bench.add_key_metric("scaling_factor", report.scaling_factor,
+                       obs::Better::kLower,
+                       {.unit = "ratio", .tolerance_pct = 1.0});
+  bench.add_key_metric(
+      "ns2_seconds_1k_frames",
+      report.rows.empty() ? 0.0 : report.rows.front().simulated_sec,
+      obs::Better::kLower, {.unit = "s"});
 
   // Sensitivity: the overhead parameter is the only unknown; show how the
   // scaling factor tracks it.
@@ -48,12 +65,18 @@ int main() {
                          util::format_double(r.scaling_factor, 4)});
   }
   std::printf("%s\n", sensitivity.render().c_str());
+  bench.add_table("overhead_sensitivity", sensitivity.headers(),
+                  sensitivity.rows());
 
-  const cosim::RealtimeCheck realtime =
-      cosim::run_realtime_check(500, 1'000.0, config);
+  const cosim::RealtimeCheck realtime = cosim::run_realtime_check(
+      short_mode ? 100 : 500, 1'000.0, config);
   std::printf("real-time scheduler: %.3f s of sim in %.4f s wall at 1000x, "
               "max pacing lag %.3f ms (%llu events)\n",
               realtime.sim_seconds, realtime.wall_seconds, realtime.max_lag_ms,
               static_cast<unsigned long long>(realtime.events));
+  // Wall-clock pacing fidelity is machine-dependent: report only.
+  bench.add_key_metric("realtime.max_lag_ms", realtime.max_lag_ms,
+                       obs::Better::kLower, {.unit = "ms", .gate = false});
+  std::printf("bench report: %s\n", bench.write().c_str());
   return 0;
 }

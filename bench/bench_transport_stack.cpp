@@ -13,6 +13,7 @@
 #include "src/mw/loopback.hpp"
 #include "src/mw/net_transport.hpp"
 #include "src/net/network.hpp"
+#include "src/obs/report.hpp"
 #include "src/sim/process.hpp"
 #include "src/util/strings.hpp"
 
@@ -50,7 +51,7 @@ double measure(sim::Simulator& sim, mw::SpaceClient& client) {
   return seconds;
 }
 
-double loopback_case(bool xml) {
+double loopback_case(bool xml, obs::Snapshot* snapshot_out = nullptr) {
   sim::Simulator sim(1);
   space::TupleSpace space(sim);
   std::unique_ptr<mw::Codec> codec;
@@ -60,7 +61,16 @@ double loopback_case(bool xml) {
   mw::SpaceServer server(space, hub, *codec);
   mw::LoopbackClient& transport = hub.create_client();
   mw::SpaceClient client(sim, transport, *codec);
-  return measure(sim, client);
+  obs::Registry registry;
+  if (snapshot_out != nullptr) {
+    sim.bind_metrics(registry);
+    space.bind_metrics(registry);
+    client.bind_metrics(registry);
+  }
+  const double seconds = measure(sim, client);
+  // Snapshot before the sim (whose clock the registry borrows) goes away.
+  if (snapshot_out != nullptr) *snapshot_out = registry.snapshot();
+  return seconds;
 }
 
 double net_case(bool xml, double bandwidth_bps) {
@@ -108,28 +118,45 @@ double wire_case(bool xml) {
 }  // namespace
 
 int main() {
+  obs::BenchReport bench("transport_stack");
   std::printf("Transport-stack ablation: write+take of a 64-byte entry\n");
   std::printf("(TpWIRE at the Table-4 calibration: 6 kbit/s, firmware "
               "turnaround)\n\n");
 
+  // Every cell is simulated time — deterministic, so all gate.
+  auto keyed = [&bench](const char* name, double seconds) {
+    bench.add_key_metric(name, seconds, obs::Better::kLower, {.unit = "s"});
+    return seconds;
+  };
+  obs::Snapshot loopback_snapshot;
   cosim::TablePrinter table({"transport", "codec", "round trip"});
-  table.add_row({"loopback (RMI, Fig.3)", "xml",
-                 util::format_seconds(loopback_case(true))});
+  table.add_row(
+      {"loopback (RMI, Fig.3)", "xml",
+       util::format_seconds(
+           keyed("loopback.xml_s", loopback_case(true, &loopback_snapshot)))});
   table.add_row({"loopback (RMI, Fig.3)", "binary",
-                 util::format_seconds(loopback_case(false))});
+                 util::format_seconds(
+                     keyed("loopback.binary_s", loopback_case(false)))});
   table.add_row({"10 Mb/s ethernet (Fig.4)", "xml",
-                 util::format_seconds(net_case(true, 10e6))});
+                 util::format_seconds(
+                     keyed("ethernet.xml_s", net_case(true, 10e6)))});
   table.add_row({"10 Mb/s ethernet (Fig.4)", "binary",
-                 util::format_seconds(net_case(false, 10e6))});
+                 util::format_seconds(
+                     keyed("ethernet.binary_s", net_case(false, 10e6)))});
   table.add_row({"gdb-RSP serial pipe (Fig.5 glue)", "xml",
-                 util::format_seconds(rsp_pipe_case(true))});
+                 util::format_seconds(
+                     keyed("rsp_pipe.xml_s", rsp_pipe_case(true)))});
   table.add_row({"gdb-RSP serial pipe (Fig.5 glue)", "binary",
-                 util::format_seconds(rsp_pipe_case(false))});
+                 util::format_seconds(
+                     keyed("rsp_pipe.binary_s", rsp_pipe_case(false)))});
   table.add_row({"TpWIRE 1-wire (Fig.5/7)", "xml",
-                 util::format_seconds(wire_case(true))});
+                 util::format_seconds(keyed("tpwire.xml_s", wire_case(true)))});
   table.add_row({"TpWIRE 1-wire (Fig.5/7)", "binary",
-                 util::format_seconds(wire_case(false))});
+                 util::format_seconds(
+                     keyed("tpwire.binary_s", wire_case(false)))});
   std::printf("%s\n", table.render().c_str());
+  bench.add_table("round_trips", table.headers(), table.rows());
+  bench.add_registry(loopback_snapshot, "loopback_xml");
 
   // GDB RSP framing overhead (the Fig. 5 board bridge).
   std::printf("GDB remote-serial-protocol framing overhead (board bridge, "
@@ -147,5 +174,7 @@ int main() {
                      "%"});
   }
   std::printf("%s", rsp.render().c_str());
+  bench.add_table("rsp_overhead", rsp.headers(), rsp.rows());
+  std::printf("bench report: %s\n", bench.write().c_str());
   return 0;
 }

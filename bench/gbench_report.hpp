@@ -1,0 +1,106 @@
+// Shared main() for the google-benchmark harnesses: keeps the familiar
+// console output and mirrors every completed run into the unified
+// BENCH_<name>.json report (obs::BenchReport).
+//
+// Micro-benchmark numbers are wall-clock and therefore machine-dependent,
+// so every key metric is declared gate:false — bench_compare.py prints the
+// drift but never fails CI on it. The simulated-time scenario benches are
+// the gating set.
+#pragma once
+
+#include <benchmark/benchmark.h>
+
+#include <string>
+#include <vector>
+
+#include "src/obs/report.hpp"
+
+namespace tb::benchio {
+
+/// ConsoleReporter that also captures per-iteration runs for the report.
+class CaptureReporter : public benchmark::ConsoleReporter {
+ public:
+  struct CapturedRun {
+    std::string name;
+    std::int64_t iterations = 0;
+    double real_ns_per_iter = 0.0;
+    double cpu_ns_per_iter = 0.0;
+    double items_per_sec = -1.0;  ///< <0 when the bench sets no item count
+    double bytes_per_sec = -1.0;
+  };
+
+  void ReportRuns(const std::vector<Run>& runs) override {
+    for (const Run& run : runs) {
+      if (run.run_type != Run::RT_Iteration || run.error_occurred) continue;
+      CapturedRun captured;
+      captured.name = run.benchmark_name();
+      captured.iterations = run.iterations;
+      const double iters =
+          run.iterations > 0 ? static_cast<double>(run.iterations) : 1.0;
+      captured.real_ns_per_iter = run.real_accumulated_time / iters * 1e9;
+      captured.cpu_ns_per_iter = run.cpu_accumulated_time / iters * 1e9;
+      auto items = run.counters.find("items_per_second");
+      if (items != run.counters.end()) captured.items_per_sec = items->second;
+      auto bytes = run.counters.find("bytes_per_second");
+      if (bytes != run.counters.end()) captured.bytes_per_sec = bytes->second;
+      captured_.push_back(std::move(captured));
+    }
+    benchmark::ConsoleReporter::ReportRuns(runs);
+  }
+
+  const std::vector<CapturedRun>& captured() const { return captured_; }
+
+ private:
+  std::vector<CapturedRun> captured_;
+};
+
+/// Runs all registered benchmarks and writes BENCH_<report_name>.json.
+/// Returns the process exit code.
+inline int run_and_report(const std::string& report_name, int argc,
+                          char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  CaptureReporter reporter;
+  benchmark::RunSpecifiedBenchmarks(&reporter);
+
+  obs::BenchReport report(report_name);
+  report.add_param("harness", obs::JsonValue("google-benchmark"));
+  std::vector<std::vector<std::string>> rows;
+  for (const CaptureReporter::CapturedRun& run : reporter.captured()) {
+    obs::BenchReport::KeyMetricOptions wall_clock;
+    wall_clock.gate = false;  // machine-dependent; report, don't fail
+    if (run.items_per_sec >= 0.0) {
+      wall_clock.unit = "items/s";
+      report.add_key_metric(run.name + ".items_per_sec", run.items_per_sec,
+                            obs::Better::kHigher, wall_clock);
+    } else {
+      wall_clock.unit = "ns";
+      report.add_key_metric(run.name + ".real_ns_per_iter",
+                            run.real_ns_per_iter, obs::Better::kLower,
+                            wall_clock);
+    }
+    rows.push_back({run.name, std::to_string(run.iterations),
+                    std::to_string(run.real_ns_per_iter),
+                    std::to_string(run.cpu_ns_per_iter),
+                    run.items_per_sec >= 0.0
+                        ? std::to_string(run.items_per_sec)
+                        : std::string("-")});
+  }
+  report.add_table("runs",
+                   {"name", "iterations", "real ns/iter", "cpu ns/iter",
+                    "items/s"},
+                   std::move(rows));
+  const std::string path = report.write();
+  std::printf("bench report: %s\n", path.c_str());
+  benchmark::Shutdown();
+  return 0;
+}
+
+}  // namespace tb::benchio
+
+/// Drop-in replacement for BENCHMARK_MAIN() that also writes the JSON
+/// report. `name` is the report basename: BENCH_<name>.json.
+#define TB_BENCHMARK_MAIN(name)                              \
+  int main(int argc, char** argv) {                          \
+    return tb::benchio::run_and_report(name, argc, argv);    \
+  }

@@ -16,6 +16,11 @@ class TablePrinter {
   /// Renders with a header underline and two-space column gaps.
   std::string render() const;
 
+  /// Raw cells, for embedding the same table into a machine-readable
+  /// report (obs::BenchReport::add_table) alongside the rendered text.
+  const std::vector<std::string>& headers() const { return headers_; }
+  const std::vector<std::vector<std::string>>& rows() const { return rows_; }
+
  private:
   std::vector<std::string> headers_;
   std::vector<std::vector<std::string>> rows_;

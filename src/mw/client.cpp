@@ -2,6 +2,7 @@
 
 #include <climits>
 
+#include "src/obs/metrics.hpp"
 #include "src/util/assert.hpp"
 
 namespace tb::mw {
@@ -40,6 +41,10 @@ void SpaceClient::handle_bytes(const std::vector<std::uint8_t>& bytes) {
   pending_.erase(it);
   sim_->cancel(pending.timeout_event);
   ++stats_.completed;
+  if (rpc_latency_ns_) {
+    rpc_latency_ns_->record(
+        static_cast<std::uint64_t>((sim_->now() - pending.started).count_ns()));
+  }
   // Decouple from the transport's delivery stack (it may be deep inside a
   // bus-relay coroutine).
   sim_->schedule_in(sim::Time::zero(),
@@ -66,6 +71,7 @@ void SpaceClient::arm_timeout(std::uint64_t request_id) {
           arm_timeout(request_id);
           return;
         }
+        ++stats_.rpc_failures;
         auto complete = std::move(pos->second.complete);
         pending_.erase(pos);
         complete(std::nullopt);
@@ -83,11 +89,37 @@ void SpaceClient::call(Message request,
   pending.encoded = codec_->encode(request);
   pending.retries_left = config_.rpc_retries;
   pending.next_timeout = config_.rpc_timeout;
+  pending.started = sim_->now();
   std::vector<std::uint8_t> wire_bytes = pending.encoded;
   const std::uint64_t id = request.request_id;
   pending_.emplace(id, std::move(pending));
   if (config_.rpc_timeout != space::kLeaseForever) arm_timeout(id);
   transport_->send(std::move(wire_bytes));
+}
+
+void SpaceClient::bind_metrics(obs::Registry& registry,
+                               const std::string& prefix) {
+  rpc_latency_ns_ = &registry.histogram(prefix + ".rpc_ns");
+  obs::Counter& calls = registry.counter(prefix + ".rpc.calls");
+  obs::Counter& completed = registry.counter(prefix + ".rpc.completed");
+  obs::Counter& timeouts = registry.counter(prefix + ".rpc.timeouts");
+  obs::Counter& failures = registry.counter(prefix + ".rpc.failures");
+  obs::Counter& retransmissions =
+      registry.counter(prefix + ".rpc.retransmissions");
+  obs::Counter& events = registry.counter(prefix + ".events");
+  obs::Counter& decode_errors = registry.counter(prefix + ".decode_errors");
+  obs::Counter& strays = registry.counter(prefix + ".stray_responses");
+  registry.add_collector([this, &calls, &completed, &timeouts, &failures,
+                          &retransmissions, &events, &decode_errors, &strays] {
+    calls.set(stats_.calls);
+    completed.set(stats_.completed);
+    timeouts.set(stats_.rpc_timeouts);
+    failures.set(stats_.rpc_failures);
+    retransmissions.set(stats_.retransmissions);
+    events.set(stats_.events);
+    decode_errors.set(stats_.decode_errors);
+    strays.set(stats_.stray_responses);
+  });
 }
 
 namespace {

@@ -17,6 +17,7 @@
 #include <cstdint>
 #include <functional>
 #include <optional>
+#include <string>
 #include <unordered_map>
 
 #include "src/mw/codec.hpp"
@@ -24,6 +25,11 @@
 #include "src/sim/process.hpp"
 #include "src/sim/simulator.hpp"
 #include "src/space/space.hpp"
+
+namespace tb::obs {
+class Histogram;
+class Registry;
+}
 
 namespace tb::mw {
 
@@ -103,12 +109,21 @@ class SpaceClient {
     std::uint64_t calls = 0;
     std::uint64_t completed = 0;
     std::uint64_t rpc_timeouts = 0;   ///< attempts that expired
+    std::uint64_t rpc_failures = 0;   ///< calls whose retry budget ran out
     std::uint64_t retransmissions = 0;
     std::uint64_t events = 0;
     std::uint64_t decode_errors = 0;
     std::uint64_t stray_responses = 0;  ///< no pending call (late arrival)
   };
   const Stats& stats() const { return stats_; }
+
+  /// Observability hook (DESIGN.md §7): mirrors Stats into `<p>.rpc.*`
+  /// counters at snapshot time and push-records the request→response
+  /// latency of every completed call into the `<p>.rpc_ns` histogram
+  /// (retransmitted calls count from the first send). The registry must
+  /// outlive the client. Default prefix: "mw.client".
+  void bind_metrics(obs::Registry& registry,
+                    const std::string& prefix = "mw.client");
 
  private:
   friend struct RpcAwaiter;
@@ -119,6 +134,7 @@ class SpaceClient {
     std::vector<std::uint8_t> encoded;  ///< for retransmission
     int retries_left = 0;
     sim::Time next_timeout;  ///< grows by rpc_backoff per retransmission
+    sim::Time started;       ///< first send, for the rpc latency histogram
   };
 
   void arm_timeout(std::uint64_t request_id);
@@ -142,6 +158,7 @@ class SpaceClient {
   std::unordered_map<std::uint64_t, Pending> pending_;
   std::unordered_map<std::uint64_t, EventCallback> event_callbacks_;
   Stats stats_;
+  obs::Histogram* rpc_latency_ns_ = nullptr;  ///< set by bind_metrics
 };
 
 }  // namespace tb::mw

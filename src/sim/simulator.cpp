@@ -2,6 +2,7 @@
 
 #include <sstream>
 
+#include "src/obs/metrics.hpp"
 #include "src/util/assert.hpp"
 #include "src/util/strings.hpp"
 
@@ -19,6 +20,8 @@ EventHandle Simulator::schedule_at(Time at, std::function<void()> fn) {
   const std::uint64_t id = next_id_++;
   queue_.push(QueueEntry{at, next_seq_++, id});
   live_events_.emplace(id, std::move(fn));
+  ++scheduled_;
+  if (live_events_.size() > peak_pending_) peak_pending_ = live_events_.size();
   return EventHandle(id);
 }
 
@@ -33,7 +36,9 @@ EventHandle Simulator::schedule_in(Time delay, std::function<void()> fn) {
 
 bool Simulator::cancel(EventHandle handle) {
   if (!handle.valid()) return false;
-  return live_events_.erase(handle.id()) > 0;
+  if (live_events_.erase(handle.id()) == 0) return false;
+  ++cancelled_;
+  return true;
 }
 
 bool Simulator::is_pending(EventHandle handle) const {
@@ -84,6 +89,25 @@ void Simulator::run_until(Time until) {
   while (!stop_requested_ && dispatch_next(until, /*bounded=*/true)) {
   }
   if (!stop_requested_ && now_ < until) now_ = until;
+}
+
+void Simulator::bind_metrics(obs::Registry& registry) {
+  if (!registry.has_clock()) {
+    registry.set_clock(
+        [this] { return static_cast<std::uint64_t>(now_.count_ns()); });
+  }
+  obs::Counter& scheduled = registry.counter("sim.events.scheduled");
+  obs::Counter& fired = registry.counter("sim.events.fired");
+  obs::Counter& cancelled = registry.counter("sim.events.cancelled");
+  obs::Gauge& depth = registry.gauge("sim.queue.depth");
+  obs::Gauge& peak = registry.gauge("sim.queue.peak_depth");
+  registry.add_collector([this, &scheduled, &fired, &cancelled, &depth, &peak] {
+    scheduled.set(scheduled_);
+    fired.set(executed_);
+    cancelled.set(cancelled_);
+    depth.set(static_cast<double>(live_events_.size()));
+    peak.set(static_cast<double>(peak_pending_));
+  });
 }
 
 }  // namespace tb::sim

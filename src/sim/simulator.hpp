@@ -17,6 +17,10 @@
 #include "src/sim/time.hpp"
 #include "src/util/rng.hpp"
 
+namespace tb::obs {
+class Registry;
+}
+
 namespace tb::sim {
 
 /// Identifies a scheduled event; value-semantic and cheap to copy.
@@ -81,6 +85,18 @@ class Simulator {
 
   std::size_t pending_events() const { return live_events_.size(); }
   std::uint64_t executed_events() const { return executed_; }
+  std::uint64_t scheduled_events() const { return scheduled_; }
+  std::uint64_t cancelled_events() const { return cancelled_; }
+  /// High-water mark of pending_events() over the run.
+  std::size_t peak_pending_events() const { return peak_pending_; }
+
+  /// Observability hook (DESIGN.md §7): installs this simulator as the
+  /// registry's clock (unless one is already set) and registers a collector
+  /// that mirrors the kernel counters into `sim.events.*` / `sim.queue.*`
+  /// at snapshot time. Pull-only — the hot path pays three always-on
+  /// integer bumps and nothing else. The simulator must outlive the
+  /// registry's last snapshot().
+  void bind_metrics(obs::Registry& registry);
 
   /// Root RNG for the simulation; components should fork() child streams.
   util::Xoshiro256& rng() { return rng_; }
@@ -113,6 +129,9 @@ class Simulator {
   std::uint64_t next_id_ = 1;
   std::uint64_t next_seq_ = 0;
   std::uint64_t executed_ = 0;
+  std::uint64_t scheduled_ = 0;
+  std::uint64_t cancelled_ = 0;
+  std::size_t peak_pending_ = 0;
   bool stop_requested_ = false;
   std::priority_queue<QueueEntry, std::vector<QueueEntry>, std::greater<>> queue_;
   std::unordered_map<std::uint64_t, std::function<void()>> live_events_;

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "src/obs/metrics.hpp"
 #include "src/util/assert.hpp"
 
 namespace tb::space {
@@ -52,12 +53,16 @@ void TupleSpace::publish(std::uint64_t id, Tuple tuple, sim::Time expires_at) {
     Waiter waiter = std::move(*it);
     it = waiters_.erase(it);
     sim_->cancel(waiter.timeout_event);
+    const std::uint64_t waited_ns =
+        static_cast<std::uint64_t>((sim_->now() - waiter.enqueued).count_ns());
     if (waiter.take) {
       ++stats_.takes;
+      if (match_take_ns_) match_take_ns_->record(waited_ns);
       deliver(std::move(waiter.callback), std::move(tuple));
       return;  // consumed before reaching the store
     }
     ++stats_.reads;
+    if (match_read_ns_) match_read_ns_->record(waited_ns);
     deliver(std::move(waiter.callback), tuple);  // copy to each reader
   }
 
@@ -308,11 +313,13 @@ void TupleSpace::blocking_match(Template tmpl, sim::Time timeout,
   if (it != entries_.end()) {
     if (take) {
       ++stats_.takes;
+      if (match_take_ns_) match_take_ns_->record(0);
       Tuple result = it->second.tuple;
       erase_entry(it);
       deliver(std::move(callback), std::move(result));
     } else {
       ++stats_.reads;
+      if (match_read_ns_) match_read_ns_->record(0);
       deliver(std::move(callback), it->second.tuple);
     }
     return;
@@ -328,6 +335,7 @@ void TupleSpace::blocking_match(Template tmpl, sim::Time timeout,
   waiter.tmpl = std::move(tmpl);
   waiter.take = take;
   waiter.callback = std::move(callback);
+  waiter.enqueued = sim_->now();
   if (timeout != kLeaseForever) {
     waiter.timeout_event =
         sim_->schedule_in(timeout, [this, id = waiter.id] {
@@ -411,6 +419,43 @@ void TupleSpace::expire_entry(std::uint64_t id) {
   if (it == entries_.end()) return;
   ++stats_.expirations;
   erase_entry(it);
+}
+
+void TupleSpace::bind_metrics(obs::Registry& registry,
+                              const std::string& prefix) {
+  match_read_ns_ = &registry.histogram(prefix + ".match_ns.read");
+  match_take_ns_ = &registry.histogram(prefix + ".match_ns.take");
+  obs::Counter& writes = registry.counter(prefix + ".writes");
+  obs::Counter& reads = registry.counter(prefix + ".reads");
+  obs::Counter& takes = registry.counter(prefix + ".takes");
+  obs::Counter& misses = registry.counter(prefix + ".misses");
+  obs::Counter& notifications = registry.counter(prefix + ".notifications");
+  obs::Counter& expirations = registry.counter(prefix + ".expirations");
+  obs::Counter& renewals = registry.counter(prefix + ".renewals");
+  obs::Counter& cancellations = registry.counter(prefix + ".cancellations");
+  obs::Counter& scan_steps = registry.counter(prefix + ".scan_steps");
+  obs::Counter& commits = registry.counter(prefix + ".commits");
+  obs::Counter& aborts = registry.counter(prefix + ".aborts");
+  obs::Gauge& size = registry.gauge(prefix + ".size");
+  obs::Gauge& blocked = registry.gauge(prefix + ".blocked");
+  registry.add_collector([this, &writes, &reads, &takes, &misses,
+                          &notifications, &expirations, &renewals,
+                          &cancellations, &scan_steps, &commits, &aborts,
+                          &size, &blocked] {
+    writes.set(stats_.writes);
+    reads.set(stats_.reads);
+    takes.set(stats_.takes);
+    misses.set(stats_.misses);
+    notifications.set(stats_.notifications);
+    expirations.set(stats_.expirations);
+    renewals.set(stats_.renewals);
+    cancellations.set(stats_.cancellations);
+    scan_steps.set(stats_.scan_steps);
+    commits.set(stats_.commits);
+    aborts.set(stats_.aborts);
+    size.set(static_cast<double>(entries_.size()));
+    blocked.set(static_cast<double>(waiters_.size()));
+  });
 }
 
 }  // namespace tb::space

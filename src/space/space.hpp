@@ -35,6 +35,11 @@
 #include "src/sim/simulator.hpp"
 #include "src/space/tuple.hpp"
 
+namespace tb::obs {
+class Histogram;
+class Registry;
+}
+
 namespace tb::space {
 
 /// Handle to a written tuple's lifetime.
@@ -168,6 +173,14 @@ class TupleSpace {
   };
   const Stats& stats() const { return stats_; }
 
+  /// Observability hook (DESIGN.md §7): mirrors Stats into `<p>.*` counters
+  /// and store-size gauges at snapshot time, and push-records blocking
+  /// read/take service latency (request to match; immediate hits record 0,
+  /// timeouts only count as misses) into `<p>.match_ns.read` /
+  /// `<p>.match_ns.take`. The registry must outlive the space. Default
+  /// prefix: "space".
+  void bind_metrics(obs::Registry& registry, const std::string& prefix = "space");
+
  private:
   struct Entry {
     std::uint64_t id = 0;  ///< doubles as the write timestamp (total order)
@@ -182,6 +195,7 @@ class TupleSpace {
     bool take = false;
     MatchCallback callback;
     sim::EventHandle timeout_event;
+    sim::Time enqueued;  ///< registration time, for the match-latency histogram
   };
 
   struct NotifyReg {
@@ -245,6 +259,8 @@ class TupleSpace {
   std::map<std::uint64_t, NotifyReg> notifies_;
   std::map<std::uint64_t, Txn> transactions_;
   Stats stats_;
+  obs::Histogram* match_read_ns_ = nullptr;  ///< set by bind_metrics
+  obs::Histogram* match_take_ns_ = nullptr;
 };
 
 }  // namespace tb::space

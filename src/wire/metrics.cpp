@@ -1,0 +1,79 @@
+#include "src/wire/metrics.hpp"
+
+namespace tb::wire {
+
+void bind_metrics(obs::Registry& registry, OneWireBus& bus,
+                  const std::string& prefix) {
+  const std::string base = prefix + ".bus.";
+  obs::Counter& cycles = registry.counter(base + "cycles");
+  obs::Counter& ok = registry.counter(base + "ok");
+  obs::Counter& timeouts = registry.counter(base + "timeouts");
+  obs::Counter& crc_errors = registry.counter(base + "crc_errors");
+  obs::Counter& frames_tx = registry.counter(base + "frames_tx");
+  obs::Counter& frames_rx = registry.counter(base + "frames_rx");
+  obs::Histogram& cycle_ns = registry.histogram(base + "cycle_ns");
+
+  bus.on_cycle().connect([&registry, &frames_rx, &cycle_ns,
+                          base](const CycleTrace& trace) {
+    // frames_tx / status counters come from the bus Stats collector below;
+    // the signal adds what Stats cannot: RX word sightings and latency.
+    if (trace.rx_seen) frames_rx.add();
+    const std::uint64_t ns =
+        static_cast<std::uint64_t>((trace.end - trace.start).count_ns());
+    cycle_ns.record(ns);
+    if (trace.responder >= 0) {
+      registry
+          .histogram(base + "poll_ns.node" + std::to_string(trace.responder))
+          .record(ns);
+    }
+  });
+
+  obs::Gauge& utilization = registry.gauge(base + "utilization");
+  registry.add_collector([&bus, &cycles, &ok, &timeouts, &crc_errors,
+                          &frames_tx, &utilization] {
+    const OneWireBus::Stats& stats = bus.stats();
+    cycles.set(stats.cycles);
+    ok.set(stats.ok);
+    timeouts.set(stats.timeouts);
+    crc_errors.set(stats.crc_errors);
+    frames_tx.set(stats.cycles);  // every cycle puts exactly one TX word out
+    utilization.set(bus.utilization());
+  });
+  obs::Counter& tx_corrupted = registry.counter(base + "tx_corrupted");
+  obs::Counter& rx_corrupted = registry.counter(base + "rx_corrupted");
+  registry.add_collector([&bus, &tx_corrupted, &rx_corrupted] {
+    tx_corrupted.set(bus.stats().tx_corrupted);
+    rx_corrupted.set(bus.stats().rx_corrupted);
+  });
+}
+
+void bind_metrics(obs::Registry& registry, Master& master,
+                  const std::string& prefix) {
+  const std::string base = prefix + ".master.";
+  obs::Histogram& transact_ns = registry.histogram(base + "transact_ns");
+  master.on_transact().connect([&transact_ns](const Master::TransactTrace& t) {
+    transact_ns.record(static_cast<std::uint64_t>((t.end - t.start).count_ns()));
+  });
+
+  obs::Counter& operations = registry.counter(base + "operations");
+  obs::Counter& frames_sent = registry.counter(base + "frames_sent");
+  obs::Counter& retries = registry.counter(base + "retries");
+  obs::Counter& failures = registry.counter(base + "failures");
+  obs::Counter& select_skips = registry.counter(base + "select_skips");
+  obs::Counter& address_skips = registry.counter(base + "address_skips");
+  obs::Counter& ack_losses = registry.counter(base + "ack_losses");
+  registry.add_collector([&master, &operations, &frames_sent, &retries,
+                          &failures, &select_skips, &address_skips,
+                          &ack_losses] {
+    const Master::Stats& stats = master.stats();
+    operations.set(stats.operations);
+    frames_sent.set(stats.frames_sent);
+    retries.set(stats.retries);
+    failures.set(stats.failures);
+    select_skips.set(stats.select_skips);
+    address_skips.set(stats.address_skips);
+    ack_losses.set(stats.ack_losses);
+  });
+}
+
+}  // namespace tb::wire

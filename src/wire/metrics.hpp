@@ -1,0 +1,37 @@
+// Observability bindings for the TpWIRE layer (DESIGN.md §7).
+//
+// Both binders ride the trace signals the fault-injection checkers already
+// use (OneWireBus::on_cycle, Master::on_transact), so the bus and master
+// stay untouched and an unbound run pays nothing. Counts that live in the
+// components' Stats structs are mirrored by a pull collector at snapshot
+// time; latency distributions are push-recorded per cycle/transaction.
+//
+// Instruments (under `prefix`, default "wire"):
+//   bus  — counters  <p>.bus.cycles, .ok, .timeouts, .crc_errors,
+//                    .frames_tx, .frames_rx (words on the medium),
+//                    .tx_corrupted, .rx_corrupted
+//          gauge     <p>.bus.utilization (occupancy of [0, now])
+//          histogram <p>.bus.cycle_ns          (all communication cycles)
+//                    <p>.bus.poll_ns.node<N>   (per responding chain slot)
+//   master — counters  <p>.master.operations, .frames_sent, .retries,
+//                      .failures, .select_skips, .address_skips, .ack_losses
+//            histogram <p>.master.transact_ns (frame txn incl. retries)
+//
+// Lifetime: the registry must outlive the bus/master (connect-only signals).
+#pragma once
+
+#include <string>
+
+#include "src/obs/metrics.hpp"
+#include "src/wire/bus.hpp"
+#include "src/wire/master.hpp"
+
+namespace tb::wire {
+
+void bind_metrics(obs::Registry& registry, OneWireBus& bus,
+                  const std::string& prefix = "wire");
+
+void bind_metrics(obs::Registry& registry, Master& master,
+                  const std::string& prefix = "wire");
+
+}  // namespace tb::wire

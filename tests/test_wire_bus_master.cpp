@@ -7,9 +7,11 @@
 #include <memory>
 #include <vector>
 
+#include "src/obs/metrics.hpp"
 #include "src/sim/process.hpp"
 #include "src/wire/bus.hpp"
 #include "src/wire/master.hpp"
+#include "src/wire/metrics.hpp"
 #include "src/wire/timing.hpp"
 
 namespace tb::wire {
@@ -349,6 +351,48 @@ TEST(Bus, ModeATwoWireAlmostDoublesThroughput) {
 TEST(Bus, ModeASaturatesBeyondTwoWires) {
   LinkConfig two{.wires = 2}, eight{.wires = 8};
   EXPECT_EQ(two.frame_bits_on_wire(), eight.frame_bits_on_wire());
+}
+
+TEST(Bus, MetricsMatchTraceDerivedFrameCounts) {
+  // The obs counters are mirrors of Stats and the on_cycle trace; a
+  // disagreement means one of the three bookkeeping paths drifted.
+  Rig rig(2);
+  obs::Registry registry;
+  rig.sim.bind_metrics(registry);
+  bind_metrics(registry, rig.bus);
+  bind_metrics(registry, rig.master);
+
+  std::uint64_t traced_cycles = 0;
+  std::uint64_t traced_responses = 0;
+  rig.bus.on_cycle().connect([&](const CycleTrace& trace) {
+    ++traced_cycles;
+    if (trace.rx_seen) ++traced_responses;
+  });
+
+  constexpr int kPings = 25;
+  rig.drive([&]() -> sim::Task<void> {
+    for (int i = 0; i < kPings; ++i) {
+      PingResult r = co_await rig.master.ping(2);
+      EXPECT_TRUE(r.ok());
+    }
+  });
+
+  const obs::Snapshot snap = registry.snapshot();
+  EXPECT_EQ(traced_cycles, rig.bus.stats().cycles);
+  EXPECT_EQ(snap.counter_value("wire.bus.frames_tx"), traced_cycles);
+  EXPECT_EQ(snap.counter_value("wire.bus.frames_rx"), traced_responses);
+  EXPECT_EQ(snap.counter_value("wire.bus.ok"), traced_responses);
+  EXPECT_EQ(snap.counter_value("wire.master.operations"),
+            static_cast<std::uint64_t>(kPings));
+  EXPECT_EQ(snap.counter_value("wire.master.frames_sent"), traced_cycles);
+  // The cycle-latency histogram saw exactly one sample per traced response.
+  const obs::Snapshot::HistogramSample* cycle_hist =
+      snap.find_histogram("wire.bus.cycle_ns");
+  ASSERT_NE(cycle_hist, nullptr);
+  EXPECT_EQ(cycle_hist->histogram.count(), traced_responses);
+  // And the sim clock stamped the snapshot with simulated (not wall) time.
+  EXPECT_EQ(snap.sim_now_ns,
+            static_cast<std::uint64_t>(rig.sim.now().count_ns()));
 }
 
 }  // namespace

@@ -14,6 +14,7 @@
 #include "src/fault/injector.hpp"
 #include "src/fault/invariants.hpp"
 #include "src/fault/plan.hpp"
+#include "src/par/sweep.hpp"
 #include "src/sim/process.hpp"
 #include "src/util/strings.hpp"
 #include "src/wire/bus.hpp"
@@ -88,9 +89,18 @@ int main() {
   const std::vector<double> bers =
       short_mode ? std::vector<double>{0.0, 1e-4, 1e-3}
                  : std::vector<double>{0.0, 1e-5, 1e-4, 1e-3, 5e-3};
+  // Each BER point is an independent Simulator with inputs fixed up front,
+  // so the sweep parallelizes across TB_JOBS workers without changing any
+  // number (TB_JOBS=1 reproduces the historical serial run exactly).
+  par::SweepRunner runner;
+  const std::vector<SweepOutcome> outcomes = runner.run(
+      bers.size(),
+      [&](std::size_t i) { return run_ber(bers[i], 0x5EED, kOps); });
+
   std::uint64_t total_violations = 0;
-  for (double ber : bers) {
-    const SweepOutcome o = run_ber(ber, 0x5EED, kOps);
+  for (std::size_t bi = 0; bi < bers.size(); ++bi) {
+    const double ber = bers[bi];
+    const SweepOutcome& o = outcomes[bi];
     const double ops = static_cast<double>(o.ok + o.failed);
     table.add_row({util::format_double(ber, 5),
                    std::to_string(o.bits_flipped),

@@ -15,6 +15,7 @@
 
 #include "src/cosim/report.hpp"
 #include "src/obs/report.hpp"
+#include "src/par/sweep.hpp"
 #include "src/sim/process.hpp"
 #include "src/util/strings.hpp"
 #include "src/wire/multibus.hpp"
@@ -79,17 +80,31 @@ int main() {
   std::printf("TpWIRE n-wire scaling (paper section 3.2), 9600 bit/s lines, "
               "1 s of polling\n\n");
 
-  const std::uint64_t base = mode_a_rate(1);
-  bench.add_key_metric("mode_a.cycles_per_s.1wire",
-                       static_cast<double>(base), obs::Better::kHigher,
-                       {.unit = "cycles/s"});
   cosim::TablePrinter table({"wires", "mode A cycles/s", "mode A speedup",
                              "mode B cycles/s", "mode B speedup"});
   const std::vector<int> sweep =
       short_mode ? std::vector<int>{1, 2, 4} : std::vector<int>{1, 2, 4, 8};
-  for (int n : sweep) {
-    const std::uint64_t a = mode_a_rate(n);
-    const std::uint64_t b = mode_b_rate(n);
+  // Every (mode, n) cell is an independent one-second simulation; run the
+  // whole grid (plus the 1-wire baseline) across TB_JOBS workers.
+  struct Cell {
+    std::uint64_t a = 0;
+    std::uint64_t b = 0;
+  };
+  par::SweepRunner runner;
+  const std::vector<Cell> cells =
+      runner.run(sweep.size() + 1, [&](std::size_t i) -> Cell {
+        if (i == 0) return {mode_a_rate(1), 0};  // baseline point
+        const int n = sweep[i - 1];
+        return {mode_a_rate(n), mode_b_rate(n)};
+      });
+  const std::uint64_t base = cells[0].a;
+  bench.add_key_metric("mode_a.cycles_per_s.1wire",
+                       static_cast<double>(base), obs::Better::kHigher,
+                       {.unit = "cycles/s"});
+  for (std::size_t si = 0; si < sweep.size(); ++si) {
+    const int n = sweep[si];
+    const std::uint64_t a = cells[si + 1].a;
+    const std::uint64_t b = cells[si + 1].b;
     table.add_row({std::to_string(n), std::to_string(a),
                    util::format_double(static_cast<double>(a) / base, 2) + "x",
                    std::to_string(b),

@@ -12,6 +12,7 @@
 
 #include "src/cosim/report.hpp"
 #include "src/obs/report.hpp"
+#include "src/par/sweep.hpp"
 #include "src/sim/process.hpp"
 #include "src/util/strings.hpp"
 #include "src/wire/bus.hpp"
@@ -101,9 +102,21 @@ int main() {
   const std::vector<double> probs =
       short_mode ? std::vector<double>{0.05} : std::vector<double>{0.01, 0.05,
                                                                    0.15};
-  for (double p : probs) {
-    for (int limit : {0, 1, 3, 5}) {
-      const RetryOutcome outcome = run_retries(limit, p);
+  const std::vector<int> limits{0, 1, 3, 5};
+  // Flatten the (prob x limit) grid into independent points and fan out
+  // across TB_JOBS workers; results come back in grid order, so the table
+  // and key metrics are byte-identical to the serial run.
+  par::SweepRunner runner;
+  const std::vector<RetryOutcome> outcomes =
+      runner.run(probs.size() * limits.size(), [&](std::size_t i) {
+        return run_retries(limits[i % limits.size()],
+                           probs[i / limits.size()]);
+      });
+  for (std::size_t pi = 0; pi < probs.size(); ++pi) {
+    const double p = probs[pi];
+    for (std::size_t li = 0; li < limits.size(); ++li) {
+      const int limit = limits[li];
+      const RetryOutcome& outcome = outcomes[pi * limits.size() + li];
       retries.add_row({util::format_double(p * 100, 0) + "%",
                        std::to_string(limit), std::to_string(outcome.ok),
                        std::to_string(outcome.failed),
@@ -124,8 +137,10 @@ int main() {
   std::printf("Ablation 2: master state cache during mailbox shuttling "
               "(128 bytes, 16-byte slices)\n\n");
   cosim::TablePrinter cache({"cache", "bus cycles", "elapsed (ms)"});
-  const CacheOutcome with = run_cache(true);
-  const CacheOutcome without = run_cache(false);
+  const std::vector<CacheOutcome> cache_outcomes =
+      runner.run(2, [](std::size_t i) { return run_cache(i == 0); });
+  const CacheOutcome& with = cache_outcomes[0];
+  const CacheOutcome& without = cache_outcomes[1];
   cache.add_row({"on", std::to_string(with.cycles),
                  util::format_double(with.elapsed_ms, 1)});
   cache.add_row({"off", std::to_string(without.cycles),

@@ -10,6 +10,7 @@
 #include "src/cosim/impact.hpp"
 #include "src/cosim/report.hpp"
 #include "src/obs/report.hpp"
+#include "src/par/sweep.hpp"
 #include "src/util/strings.hpp"
 
 using namespace tb;
@@ -46,29 +47,41 @@ int main() {
     if (value == 0.0) options.tolerance_pct = 0.0;
     bench.add_key_metric(name, value, obs::Better::kLower, options);
   };
-  for (double rate : {0.0, 0.3, 1.0}) {
+  // The Table 4 grid is 3 CBR rates x 3 bus variants = 9 independent long
+  // co-simulations; flatten it and fan out across TB_JOBS workers. Results
+  // come back in grid order, so rows and key metrics match the serial run.
+  const std::vector<double> rates{0.0, 0.3, 1.0};
+  par::SweepRunner runner;
+  const std::vector<cosim::ImpactResult> grid =
+      runner.run(rates.size() * 3, [&](std::size_t i) {
+        const double rate = rates[i / 3];
+        const std::size_t variant = i % 3;
+        if (variant == 2) {
+          cosim::ImpactConfig mode_b;
+          mode_b.cbr_rate_bps = rate;
+          return cosim::run_impact_mode_b(mode_b);
+        }
+        cosim::ImpactConfig config;
+        config.set_wires(variant == 0 ? 1 : 2);
+        config.cbr_rate_bps = rate;
+        return cosim::run_impact(config);
+      });
+  for (std::size_t ri = 0; ri < rates.size(); ++ri) {
+    const double rate = rates[ri];
     std::vector<std::string> row;
     row.push_back(util::format_double(rate, 1) + " B/s");
-    std::string util_cell, cycles_cell;
-    for (int wires : {1, 2}) {
-      cosim::ImpactConfig config;
-      config.set_wires(wires);
-      config.cbr_rate_bps = rate;
-      const cosim::ImpactResult result = cosim::run_impact(config);
-      row.push_back(render_cell(result));
-      add_metric(metric_name(rate, wires == 1 ? "1wire" : "2wire"), result);
-      if (wires == 1) {
-        util_cell = util::format_double(result.bus_utilization * 100.0, 1) + "%";
-        cycles_cell = std::to_string(result.bus_cycles);
-      }
-    }
-    cosim::ImpactConfig mode_b;
-    mode_b.cbr_rate_bps = rate;
-    const cosim::ImpactResult result_b = cosim::run_impact_mode_b(mode_b);
+    const cosim::ImpactResult& one_wire = grid[ri * 3];
+    const cosim::ImpactResult& two_wire = grid[ri * 3 + 1];
+    const cosim::ImpactResult& result_b = grid[ri * 3 + 2];
+    row.push_back(render_cell(one_wire));
+    add_metric(metric_name(rate, "1wire"), one_wire);
+    row.push_back(render_cell(two_wire));
+    add_metric(metric_name(rate, "2wire"), two_wire);
     row.push_back(render_cell(result_b));
     add_metric(metric_name(rate, "mode_b"), result_b);
-    row.push_back(util_cell);
-    row.push_back(cycles_cell);
+    row.push_back(util::format_double(one_wire.bus_utilization * 100.0, 1) +
+                  "%");
+    row.push_back(std::to_string(one_wire.bus_cycles));
     table.add_row(std::move(row));
   }
   std::printf("%s\n", table.render().c_str());
@@ -83,12 +96,17 @@ int main() {
   if (!short_mode) {
     std::printf("1-wire lease-expiry crossover sweep:\n");
     cosim::TablePrinter sweep({"CBR (B/s)", "result", "take arrival vs lease"});
-    for (double rate : {0.0, 0.2, 0.4, 0.6, 0.8, 1.0}) {
-      cosim::ImpactConfig config;
-      config.cbr_rate_bps = rate;
-      const cosim::ImpactResult result = cosim::run_impact(config);
+    const std::vector<double> cross{0.0, 0.2, 0.4, 0.6, 0.8, 1.0};
+    const std::vector<cosim::ImpactResult> cross_results =
+        runner.run(cross.size(), [&](std::size_t i) {
+          cosim::ImpactConfig config;
+          config.cbr_rate_bps = cross[i];
+          return cosim::run_impact(config);
+        });
+    for (std::size_t ci = 0; ci < cross.size(); ++ci) {
+      const cosim::ImpactResult& result = cross_results[ci];
       sweep.add_row(
-          {util::format_double(rate, 1),
+          {util::format_double(cross[ci], 1),
            result.out_of_time
                ? "Out of Time"
                : util::format_double(result.total.seconds(), 0) + "s",

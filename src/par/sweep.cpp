@@ -1,0 +1,22 @@
+#include "src/par/sweep.hpp"
+
+#include <cstdlib>
+#include <string>
+
+namespace tb::par {
+
+std::size_t default_jobs() {
+  if (const char* env = std::getenv("TB_JOBS")) {
+    char* end = nullptr;
+    const long parsed = std::strtol(env, &end, 10);
+    if (end != env && *end == '\0' && parsed > 0) {
+      return static_cast<std::size_t>(parsed);
+    }
+    // A malformed TB_JOBS falls through to the hardware default rather than
+    // silently serializing a sweep someone meant to parallelize.
+  }
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : hw;
+}
+
+}  // namespace tb::par

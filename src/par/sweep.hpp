@@ -1,0 +1,104 @@
+// Deterministic parallel parameter sweeps (tb::par).
+//
+// The paper's experiment harnesses are sweep-shaped: N independent scenario
+// points (a BER grid, a retry-limit grid, an n-wire scaling curve), each
+// driving its own single-threaded Simulator. Simulators share no state at
+// all — every point builds its own kernel, RNG stream, and models — so a
+// sweep parallelizes embarrassingly. SweepRunner runs the points on a
+// fixed-size thread pool and returns results ordered by parameter index.
+//
+// Determinism is structural, not best-effort:
+//   - There is no work stealing and no shared mutable state between points;
+//     each worker claims the next unclaimed index from one atomic counter.
+//   - Each point's inputs (seed, parameters) are fixed before any thread
+//     starts, so per-point results are bit-identical whatever the schedule.
+//   - Results land in a pre-sized slot array by index; callers observe them
+//     in parameter order regardless of completion order.
+// Therefore TB_JOBS only changes wall-clock time, never a result. TB_JOBS=1
+// runs the points inline on the calling thread in index order — exactly the
+// historical serial harness behavior.
+#pragma once
+
+#include <algorithm>
+#include <atomic>
+#include <cstddef>
+#include <exception>
+#include <optional>
+#include <thread>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+#include "src/util/assert.hpp"
+
+namespace tb::par {
+
+/// Worker count for sweeps: the TB_JOBS environment variable when set to a
+/// positive integer, otherwise std::thread::hardware_concurrency() (>= 1).
+std::size_t default_jobs();
+
+class SweepRunner {
+ public:
+  /// `jobs` caps concurrent points; 0 means default_jobs().
+  explicit SweepRunner(std::size_t jobs = 0)
+      : jobs_(jobs == 0 ? default_jobs() : jobs) {}
+
+  std::size_t jobs() const { return jobs_; }
+
+  /// Runs fn(0) .. fn(count - 1) and returns their results ordered by
+  /// index. fn must not touch state shared with other points. If any point
+  /// throws, the exception from the lowest-index failing point is rethrown
+  /// on the calling thread after all workers have stopped.
+  template <typename F>
+  auto run(std::size_t count, F&& fn)
+      -> std::vector<std::invoke_result_t<F&, std::size_t>> {
+    using R = std::invoke_result_t<F&, std::size_t>;
+    static_assert(!std::is_void_v<R>,
+                  "sweep points must return a result; return a struct of "
+                  "outcomes and assert on the calling thread");
+    std::vector<std::optional<R>> slots(count);
+
+    if (jobs_ <= 1 || count <= 1) {
+      // Inline serial path: index order, caller's thread, exceptions
+      // propagate directly. This is what TB_JOBS=1 selects.
+      for (std::size_t i = 0; i < count; ++i) slots[i].emplace(fn(i));
+    } else {
+      std::atomic<std::size_t> next{0};
+      std::atomic<bool> failed{false};
+      std::vector<std::exception_ptr> errors(count);
+      auto worker = [&] {
+        while (!failed.load(std::memory_order_relaxed)) {
+          const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
+          if (i >= count) return;
+          try {
+            slots[i].emplace(fn(i));
+          } catch (...) {
+            errors[i] = std::current_exception();
+            failed.store(true, std::memory_order_relaxed);
+          }
+        }
+      };
+      std::vector<std::thread> pool;
+      const std::size_t n = std::min(jobs_, count);
+      pool.reserve(n);
+      for (std::size_t t = 0; t < n; ++t) pool.emplace_back(worker);
+      for (std::thread& t : pool) t.join();
+      for (std::size_t i = 0; i < count; ++i) {
+        if (errors[i]) std::rethrow_exception(errors[i]);
+      }
+    }
+
+    std::vector<R> out;
+    out.reserve(count);
+    for (std::optional<R>& slot : slots) {
+      TB_ASSERT(slot.has_value());
+      out.push_back(std::move(*slot));
+    }
+    return out;
+  }
+
+ private:
+  std::size_t jobs_;
+};
+
+}  // namespace tb::par

@@ -1,5 +1,6 @@
 #include "src/sim/simulator.hpp"
 
+#include <cassert>
 #include <sstream>
 
 #include "src/obs/metrics.hpp"
@@ -14,18 +15,22 @@ std::string Time::to_string() const {
 
 Simulator::Simulator(std::uint64_t seed) : rng_(seed) {}
 
-EventHandle Simulator::schedule_at(Time at, std::function<void()> fn) {
-  TB_REQUIRE_MSG(at >= now_, "cannot schedule an event in the past");
+EventHandle Simulator::schedule_at(Time at, detail::EventFn fn) {
   TB_REQUIRE(fn != nullptr);
-  const std::uint64_t id = next_id_++;
-  queue_.push(QueueEntry{at, next_seq_++, id});
-  live_events_.emplace(id, std::move(fn));
+  if (at < now_) {
+#ifdef TB_SIM_PAST_IS_FATAL
+    assert(false && "event scheduled in the past");
+#endif
+    at = now_;  // documented clamp: fires next, in seq order at now()
+  }
+  const std::uint64_t id = pool_.acquire(std::move(fn), next_seq_++);
+  queue_.push({at, id});
   ++scheduled_;
-  if (live_events_.size() > peak_pending_) peak_pending_ = live_events_.size();
+  if (pool_.live() > peak_pending_) peak_pending_ = pool_.live();
   return EventHandle(id);
 }
 
-EventHandle Simulator::schedule_in(Time delay, std::function<void()> fn) {
+EventHandle Simulator::schedule_in(Time delay, detail::EventFn fn) {
   TB_REQUIRE_MSG(delay >= Time::zero(), "negative delay");
   if (perturb_delay_ && delay > Time::zero()) {
     delay = perturb_delay_(now_, delay);
@@ -35,28 +40,26 @@ EventHandle Simulator::schedule_in(Time delay, std::function<void()> fn) {
 }
 
 bool Simulator::cancel(EventHandle handle) {
-  if (!handle.valid()) return false;
-  if (live_events_.erase(handle.id()) == 0) return false;
+  if (!handle.valid() || !pool_.is_live(handle.id())) return false;
+  pool_.release(handle.id());  // destroys the callback; heap entry dies lazily
   ++cancelled_;
   return true;
 }
 
 bool Simulator::is_pending(EventHandle handle) const {
-  return handle.valid() && live_events_.contains(handle.id());
+  return handle.valid() && pool_.is_live(handle.id());
 }
 
 bool Simulator::dispatch_next(Time limit, bool bounded) {
-  while (!queue_.empty()) {
-    const QueueEntry entry = queue_.top();
-    auto it = live_events_.find(entry.id);
-    if (it == live_events_.end()) {
+  while (const detail::Entry* top = queue_.peek()) {
+    if (!pool_.is_live(top->id)) {
       queue_.pop();  // lazily discard a cancelled event
       continue;
     }
-    if (bounded && entry.at > limit) return false;
+    if (bounded && top->at > limit) return false;
+    const detail::Entry entry = *top;
     queue_.pop();
-    std::function<void()> fn = std::move(it->second);
-    live_events_.erase(it);
+    detail::EventFn fn = pool_.release(entry.id);
     TB_ASSERT(entry.at >= now_);
     now_ = entry.at;
     ++executed_;
@@ -67,9 +70,8 @@ bool Simulator::dispatch_next(Time limit, bool bounded) {
 }
 
 std::optional<Time> Simulator::next_event_time() {
-  while (!queue_.empty()) {
-    const QueueEntry& entry = queue_.top();
-    if (live_events_.contains(entry.id)) return entry.at;
+  while (const detail::Entry* top = queue_.peek()) {
+    if (pool_.is_live(top->id)) return top->at;
     queue_.pop();
   }
   return std::nullopt;
@@ -105,7 +107,7 @@ void Simulator::bind_metrics(obs::Registry& registry) {
     scheduled.set(scheduled_);
     fired.set(executed_);
     cancelled.set(cancelled_);
-    depth.set(static_cast<double>(live_events_.size()));
+    depth.set(static_cast<double>(pool_.live()));
     peak.set(static_cast<double>(peak_pending_));
   });
 }

@@ -4,16 +4,19 @@
 // queue with deterministic execution. Events scheduled for the same instant
 // execute in scheduling order (a monotonic sequence number breaks ties), so
 // every run with the same seed is bit-identical.
+//
+// Hot-path layout (DESIGN.md §8): callbacks live in a slab-allocated event
+// pool with generation-tagged handles (cancel/is_pending are O(1) array
+// probes), callback captures up to 48 bytes are stored inline (no heap
+// allocation on the common schedule_in), and pending events sit in a 4-ary
+// lazy-deletion heap keyed by (time, seq).
 #pragma once
 
 #include <cstdint>
 #include <functional>
-#include <memory>
 #include <optional>
-#include <queue>
-#include <unordered_map>
-#include <vector>
 
+#include "src/sim/event_pool.hpp"
 #include "src/sim/time.hpp"
 #include "src/util/rng.hpp"
 
@@ -25,6 +28,9 @@ namespace tb::sim {
 
 /// Identifies a scheduled event; value-semantic and cheap to copy.
 /// A default-constructed handle is "null" and safe to cancel (no-op).
+/// The id packs a pool slot index with a generation tag, so a handle left
+/// over from a fired or cancelled event never aliases a newer event that
+/// reuses the slot.
 class EventHandle {
  public:
   EventHandle() = default;
@@ -38,7 +44,9 @@ class EventHandle {
 };
 
 /// The event-driven simulator. Single-threaded by design: all model code runs
-/// on the scheduler's call stack, so models need no locking.
+/// on the scheduler's call stack, so models need no locking. Independent
+/// Simulator instances share no state at all, which is what lets tb::par run
+/// one per thread.
 class Simulator {
  public:
   explicit Simulator(std::uint64_t seed = 1);
@@ -49,14 +57,19 @@ class Simulator {
   /// Current simulated time. Monotonically non-decreasing.
   Time now() const { return now_; }
 
-  /// Schedules `fn` at absolute time `at` (must be >= now()).
-  EventHandle schedule_at(Time at, std::function<void()> fn);
+  /// Schedules `fn` at absolute time `at`. An `at` in the past is clamped
+  /// to now() — the event fires next, after already-pending events at
+  /// now() (seq order breaks the tie). Model code should not rely on the
+  /// clamp: define TB_SIM_PAST_IS_FATAL to turn it into a hard assert in
+  /// debug builds when flushing out misbehaving models.
+  EventHandle schedule_at(Time at, detail::EventFn fn);
 
   /// Schedules `fn` after a relative delay (must be >= 0).
-  EventHandle schedule_in(Time delay, std::function<void()> fn);
+  EventHandle schedule_in(Time delay, detail::EventFn fn);
 
-  /// Cancels a pending event. Safe on null, fired, or already-cancelled
-  /// handles. Returns true iff the event was pending and is now cancelled.
+  /// Cancels a pending event. Safe on null, fired, stale, or
+  /// already-cancelled handles. Returns true iff the event was pending and
+  /// is now cancelled.
   bool cancel(EventHandle handle);
 
   bool is_pending(EventHandle handle) const;
@@ -83,7 +96,7 @@ class Simulator {
   /// Discards cancelled entries encountered while peeking.
   std::optional<Time> next_event_time();
 
-  std::size_t pending_events() const { return live_events_.size(); }
+  std::size_t pending_events() const { return pool_.live(); }
   std::uint64_t executed_events() const { return executed_; }
   std::uint64_t scheduled_events() const { return scheduled_; }
   std::uint64_t cancelled_events() const { return cancelled_; }
@@ -113,28 +126,17 @@ class Simulator {
   bool has_delay_perturbation() const { return perturb_delay_ != nullptr; }
 
  private:
-  struct QueueEntry {
-    Time at;
-    std::uint64_t seq;
-    std::uint64_t id;
-    bool operator>(const QueueEntry& o) const {
-      if (at != o.at) return at > o.at;
-      return seq > o.seq;
-    }
-  };
-
   bool dispatch_next(Time limit, bool bounded);
 
   Time now_ = Time::zero();
-  std::uint64_t next_id_ = 1;
-  std::uint64_t next_seq_ = 0;
+  std::uint64_t next_seq_ = 1;  ///< > 0: a packed event id is never 0
   std::uint64_t executed_ = 0;
   std::uint64_t scheduled_ = 0;
   std::uint64_t cancelled_ = 0;
   std::size_t peak_pending_ = 0;
   bool stop_requested_ = false;
-  std::priority_queue<QueueEntry, std::vector<QueueEntry>, std::greater<>> queue_;
-  std::unordered_map<std::uint64_t, std::function<void()>> live_events_;
+  detail::EventPool pool_;
+  detail::EventQueue queue_;
   util::Xoshiro256 rng_;
   DelayPerturbation perturb_delay_;
 };

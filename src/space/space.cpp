@@ -230,13 +230,43 @@ std::vector<Tuple> TupleSpace::read_all(const Template& tmpl,
 
 std::vector<Tuple> TupleSpace::take_all(const Template& tmpl,
                                         std::size_t max) {
+  // Single pass in id (= write) order, like read_all — not repeated
+  // find_match calls, which rescan the bucket from the start for every
+  // taken tuple (quadratic in the match count). Ids are monotonic, so both
+  // the index bucket and the entry map yield oldest-first.
   std::vector<Tuple> out;
-  while (out.size() < max) {
-    auto it = find_match(tmpl);
-    if (it == entries_.end()) break;
-    ++stats_.takes;
-    out.push_back(it->second.tuple);
-    erase_entry(it);
+  const sim::Time now = sim_->now();
+  if (config_.use_type_index && tmpl.name.has_value()) {
+    const auto bucket = index_.find(bucket_key(*tmpl.name, tmpl.arity()));
+    if (bucket == index_.end()) return out;
+    // erase_entry edits (and may erase) the bucket, so walk a snapshot of
+    // the candidate ids.
+    const std::vector<std::uint64_t> candidates(bucket->second.begin(),
+                                                bucket->second.end());
+    for (std::uint64_t id : candidates) {
+      if (out.size() >= max) break;
+      auto it = entries_.find(id);
+      TB_ASSERT(it != entries_.end());
+      ++stats_.scan_steps;
+      if (it->second.expires_at <= now) continue;  // expiry event queued
+      if (tmpl.matches(it->second.tuple)) {
+        ++stats_.takes;
+        out.push_back(it->second.tuple);
+        erase_entry(it);
+      }
+    }
+    return out;
+  }
+  for (auto it = entries_.begin();
+       it != entries_.end() && out.size() < max;) {
+    const auto cur = it++;  // erase_entry invalidates only cur
+    ++stats_.scan_steps;
+    if (cur->second.expires_at <= now) continue;
+    if (tmpl.matches(cur->second.tuple)) {
+      ++stats_.takes;
+      out.push_back(cur->second.tuple);
+      erase_entry(cur);
+    }
   }
   return out;
 }

@@ -48,12 +48,71 @@ TEST(Simulator, ScheduleInIsRelative) {
   EXPECT_EQ(fired, 150_ns);
 }
 
-TEST(Simulator, RejectsPastEvents) {
+TEST(Simulator, ClampsPastEventsToNow) {
   Simulator sim;
   sim.schedule_at(10_ns, [] {});
   sim.run();
-  EXPECT_THROW(sim.schedule_at(5_ns, [] {}), util::PreconditionError);
+  ASSERT_EQ(sim.now(), 10_ns);
+  // at < now() clamps to now(): the event fires at the current time instead
+  // of rewinding the clock.
+  Time fired = Time::zero();
+  sim.schedule_at(5_ns, [&] { fired = sim.now(); });
+  sim.run();
+  EXPECT_EQ(fired, 10_ns);
+  EXPECT_EQ(sim.now(), 10_ns);
+}
+
+TEST(Simulator, ClampedPastEventsKeepScheduleOrder) {
+  // Clamped events join the now() instant at the back of the seq order, so
+  // they interleave deterministically with genuine now()-scheduled events.
+  Simulator sim;
+  std::vector<int> order;
+  sim.schedule_at(10_ns, [&] {
+    sim.schedule_at(10_ns, [&] { order.push_back(1); });
+    sim.schedule_at(3_ns, [&] { order.push_back(2); });  // clamped to 10 ns
+    sim.schedule_at(10_ns, [&] { order.push_back(3); });
+  });
+  sim.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(Simulator, RejectsNegativeDelay) {
+  Simulator sim;
   EXPECT_THROW(sim.schedule_in(Time::ns(-1), [] {}), util::PreconditionError);
+}
+
+TEST(Simulator, StaleHandleDoesNotAliasRecycledSlot) {
+  // After an event fires or is cancelled its pool slot is recycled; a handle
+  // to the dead event carries the old generation (seq) and must never match
+  // the newer occupant.
+  Simulator sim;
+  bool survivor_ran = false;
+  EventHandle stale = sim.schedule_at(1_ns, [] {});
+  sim.run();  // fires; slot goes back on the freelist
+  EXPECT_FALSE(sim.is_pending(stale));
+
+  // The next schedule reuses the freed slot (LIFO freelist); the stale
+  // handle differs only in its generation bits.
+  EventHandle fresh = sim.schedule_at(2_ns, [&] { survivor_ran = true; });
+  EXPECT_EQ(detail::EventPool::index_of(stale.id()),
+            detail::EventPool::index_of(fresh.id()));
+  EXPECT_NE(stale.id(), fresh.id());
+
+  EXPECT_FALSE(sim.cancel(stale));  // stale cancel is a no-op...
+  EXPECT_TRUE(sim.is_pending(fresh));
+  sim.run();
+  EXPECT_TRUE(survivor_ran);  // ...and never kills the new occupant
+}
+
+TEST(Simulator, CancelledHandleDoesNotAliasRecycledSlot) {
+  Simulator sim;
+  EventHandle stale = sim.schedule_at(5_ns, [] {});
+  EXPECT_TRUE(sim.cancel(stale));
+  EventHandle fresh = sim.schedule_at(5_ns, [] {});
+  EXPECT_EQ(detail::EventPool::index_of(stale.id()),
+            detail::EventPool::index_of(fresh.id()));
+  EXPECT_FALSE(sim.cancel(stale));
+  EXPECT_TRUE(sim.cancel(fresh));
 }
 
 TEST(Simulator, CancelPreventsExecution) {

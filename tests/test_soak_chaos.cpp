@@ -3,10 +3,20 @@
 // spikes and a small clock drift — with the invariant checker riding the
 // trace streams. The stack must absorb everything: all client rounds
 // complete, zero invariant violations, no stuck machinery at the end.
+//
+// The scenario runs once per seed through tb::par::SweepRunner (TB_JOBS
+// workers). Worker threads never touch gtest: each run returns a plain
+// outcome struct and every assertion happens on the main thread. Results
+// are a pure function of the seed, so TB_JOBS only changes wall-clock.
 #include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+#include <vector>
 
 #include "src/cosim/scenario.hpp"
 #include "src/net/tpwire_channel.hpp"
+#include "src/par/sweep.hpp"
 #include "src/sim/process.hpp"
 
 namespace tb {
@@ -14,13 +24,34 @@ namespace {
 
 using namespace tb::sim::literals;
 
-TEST(SoakChaos, Figure7StackSurvivesMixedFaultPlan) {
+constexpr int kRounds = 30;
+
+struct SoakOutcome {
+  std::uint64_t seed = 0;
+  int a_completed = 0;
+  int b_completed = 0;
+  int write_failures = 0;
+  int payload_mismatches = 0;
+  std::uint64_t bits_flipped = 0;
+  std::uint64_t retries = 0;
+  std::uint64_t kills = 0;
+  std::uint64_t restarts = 0;
+  std::uint64_t sink_segments = 0;
+  bool checker_ok = false;
+  std::string checker_report;
+  std::uint64_t cycles_checked = 0;
+  std::size_t space_size = 0;
+  std::uint64_t blocked_operations = 0;
+  std::size_t max_inbox_depth = 0;
+};
+
+SoakOutcome run_chaos_soak(std::uint64_t seed) {
   cosim::ScenarioConfig config;
   config.link.bit_rate_hz = 500'000;
   config.relay.poll_period = sim::Time::ms(1);
   config.use_xml_codec = false;  // binary codec keeps the soak cheap
 
-  config.fault.seed = 0x50AC;
+  config.fault.seed = seed;
   config.fault.bit_error_rate = 1e-4;
   // Power-cycle the CBR sink's slave (hosts neither server nor clients):
   // one minute of darkness in the middle of the run.
@@ -55,16 +86,15 @@ TEST(SoakChaos, Figure7StackSurvivesMixedFaultPlan) {
   scenario.start();
   cbr.start();
 
-  constexpr int kRounds = 30;
-  int a_completed = 0;
-  int b_completed = 0;
+  SoakOutcome outcome;
+  outcome.seed = seed;
 
   sim::spawn([&]() -> sim::Task<void> {
     for (int round = 0; round < kRounds; ++round) {
       const space::Tuple written =
           space::make_tuple("job", std::int64_t{round}, "chaos-payload");
       auto wr = co_await client_a.write(written, 40_s);
-      EXPECT_TRUE(wr.ok);
+      if (!wr.ok) ++outcome.write_failures;
       space::Template tmpl(
           std::string("job"),
           {space::FieldPattern::exact(space::Value(std::int64_t{round})),
@@ -73,8 +103,8 @@ TEST(SoakChaos, Figure7StackSurvivesMixedFaultPlan) {
       if (taken.has_value()) {
         // Linearizability at the payload level: the taken tuple is exactly
         // the written one — never a corrupted or duplicated variant.
-        EXPECT_EQ(*taken, written);
-        ++a_completed;
+        if (*taken != written) ++outcome.payload_mismatches;
+        ++outcome.a_completed;
       }
       co_await sim::delay(scenario.sim(), 60_s);
     }
@@ -84,12 +114,12 @@ TEST(SoakChaos, Figure7StackSurvivesMixedFaultPlan) {
     for (int round = 0; round < kRounds; ++round) {
       auto wr = co_await client_b.write(
           space::make_tuple("b-state", std::int64_t{round}), 40_s);
-      EXPECT_TRUE(wr.ok);
+      if (!wr.ok) ++outcome.write_failures;
       space::Template tmpl(
           std::string("b-state"),
           {space::FieldPattern::exact(space::Value(std::int64_t{round}))});
       auto taken = co_await client_b.take(std::move(tmpl), 30_s);
-      if (taken.has_value()) ++b_completed;
+      if (taken.has_value()) ++outcome.b_completed;
       co_await sim::delay(scenario.sim(), 60_s);
     }
   });
@@ -98,27 +128,55 @@ TEST(SoakChaos, Figure7StackSurvivesMixedFaultPlan) {
   cbr.stop();
   scenario.shutdown();
 
-  // Eventual completion: every round finished despite the fault plan.
-  EXPECT_EQ(a_completed, kRounds);
-  EXPECT_EQ(b_completed, kRounds);
+  outcome.bits_flipped = scenario.fault_plan().stats().bits_flipped;
+  outcome.retries = scenario.master().stats().retries;
+  outcome.kills = scenario.slave(3).stats().kills;
+  outcome.restarts = scenario.slave(3).stats().restarts;
+  outcome.sink_segments = sink.segments_received();
 
-  // The plan actually fired: bit errors, retries, the power cycle.
-  EXPECT_GT(scenario.fault_plan().stats().bits_flipped, 100u);
-  EXPECT_GT(scenario.master().stats().retries, 0u);
-  EXPECT_EQ(scenario.slave(3).stats().kills, 1u);
-  EXPECT_EQ(scenario.slave(3).stats().restarts, 1u);
-
-  // Background traffic flowed around the outage.
-  EXPECT_GT(sink.segments_received(), 1'000u);
-
-  // Zero invariant violations, and nothing left stuck.
   scenario.checker().finish();
-  EXPECT_TRUE(scenario.checker().ok()) << scenario.checker().report();
-  EXPECT_GT(scenario.checker().stats().cycles_checked, 10'000u);
-  EXPECT_LT(scenario.space().size(), 5u);
-  EXPECT_EQ(scenario.space().blocked_operations(), 0u);
+  outcome.checker_ok = scenario.checker().ok();
+  if (!outcome.checker_ok) outcome.checker_report = scenario.checker().report();
+  outcome.cycles_checked = scenario.checker().stats().cycles_checked;
+  outcome.space_size = scenario.space().size();
+  outcome.blocked_operations = scenario.space().blocked_operations();
   for (int i = 0; i < scenario.slave_count(); ++i) {
-    EXPECT_LT(scenario.slave(i).inbox_depth(), 1'024u) << "slave " << i;
+    outcome.max_inbox_depth =
+        std::max(outcome.max_inbox_depth, scenario.slave(i).inbox_depth());
+  }
+  return outcome;
+}
+
+TEST(SoakChaos, Figure7StackSurvivesMixedFaultPlan) {
+  const std::vector<std::uint64_t> seeds{0x50AC, 0x51AC};
+  par::SweepRunner runner;
+  const std::vector<SoakOutcome> outcomes = runner.run(
+      seeds.size(), [&](std::size_t i) { return run_chaos_soak(seeds[i]); });
+
+  for (const SoakOutcome& o : outcomes) {
+    SCOPED_TRACE("seed=" + std::to_string(o.seed));
+
+    // Eventual completion: every round finished despite the fault plan.
+    EXPECT_EQ(o.a_completed, kRounds);
+    EXPECT_EQ(o.b_completed, kRounds);
+    EXPECT_EQ(o.write_failures, 0);
+    EXPECT_EQ(o.payload_mismatches, 0);
+
+    // The plan actually fired: bit errors, retries, the power cycle.
+    EXPECT_GT(o.bits_flipped, 100u);
+    EXPECT_GT(o.retries, 0u);
+    EXPECT_EQ(o.kills, 1u);
+    EXPECT_EQ(o.restarts, 1u);
+
+    // Background traffic flowed around the outage.
+    EXPECT_GT(o.sink_segments, 1'000u);
+
+    // Zero invariant violations, and nothing left stuck.
+    EXPECT_TRUE(o.checker_ok) << o.checker_report;
+    EXPECT_GT(o.cycles_checked, 10'000u);
+    EXPECT_LT(o.space_size, 5u);
+    EXPECT_EQ(o.blocked_operations, 0u);
+    EXPECT_LT(o.max_inbox_depth, 1'024u);
   }
 }
 

@@ -361,19 +361,60 @@ TEST_F(SpaceTest, ReadAllWorksWithoutNameConstraint) {
   EXPECT_EQ(space_.read_all(nameless).size(), 2u);
 }
 
-TEST_F(SpaceTest, TakeAllDrains) {
+TEST_F(SpaceTest, TakeAllDrainsOldestFirst) {
   for (int i = 0; i < 4; ++i) space_.write(space::make_tuple("t", std::int64_t{i}));
   const auto taken = space_.take_all(any_named("t", 1));
-  EXPECT_EQ(taken.size(), 4u);
+  ASSERT_EQ(taken.size(), 4u);
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_EQ(taken[i].fields[0], Value(std::int64_t{i}));  // write order
+  }
   EXPECT_EQ(space_.size(), 0u);
   EXPECT_TRUE(space_.take_all(any_named("t", 1)).empty());
 }
 
-TEST_F(SpaceTest, TakeAllRespectsMax) {
+TEST_F(SpaceTest, TakeAllRespectsMaxOldestFirst) {
   for (int i = 0; i < 4; ++i) space_.write(space::make_tuple("t", std::int64_t{i}));
   const auto taken = space_.take_all(any_named("t", 1), 3);
-  EXPECT_EQ(taken.size(), 3u);
+  ASSERT_EQ(taken.size(), 3u);
+  for (int i = 0; i < 3; ++i) {
+    EXPECT_EQ(taken[i].fields[0], Value(std::int64_t{i}));
+  }
   EXPECT_EQ(space_.size(), 1u);
+  // The survivor is the newest tuple.
+  EXPECT_EQ(space_.take_if_exists(any_named("t", 1))->fields[0],
+            Value(std::int64_t{3}));
+}
+
+TEST_F(SpaceTest, TakeAllSkipsNonMatchingAndExpired) {
+  space_.write(space::make_tuple("t", std::int64_t{0}), 50_ms);  // will expire
+  space_.write(space::make_tuple("t", std::string("skip")));
+  space_.write(space::make_tuple("t", std::int64_t{1}));
+  space_.write(space::make_tuple("t", std::int64_t{2}));
+  sim_.run_until(100_ms);
+  Template ints(std::string("t"), {FieldPattern::typed(ValueType::kInt)});
+  const auto taken = space_.take_all(ints);
+  ASSERT_EQ(taken.size(), 2u);
+  EXPECT_EQ(taken[0].fields[0], Value(std::int64_t{1}));
+  EXPECT_EQ(taken[1].fields[0], Value(std::int64_t{2}));
+  EXPECT_EQ(space_.size(), 1u);  // the string tuple survives
+}
+
+TEST_F(SpaceTest, ReadAllAndTakeAllOrderMatchWithoutIndex) {
+  // The unindexed path walks the id-ordered entry map; order and results
+  // must match the indexed path exactly.
+  SpaceConfig config;
+  config.use_type_index = false;
+  TupleSpace flat(sim_, config);
+  for (int i = 0; i < 4; ++i) flat.write(space::make_tuple("t", std::int64_t{i}));
+  const auto read = flat.read_all(any_named("t", 1));
+  ASSERT_EQ(read.size(), 4u);
+  const auto taken = flat.take_all(any_named("t", 1));
+  ASSERT_EQ(taken.size(), 4u);
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_EQ(read[i].fields[0], Value(std::int64_t{i}));
+    EXPECT_EQ(taken[i].fields[0], Value(std::int64_t{i}));
+  }
+  EXPECT_EQ(flat.size(), 0u);
 }
 
 TEST_F(SpaceTest, RejectsNonPositiveLease) {

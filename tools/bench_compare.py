@@ -18,7 +18,9 @@ carries
                     any change fails (used for exact counts / invariants)
 
 Exit status: 0 = no gated regressions, 1 = at least one gated regression
-or a structural problem (missing/invalid report, metric disappeared).
+or a structural problem (missing/invalid report). Metrics present in only
+one directory (added or removed during a rework) are reported as NOTEs but
+never gated — regenerating the baselines is the fix, not a CI failure.
 """
 
 import argparse
@@ -112,8 +114,12 @@ def main() -> int:
         for metric_name, old_metric in sorted(old_metrics.items()):
             new_metric = new_metrics.get(metric_name)
             if new_metric is None:
-                print(f"FAIL [{name}] metric {metric_name} disappeared")
-                failures += 1
+                # A metric present in only one directory is a schema change
+                # (renamed/retired metric during a rework), not a
+                # regression: report it, never gate on it — the baseline
+                # regen recipe is the fix.
+                print(f"NOTE [{name}] metric {metric_name} only in baseline "
+                      f"(removed? regenerate {args.old_dir})")
                 continue
             compared += 1
             pct, gated, note = compare_metric(old_metric, new_metric,
@@ -128,6 +134,9 @@ def main() -> int:
                 ungated_regressions += 1
             elif args.verbose:
                 print(f"  ok {tag} {note}")
+        for metric_name in sorted(set(new_metrics) - set(old_metrics)):
+            print(f"NOTE [{name}] new metric {metric_name} has no baseline "
+                  f"(add one to {args.old_dir})")
     for name in sorted(set(new_reports) - set(old_reports)):
         print(f"NOTE [{name}] new report with no baseline (add one to "
               f"{args.old_dir})")

@@ -1,0 +1,78 @@
+#!/usr/bin/env python3
+"""Gate a single wall-clock metric against its committed baseline.
+
+Usage:
+    tools/perf_smoke.py BASELINE.json NEW.json [--metric NAME]
+                        [--threshold PCT]
+
+Wall-clock metrics carry gate=false in the tb-bench-report/v1 schema
+because absolute throughput is machine-dependent, so bench_compare.py only
+warns on them. The kernel hot path is the exception: a >15% items/sec drop
+on the same machine within one CI run is a real regression, not noise, and
+this script turns exactly one such metric into a hard gate (the CI
+perf-smoke step). "better" direction is read from the baseline entry.
+
+Exit status: 0 = within threshold (improvements always pass), 1 =
+regression beyond threshold or metric/report missing.
+"""
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+SCHEMA = "tb-bench-report/v1"
+DEFAULT_METRIC = "BM_ScheduleAndRun/100000.items_per_sec"
+
+
+def load_metric(path: Path, metric: str) -> dict:
+    try:
+        data = json.loads(path.read_text())
+    except (OSError, json.JSONDecodeError) as err:
+        print(f"ERROR: cannot parse {path}: {err}")
+        sys.exit(1)
+    if data.get("schema") != SCHEMA:
+        print(f"ERROR: {path}: schema {data.get('schema')!r}, "
+              f"expected {SCHEMA!r}")
+        sys.exit(1)
+    for entry in data.get("key_metrics", []):
+        if entry.get("name") == metric:
+            return entry
+    print(f"ERROR: {path}: no key metric named {metric!r}")
+    sys.exit(1)
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("baseline", type=Path)
+    parser.add_argument("new", type=Path)
+    parser.add_argument("--metric", default=DEFAULT_METRIC)
+    parser.add_argument("--threshold", type=float, default=15.0,
+                        help="allowed regression in percent "
+                             "(default: %(default)s)")
+    args = parser.parse_args()
+
+    old = load_metric(args.baseline, args.metric)
+    new = load_metric(args.new, args.metric)
+    old_value = float(old["value"])
+    new_value = float(new["value"])
+    if old_value == 0.0:
+        print(f"ERROR: baseline value for {args.metric} is 0")
+        return 1
+
+    if old.get("better", "higher") == "higher":
+        worse_pct = 100.0 * (old_value - new_value) / abs(old_value)
+    else:
+        worse_pct = 100.0 * (new_value - old_value) / abs(old_value)
+
+    tag = (f"{args.metric}: {old_value:g} -> {new_value:g} "
+           f"({-worse_pct:+.1f}%)")
+    if worse_pct > args.threshold:
+        print(f"FAIL {tag} exceeds -{args.threshold:g}% regression gate")
+        return 1
+    print(f"  ok {tag} within -{args.threshold:g}% gate")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

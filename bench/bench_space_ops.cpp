@@ -44,6 +44,30 @@ BENCHMARK(BM_WriteTake)
     ->ArgsProduct({{0, 1}, {0, 100, 1'000, 10'000}})
     ->ArgNames({"index", "noise"});
 
+void BM_WriteTakeLargePayload(benchmark::State& state) {
+  // The zero-copy payoff: write moves the tuple's buffers into the store
+  // and take moves them back out, so cost stays flat as the payload grows
+  // (bytes/op here is the payload actually carried, not copied).
+  sim::Simulator sim;
+  space::TupleSpace space(sim);
+  const auto payload_bytes = static_cast<std::size_t>(state.range(0));
+
+  const space::Template tmpl(std::string("blob"),
+                             {space::FieldPattern::any()});
+  for (auto _ : state) {
+    state.PauseTiming();  // building the payload is the producer's cost
+    std::vector<std::uint8_t> payload(payload_bytes, 0x5A);
+    state.ResumeTiming();
+    space.write(space::make_tuple("blob", std::move(payload)));
+    benchmark::DoNotOptimize(space.take_if_exists(tmpl));
+  }
+  state.SetBytesProcessed(state.iterations() *
+                          static_cast<std::int64_t>(payload_bytes));
+}
+BENCHMARK(BM_WriteTakeLargePayload)
+    ->Arg(256)->Arg(4'096)->Arg(65'536)
+    ->ArgNames({"payload"});
+
 void BM_ReadMissWorstCase(benchmark::State& state) {
   // A miss must inspect every candidate: the index prunes to the (empty)
   // bucket; the linear scan walks the whole store.

@@ -2,8 +2,11 @@
 //
 //  * transport: in-process RMI (Fig. 3) vs Ethernet/TCP socket (Fig. 4) vs
 //    TpWIRE mailboxes through the master relay (Fig. 5/7);
-//  * representation: XML entries (the paper's choice) vs a binary codec;
+//  * representation: XML entries (the paper's choice) vs a binary codec —
+//    including raw encode/decode throughput of the buffer-reuse hot path
+//    (and the legacy tree-building XML encoder it replaced);
 //  * co-simulation plumbing: GDB remote-serial-protocol framing overhead.
+#include <chrono>
 #include <cstdio>
 
 #include "src/cosim/report.hpp"
@@ -106,6 +109,59 @@ double rsp_pipe_case(bool xml) {
   return measure(sim, client);
 }
 
+/// A representative write-request (the steady-state producer message).
+mw::Message sample_request() {
+  mw::Message m;
+  m.type = mw::MsgType::kWriteRequest;
+  m.request_id = 42;
+  m.created_at_ns = 1'000'000;
+  m.duration_ns = 160'000'000'000;
+  m.tuple = sample_entry();
+  return m;
+}
+
+struct CodecThroughput {
+  double encode_items_per_s = 0;
+  double decode_items_per_s = 0;
+  double bytes_per_op = 0;  ///< encoded size — deterministic, gates
+};
+
+/// Wall-clock throughput of the buffer-reuse encode path and the decode
+/// path. `tree` selects XmlCodec's legacy tree-building encoder, kept to
+/// quantify the writer-path speedup against identical output bytes.
+CodecThroughput codec_throughput(const mw::Codec& codec, bool tree = false) {
+  using Clock = std::chrono::steady_clock;
+  const mw::Message request = sample_request();
+  const int iters = obs::bench_short_mode() ? 2'000 : 20'000;
+  const auto* xml = dynamic_cast<const mw::XmlCodec*>(&codec);
+
+  CodecThroughput result;
+  std::vector<std::uint8_t> buf;
+  const auto encode_start = Clock::now();
+  for (int i = 0; i < iters; ++i) {
+    if (tree) {
+      buf = xml->encode_via_tree(request);
+    } else {
+      buf.clear();
+      codec.encode_into(request, buf);
+    }
+  }
+  const double encode_s =
+      std::chrono::duration<double>(Clock::now() - encode_start).count();
+  result.encode_items_per_s = iters / encode_s;
+  result.bytes_per_op = static_cast<double>(buf.size());
+
+  const auto decode_start = Clock::now();
+  for (int i = 0; i < iters; ++i) {
+    auto decoded = codec.decode(buf);
+    if (!decoded) std::abort();  // representative input must decode
+  }
+  const double decode_s =
+      std::chrono::duration<double>(Clock::now() - decode_start).count();
+  result.decode_items_per_s = iters / decode_s;
+  return result;
+}
+
 double wire_case(bool xml) {
   cosim::ScenarioConfig config;
   config.use_xml_codec = xml;
@@ -157,6 +213,49 @@ int main() {
   std::printf("%s\n", table.render().c_str());
   bench.add_table("round_trips", table.headers(), table.rows());
   bench.add_registry(loopback_snapshot, "loopback_xml");
+
+  // Raw codec throughput: the buffer-reuse hot path, plus the legacy XML
+  // tree encoder for the writer-vs-tree speedup. Items/s is wall-clock
+  // (report-only); bytes/op is deterministic and gates.
+  std::printf("Codec throughput (write-request with a 64-byte entry):\n");
+  mw::XmlCodec xml_codec;
+  mw::BinaryCodec binary_codec;
+  struct Row {
+    const char* label;
+    const char* key;
+    CodecThroughput t;
+    bool gate_bytes;
+  };
+  const Row rows[] = {
+      {"xml (writer)", "codec.xml", codec_throughput(xml_codec), true},
+      {"xml (legacy tree)", "codec.xml_tree",
+       codec_throughput(xml_codec, /*tree=*/true), false},
+      {"binary", "codec.binary", codec_throughput(binary_codec), true},
+  };
+  cosim::TablePrinter codec_table(
+      {"codec", "encode items/s", "decode items/s", "bytes/op"});
+  for (const Row& row : rows) {
+    codec_table.add_row({row.label,
+                         util::format_double(row.t.encode_items_per_s, 0),
+                         util::format_double(row.t.decode_items_per_s, 0),
+                         util::format_double(row.t.bytes_per_op, 0)});
+    bench.add_key_metric(std::string(row.key) + ".encode_items_per_s",
+                         row.t.encode_items_per_s, obs::Better::kHigher,
+                         {.unit = "items/s", .gate = false});
+    bench.add_key_metric(std::string(row.key) + ".decode_items_per_s",
+                         row.t.decode_items_per_s, obs::Better::kHigher,
+                         {.unit = "items/s", .gate = false});
+    if (row.gate_bytes) {
+      // Encoded size must not creep: it feeds straight into the paper's
+      // bus-load estimates.
+      bench.add_key_metric(std::string(row.key) + ".bytes_per_op",
+                           row.t.bytes_per_op, obs::Better::kLower,
+                           {.unit = "B"});
+    }
+  }
+  std::printf("%s\n", codec_table.render().c_str());
+  bench.add_table("codec_throughput", codec_table.headers(),
+                  codec_table.rows());
 
   // GDB RSP framing overhead (the Fig. 5 board bridge).
   std::printf("GDB remote-serial-protocol framing overhead (board bridge, "

@@ -7,7 +7,8 @@ namespace tb::cosim {
 class RspPipe::ClientEnd final : public mw::ClientTransport {
  public:
   explicit ClientEnd(RspPipe& pipe) : pipe_(&pipe) {}
-  void send(std::vector<std::uint8_t> message) override;
+  using mw::ClientTransport::send;
+  void send(std::span<const std::uint8_t> message) override;
   void push(const std::vector<std::uint8_t>& message) { deliver(message); }
 
  private:
@@ -17,7 +18,8 @@ class RspPipe::ClientEnd final : public mw::ClientTransport {
 class RspPipe::ServerEnd final : public mw::ServerTransport {
  public:
   explicit ServerEnd(RspPipe& pipe) : pipe_(&pipe) {}
-  void send(SessionId session, std::vector<std::uint8_t> message) override;
+  using mw::ServerTransport::send;
+  void send(SessionId session, std::span<const std::uint8_t> message) override;
   void receive_from_client(const std::vector<std::uint8_t>& message) {
     deliver(0, message);
   }
@@ -26,7 +28,7 @@ class RspPipe::ServerEnd final : public mw::ServerTransport {
   RspPipe* pipe_;
 };
 
-void RspPipe::ClientEnd::send(std::vector<std::uint8_t> message) {
+void RspPipe::ClientEnd::send(std::span<const std::uint8_t> message) {
   note_sent(message.size());
   pipe_->transfer(message, pipe_->to_server_parser_,
                   [pipe = pipe_](std::vector<std::uint8_t> payload) {
@@ -35,7 +37,7 @@ void RspPipe::ClientEnd::send(std::vector<std::uint8_t> message) {
 }
 
 void RspPipe::ServerEnd::send(SessionId session,
-                              std::vector<std::uint8_t> message) {
+                              std::span<const std::uint8_t> message) {
   TB_REQUIRE_MSG(session == 0, "RspPipe has a single session (0)");
   note_sent(message.size());
   pipe_->transfer(message, pipe_->to_client_parser_,
@@ -56,7 +58,7 @@ RspPipe::~RspPipe() = default;
 mw::ClientTransport& RspPipe::client_end() { return *client_; }
 mw::ServerTransport& RspPipe::server_end() { return *server_; }
 
-void RspPipe::transfer(const std::vector<std::uint8_t>& message,
+void RspPipe::transfer(std::span<const std::uint8_t> message,
                        RspParser& parser,
                        std::function<void(std::vector<std::uint8_t>)> deliver) {
   const std::vector<std::uint8_t> framed = rsp_encode(message);

@@ -11,6 +11,7 @@
 #include <cstdint>
 #include <functional>
 #include <memory>
+#include <span>
 #include <vector>
 
 #include "src/cosim/rsp.hpp"
@@ -53,7 +54,7 @@ class RspPipe {
 
   /// Serializes a message across the pipe and hands the decoded payload to
   /// `deliver` after transmission + latency.
-  void transfer(const std::vector<std::uint8_t>& message,
+  void transfer(std::span<const std::uint8_t> message,
                 RspParser& parser,
                 std::function<void(std::vector<std::uint8_t>)> deliver);
 

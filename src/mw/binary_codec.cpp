@@ -85,8 +85,15 @@ space::Template get_template(util::ByteCursor& cursor) {
 
 }  // namespace
 
-std::vector<std::uint8_t> BinaryCodec::encode(const Message& message) const {
-  util::ByteBuffer buf;
+void BinaryCodec::encode_into(const Message& message,
+                              std::vector<std::uint8_t>& out) const {
+  // Move the caller's buffer through the ByteBuffer so appends land directly
+  // in it, with a size hint covering the fixed fields plus payload.
+  util::ByteBuffer buf(std::move(out));
+  std::size_t hint = buf.size() + 48 + message.error.size();
+  if (message.tuple) hint += 16 + message.tuple->byte_size();
+  if (message.tmpl) hint += 16 + 24 * message.tmpl->fields.size();
+  buf.reserve(hint);
   buf.put_u8(static_cast<std::uint8_t>(message.type));
   buf.put_varint(message.request_id);
   buf.put_i64(message.created_at_ns);
@@ -102,7 +109,7 @@ std::vector<std::uint8_t> BinaryCodec::encode(const Message& message) const {
   buf.put_i64(message.expires_at_ns);
   buf.put_varint(message.txn);
   buf.put_string(message.error);
-  return buf.take();
+  out = buf.take();
 }
 
 std::optional<Message> BinaryCodec::decode(

@@ -11,19 +11,21 @@ SpaceClient::SpaceClient(sim::Simulator& sim, ClientTransport& transport,
                          const Codec& codec, ClientConfig config)
     : sim_(&sim), transport_(&transport), codec_(&codec), config_(config) {
   transport_->on_message().connect(
-      [this](const std::vector<std::uint8_t>& bytes) { handle_bytes(bytes); });
+      [this](std::span<const std::uint8_t> bytes) { handle_bytes(bytes); });
 }
 
 std::int64_t SpaceClient::duration_ns_of(sim::Time t) {
   return t == space::kLeaseForever ? INT64_MAX : t.count_ns();
 }
 
-void SpaceClient::handle_bytes(const std::vector<std::uint8_t>& bytes) {
+void SpaceClient::handle_bytes(std::span<const std::uint8_t> bytes) {
   std::optional<Message> message = codec_->decode(bytes);
   if (!message) {
     ++stats_.decode_errors;
     return;
   }
+  ++stats_.messages_decoded;
+  stats_.bytes_decoded += bytes.size();
   if (message->type == MsgType::kEvent) {
     ++stats_.events;
     auto it = event_callbacks_.find(message->handle);
@@ -86,15 +88,19 @@ void SpaceClient::call(Message request,
 
   Pending pending;
   pending.complete = std::move(on_done);
-  pending.encoded = codec_->encode(request);
+  codec_->encode_into(request, pending.encoded);
   pending.retries_left = config_.rpc_retries;
   pending.next_timeout = config_.rpc_timeout;
   pending.started = sim_->now();
-  std::vector<std::uint8_t> wire_bytes = pending.encoded;
+  ++stats_.messages_encoded;
+  stats_.bytes_encoded += pending.encoded.size();
   const std::uint64_t id = request.request_id;
-  pending_.emplace(id, std::move(pending));
+  // The bytes persist in the pending map for retransmission; the transport
+  // reads them through a span during send, so no wire copy is made here.
+  auto [pos, inserted] = pending_.emplace(id, std::move(pending));
+  TB_ASSERT(inserted);
   if (config_.rpc_timeout != space::kLeaseForever) arm_timeout(id);
-  transport_->send(std::move(wire_bytes));
+  transport_->send(pos->second.encoded);
 }
 
 void SpaceClient::bind_metrics(obs::Registry& registry,
@@ -109,8 +115,13 @@ void SpaceClient::bind_metrics(obs::Registry& registry,
   obs::Counter& events = registry.counter(prefix + ".events");
   obs::Counter& decode_errors = registry.counter(prefix + ".decode_errors");
   obs::Counter& strays = registry.counter(prefix + ".stray_responses");
+  obs::Counter& enc_msgs = registry.counter(prefix + ".codec.messages_encoded");
+  obs::Counter& enc_bytes = registry.counter(prefix + ".codec.bytes_encoded");
+  obs::Counter& dec_msgs = registry.counter(prefix + ".codec.messages_decoded");
+  obs::Counter& dec_bytes = registry.counter(prefix + ".codec.bytes_decoded");
   registry.add_collector([this, &calls, &completed, &timeouts, &failures,
-                          &retransmissions, &events, &decode_errors, &strays] {
+                          &retransmissions, &events, &decode_errors, &strays,
+                          &enc_msgs, &enc_bytes, &dec_msgs, &dec_bytes] {
     calls.set(stats_.calls);
     completed.set(stats_.completed);
     timeouts.set(stats_.rpc_timeouts);
@@ -119,6 +130,10 @@ void SpaceClient::bind_metrics(obs::Registry& registry,
     events.set(stats_.events);
     decode_errors.set(stats_.decode_errors);
     strays.set(stats_.stray_responses);
+    enc_msgs.set(stats_.messages_encoded);
+    enc_bytes.set(stats_.bytes_encoded);
+    dec_msgs.set(stats_.messages_decoded);
+    dec_bytes.set(stats_.bytes_decoded);
   });
 }
 

@@ -114,6 +114,10 @@ class SpaceClient {
     std::uint64_t events = 0;
     std::uint64_t decode_errors = 0;
     std::uint64_t stray_responses = 0;  ///< no pending call (late arrival)
+    std::uint64_t messages_encoded = 0;
+    std::uint64_t bytes_encoded = 0;   ///< codec output, pre-framing
+    std::uint64_t messages_decoded = 0;
+    std::uint64_t bytes_decoded = 0;   ///< codec input, post-framing
   };
   const Stats& stats() const { return stats_; }
 
@@ -143,7 +147,7 @@ class SpaceClient {
   /// via a zero-delay event with the response (nullopt on rpc timeout).
   void call(Message request, std::function<void(std::optional<Message>)> on_done);
 
-  void handle_bytes(const std::vector<std::uint8_t>& bytes);
+  void handle_bytes(std::span<const std::uint8_t> bytes);
 
   /// Awaitable wrapper over call().
   auto rpc(Message request);

@@ -21,7 +21,18 @@ class Codec {
  public:
   virtual ~Codec() = default;
 
-  virtual std::vector<std::uint8_t> encode(const Message& message) const = 0;
+  /// Appends the encoded message to `out`. The buffer-reuse hot path: a
+  /// connection keeps one scratch vector and clears it between messages, so
+  /// steady-state encodes allocate nothing.
+  virtual void encode_into(const Message& message,
+                           std::vector<std::uint8_t>& out) const = 0;
+
+  /// Fresh-vector convenience over encode_into.
+  std::vector<std::uint8_t> encode(const Message& message) const {
+    std::vector<std::uint8_t> out;
+    encode_into(message, out);
+    return out;
+  }
 
   /// nullopt on malformed input.
   virtual std::optional<Message> decode(
@@ -32,15 +43,22 @@ class Codec {
 
 class XmlCodec final : public Codec {
  public:
-  std::vector<std::uint8_t> encode(const Message& message) const override;
+  void encode_into(const Message& message,
+                   std::vector<std::uint8_t>& out) const override;
   std::optional<Message> decode(
       std::span<const std::uint8_t> bytes) const override;
   const char* name() const override { return "xml"; }
+
+  /// Legacy tree-building encoder (XmlNode + ostringstream). Kept so the
+  /// benches can quantify the writer-path speedup against the same bytes;
+  /// output is byte-identical to encode().
+  std::vector<std::uint8_t> encode_via_tree(const Message& message) const;
 };
 
 class BinaryCodec final : public Codec {
  public:
-  std::vector<std::uint8_t> encode(const Message& message) const override;
+  void encode_into(const Message& message,
+                   std::vector<std::uint8_t>& out) const override;
   std::optional<Message> decode(
       std::span<const std::uint8_t> bytes) const override;
   const char* name() const override { return "binary"; }

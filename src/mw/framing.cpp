@@ -1,40 +1,67 @@
 #include "src/mw/framing.hpp"
 
+#include <cstring>
+
 namespace tb::mw {
+
+void MessageFramer::frame_into(std::span<const std::uint8_t> message,
+                               std::vector<std::uint8_t>& out) {
+  const std::size_t base = out.size();
+  out.resize(base + 4 + message.size());
+  const auto size = static_cast<std::uint32_t>(message.size());
+  std::uint8_t* p = out.data() + base;
+  p[0] = static_cast<std::uint8_t>(size >> 24);
+  p[1] = static_cast<std::uint8_t>(size >> 16);
+  p[2] = static_cast<std::uint8_t>(size >> 8);
+  p[3] = static_cast<std::uint8_t>(size);
+  if (!message.empty()) std::memcpy(p + 4, message.data(), message.size());
+}
 
 std::vector<std::uint8_t> MessageFramer::frame(
     std::span<const std::uint8_t> message) {
   std::vector<std::uint8_t> out;
   out.reserve(message.size() + 4);
-  const auto size = static_cast<std::uint32_t>(message.size());
-  out.push_back(static_cast<std::uint8_t>(size >> 24));
-  out.push_back(static_cast<std::uint8_t>(size >> 16));
-  out.push_back(static_cast<std::uint8_t>(size >> 8));
-  out.push_back(static_cast<std::uint8_t>(size));
-  out.insert(out.end(), message.begin(), message.end());
+  frame_into(message, out);
   return out;
 }
 
 void MessageFramer::feed(std::span<const std::uint8_t> bytes) {
   if (corrupted_) return;
+  // Compact before growing: drop the consumed prefix once it is at least as
+  // large as the live remainder, so every byte moves at most once on
+  // average. Spans handed out by next() die here, per the contract.
+  if (head_ == buffer_.size()) {
+    buffer_.clear();
+    head_ = 0;
+  } else if (head_ > 0 && head_ >= buffer_.size() - head_) {
+    buffer_.erase(buffer_.begin(),
+                  buffer_.begin() + static_cast<std::ptrdiff_t>(head_));
+    head_ = 0;
+  }
   buffer_.insert(buffer_.end(), bytes.begin(), bytes.end());
 }
 
-std::optional<std::vector<std::uint8_t>> MessageFramer::next() {
-  if (corrupted_ || buffer_.size() < 4) return std::nullopt;
-  const std::uint32_t size = (static_cast<std::uint32_t>(buffer_[0]) << 24) |
-                             (static_cast<std::uint32_t>(buffer_[1]) << 16) |
-                             (static_cast<std::uint32_t>(buffer_[2]) << 8) |
-                             static_cast<std::uint32_t>(buffer_[3]);
+std::optional<std::span<const std::uint8_t>> MessageFramer::next() {
+  const std::size_t live = buffer_.size() - head_;
+  if (corrupted_ || live < 4) return std::nullopt;
+  const std::uint8_t* p = buffer_.data() + head_;
+  const std::uint32_t size = (static_cast<std::uint32_t>(p[0]) << 24) |
+                             (static_cast<std::uint32_t>(p[1]) << 16) |
+                             (static_cast<std::uint32_t>(p[2]) << 8) |
+                             static_cast<std::uint32_t>(p[3]);
   if (size > kMaxMessage) {
     corrupted_ = true;
     return std::nullopt;
   }
-  if (buffer_.size() < 4 + static_cast<std::size_t>(size)) return std::nullopt;
-  buffer_.erase(buffer_.begin(), buffer_.begin() + 4);
-  std::vector<std::uint8_t> message(buffer_.begin(), buffer_.begin() + size);
-  buffer_.erase(buffer_.begin(), buffer_.begin() + size);
-  return message;
+  if (live < 4 + static_cast<std::size_t>(size)) return std::nullopt;
+  head_ += 4 + size;
+  return std::span<const std::uint8_t>(p + 4, size);
+}
+
+void MessageFramer::reset() {
+  buffer_.clear();
+  head_ = 0;
+  corrupted_ = false;
 }
 
 }  // namespace tb::mw

@@ -3,10 +3,14 @@
 // Both stream transports (net packets, TpWIRE mailbox segments) deliver
 // arbitrary byte chunks; the framer restores message boundaries with a
 // 32-bit big-endian length prefix.
+//
+// Storage is a single contiguous buffer with a consumed-prefix offset:
+// next() returns a span view into the buffer (no per-message copy) and
+// feed() compacts the consumed prefix only when it outweighs the live
+// bytes, so the memmove cost stays amortized O(1) per byte.
 #pragma once
 
 #include <cstdint>
-#include <deque>
 #include <optional>
 #include <span>
 #include <vector>
@@ -18,23 +22,35 @@ class MessageFramer {
   /// Maximum accepted message size; a larger prefix marks stream corruption.
   static constexpr std::size_t kMaxMessage = 16 * 1024 * 1024;
 
-  /// Prepends the length prefix.
+  /// Appends the length prefix and the message to `out` (which may already
+  /// hold framed messages — the per-connection reuse path).
+  static void frame_into(std::span<const std::uint8_t> message,
+                         std::vector<std::uint8_t>& out);
+
+  /// Prepends the length prefix (fresh-vector convenience over frame_into).
   static std::vector<std::uint8_t> frame(std::span<const std::uint8_t> message);
 
   /// Appends stream bytes; complete messages become available via next().
   void feed(std::span<const std::uint8_t> bytes);
 
-  /// Pops the next complete message, if any.
-  std::optional<std::vector<std::uint8_t>> next();
+  /// View of the next complete message, if any. The span stays valid until
+  /// the next feed()/reset() — callers decode in place, without copying.
+  std::optional<std::span<const std::uint8_t>> next();
 
   /// True once an oversized length prefix poisoned the stream; the framer
-  /// stops producing messages (callers should reset the connection).
+  /// stops producing messages until reset().
   bool corrupted() const { return corrupted_; }
 
-  std::size_t buffered_bytes() const { return buffer_.size(); }
+  /// Drops all buffered bytes and clears the corrupted flag, so a transport
+  /// can resynchronize a stream (e.g. after reconnecting) instead of
+  /// discarding the framer.
+  void reset();
+
+  std::size_t buffered_bytes() const { return buffer_.size() - head_; }
 
  private:
-  std::deque<std::uint8_t> buffer_;
+  std::vector<std::uint8_t> buffer_;
+  std::size_t head_ = 0;  ///< consumed prefix; bytes before it are dead
   bool corrupted_ = false;
 };
 

@@ -4,9 +4,12 @@
 
 namespace tb::mw {
 
-void LoopbackClient::send(std::vector<std::uint8_t> message) {
+void LoopbackClient::send(std::span<const std::uint8_t> message) {
   note_sent(message.size());
-  hub_->client_to_server(session_, std::move(message));
+  // The in-flight copy: the message crosses simulated time, so the hop owns
+  // its bytes (the caller's buffer is free for reuse the moment send returns).
+  hub_->client_to_server(session_,
+                         std::vector<std::uint8_t>(message.begin(), message.end()));
 }
 
 LoopbackClient& LoopbackHub::create_client() {
@@ -16,13 +19,15 @@ LoopbackClient& LoopbackHub::create_client() {
   return *clients_.back();
 }
 
-void LoopbackHub::send(SessionId session, std::vector<std::uint8_t> message) {
+void LoopbackHub::send(SessionId session, std::span<const std::uint8_t> message) {
   TB_REQUIRE_MSG(session < clients_.size(), "unknown loopback session");
   note_sent(message.size());
   LoopbackClient* client = clients_[session].get();
-  sim_->schedule_in(delay_, [client, m = std::move(message)] {
-    client->deliver(m);
-  });
+  sim_->schedule_in(
+      delay_,
+      [client, m = std::vector<std::uint8_t>(message.begin(), message.end())] {
+        client->deliver(m);
+      });
 }
 
 void LoopbackHub::client_to_server(SessionId session,

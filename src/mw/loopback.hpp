@@ -17,7 +17,8 @@ class LoopbackHub;
 
 class LoopbackClient final : public ClientTransport {
  public:
-  void send(std::vector<std::uint8_t> message) override;
+  using ClientTransport::send;
+  void send(std::span<const std::uint8_t> message) override;
 
  private:
   friend class LoopbackHub;
@@ -38,7 +39,8 @@ class LoopbackHub final : public ServerTransport {
   /// ownership; the reference stays valid for the hub's lifetime.
   LoopbackClient& create_client();
 
-  void send(SessionId session, std::vector<std::uint8_t> message) override;
+  using ServerTransport::send;
+  void send(SessionId session, std::span<const std::uint8_t> message) override;
 
   std::size_t session_count() const { return clients_.size(); }
 

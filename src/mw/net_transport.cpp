@@ -5,9 +5,11 @@
 namespace tb::mw {
 namespace {
 
-/// Chops a framed byte stream into MTU-sized packets and sends each.
+/// Chops a framed byte stream into MTU-sized packets and sends each. The
+/// per-packet vector is the one copy a packet hop needs — downstream links
+/// share it copy-on-write.
 template <typename SendPacket>
-void chop_and_send(const std::vector<std::uint8_t>& framed,
+void chop_and_send(std::span<const std::uint8_t> framed,
                    const NetTransportParams& params, SendPacket&& send_packet) {
   std::size_t offset = 0;
   while (offset < framed.size()) {
@@ -28,10 +30,11 @@ NetClientTransport::NetClientTransport(sim::Simulator& sim, net::Node& node,
   TB_REQUIRE(params.mtu_payload > 0);
 }
 
-void NetClientTransport::send(std::vector<std::uint8_t> message) {
+void NetClientTransport::send(std::span<const std::uint8_t> message) {
   note_sent(message.size());
-  const auto framed = MessageFramer::frame(message);
-  chop_and_send(framed, params_, [this](std::vector<std::uint8_t> payload) {
+  frame_buf_.clear();
+  MessageFramer::frame_into(message, frame_buf_);
+  chop_and_send(frame_buf_, params_, [this](std::vector<std::uint8_t> payload) {
     net::Packet packet;
     packet.dst = server_;
     packet.seq = seq_++;
@@ -52,13 +55,14 @@ NetServerTransport::NetServerTransport(sim::Simulator& sim, net::Node& node,
     : net::Agent(sim, node, port), params_(params) {}
 
 void NetServerTransport::send(SessionId session,
-                              std::vector<std::uint8_t> message) {
+                              std::span<const std::uint8_t> message) {
   auto it = sessions_.find(session);
   TB_REQUIRE_MSG(it != sessions_.end(), "unknown net transport session");
   note_sent(message.size());
-  const auto framed = MessageFramer::frame(message);
+  frame_buf_.clear();
+  MessageFramer::frame_into(message, frame_buf_);
   Session& s = it->second;
-  chop_and_send(framed, params_, [this, &s](std::vector<std::uint8_t> payload) {
+  chop_and_send(frame_buf_, params_, [this, &s](std::vector<std::uint8_t> payload) {
     net::Packet packet;
     packet.dst = s.peer;
     packet.seq = s.seq++;

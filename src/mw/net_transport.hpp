@@ -28,7 +28,8 @@ class NetClientTransport final : public ClientTransport, private net::Agent {
   NetClientTransport(sim::Simulator& sim, net::Node& node, std::uint16_t port,
                      net::Address server, NetTransportParams params = {});
 
-  void send(std::vector<std::uint8_t> message) override;
+  using ClientTransport::send;
+  void send(std::span<const std::uint8_t> message) override;
 
  private:
   void recv(net::Packet packet) override;
@@ -36,6 +37,7 @@ class NetClientTransport final : public ClientTransport, private net::Agent {
   net::Address server_;
   NetTransportParams params_;
   MessageFramer framer_;
+  std::vector<std::uint8_t> frame_buf_;  ///< reused across sends
   std::uint64_t seq_ = 0;
 };
 
@@ -44,7 +46,8 @@ class NetServerTransport final : public ServerTransport, private net::Agent {
   NetServerTransport(sim::Simulator& sim, net::Node& node, std::uint16_t port,
                      NetTransportParams params = {});
 
-  void send(SessionId session, std::vector<std::uint8_t> message) override;
+  using ServerTransport::send;
+  void send(SessionId session, std::span<const std::uint8_t> message) override;
 
   net::Address listen_address() const { return address(); }
 
@@ -62,6 +65,7 @@ class NetServerTransport final : public ServerTransport, private net::Agent {
 
   NetTransportParams params_;
   std::unordered_map<SessionId, Session> sessions_;
+  std::vector<std::uint8_t> frame_buf_;  ///< reused across sends
 };
 
 }  // namespace tb::mw

@@ -2,6 +2,7 @@
 
 #include <climits>
 
+#include "src/obs/metrics.hpp"
 #include "src/util/assert.hpp"
 
 namespace tb::mw {
@@ -10,7 +11,7 @@ SpaceServer::SpaceServer(space::TupleSpace& space, ServerTransport& transport,
                          const Codec& codec, ServerConfig config)
     : space_(&space), transport_(&transport), codec_(&codec), config_(config) {
   transport_->on_message().connect(
-      [this](SessionId session, const std::vector<std::uint8_t>& bytes) {
+      [this](SessionId session, std::span<const std::uint8_t> bytes) {
         handle_bytes(session, bytes);
       });
 }
@@ -21,12 +22,14 @@ sim::Time SpaceServer::duration_of(std::int64_t ns) {
 }
 
 void SpaceServer::handle_bytes(SessionId session,
-                               const std::vector<std::uint8_t>& bytes) {
+                               std::span<const std::uint8_t> bytes) {
   std::optional<Message> request = codec_->decode(bytes);
   if (!request) {
     ++stats_.decode_errors;
     return;
   }
+  ++stats_.messages_decoded;
+  stats_.bytes_decoded += bytes.size();
 
   SessionState& state = sessions_[session];
   if (auto cached = state.responses.find(request->request_id);
@@ -55,18 +58,24 @@ void SpaceServer::handle_bytes(SessionId session,
 void SpaceServer::respond(SessionId session, Message response) {
   response.created_at_ns = space_->simulator().now().count_ns();
   ++stats_.responses;
-  std::vector<std::uint8_t> encoded = codec_->encode(response);
 
   SessionState& state = sessions_[session];
   state.in_flight.erase(response.request_id);
-  if (state.responses.try_emplace(response.request_id, encoded).second) {
+  // Encode directly into the duplicate cache's slot: the bytes must persist
+  // for replay anyway, so the cache entry doubles as the wire buffer (the
+  // transport copies what it needs during send).
+  auto [cached, inserted] = state.responses.try_emplace(response.request_id);
+  if (inserted) {
+    codec_->encode_into(response, cached->second);
     state.response_order.push_back(response.request_id);
     if (state.response_order.size() > kResponseCacheSize) {
       state.responses.erase(state.response_order.front());
       state.response_order.pop_front();
     }
   }
-  transport_->send(session, std::move(encoded));
+  ++stats_.messages_encoded;
+  stats_.bytes_encoded += cached->second.size();
+  transport_->send(session, cached->second);
 }
 
 void SpaceServer::process(SessionId session, Message request) {
@@ -105,7 +114,7 @@ void SpaceServer::process(SessionId session, Message request) {
   }
 }
 
-void SpaceServer::handle_write(SessionId session, const Message& request) {
+void SpaceServer::handle_write(SessionId session, Message& request) {
   Message response;
   response.type = MsgType::kWriteResponse;
   response.request_id = request.request_id;
@@ -140,8 +149,9 @@ void SpaceServer::handle_write(SessionId session, const Message& request) {
     respond(session, response);
     return;
   }
+  // The decoded tuple's buffers move through into the store untouched.
   const space::Lease lease =
-      space_->write(*request.tuple, lease_duration, request.txn);
+      space_->write(std::move(*request.tuple), lease_duration, request.txn);
   response.ok = true;
   response.handle = lease.id;
   response.expires_at_ns = lease.expires_at == sim::Time::max()
@@ -150,7 +160,7 @@ void SpaceServer::handle_write(SessionId session, const Message& request) {
   respond(session, response);
 }
 
-void SpaceServer::handle_match(SessionId session, const Message& request,
+void SpaceServer::handle_match(SessionId session, Message& request,
                                bool take) {
   if (!request.tmpl) {
     Message response;
@@ -182,9 +192,9 @@ void SpaceServer::handle_match(SessionId session, const Message& request,
     return;
   }
   if (take) {
-    space_->take_async(*request.tmpl, timeout, std::move(completion));
+    space_->take_async(std::move(*request.tmpl), timeout, std::move(completion));
   } else {
-    space_->read_async(*request.tmpl, timeout, std::move(completion));
+    space_->read_async(std::move(*request.tmpl), timeout, std::move(completion));
   }
 }
 
@@ -236,7 +246,11 @@ void SpaceServer::handle_notify(SessionId session, const Message& request) {
         event.tuple = tuple;
         event.created_at_ns = space_->simulator().now().count_ns();
         ++stats_.events_pushed;
-        transport_->send(session, codec_->encode(event));
+        encode_buf_.clear();
+        codec_->encode_into(event, encode_buf_);
+        ++stats_.messages_encoded;
+        stats_.bytes_encoded += encode_buf_.size();
+        transport_->send(session, encode_buf_);
       });
   *reg_slot = registration;
   notify_sessions_[registration] = session;
@@ -245,6 +259,36 @@ void SpaceServer::handle_notify(SessionId session, const Message& request) {
   response.ok = true;
   response.handle = registration;
   respond(session, response);
+}
+
+void SpaceServer::bind_metrics(obs::Registry& registry,
+                               const std::string& prefix) {
+  obs::Counter& requests = registry.counter(prefix + ".requests");
+  obs::Counter& responses = registry.counter(prefix + ".responses");
+  obs::Counter& events = registry.counter(prefix + ".events_pushed");
+  obs::Counter& decode_errors = registry.counter(prefix + ".decode_errors");
+  obs::Counter& doa = registry.counter(prefix + ".dead_on_arrival");
+  obs::Counter& replayed = registry.counter(prefix + ".duplicates_replayed");
+  obs::Counter& ignored = registry.counter(prefix + ".duplicates_ignored");
+  obs::Counter& enc_msgs = registry.counter(prefix + ".codec.messages_encoded");
+  obs::Counter& enc_bytes = registry.counter(prefix + ".codec.bytes_encoded");
+  obs::Counter& dec_msgs = registry.counter(prefix + ".codec.messages_decoded");
+  obs::Counter& dec_bytes = registry.counter(prefix + ".codec.bytes_decoded");
+  registry.add_collector([this, &requests, &responses, &events, &decode_errors,
+                          &doa, &replayed, &ignored, &enc_msgs, &enc_bytes,
+                          &dec_msgs, &dec_bytes] {
+    requests.set(stats_.requests);
+    responses.set(stats_.responses);
+    events.set(stats_.events_pushed);
+    decode_errors.set(stats_.decode_errors);
+    doa.set(stats_.dead_on_arrival);
+    replayed.set(stats_.duplicates_replayed);
+    ignored.set(stats_.duplicates_ignored);
+    enc_msgs.set(stats_.messages_encoded);
+    enc_bytes.set(stats_.bytes_encoded);
+    dec_msgs.set(stats_.messages_decoded);
+    dec_bytes.set(stats_.bytes_decoded);
+  });
 }
 
 void SpaceServer::handle_renew(SessionId session, const Message& request) {

@@ -16,12 +16,18 @@
 #include <cstdint>
 #include <deque>
 #include <set>
+#include <span>
+#include <string>
 #include <unordered_map>
 
 #include "src/mw/codec.hpp"
 #include "src/mw/transport.hpp"
 #include "src/sim/simulator.hpp"
 #include "src/space/space.hpp"
+
+namespace tb::obs {
+class Registry;
+}
 
 namespace tb::mw {
 
@@ -50,20 +56,30 @@ class SpaceServer {
     std::uint64_t dead_on_arrival = 0;  ///< writes whose lease had expired in transit
     std::uint64_t duplicates_replayed = 0;  ///< cached response resent
     std::uint64_t duplicates_ignored = 0;   ///< original still in flight
+    std::uint64_t messages_encoded = 0;
+    std::uint64_t bytes_encoded = 0;   ///< codec output, pre-framing
+    std::uint64_t messages_decoded = 0;
+    std::uint64_t bytes_decoded = 0;   ///< codec input, post-framing
   };
   const Stats& stats() const { return stats_; }
 
   space::TupleSpace& space() { return *space_; }
 
+  /// Observability hook (DESIGN.md §7): mirrors Stats into `<p>.*` counters
+  /// at snapshot time. The registry must outlive the server. Default
+  /// prefix: "mw.server".
+  void bind_metrics(obs::Registry& registry,
+                    const std::string& prefix = "mw.server");
+
  private:
   using SessionId = ServerTransport::SessionId;
 
-  void handle_bytes(SessionId session, const std::vector<std::uint8_t>& bytes);
+  void handle_bytes(SessionId session, std::span<const std::uint8_t> bytes);
   void process(SessionId session, Message request);
   void respond(SessionId session, Message response);
 
-  void handle_write(SessionId session, const Message& request);
-  void handle_match(SessionId session, const Message& request, bool take);
+  void handle_write(SessionId session, Message& request);
+  void handle_match(SessionId session, Message& request, bool take);
   void handle_notify(SessionId session, const Message& request);
   void handle_renew(SessionId session, const Message& request);
   void handle_cancel(SessionId session, const Message& request);
@@ -88,6 +104,7 @@ class SpaceServer {
   };
   static constexpr std::size_t kResponseCacheSize = 64;
   std::unordered_map<SessionId, SessionState> sessions_;
+  std::vector<std::uint8_t> encode_buf_;  ///< reused for event pushes
 
   Stats stats_;
 };

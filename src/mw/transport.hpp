@@ -12,6 +12,8 @@
 #pragma once
 
 #include <cstdint>
+#include <initializer_list>
+#include <span>
 #include <vector>
 
 #include "src/sim/signal.hpp"
@@ -26,15 +28,27 @@ struct TransportStats {
 };
 
 /// Client endpoint: one connection to the server.
+///
+/// send() and on_message() trade in spans: the sender keeps ownership of its
+/// encode buffer (transports copy what they must into their own wire
+/// containers), and received messages are views into the transport's framer
+/// storage, valid only for the duration of the emit. Handlers that need the
+/// bytes later must copy; SpaceClient/SpaceServer decode immediately instead.
 class ClientTransport {
  public:
   virtual ~ClientTransport() = default;
 
-  /// Queues a whole encoded message toward the server.
-  virtual void send(std::vector<std::uint8_t> message) = 0;
+  /// Queues a whole encoded message toward the server. The span must stay
+  /// valid for the duration of the call only.
+  virtual void send(std::span<const std::uint8_t> message) = 0;
+
+  /// Brace-literal convenience for tests: send({0x01, 0x02}).
+  void send(std::initializer_list<std::uint8_t> message) {
+    send(std::span<const std::uint8_t>(message.begin(), message.size()));
+  }
 
   /// Fires once per complete message from the server.
-  sim::Signal<const std::vector<std::uint8_t>&>& on_message() {
+  sim::Signal<std::span<const std::uint8_t>>& on_message() {
     return on_message_;
   }
 
@@ -45,28 +59,32 @@ class ClientTransport {
     ++stats_.messages_sent;
     stats_.bytes_sent += bytes;
   }
-  void deliver(const std::vector<std::uint8_t>& message) {
+  void deliver(std::span<const std::uint8_t> message) {
     ++stats_.messages_received;
     stats_.bytes_received += message.size();
     on_message_.emit(message);
   }
 
   TransportStats stats_;
-  sim::Signal<const std::vector<std::uint8_t>&> on_message_;
+  sim::Signal<std::span<const std::uint8_t>> on_message_;
 };
 
 /// Server endpoint: talks to many clients, each identified by a session id
 /// (transport-specific: loopback client index, network address hash, or
-/// TpWIRE node id).
+/// TpWIRE node id). Same span lifetime contract as ClientTransport.
 class ServerTransport {
  public:
   using SessionId = std::uint64_t;
 
   virtual ~ServerTransport() = default;
 
-  virtual void send(SessionId session, std::vector<std::uint8_t> message) = 0;
+  virtual void send(SessionId session, std::span<const std::uint8_t> message) = 0;
 
-  sim::Signal<SessionId, const std::vector<std::uint8_t>&>& on_message() {
+  void send(SessionId session, std::initializer_list<std::uint8_t> message) {
+    send(session, std::span<const std::uint8_t>(message.begin(), message.size()));
+  }
+
+  sim::Signal<SessionId, std::span<const std::uint8_t>>& on_message() {
     return on_message_;
   }
 
@@ -77,14 +95,14 @@ class ServerTransport {
     ++stats_.messages_sent;
     stats_.bytes_sent += bytes;
   }
-  void deliver(SessionId session, const std::vector<std::uint8_t>& message) {
+  void deliver(SessionId session, std::span<const std::uint8_t> message) {
     ++stats_.messages_received;
     stats_.bytes_received += message.size();
     on_message_.emit(session, message);
   }
 
   TransportStats stats_;
-  sim::Signal<SessionId, const std::vector<std::uint8_t>&> on_message_;
+  sim::Signal<SessionId, std::span<const std::uint8_t>> on_message_;
 };
 
 }  // namespace tb::mw

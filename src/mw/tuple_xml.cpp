@@ -154,6 +154,64 @@ std::optional<space::Template> template_from_xml(const XmlNode& node) {
   return tmpl;
 }
 
+void value_to_xml_into(const space::Value& value, XmlWriter& w) {
+  switch (value.type()) {
+    case space::ValueType::kInt:
+      w.open("int");
+      w.text_i64(value.as_int());
+      break;
+    case space::ValueType::kFloat: {
+      w.open("float");
+      char buf[64];
+      const int n = std::snprintf(buf, sizeof buf, "%.17g", value.as_float());
+      w.text(std::string_view(buf, static_cast<std::size_t>(n)));
+      break;
+    }
+    case space::ValueType::kBool:
+      w.open("bool");
+      w.text(value.as_bool() ? "true" : "false");
+      break;
+    case space::ValueType::kString:
+      w.open("string");
+      w.text(value.as_string());
+      break;
+    case space::ValueType::kBytes: {
+      w.open("bytes");
+      // Hex expansion inline; to_hex's digits never need escaping.
+      w.text(util::to_hex(value.as_bytes()));
+      break;
+    }
+  }
+  w.close();
+}
+
+void tuple_to_xml_into(const space::Tuple& tuple, XmlWriter& w) {
+  w.open("tuple");
+  w.attr("name", tuple.name);
+  for (const space::Value& v : tuple.fields) value_to_xml_into(v, w);
+  w.close();
+}
+
+void template_to_xml_into(const space::Template& tmpl, XmlWriter& w) {
+  w.open("template");
+  if (tmpl.name) w.attr("name", *tmpl.name);
+  for (const space::FieldPattern& p : tmpl.fields) {
+    if (p.is_exact()) {
+      w.open("exact");
+      value_to_xml_into(p.exact_value(), w);
+      w.close();
+    } else if (p.is_typed()) {
+      w.open("typed");
+      w.text(space::to_string(p.typed_type()));
+      w.close();
+    } else {
+      w.open("any");
+      w.close();
+    }
+  }
+  w.close();
+}
+
 std::string tuple_to_xml_string(const space::Tuple& tuple) {
   return tuple_to_xml(tuple).serialize();
 }

@@ -33,6 +33,13 @@ std::optional<space::Tuple> tuple_from_xml(const XmlNode& node);
 XmlNode template_to_xml(const space::Template& tmpl);
 std::optional<space::Template> template_from_xml(const XmlNode& node);
 
+/// Writer-based serializers — append straight into the writer's buffer,
+/// producing byte-identical output to the node-building forms above without
+/// allocating a tree. These are the codec's encode hot path.
+void value_to_xml_into(const space::Value& value, XmlWriter& w);
+void tuple_to_xml_into(const space::Tuple& tuple, XmlWriter& w);
+void template_to_xml_into(const space::Template& tmpl, XmlWriter& w);
+
 /// Whole-document conveniences.
 std::string tuple_to_xml_string(const space::Tuple& tuple);
 std::optional<space::Tuple> tuple_from_xml_string(std::string_view text);

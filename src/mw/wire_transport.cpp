@@ -17,7 +17,7 @@ WireEndpoint::WireEndpoint(sim::Simulator& sim, wire::SlaveDevice& slave,
 }
 
 void WireEndpoint::send_message(std::uint8_t dst_node,
-                                const std::vector<std::uint8_t>& message) {
+                                std::span<const std::uint8_t> message) {
   const std::size_t chunk_size =
       params_.max_segment_payload - kFragmentHeaderBytes;
   const std::uint16_t msg_id = next_msg_id_++;
@@ -26,39 +26,50 @@ void WireEndpoint::send_message(std::uint8_t dst_node,
       message.empty() ? 1 : (message.size() + chunk_size - 1) / chunk_size;
   TB_REQUIRE_MSG(total <= 0xFFFF, "message too large for fragment index");
 
+  // Drop the consumed prefix before growing the backlog; amortized O(1).
+  compact_pending();
   for (std::size_t index = 0; index < total; ++index) {
     const std::size_t offset = index * chunk_size;
     const std::size_t chunk =
         std::min(chunk_size, message.size() - std::min(offset, message.size()));
-    wire::RelaySegment segment;
-    segment.src = slave_->node_id();
-    segment.dst = dst_node;
-    segment.payload.reserve(kFragmentHeaderBytes + chunk);
-    auto put_u16 = [&](std::uint16_t v) {
-      segment.payload.push_back(static_cast<std::uint8_t>(v >> 8));
-      segment.payload.push_back(static_cast<std::uint8_t>(v));
+    const std::uint8_t header[kFragmentHeaderBytes] = {
+        static_cast<std::uint8_t>(msg_id >> 8),
+        static_cast<std::uint8_t>(msg_id),
+        static_cast<std::uint8_t>(index >> 8),
+        static_cast<std::uint8_t>(index),
+        static_cast<std::uint8_t>(total >> 8),
+        static_cast<std::uint8_t>(total),
     };
-    put_u16(msg_id);
-    put_u16(static_cast<std::uint16_t>(index));
-    put_u16(static_cast<std::uint16_t>(total));
-    segment.payload.insert(segment.payload.end(), message.begin() + offset,
-                           message.begin() + offset + chunk);
-    const auto encoded = wire::encode_segment(segment);
-    pending_.insert(pending_.end(), encoded.begin(), encoded.end());
+    wire::encode_segment_into(slave_->node_id(), dst_node, header,
+                              message.subspan(offset, chunk), pending_);
     ++endpoint_stats_.fragments_sent;
   }
   pump_outbox();
 }
 
-void WireEndpoint::pump_outbox() {
-  while (!pending_.empty()) {
-    // host_send takes a contiguous span; feed the deque's front run.
-    std::vector<std::uint8_t> batch(pending_.begin(), pending_.end());
-    const std::size_t accepted = slave_->host_send(batch);
-    pending_.erase(pending_.begin(), pending_.begin() + accepted);
-    if (accepted < batch.size()) break;  // outbox full: retry on the timer
+void WireEndpoint::compact_pending() {
+  if (pending_head_ == pending_.size()) {
+    pending_.clear();
+    pending_head_ = 0;
+  } else if (pending_head_ > 0 &&
+             pending_head_ >= pending_.size() - pending_head_) {
+    pending_.erase(pending_.begin(),
+                   pending_.begin() + static_cast<std::ptrdiff_t>(pending_head_));
+    pending_head_ = 0;
   }
-  if (!pending_.empty() && !flush_scheduled_) {
+}
+
+void WireEndpoint::pump_outbox() {
+  while (pending_head_ < pending_.size()) {
+    // host_send takes a contiguous span; hand it the live tail directly.
+    const std::span<const std::uint8_t> live(pending_.data() + pending_head_,
+                                             pending_.size() - pending_head_);
+    const std::size_t accepted = slave_->host_send(live);
+    pending_head_ += accepted;
+    if (accepted < live.size()) break;  // outbox full: retry on the timer
+  }
+  compact_pending();
+  if (pending_head_ < pending_.size() && !flush_scheduled_) {
     flush_scheduled_ = true;
     sim_->schedule_in(params_.flush_period, [this] {
       flush_scheduled_ = false;
@@ -68,7 +79,7 @@ void WireEndpoint::pump_outbox() {
 }
 
 void WireEndpoint::accept_fragment(std::uint8_t src,
-                                   const std::vector<std::uint8_t>& payload) {
+                                   std::span<const std::uint8_t> payload) {
   if (payload.size() < kFragmentHeaderBytes) {
     ++endpoint_stats_.header_errors;
     return;
@@ -86,6 +97,13 @@ void WireEndpoint::accept_fragment(std::uint8_t src,
   ++endpoint_stats_.fragments_received;
 
   auto& per_src = partials_[src];
+  // Single-fragment fast path: most control messages fit one segment, so
+  // skip the reassembly map and deliver straight out of the parsed payload.
+  if (total == 1 && per_src.find(msg_id) == per_src.end()) {
+    ++endpoint_stats_.messages_reassembled;
+    on_inbound(src, payload.subspan(kFragmentHeaderBytes));
+    return;
+  }
   Partial& partial = per_src[msg_id];
   if (partial.total == 0) partial.total = total;
   if (partial.total != total) {  // header corruption slipped the segment CRC
@@ -100,13 +118,13 @@ void WireEndpoint::accept_fragment(std::uint8_t src,
   if (inserted) ++partial.received;
 
   if (partial.received == partial.total) {
-    std::vector<std::uint8_t> message;
+    reassembly_buf_.clear();
     for (auto& [idx, bytes] : partial.fragments) {
-      message.insert(message.end(), bytes.begin(), bytes.end());
+      reassembly_buf_.insert(reassembly_buf_.end(), bytes.begin(), bytes.end());
     }
     per_src.erase(msg_id);
     ++endpoint_stats_.messages_reassembled;
-    on_inbound(src, message);
+    on_inbound(src, reassembly_buf_);
     return;
   }
 
@@ -131,13 +149,13 @@ WireClientTransport::WireClientTransport(sim::Simulator& sim,
                                          WireTransportParams params)
     : WireEndpoint(sim, slave, params), server_node_(server_node) {}
 
-void WireClientTransport::send(std::vector<std::uint8_t> message) {
+void WireClientTransport::send(std::span<const std::uint8_t> message) {
   note_sent(message.size());
   send_message(server_node_, message);
 }
 
 void WireClientTransport::on_inbound(std::uint8_t src_node,
-                                     const std::vector<std::uint8_t>& message) {
+                                     std::span<const std::uint8_t> message) {
   if (src_node != server_node_) return;  // stray traffic: not ours
   deliver(message);
 }
@@ -148,14 +166,14 @@ WireServerTransport::WireServerTransport(sim::Simulator& sim,
     : WireEndpoint(sim, slave, params) {}
 
 void WireServerTransport::send(SessionId session,
-                               std::vector<std::uint8_t> message) {
+                               std::span<const std::uint8_t> message) {
   TB_REQUIRE_MSG(session <= wire::kMaxNodeId, "session must be a node id");
   note_sent(message.size());
   send_message(static_cast<std::uint8_t>(session), message);
 }
 
 void WireServerTransport::on_inbound(std::uint8_t src_node,
-                                     const std::vector<std::uint8_t>& message) {
+                                     std::span<const std::uint8_t> message) {
   deliver(src_node, message);
 }
 

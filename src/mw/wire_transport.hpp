@@ -21,8 +21,8 @@
 #pragma once
 
 #include <cstdint>
-#include <deque>
 #include <map>
+#include <span>
 #include <unordered_map>
 #include <vector>
 
@@ -55,7 +55,7 @@ class WireEndpoint {
   wire::SlaveDevice& slave() { return *slave_; }
 
   /// Bytes waiting locally because the outbox was full.
-  std::size_t backlog_bytes() const { return pending_.size(); }
+  std::size_t backlog_bytes() const { return pending_.size() - pending_head_; }
 
   struct EndpointStats {
     std::uint64_t fragments_sent = 0;
@@ -69,11 +69,12 @@ class WireEndpoint {
  protected:
   /// Fragments `message`, queues the fragments for `dst_node`.
   void send_message(std::uint8_t dst_node,
-                    const std::vector<std::uint8_t>& message);
+                    std::span<const std::uint8_t> message);
 
-  /// Invoked once per complete inbound message with its source node.
+  /// Invoked once per complete inbound message with its source node. The
+  /// span is valid for the duration of the call.
   virtual void on_inbound(std::uint8_t src_node,
-                          const std::vector<std::uint8_t>& message) = 0;
+                          std::span<const std::uint8_t> message) = 0;
 
   sim::Simulator& simulator() { return *sim_; }
 
@@ -84,15 +85,21 @@ class WireEndpoint {
     std::map<std::uint16_t, std::vector<std::uint8_t>> fragments;
   };
 
+  void compact_pending();
   void pump_outbox();
   void drain_inbox();
-  void accept_fragment(std::uint8_t src, const std::vector<std::uint8_t>& payload);
+  void accept_fragment(std::uint8_t src, std::span<const std::uint8_t> payload);
 
   sim::Simulator* sim_;
   wire::SlaveDevice* slave_;
   WireTransportParams params_;
   std::uint16_t next_msg_id_ = 1;
-  std::deque<std::uint8_t> pending_;  ///< encoded segments awaiting outbox room
+  /// Encoded segments awaiting outbox room: contiguous bytes with a consumed
+  /// prefix, so pump_outbox() hands the slave a direct span of the live tail
+  /// instead of copying a deque into a batch vector on every retry.
+  std::vector<std::uint8_t> pending_;
+  std::size_t pending_head_ = 0;
+  std::vector<std::uint8_t> reassembly_buf_;  ///< reused per inbound message
   bool flush_scheduled_ = false;
   wire::SegmentParser segment_parser_;
   /// (src, msg_id) keyed reassembly state; ordered map gives cheap
@@ -106,11 +113,12 @@ class WireClientTransport final : public ClientTransport, public WireEndpoint {
   WireClientTransport(sim::Simulator& sim, wire::SlaveDevice& slave,
                       std::uint8_t server_node, WireTransportParams params = {});
 
-  void send(std::vector<std::uint8_t> message) override;
+  using ClientTransport::send;
+  void send(std::span<const std::uint8_t> message) override;
 
  private:
   void on_inbound(std::uint8_t src_node,
-                  const std::vector<std::uint8_t>& message) override;
+                  std::span<const std::uint8_t> message) override;
 
   std::uint8_t server_node_;
 };
@@ -121,11 +129,12 @@ class WireServerTransport final : public ServerTransport, public WireEndpoint {
   WireServerTransport(sim::Simulator& sim, wire::SlaveDevice& slave,
                       WireTransportParams params = {});
 
-  void send(SessionId session, std::vector<std::uint8_t> message) override;
+  using ServerTransport::send;
+  void send(SessionId session, std::span<const std::uint8_t> message) override;
 
  private:
   void on_inbound(std::uint8_t src_node,
-                  const std::vector<std::uint8_t>& message) override;
+                  std::span<const std::uint8_t> message) override;
 };
 
 }  // namespace tb::mw

@@ -1,8 +1,10 @@
 #include "src/mw/xml.hpp"
 
 #include <cctype>
+#include <charconv>
 #include <sstream>
 
+#include "src/util/assert.hpp"
 #include "src/util/strings.hpp"
 
 namespace tb::mw {
@@ -184,6 +186,81 @@ std::string XmlNode::serialize() const {
 
 std::optional<XmlNode> xml_parse(std::string_view text) {
   return Parser(text).parse_document();
+}
+
+void XmlWriter::open(std::string_view name) {
+  close_open_tag();
+  if (!stack_.empty()) stack_.back().has_content = true;
+  out_->push_back('<');
+  append(name);
+  stack_.push_back(Frame{.name = name});
+  tag_open_ = true;
+}
+
+void XmlWriter::attr(std::string_view key, std::string_view value) {
+  TB_ASSERT(tag_open_);
+  out_->push_back(' ');
+  append(key);
+  out_->push_back('=');
+  out_->push_back('"');
+  util::xml_escape_into(value, *out_);
+  out_->push_back('"');
+}
+
+void XmlWriter::attr_i64(std::string_view key, std::int64_t value) {
+  char buf[24];
+  const auto [end, ec] = std::to_chars(buf, buf + sizeof buf, value);
+  attr(key, std::string_view(buf, static_cast<std::size_t>(end - buf)));
+}
+
+void XmlWriter::attr_u64(std::string_view key, std::uint64_t value) {
+  char buf[24];
+  const auto [end, ec] = std::to_chars(buf, buf + sizeof buf, value);
+  attr(key, std::string_view(buf, static_cast<std::size_t>(end - buf)));
+}
+
+void XmlWriter::text(std::string_view s) {
+  if (s.empty()) return;
+  close_open_tag();
+  TB_ASSERT(!stack_.empty());
+  stack_.back().has_content = true;
+  util::xml_escape_into(s, *out_);
+}
+
+void XmlWriter::text_i64(std::int64_t v) {
+  char buf[24];
+  const auto [end, ec] = std::to_chars(buf, buf + sizeof buf, v);
+  text(std::string_view(buf, static_cast<std::size_t>(end - buf)));
+}
+
+void XmlWriter::text_u64(std::uint64_t v) {
+  char buf[24];
+  const auto [end, ec] = std::to_chars(buf, buf + sizeof buf, v);
+  text(std::string_view(buf, static_cast<std::size_t>(end - buf)));
+}
+
+void XmlWriter::close() {
+  TB_ASSERT(!stack_.empty());
+  const Frame frame = stack_.back();
+  stack_.pop_back();
+  if (tag_open_ && !frame.has_content) {
+    out_->push_back('/');
+    out_->push_back('>');
+    tag_open_ = false;
+    return;
+  }
+  close_open_tag();
+  out_->push_back('<');
+  out_->push_back('/');
+  append(frame.name);
+  out_->push_back('>');
+}
+
+void XmlWriter::close_open_tag() {
+  if (tag_open_) {
+    out_->push_back('>');
+    tag_open_ = false;
+  }
 }
 
 }  // namespace tb::mw

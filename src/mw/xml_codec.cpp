@@ -51,7 +51,57 @@ void add_text_child(XmlNode& parent, const char* name, std::string text) {
 
 }  // namespace
 
-std::vector<std::uint8_t> XmlCodec::encode(const Message& message) const {
+void XmlCodec::encode_into(const Message& message,
+                           std::vector<std::uint8_t>& out) const {
+  // Rough upper bound: fixed envelope plus ~3x the tuple payload (hex-coded
+  // bytes double, tags and entities add the rest). A cheap hint — steady
+  // state reuses the buffer's existing capacity anyway.
+  std::size_t hint = out.size() + 96 + message.error.size();
+  if (message.tuple) hint += 48 + 3 * message.tuple->byte_size();
+  if (message.tmpl) hint += 48 + 24 * message.tmpl->fields.size();
+  out.reserve(hint);
+
+  XmlWriter w(out);
+  w.open("msg");
+  // Attribute order matches XmlNode::serialize(), whose std::map emits keys
+  // alphabetically — keeps the two encode paths byte-for-byte identical.
+  w.attr_i64("at", message.created_at_ns);
+  w.attr_u64("id", message.request_id);
+  w.attr("type", msg_type_tag(message.type));
+  if (message.tuple) tuple_to_xml_into(*message.tuple, w);
+  if (message.tmpl) template_to_xml_into(*message.tmpl, w);
+  if (message.duration_ns != 0) {
+    w.open("duration");
+    w.text_i64(message.duration_ns);
+    w.close();
+  }
+  if (message.handle != 0) {
+    w.open("handle");
+    w.text_u64(message.handle);
+    w.close();
+  }
+  if (message.expires_at_ns != 0) {
+    w.open("expires");
+    w.text_i64(message.expires_at_ns);
+    w.close();
+  }
+  if (message.txn != 0) {
+    w.open("txn");
+    w.text_u64(message.txn);
+    w.close();
+  }
+  w.open("ok");
+  w.text(message.ok ? "true" : "false");
+  w.close();
+  if (!message.error.empty()) {
+    w.open("error");
+    w.text(message.error);
+    w.close();
+  }
+  w.close();
+}
+
+std::vector<std::uint8_t> XmlCodec::encode_via_tree(const Message& message) const {
   XmlNode root;
   root.name = "msg";
   root.attributes["type"] = msg_type_tag(message.type);

@@ -27,7 +27,10 @@ void SimplexLink::transmit(Packet packet) {
     if (fault.corrupt_bit >= 0 && !packet.payload.empty()) {
       const std::size_t bit =
           static_cast<std::size_t>(fault.corrupt_bit) % (packet.payload.size() * 8);
-      packet.payload[bit / 8] ^= static_cast<std::uint8_t>(1u << (bit % 8));
+      // mutable_bytes() clones if a duplicate still shares the block, so the
+      // corruption stays local to this copy.
+      packet.payload.mutable_bytes()[bit / 8] ^=
+          static_cast<std::uint8_t>(1u << (bit % 8));
       ++stats_.fault_corruptions;
     }
     if (fault.extra_delay > sim::Time::zero()) ++stats_.fault_delays;

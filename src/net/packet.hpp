@@ -6,13 +6,70 @@
 // carry only a size.
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
+#include <memory>
+#include <span>
 #include <string>
 #include <vector>
 
 #include "src/sim/time.hpp"
 
 namespace tb::net {
+
+/// Copy-on-write byte payload. Packets are copied by value per hop (and
+/// duplicated outright by fault injection); sharing the byte block behind a
+/// refcount turns those copies into pointer bumps. Reads alias the shared
+/// block; mutable_bytes() clones it first when someone else still holds it,
+/// so corruption on one link never bleeds into another copy in flight.
+class Payload {
+ public:
+  Payload() = default;
+  Payload(std::vector<std::uint8_t> bytes)  // NOLINT: implicit by design
+      : data_(bytes.empty()
+                  ? nullptr
+                  : std::make_shared<std::vector<std::uint8_t>>(std::move(bytes))) {}
+
+  Payload& operator=(std::vector<std::uint8_t> bytes) {
+    *this = Payload(std::move(bytes));
+    return *this;
+  }
+
+  void assign(std::size_t n, std::uint8_t value) {
+    data_ = n == 0 ? nullptr
+                   : std::make_shared<std::vector<std::uint8_t>>(n, value);
+  }
+
+  std::size_t size() const { return data_ ? data_->size() : 0; }
+  bool empty() const { return size() == 0; }
+
+  std::span<const std::uint8_t> bytes() const {
+    return data_ ? std::span<const std::uint8_t>(*data_)
+                 : std::span<const std::uint8_t>();
+  }
+  operator std::span<const std::uint8_t>() const { return bytes(); }
+
+  std::uint8_t operator[](std::size_t i) const { return (*data_)[i]; }
+
+  /// Write access; clones the block first if another packet still shares it.
+  std::vector<std::uint8_t>& mutable_bytes() {
+    if (!data_) {
+      data_ = std::make_shared<std::vector<std::uint8_t>>();
+    } else if (data_.use_count() > 1) {
+      data_ = std::make_shared<std::vector<std::uint8_t>>(*data_);
+    }
+    return *data_;
+  }
+
+  bool operator==(const Payload& other) const {
+    const auto a = bytes();
+    const auto b = other.bytes();
+    return a.size() == b.size() && std::equal(a.begin(), a.end(), b.begin());
+  }
+
+ private:
+  std::shared_ptr<std::vector<std::uint8_t>> data_;  ///< null means empty
+};
 
 /// (node, port) addressing; port selects the agent within the node.
 struct Address {
@@ -38,7 +95,7 @@ struct Packet {
   Address dst;
   std::size_t size_bytes = 0;  ///< wire size (headers + payload)
   std::uint8_t ttl = 32;
-  std::vector<std::uint8_t> payload;  ///< may be smaller than size_bytes
+  Payload payload;             ///< may be smaller than size_bytes
   sim::Time created_at;        ///< stamped by the sender
 
   std::string to_string() const;

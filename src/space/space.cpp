@@ -10,17 +10,6 @@ namespace tb::space {
 TupleSpace::TupleSpace(sim::Simulator& sim, SpaceConfig config)
     : sim_(&sim), config_(config) {}
 
-std::uint64_t TupleSpace::bucket_key(const std::string& name,
-                                     std::size_t arity) {
-  // FNV-1a over the name, mixed with the arity.
-  std::uint64_t h = 0xCBF29CE484222325ull;
-  for (char c : name) {
-    h ^= static_cast<std::uint8_t>(c);
-    h *= 0x100000001B3ull;
-  }
-  return h ^ (arity * 0x9E3779B97F4A7C15ull);
-}
-
 void TupleSpace::deliver(MatchCallback callback, std::optional<Tuple> result) {
   sim_->schedule_in(sim::Time::zero(),
                     [cb = std::move(callback), r = std::move(result)]() mutable {
@@ -69,13 +58,16 @@ void TupleSpace::publish(std::uint64_t id, Tuple tuple, sim::Time expires_at) {
   Entry entry;
   entry.id = id;
   entry.expires_at = expires_at;
+  entry.type_key = type_key(tuple.name, tuple.arity());
+  entry.byte_size = tuple.byte_size();
   if (expires_at != sim::Time::max()) {
     entry.expiry_event =
         sim_->schedule_at(expires_at, [this, id] { expire_entry(id); });
   }
   if (config_.use_type_index) {
-    index_[bucket_key(tuple.name, tuple.arity())].insert(id);
+    index_[entry.type_key].insert(id);
   }
+  stored_bytes_ += entry.byte_size;
   entry.tuple = std::move(tuple);
   entries_.emplace(id, std::move(entry));
   stats_.peak_size = std::max(stats_.peak_size, entries_.size());
@@ -108,7 +100,7 @@ std::map<std::uint64_t, TupleSpace::Entry>::iterator TupleSpace::find_match(
     const Template& tmpl) {
   const sim::Time now = sim_->now();
   if (config_.use_type_index && tmpl.name.has_value()) {
-    const auto bucket = index_.find(bucket_key(*tmpl.name, tmpl.arity()));
+    const auto bucket = index_.find(type_key(*tmpl.name, tmpl.arity()));
     if (bucket == index_.end()) return entries_.end();
     for (std::uint64_t id : bucket->second) {
       auto it = entries_.find(id);
@@ -119,9 +111,14 @@ std::map<std::uint64_t, TupleSpace::Entry>::iterator TupleSpace::find_match(
     }
     return entries_.end();
   }
+  // Linear scan: a name-constrained template still short-circuits on the
+  // cached (name, arity) key before the field-by-field match.
+  const bool keyed = tmpl.name.has_value();
+  const std::uint64_t want = keyed ? type_key(*tmpl.name, tmpl.arity()) : 0;
   for (auto it = entries_.begin(); it != entries_.end(); ++it) {
     ++stats_.scan_steps;
     if (it->second.expires_at <= now) continue;
+    if (keyed && it->second.type_key != want) continue;
     if (tmpl.matches(it->second.tuple)) return it;
   }
   return entries_.end();
@@ -130,12 +127,13 @@ std::map<std::uint64_t, TupleSpace::Entry>::iterator TupleSpace::find_match(
 void TupleSpace::erase_entry(std::map<std::uint64_t, Entry>::iterator it) {
   sim_->cancel(it->second.expiry_event);
   if (config_.use_type_index) {
-    const auto bucket =
-        index_.find(bucket_key(it->second.tuple.name, it->second.tuple.arity()));
+    // The cached key keeps this valid even after a take moved the tuple out.
+    const auto bucket = index_.find(it->second.type_key);
     TB_ASSERT(bucket != index_.end());
     bucket->second.erase(it->first);
     if (bucket->second.empty()) index_.erase(bucket);
   }
+  stored_bytes_ -= it->second.byte_size;
   entries_.erase(it);
 }
 
@@ -166,15 +164,17 @@ std::optional<Tuple> TupleSpace::take_if_exists(const Template& tmpl,
   auto it = find_match(tmpl);
   if (it != entries_.end()) {
     ++stats_.takes;
-    Tuple result = it->second.tuple;  // erase_entry still needs name/arity
     if (txn != kNoTxn) {
       Txn* transaction = find_txn(txn);
       TB_REQUIRE_MSG(transaction != nullptr, "unknown transaction");
-      // Hold the committed entry: invisible to everyone until the
+      // Hold a copy of the committed entry: invisible to everyone until the
       // transaction resolves; abort restores it with its remaining lease.
       transaction->held.push_back(
-          HeldEntry{it->first, result, it->second.expires_at});
+          HeldEntry{it->first, it->second.tuple, it->second.expires_at});
     }
+    // The stored tuple's buffers move out to the caller; erase_entry works
+    // from the cached type_key and never looks at the (now empty) tuple.
+    Tuple result = std::move(it->second.tuple);
     erase_entry(it);
     return result;
   }
@@ -201,7 +201,7 @@ std::vector<Tuple> TupleSpace::read_all(const Template& tmpl,
   std::vector<Tuple> out;
   const sim::Time now = sim_->now();
   if (config_.use_type_index && tmpl.name.has_value()) {
-    const auto bucket = index_.find(bucket_key(*tmpl.name, tmpl.arity()));
+    const auto bucket = index_.find(type_key(*tmpl.name, tmpl.arity()));
     if (bucket == index_.end()) return out;
     for (std::uint64_t id : bucket->second) {
       if (out.size() >= max) break;
@@ -237,7 +237,7 @@ std::vector<Tuple> TupleSpace::take_all(const Template& tmpl,
   std::vector<Tuple> out;
   const sim::Time now = sim_->now();
   if (config_.use_type_index && tmpl.name.has_value()) {
-    const auto bucket = index_.find(bucket_key(*tmpl.name, tmpl.arity()));
+    const auto bucket = index_.find(type_key(*tmpl.name, tmpl.arity()));
     if (bucket == index_.end()) return out;
     // erase_entry edits (and may erase) the bucket, so walk a snapshot of
     // the candidate ids.
@@ -251,7 +251,7 @@ std::vector<Tuple> TupleSpace::take_all(const Template& tmpl,
       if (it->second.expires_at <= now) continue;  // expiry event queued
       if (tmpl.matches(it->second.tuple)) {
         ++stats_.takes;
-        out.push_back(it->second.tuple);
+        out.push_back(std::move(it->second.tuple));
         erase_entry(it);
       }
     }
@@ -264,7 +264,7 @@ std::vector<Tuple> TupleSpace::take_all(const Template& tmpl,
     if (cur->second.expires_at <= now) continue;
     if (tmpl.matches(cur->second.tuple)) {
       ++stats_.takes;
-      out.push_back(cur->second.tuple);
+      out.push_back(std::move(cur->second.tuple));
       erase_entry(cur);
     }
   }
@@ -344,7 +344,7 @@ void TupleSpace::blocking_match(Template tmpl, sim::Time timeout,
     if (take) {
       ++stats_.takes;
       if (match_take_ns_) match_take_ns_->record(0);
-      Tuple result = it->second.tuple;
+      Tuple result = std::move(it->second.tuple);
       erase_entry(it);
       deliver(std::move(callback), std::move(result));
     } else {
@@ -467,11 +467,12 @@ void TupleSpace::bind_metrics(obs::Registry& registry,
   obs::Counter& commits = registry.counter(prefix + ".commits");
   obs::Counter& aborts = registry.counter(prefix + ".aborts");
   obs::Gauge& size = registry.gauge(prefix + ".size");
+  obs::Gauge& stored = registry.gauge(prefix + ".stored_bytes");
   obs::Gauge& blocked = registry.gauge(prefix + ".blocked");
   registry.add_collector([this, &writes, &reads, &takes, &misses,
                           &notifications, &expirations, &renewals,
                           &cancellations, &scan_steps, &commits, &aborts,
-                          &size, &blocked] {
+                          &size, &stored, &blocked] {
     writes.set(stats_.writes);
     reads.set(stats_.reads);
     takes.set(stats_.takes);
@@ -484,6 +485,7 @@ void TupleSpace::bind_metrics(obs::Registry& registry,
     commits.set(stats_.commits);
     aborts.set(stats_.aborts);
     size.set(static_cast<double>(entries_.size()));
+    stored.set(static_cast<double>(stored_bytes_));
     blocked.set(static_cast<double>(waiters_.size()));
   });
 }

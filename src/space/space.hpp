@@ -152,6 +152,9 @@ class TupleSpace {
   // --- introspection -----------------------------------------------------------
 
   std::size_t size() const { return entries_.size(); }
+  /// Sum of the stored tuples' byte_size() — maintained incrementally from
+  /// the per-entry cache, so it is O(1) to read.
+  std::size_t stored_bytes() const { return stored_bytes_; }
   std::size_t blocked_operations() const { return waiters_.size(); }
   std::size_t notify_registrations() const { return notifies_.size(); }
   sim::Simulator& simulator() { return *sim_; }
@@ -187,6 +190,11 @@ class TupleSpace {
     Tuple tuple;
     sim::Time expires_at;
     sim::EventHandle expiry_event;
+    /// (name, arity) hash, computed once at publish: matching short-circuits
+    /// on it and index maintenance never re-hashes the name — which also
+    /// lets takes move the tuple out before the entry is erased.
+    std::uint64_t type_key = 0;
+    std::size_t byte_size = 0;  ///< cached wire-footprint estimate
   };
 
   struct Waiter {
@@ -226,8 +234,6 @@ class TupleSpace {
     sim::EventHandle timeout_event;
   };
 
-  static std::uint64_t bucket_key(const std::string& name, std::size_t arity);
-
   /// Fires matching notify registrations for a (now public) write.
   void fire_notifications(const Tuple& tuple);
 
@@ -253,6 +259,7 @@ class TupleSpace {
   std::uint64_t next_id_ = 1;
 
   std::map<std::uint64_t, Entry> entries_;  ///< id-ordered = timestamp-ordered
+  std::size_t stored_bytes_ = 0;  ///< sum of entries_' cached byte_size
   /// (name, arity) -> ordered ids, maintained when use_type_index.
   std::unordered_map<std::uint64_t, std::set<std::uint64_t>> index_;
   std::list<Waiter> waiters_;  ///< FIFO service order

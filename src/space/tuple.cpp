@@ -15,12 +15,6 @@ std::string Tuple::to_string() const {
   return os.str();
 }
 
-std::size_t Tuple::byte_size() const {
-  std::size_t total = name.size();
-  for (const Value& v : fields) total += v.byte_size();
-  return total;
-}
-
 FieldPattern FieldPattern::exact(Value value) {
   FieldPattern p;
   p.kind_ = Kind::kExact;

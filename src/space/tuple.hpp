@@ -12,11 +12,24 @@
 #include <initializer_list>
 #include <optional>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "src/space/value.hpp"
 
 namespace tb::space {
+
+/// Hash of a tuple's (name, arity) shape — FNV-1a over the name, mixed with
+/// the arity. This is the type-index bucket key; the space caches it per
+/// stored entry so matching and index maintenance never re-hash the name.
+inline std::uint64_t type_key(std::string_view name, std::size_t arity) {
+  std::uint64_t h = 0xCBF29CE484222325ull;
+  for (char c : name) {
+    h ^= static_cast<std::uint8_t>(c);
+    h *= 0x100000001B3ull;
+  }
+  return h ^ (arity * 0x9E3779B97F4A7C15ull);
+}
 
 struct Tuple {
   std::string name;           ///< entry type name ("fft-request", ...)
@@ -31,7 +44,11 @@ struct Tuple {
   std::string to_string() const;
 
   /// Wire-footprint estimate: name + fields.
-  std::size_t byte_size() const;
+  std::size_t byte_size() const {
+    std::size_t total = name.size();
+    for (const Value& v : fields) total += v.byte_size();
+    return total;
+  }
 };
 
 /// One slot of a template.

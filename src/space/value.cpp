@@ -39,15 +39,4 @@ std::string Value::to_string() const {
   return os.str();
 }
 
-std::size_t Value::byte_size() const {
-  switch (type()) {
-    case ValueType::kInt: return 8;
-    case ValueType::kFloat: return 8;
-    case ValueType::kBool: return 1;
-    case ValueType::kString: return as_string().size();
-    case ValueType::kBytes: return as_bytes().size();
-  }
-  return 0;
-}
-
 }  // namespace tb::space

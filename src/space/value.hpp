@@ -54,8 +54,23 @@ class Value {
   /// Human-readable rendering (bytes shown as hex, strings quoted).
   std::string to_string() const;
 
-  /// Approximate in-memory / wire footprint in bytes, used by benches.
-  std::size_t byte_size() const;
+  /// Approximate in-memory / wire footprint in bytes. Inline: the codecs
+  /// call this per encode for their reserve hints, and the space caches it
+  /// per stored entry.
+  std::size_t byte_size() const {
+    switch (type()) {
+      case ValueType::kInt:
+      case ValueType::kFloat:
+        return 8;
+      case ValueType::kBool:
+        return 1;
+      case ValueType::kString:
+        return as_string().size();
+      case ValueType::kBytes:
+        return as_bytes().size();
+    }
+    return 0;
+  }
 
  private:
   Storage storage_;

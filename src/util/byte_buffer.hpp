@@ -40,6 +40,7 @@ class ByteBuffer {
   const std::vector<std::uint8_t>& bytes() const { return bytes_; }
   std::vector<std::uint8_t> take() { return std::move(bytes_); }
   std::size_t size() const { return bytes_.size(); }
+  void reserve(std::size_t n) { bytes_.reserve(n); }
 
  private:
   std::vector<std::uint8_t> bytes_;

@@ -52,6 +52,28 @@ std::string xml_escape(std::string_view s) {
   return out;
 }
 
+void xml_escape_into(std::string_view s, std::vector<std::uint8_t>& out) {
+  std::size_t plain = 0;  // start of the pending run of ordinary characters
+  const auto flush = [&](std::size_t end) {
+    out.insert(out.end(), s.begin() + static_cast<std::ptrdiff_t>(plain),
+               s.begin() + static_cast<std::ptrdiff_t>(end));
+  };
+  const auto entity = [&](std::string_view e) {
+    out.insert(out.end(), e.begin(), e.end());
+  };
+  for (std::size_t i = 0; i < s.size(); ++i) {
+    switch (s[i]) {
+      case '&': flush(i); entity("&amp;"); plain = i + 1; break;
+      case '<': flush(i); entity("&lt;"); plain = i + 1; break;
+      case '>': flush(i); entity("&gt;"); plain = i + 1; break;
+      case '"': flush(i); entity("&quot;"); plain = i + 1; break;
+      case '\'': flush(i); entity("&apos;"); plain = i + 1; break;
+      default: break;
+    }
+  }
+  flush(s.size());
+}
+
 std::string xml_unescape(std::string_view s) {
   std::string out;
   out.reserve(s.size());

@@ -1,6 +1,7 @@
 // Small string helpers shared by the XML-ish codec and report printers.
 #pragma once
 
+#include <cstdint>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -18,6 +19,10 @@ bool ends_with(std::string_view s, std::string_view suffix);
 
 /// Escapes &, <, >, ", ' as XML character entities.
 std::string xml_escape(std::string_view s);
+
+/// Appends the escaped form of `s` to `out` without intermediate strings —
+/// the XML writer's hot path. Runs of ordinary characters append in bulk.
+void xml_escape_into(std::string_view s, std::vector<std::uint8_t>& out);
 
 /// Inverse of xml_escape; unknown entities are passed through verbatim.
 std::string xml_unescape(std::string_view s);

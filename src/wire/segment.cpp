@@ -5,20 +5,30 @@
 
 namespace tb::wire {
 
-std::vector<std::uint8_t> encode_segment(const RelaySegment& segment) {
-  TB_REQUIRE(segment.payload.size() <= kMaxSegmentPayload);
-  TB_REQUIRE(segment.src <= kMaxNodeId);
-  TB_REQUIRE(segment.dst <= kBroadcastNodeId);
-  std::vector<std::uint8_t> out;
-  out.reserve(segment_wire_size(segment.payload.size()));
+void encode_segment_into(std::uint8_t src, std::uint8_t dst,
+                         std::span<const std::uint8_t> head,
+                         std::span<const std::uint8_t> body,
+                         std::vector<std::uint8_t>& out) {
+  const std::size_t payload_size = head.size() + body.size();
+  TB_REQUIRE(payload_size <= kMaxSegmentPayload);
+  TB_REQUIRE(src <= kMaxNodeId);
+  TB_REQUIRE(dst <= kBroadcastNodeId);
+  const std::size_t base = out.size();
+  out.reserve(base + segment_wire_size(payload_size));
   out.push_back(kSegmentMagic);
-  out.push_back(segment.src);
-  out.push_back(segment.dst);
-  out.push_back(static_cast<std::uint8_t>(segment.payload.size() & 0xFF));
-  out.push_back(static_cast<std::uint8_t>(segment.payload.size() >> 8));
-  out.insert(out.end(), segment.payload.begin(), segment.payload.end());
+  out.push_back(src);
+  out.push_back(dst);
+  out.push_back(static_cast<std::uint8_t>(payload_size & 0xFF));
+  out.push_back(static_cast<std::uint8_t>(payload_size >> 8));
+  out.insert(out.end(), head.begin(), head.end());
+  out.insert(out.end(), body.begin(), body.end());
   // CRC over src..payload (everything after the magic).
-  out.push_back(util::crc8({out.data() + 1, out.size() - 1}));
+  out.push_back(util::crc8({out.data() + base + 1, out.size() - base - 1}));
+}
+
+std::vector<std::uint8_t> encode_segment(const RelaySegment& segment) {
+  std::vector<std::uint8_t> out;
+  encode_segment_into(segment.src, segment.dst, segment.payload, {}, out);
   return out;
 }
 

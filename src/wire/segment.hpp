@@ -53,6 +53,16 @@ constexpr std::size_t segment_wire_size(std::size_t payload_size) {
 /// Serializes one segment.
 std::vector<std::uint8_t> encode_segment(const RelaySegment& segment);
 
+/// Appends one encoded segment whose payload is `head` followed by `body`.
+/// The split spares callers that prepend a small header to a larger chunk
+/// (the tuplespace transport's fragmentation path) from assembling a
+/// temporary payload vector; bytes are identical to encode_segment() on the
+/// concatenation.
+void encode_segment_into(std::uint8_t src, std::uint8_t dst,
+                         std::span<const std::uint8_t> head,
+                         std::span<const std::uint8_t> body,
+                         std::vector<std::uint8_t>& out);
+
 /// Incremental decoder: feed mailbox bytes, poll complete segments.
 class SegmentParser {
  public:

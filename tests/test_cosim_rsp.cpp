@@ -155,7 +155,7 @@ TEST(RspPipe, SerializesOnTheLine) {
   RspPipe pipe(sim, params);
   std::vector<sim::Time> arrivals;
   pipe.server_end().on_message().connect(
-      [&](mw::ServerTransport::SessionId, const std::vector<std::uint8_t>&) {
+      [&](mw::ServerTransport::SessionId, std::span<const std::uint8_t>) {
         arrivals.push_back(sim.now());
       });
   // Two back-to-back 95-byte messages: ~100 wire bytes each at 1000 B/s.

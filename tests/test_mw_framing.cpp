@@ -20,7 +20,7 @@ TEST(Framer, WholeMessageRoundTrip) {
   framer.feed(MessageFramer::frame(message));
   auto out = framer.next();
   ASSERT_TRUE(out.has_value());
-  EXPECT_EQ(*out, message);
+  EXPECT_EQ(std::vector<std::uint8_t>(out->begin(), out->end()), message);
   EXPECT_FALSE(framer.next().has_value());
 }
 
@@ -33,7 +33,7 @@ TEST(Framer, ByteAtATime) {
   }
   auto out = framer.next();
   ASSERT_TRUE(out.has_value());
-  EXPECT_EQ(*out, message);
+  EXPECT_EQ(std::vector<std::uint8_t>(out->begin(), out->end()), message);
 }
 
 TEST(Framer, MultipleMessagesInOneChunk) {
@@ -80,6 +80,92 @@ TEST(Framer, OversizeLengthMarksCorruption) {
   EXPECT_FALSE(framer.next().has_value());
 }
 
+TEST(Framer, ResetAfterCorruptionResynchronizes) {
+  MessageFramer framer;
+  const std::uint8_t poisoned[] = {0xFF, 0xFF, 0xFF, 0xFF};
+  framer.feed(poisoned);
+  EXPECT_FALSE(framer.next().has_value());
+  EXPECT_TRUE(framer.corrupted());
+
+  framer.reset();
+  EXPECT_FALSE(framer.corrupted());
+  EXPECT_EQ(framer.buffered_bytes(), 0u);
+
+  // A resynchronized stream delivers normally again.
+  const std::vector<std::uint8_t> message = {5, 6, 7};
+  framer.feed(MessageFramer::frame(message));
+  auto out = framer.next();
+  ASSERT_TRUE(out.has_value());
+  EXPECT_EQ(std::vector<std::uint8_t>(out->begin(), out->end()), message);
+  EXPECT_FALSE(framer.corrupted());
+}
+
+TEST(Framer, ResetDropsPartialMessage) {
+  MessageFramer framer;
+  // Half a message: prefix says 4 bytes, only 2 arrive.
+  const std::uint8_t partial[] = {0, 0, 0, 4, 0xAB, 0xCD};
+  framer.feed(partial);
+  EXPECT_FALSE(framer.next().has_value());
+  EXPECT_EQ(framer.buffered_bytes(), 6u);
+
+  framer.reset();
+  EXPECT_EQ(framer.buffered_bytes(), 0u);
+  // The stale half must not pollute the next message.
+  const std::vector<std::uint8_t> message = {1, 2, 3, 4};
+  framer.feed(MessageFramer::frame(message));
+  auto out = framer.next();
+  ASSERT_TRUE(out.has_value());
+  EXPECT_EQ(std::vector<std::uint8_t>(out->begin(), out->end()), message);
+}
+
+TEST(Framer, StressRandomChunksAcrossCompaction) {
+  // Long alternating feed/drain sequence with odd chunk sizes: exercises the
+  // amortized head-offset compaction (consumed prefix reclaimed mid-stream)
+  // far beyond what a single-burst feed reaches.
+  MessageFramer framer;
+  std::vector<std::uint8_t> stream;
+  std::vector<std::vector<std::uint8_t>> expected;
+  std::uint32_t state = 0x12345678;
+  auto rand = [&state] {  // xorshift32: deterministic, seed-stable
+    state ^= state << 13;
+    state ^= state >> 17;
+    state ^= state << 5;
+    return state;
+  };
+  for (int i = 0; i < 400; ++i) {
+    std::vector<std::uint8_t> m(rand() % 97);
+    for (auto& b : m) b = static_cast<std::uint8_t>(rand());
+    MessageFramer::frame_into(m, stream);
+    expected.push_back(std::move(m));
+  }
+  std::size_t offset = 0;
+  std::size_t delivered = 0;
+  while (offset < stream.size()) {
+    const std::size_t chunk =
+        std::min<std::size_t>(1 + rand() % 61, stream.size() - offset);
+    framer.feed({stream.data() + offset, chunk});
+    offset += chunk;
+    // Drain some (not always all) so live bytes straddle feeds.
+    while (rand() % 4 != 0) {
+      auto out = framer.next();
+      if (!out.has_value()) break;
+      ASSERT_LT(delivered, expected.size());
+      EXPECT_EQ(std::vector<std::uint8_t>(out->begin(), out->end()),
+                expected[delivered]);
+      ++delivered;
+    }
+  }
+  while (auto out = framer.next()) {
+    ASSERT_LT(delivered, expected.size());
+    EXPECT_EQ(std::vector<std::uint8_t>(out->begin(), out->end()),
+              expected[delivered]);
+    ++delivered;
+  }
+  EXPECT_EQ(delivered, expected.size());
+  EXPECT_EQ(framer.buffered_bytes(), 0u);
+  EXPECT_FALSE(framer.corrupted());
+}
+
 TEST(Framer, LargeMessage) {
   MessageFramer framer;
   std::vector<std::uint8_t> message(100'000);
@@ -89,7 +175,7 @@ TEST(Framer, LargeMessage) {
   framer.feed(MessageFramer::frame(message));
   auto out = framer.next();
   ASSERT_TRUE(out.has_value());
-  EXPECT_EQ(*out, message);
+  EXPECT_EQ(std::vector<std::uint8_t>(out->begin(), out->end()), message);
 }
 
 }  // namespace

@@ -4,6 +4,7 @@
 #include <gtest/gtest.h>
 
 #include <deque>
+#include <span>
 
 #include "co_gtest.hpp"
 #include "src/mw/client.hpp"
@@ -24,13 +25,18 @@ class LossyPair {
   class Client final : public ClientTransport {
    public:
     explicit Client(LossyPair& pair) : pair_(&pair) {}
-    void send(std::vector<std::uint8_t> message) override {
+    using ClientTransport::send;
+    void send(std::span<const std::uint8_t> message) override {
       note_sent(message.size());
       ++pair_->client_sends;
       if (pair_->should_drop(pair_->drop_client)) return;
-      pair_->sim->schedule_in(pair_->delay, [this, m = std::move(message)] {
-        pair_->server_endpoint.deliver_up(0, m);
-      });
+      // The span is only valid for the duration of this call; the delayed
+      // delivery owns a copy (crossing simulated time always copies).
+      pair_->sim->schedule_in(
+          pair_->delay,
+          [this, m = std::vector<std::uint8_t>(message.begin(), message.end())] {
+            pair_->server_endpoint.deliver_up(0, m);
+          });
     }
     void push(const std::vector<std::uint8_t>& m) { deliver(m); }
 
@@ -41,13 +47,16 @@ class LossyPair {
   class Server final : public ServerTransport {
    public:
     explicit Server(LossyPair& pair) : pair_(&pair) {}
-    void send(SessionId, std::vector<std::uint8_t> message) override {
+    using ServerTransport::send;
+    void send(SessionId, std::span<const std::uint8_t> message) override {
       note_sent(message.size());
       ++pair_->server_sends;
       if (pair_->should_drop(pair_->drop_server)) return;
-      pair_->sim->schedule_in(pair_->delay, [this, m = std::move(message)] {
-        pair_->client_endpoint.push(m);
-      });
+      pair_->sim->schedule_in(
+          pair_->delay,
+          [this, m = std::vector<std::uint8_t>(message.begin(), message.end())] {
+            pair_->client_endpoint.push(m);
+          });
     }
     void deliver_up(SessionId s, const std::vector<std::uint8_t>& m) {
       deliver(s, m);

@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <memory>
+#include <span>
 
 #include "src/mw/net_transport.hpp"
 #include "src/mw/wire_transport.hpp"
@@ -55,14 +56,14 @@ TEST(WireTransport, MessageRoundTripBothDirections) {
   std::vector<std::uint8_t> to_server;
   ServerTransport::SessionId session = 0;
   server.on_message().connect(
-      [&](ServerTransport::SessionId s, const std::vector<std::uint8_t>& m) {
+      [&](ServerTransport::SessionId s, std::span<const std::uint8_t> m) {
         session = s;
-        to_server = m;
+        to_server.assign(m.begin(), m.end());
         server.send(s, {9, 8, 7});
       });
   std::vector<std::uint8_t> to_client;
   client.on_message().connect(
-      [&](const std::vector<std::uint8_t>& m) { to_client = m; });
+      [&](std::span<const std::uint8_t> m) { to_client.assign(m.begin(), m.end()); });
 
   rig.relay.start();
   client.send({1, 2, 3, 4, 5});
@@ -83,7 +84,7 @@ TEST(WireTransport, EmptyMessageSurvives) {
   bool got = false;
   std::size_t got_size = 99;
   server.on_message().connect(
-      [&](ServerTransport::SessionId, const std::vector<std::uint8_t>& m) {
+      [&](ServerTransport::SessionId, std::span<const std::uint8_t> m) {
         got = true;
         got_size = m.size();
       });
@@ -105,8 +106,8 @@ TEST(WireTransport, MultiFragmentMessageReassembles) {
   }
   std::vector<std::uint8_t> received;
   server.on_message().connect(
-      [&](ServerTransport::SessionId, const std::vector<std::uint8_t>& m) {
-        received = m;
+      [&](ServerTransport::SessionId, std::span<const std::uint8_t> m) {
+        received.assign(m.begin(), m.end());
       });
   rig.relay.start();
   client.send(big);
@@ -135,8 +136,8 @@ TEST(WireTransport, InterleavedMessagesFromTwoSources) {
   WireServerTransport server(sim, s3);
   std::map<std::uint64_t, std::vector<std::uint8_t>> by_session;
   server.on_message().connect(
-      [&](ServerTransport::SessionId s, const std::vector<std::uint8_t>& m) {
-        by_session[s] = m;
+      [&](ServerTransport::SessionId s, std::span<const std::uint8_t> m) {
+        by_session[s].assign(m.begin(), m.end());
       });
 
   std::vector<std::uint8_t> msg_a(300, 0xAA), msg_b(300, 0xBB);
@@ -157,7 +158,7 @@ TEST(WireTransport, BackPressureBacklogDrains) {
   WireServerTransport server(rig.sim, rig.s2);
   int messages = 0;
   server.on_message().connect(
-      [&](ServerTransport::SessionId, const std::vector<std::uint8_t>&) {
+      [&](ServerTransport::SessionId, std::span<const std::uint8_t>) {
         ++messages;
       });
   // Far more than the 1024-byte outbox can hold at once.
@@ -237,12 +238,12 @@ TEST(NetTransport, RoundTripOverLink) {
   std::vector<std::uint8_t> at_server;
   std::vector<std::uint8_t> at_client;
   server.on_message().connect(
-      [&](ServerTransport::SessionId s, const std::vector<std::uint8_t>& m) {
-        at_server = m;
+      [&](ServerTransport::SessionId s, std::span<const std::uint8_t> m) {
+        at_server.assign(m.begin(), m.end());
         server.send(s, {4, 5});
       });
   client.on_message().connect(
-      [&](const std::vector<std::uint8_t>& m) { at_client = m; });
+      [&](std::span<const std::uint8_t> m) { at_client.assign(m.begin(), m.end()); });
 
   client.send({1, 2, 3});
   rig.sim.run();
@@ -263,8 +264,8 @@ TEST(NetTransport, LargeMessageSpansManyPackets) {
   }
   std::vector<std::uint8_t> received;
   server.on_message().connect(
-      [&](ServerTransport::SessionId, const std::vector<std::uint8_t>& m) {
-        received = m;
+      [&](ServerTransport::SessionId, std::span<const std::uint8_t> m) {
+        received.assign(m.begin(), m.end());
       });
   client.send(big);
   rig.sim.run();
@@ -286,7 +287,7 @@ TEST(NetTransport, TwoClientsDistinctSessions) {
   NetClientTransport b(rig.sim, second, 1, server.listen_address());
   std::set<std::uint64_t> sessions;
   server.on_message().connect(
-      [&](ServerTransport::SessionId s, const std::vector<std::uint8_t>&) {
+      [&](ServerTransport::SessionId s, std::span<const std::uint8_t>) {
         sessions.insert(s);
       });
   a.send({1});

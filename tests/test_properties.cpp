@@ -148,15 +148,28 @@ space::Value random_value(util::Xoshiro256& rng) {
     case 1: return space::Value(rng.next_double() * 1e6 - 5e5);
     case 2: return space::Value(rng.bernoulli(0.5));
     case 3: {
+      // Bias towards the XML metacharacters so escaping gets exercised on
+      // every run, not just when uniform ASCII happens to land on one.
+      static constexpr char kSpecial[] = "<>&\"'";
       std::string s;
       const auto n = rng.uniform(0, 20);
       for (std::uint64_t i = 0; i < n; ++i) {
-        s.push_back(static_cast<char>(rng.uniform(32, 126)));
+        if (rng.bernoulli(0.25)) {
+          s.push_back(kSpecial[rng.uniform(0, 4)]);
+        } else {
+          s.push_back(static_cast<char>(rng.uniform(32, 126)));
+        }
       }
       return space::Value(std::move(s));
     }
     default: {
-      std::vector<std::uint8_t> bytes(rng.uniform(0, 32));
+      // Empty, small, and large (multi-KB) blobs: the large ones cross the
+      // codecs' reserve hints and the framer's length-prefix fast paths.
+      const std::uint64_t size =
+          rng.bernoulli(0.2) ? 0
+          : rng.bernoulli(0.15) ? rng.uniform(1'024, 4'096)
+                                : rng.uniform(1, 32);
+      std::vector<std::uint8_t> bytes(size);
       for (auto& b : bytes) b = static_cast<std::uint8_t>(rng.uniform(0, 255));
       return space::Value(std::move(bytes));
     }
@@ -246,8 +259,45 @@ TEST_P(CodecProperty, RandomCorruptionNeverCrashes) {
   }
 }
 
+TEST_P(CodecProperty, EncodeIntoAppendsAndReusedBufferMatchesFresh) {
+  // The zero-copy contract: encode_into appends (never truncates the
+  // caller's prefix), and a buffer reused across messages — the transport
+  // steady state — produces bytes identical to a fresh encode.
+  auto codec = make_codec();
+  util::Xoshiro256 rng(44);
+  std::vector<std::uint8_t> reused;
+  for (int i = 0; i < 100; ++i) {
+    const mw::Message original = random_message(rng);
+    const std::vector<std::uint8_t> fresh = codec->encode(original);
+
+    std::vector<std::uint8_t> prefixed = {0xDE, 0xAD};
+    codec->encode_into(original, prefixed);
+    ASSERT_GE(prefixed.size(), 2u);
+    EXPECT_EQ(prefixed[0], 0xDE);
+    EXPECT_EQ(prefixed[1], 0xAD);
+    EXPECT_EQ(std::vector<std::uint8_t>(prefixed.begin() + 2, prefixed.end()),
+              fresh);
+
+    reused.clear();
+    codec->encode_into(original, reused);
+    EXPECT_EQ(reused, fresh);
+  }
+}
+
 INSTANTIATE_TEST_SUITE_P(Codecs, CodecProperty,
                          ::testing::Values("xml", "binary"));
+
+TEST(CodecProperty, XmlWriterMatchesLegacyTreeEncoder) {
+  // The append-only XmlWriter replaced the XmlNode-tree encoder; the benches
+  // (and any recorded traces) rely on the two emitting identical bytes.
+  mw::XmlCodec codec;
+  util::Xoshiro256 rng(45);
+  for (int i = 0; i < 100; ++i) {
+    const mw::Message original = random_message(rng);
+    EXPECT_EQ(codec.encode(original), codec.encode_via_tree(original))
+        << original.to_string();
+  }
+}
 
 // ---------------------------------------------------------------------------
 // Framer: random chunk boundaries never change the reassembled messages.
@@ -275,7 +325,7 @@ TEST(FramerProperty, RandomChunking) {
     for (const auto& expected : messages) {
       auto got = framer.next();
       ASSERT_TRUE(got.has_value());
-      EXPECT_EQ(*got, expected);
+      EXPECT_EQ(std::vector<std::uint8_t>(got->begin(), got->end()), expected);
     }
     EXPECT_FALSE(framer.next().has_value());
   }

@@ -41,6 +41,51 @@ TEST_F(SpaceTest, TakeRemoves) {
   EXPECT_FALSE(space_.take_if_exists(any_named("t", 1)).has_value());
 }
 
+TEST_F(SpaceTest, TakeMovesStoredBuffersOutReadCopies) {
+  // Zero-copy contract: write moves the tuple's heap buffers into the store
+  // and take moves them back out — the bytes are never reallocated. Strings
+  // long enough to defeat the small-string optimization, so data() identity
+  // proves the move.
+  std::string text(64, 'x');
+  std::vector<std::uint8_t> blob(256, 0xAB);
+  const char* text_data = text.data();
+  const std::uint8_t* blob_data = blob.data();
+
+  // make_tuple moves the values in (initializer lists would copy). Qualified:
+  // ADL on the std arguments would otherwise find std::make_tuple.
+  Tuple tuple = space::make_tuple("t", std::move(text), std::move(blob));
+  ASSERT_EQ(tuple.fields[0].as_string().data(), text_data);
+  space_.write(std::move(tuple));
+
+  // A read returns a copy: fresh buffers, entry untouched.
+  auto read = space_.read_if_exists(any_named("t", 2));
+  ASSERT_TRUE(read.has_value());
+  EXPECT_NE(read->fields[0].as_string().data(), text_data);
+  EXPECT_NE(read->fields[1].as_bytes().data(), blob_data);
+  EXPECT_EQ(space_.size(), 1u);
+
+  // The take receives the original buffers, untouched by the read.
+  auto taken = space_.take_if_exists(any_named("t", 2));
+  ASSERT_TRUE(taken.has_value());
+  EXPECT_EQ(taken->fields[0].as_string().data(), text_data);
+  EXPECT_EQ(taken->fields[1].as_bytes().data(), blob_data);
+  EXPECT_EQ(taken->fields[0].as_string(), std::string(64, 'x'));
+  EXPECT_EQ(space_.size(), 0u);
+}
+
+TEST_F(SpaceTest, StoredBytesTracksWritesAndTakes) {
+  EXPECT_EQ(space_.stored_bytes(), 0u);
+  space_.write(Tuple("t", {Value(std::string(100, 'a'))}));
+  // name (1) + string payload (100)
+  EXPECT_EQ(space_.stored_bytes(), 101u);
+  space_.write(Tuple("u", {Value(7)}));
+  EXPECT_EQ(space_.stored_bytes(), 101u + 9u);
+  (void)space_.take_if_exists(any_named("t", 1));
+  EXPECT_EQ(space_.stored_bytes(), 9u);
+  (void)space_.take_if_exists(any_named("u", 1));
+  EXPECT_EQ(space_.stored_bytes(), 0u);
+}
+
 TEST_F(SpaceTest, OldestMatchWinsTotalOrder) {
   space_.write(Tuple("t", {Value(1)}));
   space_.write(Tuple("t", {Value(2)}));

@@ -1,18 +1,19 @@
 #!/usr/bin/env python3
-"""Gate a single wall-clock metric against its committed baseline.
+"""Gate selected wall-clock metrics against their committed baselines.
 
 Usage:
-    tools/perf_smoke.py BASELINE.json NEW.json [--metric NAME]
+    tools/perf_smoke.py BASELINE.json NEW.json [--metric NAME]...
                         [--threshold PCT]
 
 Wall-clock metrics carry gate=false in the tb-bench-report/v1 schema
 because absolute throughput is machine-dependent, so bench_compare.py only
-warns on them. The kernel hot path is the exception: a >15% items/sec drop
-on the same machine within one CI run is a real regression, not noise, and
-this script turns exactly one such metric into a hard gate (the CI
-perf-smoke step). "better" direction is read from the baseline entry.
+warns on them. Hot paths are the exception: a >15% items/sec drop on the
+same machine within one CI run is a real regression, not noise, and this
+script turns the named metrics into hard gates (the CI perf-smoke steps).
+--metric may repeat; every named metric must pass. "better" direction is
+read from each baseline entry.
 
-Exit status: 0 = within threshold (improvements always pass), 1 =
+Exit status: 0 = all within threshold (improvements always pass), 1 = any
 regression beyond threshold or metric/report missing.
 """
 
@@ -25,7 +26,7 @@ SCHEMA = "tb-bench-report/v1"
 DEFAULT_METRIC = "BM_ScheduleAndRun/100000.items_per_sec"
 
 
-def load_metric(path: Path, metric: str) -> dict:
+def load_report(path: Path) -> dict:
     try:
         data = json.loads(path.read_text())
     except (OSError, json.JSONDecodeError) as err:
@@ -35,6 +36,10 @@ def load_metric(path: Path, metric: str) -> dict:
         print(f"ERROR: {path}: schema {data.get('schema')!r}, "
               f"expected {SCHEMA!r}")
         sys.exit(1)
+    return data
+
+
+def find_metric(data: dict, path: Path, metric: str) -> dict:
     for entry in data.get("key_metrics", []):
         if entry.get("name") == metric:
             return entry
@@ -42,36 +47,49 @@ def load_metric(path: Path, metric: str) -> dict:
     sys.exit(1)
 
 
-def main() -> int:
-    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
-    parser.add_argument("baseline", type=Path)
-    parser.add_argument("new", type=Path)
-    parser.add_argument("--metric", default=DEFAULT_METRIC)
-    parser.add_argument("--threshold", type=float, default=15.0,
-                        help="allowed regression in percent "
-                             "(default: %(default)s)")
-    args = parser.parse_args()
-
-    old = load_metric(args.baseline, args.metric)
-    new = load_metric(args.new, args.metric)
+def gate_metric(old: dict, new: dict, metric: str, threshold: float) -> bool:
     old_value = float(old["value"])
     new_value = float(new["value"])
     if old_value == 0.0:
-        print(f"ERROR: baseline value for {args.metric} is 0")
-        return 1
+        print(f"ERROR: baseline value for {metric} is 0")
+        return False
 
     if old.get("better", "higher") == "higher":
         worse_pct = 100.0 * (old_value - new_value) / abs(old_value)
     else:
         worse_pct = 100.0 * (new_value - old_value) / abs(old_value)
 
-    tag = (f"{args.metric}: {old_value:g} -> {new_value:g} "
+    tag = (f"{metric}: {old_value:g} -> {new_value:g} "
            f"({-worse_pct:+.1f}%)")
-    if worse_pct > args.threshold:
-        print(f"FAIL {tag} exceeds -{args.threshold:g}% regression gate")
-        return 1
-    print(f"  ok {tag} within -{args.threshold:g}% gate")
-    return 0
+    if worse_pct > threshold:
+        print(f"FAIL {tag} exceeds -{threshold:g}% regression gate")
+        return False
+    print(f"  ok {tag} within -{threshold:g}% gate")
+    return True
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("baseline", type=Path)
+    parser.add_argument("new", type=Path)
+    parser.add_argument("--metric", action="append", dest="metrics",
+                        metavar="NAME",
+                        help="key metric to gate; may repeat "
+                             f"(default: {DEFAULT_METRIC})")
+    parser.add_argument("--threshold", type=float, default=15.0,
+                        help="allowed regression in percent "
+                             "(default: %(default)s)")
+    args = parser.parse_args()
+    metrics = args.metrics or [DEFAULT_METRIC]
+
+    old_report = load_report(args.baseline)
+    new_report = load_report(args.new)
+    ok = True
+    for metric in metrics:
+        old = find_metric(old_report, args.baseline, metric)
+        new = find_metric(new_report, args.new, metric)
+        ok = gate_metric(old, new, metric, args.threshold) and ok
+    return 0 if ok else 1
 
 
 if __name__ == "__main__":

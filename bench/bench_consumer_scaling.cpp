@@ -22,9 +22,10 @@ using namespace tb::sim::literals;
 
 namespace {
 
-double run_pool(int consumers, sim::Time crunch, int producers) {
+double run_pool(int consumers, sim::Time crunch, int producers,
+                int shard_count = 1) {
   sim::Simulator sim(1);
-  space::TupleSpace space(sim);
+  space::TupleSpace space(sim, space::SpaceConfig{.shard_count = shard_count});
   svc::LocalSpaceApi api(space);
   std::vector<std::unique_ptr<svc::FftConsumer>> pool;
   svc::ConsumerConfig cc;
@@ -84,6 +85,23 @@ int main() {
     std::printf("%s\n", table.render().c_str());
     bench.add_table(regime, table.headers(), table.rows());
   }
+  // Shard-count sweep (DESIGN.md §10) in the space-bound regime, where the
+  // engine's matching cost is what the makespan measures. Simulated time is
+  // shard-invariant — the engine does the same simulated work — so the
+  // makespan column doubles as a determinism check (every row identical).
+  std::printf("shard-count sweep: 8 consumers, 1 ms crunch\n");
+  cosim::TablePrinter shard_table({"shards", "makespan (s)"});
+  for (int shards : {1, 4, 16}) {
+    const double makespan = run_pool(8, 1_ms, 8, shards);
+    shard_table.add_row(
+        {std::to_string(shards), util::format_double(makespan, 3)});
+    bench.add_key_metric("shards.makespan_s." + std::to_string(shards) +
+                             "shards",
+                         makespan, obs::Better::kLower, {.unit = "s"});
+  }
+  std::printf("%s\n", shard_table.render().c_str());
+  bench.add_table("shard_sweep", shard_table.headers(), shard_table.rows());
+
   std::printf("scaling is proportional while consumers are the bottleneck "
               "and caps at the number of concurrent producers.\n");
   std::printf("bench report: %s\n", bench.write().c_str());

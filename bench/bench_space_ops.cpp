@@ -1,8 +1,10 @@
-// Tuplespace core operation costs + the (name, arity)-index ablation.
+// Tuplespace core operation costs + the (name, arity)-index ablation and
+// the shard-count sweep.
 //
-// The DESIGN.md ablation: how much does associative matching cost with a
+// The DESIGN.md ablations: how much does associative matching cost with a
 // linear store versus the indexed store, as the space fills with
-// heterogeneous tuples?
+// heterogeneous tuples — and how much does partitioning the store into
+// type_key shards (DESIGN.md §10) recover once the entry map is large?
 #include <benchmark/benchmark.h>
 
 #include "bench/gbench_report.hpp"
@@ -30,6 +32,7 @@ void BM_WriteTake(benchmark::State& state) {
   sim::Simulator sim;
   space::SpaceConfig config;
   config.use_type_index = state.range(0) != 0;
+  config.shard_count = static_cast<int>(state.range(2));
   space::TupleSpace space(sim, config);
   fill_noise(space, static_cast<int>(state.range(1)));
 
@@ -41,8 +44,8 @@ void BM_WriteTake(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_WriteTake)
-    ->ArgsProduct({{0, 1}, {0, 100, 1'000, 10'000}})
-    ->ArgNames({"index", "noise"});
+    ->ArgsProduct({{0, 1}, {0, 100, 1'000, 10'000}, {1, 4, 16}})
+    ->ArgNames({"index", "noise", "shards"});
 
 void BM_WriteTakeLargePayload(benchmark::State& state) {
   // The zero-copy payoff: write moves the tuple's buffers into the store

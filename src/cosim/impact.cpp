@@ -103,7 +103,7 @@ struct ModeBRig {
   wire::MultiBusRelay relay;
   mw::XmlCodec xml_codec;
   mw::BinaryCodec binary_codec;
-  space::TupleSpace space;
+  space::SpaceEngine space;
   mw::WireServerTransport server_transport;
   mw::SpaceServer server;
   mw::WireClientTransport client_transport;

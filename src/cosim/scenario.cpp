@@ -34,7 +34,7 @@ WireScenario::WireScenario(ScenarioConfig config) : config_(config) {
   }
 
   if (config.with_server) {
-    space_ = std::make_unique<space::TupleSpace>(*sim_, config.space);
+    space_ = std::make_unique<space::SpaceEngine>(*sim_, config.space);
     server_transport_ = std::make_unique<mw::WireServerTransport>(
         *sim_, *slaves_[config.server_slave], config.transport);
     server_ = std::make_unique<mw::SpaceServer>(*space_, *server_transport_,

@@ -111,7 +111,7 @@ class WireScenario {
     return slaves_.at(slave_index)->node_id();
   }
 
-  space::TupleSpace& space() { return *space_; }
+  space::SpaceEngine& space() { return *space_; }
   mw::SpaceServer& server() { return *server_; }
   /// Mailbox-pump stats for the server's endpoint (chaos tests inspect
   /// fragment loss and reassembly evictions here).
@@ -135,7 +135,7 @@ class WireScenario {
   std::unique_ptr<wire::Master> master_;
   std::unique_ptr<wire::MasterRelay> relay_;
   std::unique_ptr<mw::Codec> codec_;
-  std::unique_ptr<space::TupleSpace> space_;
+  std::unique_ptr<space::SpaceEngine> space_;
   std::unique_ptr<mw::WireServerTransport> server_transport_;
   std::unique_ptr<mw::SpaceServer> server_;
   std::unique_ptr<fault::FaultPlan> fault_plan_;

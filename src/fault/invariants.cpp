@@ -60,14 +60,14 @@ void InvariantChecker::watch_master(wire::Master& master) {
       });
 }
 
-void InvariantChecker::watch_space(space::TupleSpace& space) {
+void InvariantChecker::watch_space(space::SpaceEngine& space) {
   spaces_.push_back(&space);
 }
 
 void InvariantChecker::finish() {
-  for (space::TupleSpace* space : spaces_) {
+  for (space::SpaceEngine* space : spaces_) {
     ++stats_.spaces_checked;
-    const space::TupleSpace::Stats& s = space->stats();
+    const space::SpaceEngine::Stats& s = space->stats();
     // Conservation is exact only when no transaction machinery is left
     // mid-flight: an abort restores held takes by republishing without
     // counting a write, so aborted runs under-constrain the ledger.

@@ -60,7 +60,7 @@ class InvariantChecker {
   void watch_master(wire::Master& master);
 
   /// Registers a space for the end-of-run conservation check.
-  void watch_space(space::TupleSpace& space);
+  void watch_space(space::SpaceEngine& space);
 
   /// Runs the deferred checks (space conservation). Call once, after the
   /// workload has finished.
@@ -84,7 +84,7 @@ class InvariantChecker {
   void violate(std::string message);
 
   Config config_;
-  std::vector<space::TupleSpace*> spaces_;
+  std::vector<space::SpaceEngine*> spaces_;
   std::vector<std::string> violations_;
   std::uint64_t violation_count_ = 0;
   Stats stats_;

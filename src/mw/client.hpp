@@ -11,20 +11,30 @@
 // coroutines may immediately issue further operations regardless of which
 // transport delivered the response. An optional rpc_timeout bounds every
 // call (nullopt result) as a safety net on lossy transports.
+//
+// Pipelining (DESIGN.md §10): the `*_async` variants return an RpcFuture
+// immediately, so one client coroutine can keep several requests in flight
+// on the same connection and await them in any order — the session-based
+// server answers by request id as operations complete, not in arrival
+// order. ClientConfig::write_coalesce_max additionally batches same-turn
+// writes into one kWriteBatchRequest.
 #pragma once
 
 #include <coroutine>
 #include <cstdint>
 #include <functional>
+#include <memory>
 #include <optional>
 #include <string>
 #include <unordered_map>
+#include <vector>
 
 #include "src/mw/codec.hpp"
 #include "src/mw/transport.hpp"
 #include "src/sim/process.hpp"
 #include "src/sim/simulator.hpp"
 #include "src/space/space.hpp"
+#include "src/util/assert.hpp"
 
 namespace tb::obs {
 class Histogram;
@@ -50,6 +60,65 @@ struct ClientConfig {
   /// retries to spare. A backoff > 1 walks successive attempts out of
   /// phase (chaos soaks run with 1.5).
   double rpc_backoff = 1.0;
+
+  /// Max writes coalesced into one kWriteBatchRequest. 0 (or 1) = off:
+  /// every write is its own wire message, the historical behavior. With
+  /// N > 1, non-transactional write_async calls buffer; the batch flushes
+  /// when it holds N tuples or at the zero-delay flush event closing the
+  /// current event turn, whichever comes first. A flushed batch of one
+  /// degrades to a plain kWriteRequest, so solitary writes keep their
+  /// pre-batch wire encoding. Transactional writes never coalesce (their
+  /// txn scope is per-message).
+  int write_coalesce_max = 0;
+};
+
+/// Single-consumer awaitable result of an async SpaceClient operation.
+/// Returned resolved-or-pending; co_await it from a sim::Task coroutine
+/// (awaiting an already-resolved future completes without suspending), or
+/// poll done()/get() from plain code. Copies share the same result state.
+template <typename T>
+class RpcFuture {
+ public:
+  RpcFuture() : state_(std::make_shared<State>()) {}
+
+  bool done() const { return state_->done; }
+  /// The resolved result; valid only when done().
+  const T& get() const {
+    TB_ASSERT(state_->done);
+    return *state_->value;
+  }
+
+  bool await_ready() const { return state_->done; }
+  void await_suspend(std::coroutine_handle<> handle) {
+    state_->waiter = handle;
+  }
+  T await_resume() { return std::move(*state_->value); }
+
+ private:
+  friend class SpaceClient;
+
+  struct State {
+    std::optional<T> value;
+    std::coroutine_handle<> waiter;
+    bool done = false;
+  };
+
+  /// Stores the result and resumes the awaiting coroutine, if any. Called
+  /// from completion lambdas already running on a zero-delay event, so
+  /// resuming inline keeps the decoupling-from-transport guarantee.
+  void resolve(T value) const {
+    State& state = *state_;
+    TB_ASSERT(!state.done);
+    state.value = std::move(value);
+    state.done = true;
+    if (state.waiter) {
+      const std::coroutine_handle<> waiter = state.waiter;
+      state.waiter = {};
+      waiter.resume();
+    }
+  }
+
+  std::shared_ptr<State> state_;
 };
 
 class SpaceClient {
@@ -71,6 +140,31 @@ class SpaceClient {
   /// Under a transaction the write stays provisional until commit.
   sim::Task<WriteResult> write(space::Tuple tuple, sim::Time lease_duration,
                                std::uint64_t txn = space::kNoTxn);
+
+  // --- pipelined API ---------------------------------------------------------
+  // Fire-and-await-later: the request goes out (or joins the write batch)
+  // now, the returned future resolves when its response arrives. Several
+  // futures may be in flight on the one connection simultaneously.
+
+  /// Async write. With write_coalesce_max > 1 and no transaction, joins the
+  /// current batch instead of sending immediately; batch failure fails
+  /// every member future.
+  RpcFuture<WriteResult> write_async(space::Tuple tuple,
+                                     sim::Time lease_duration,
+                                     std::uint64_t txn = space::kNoTxn);
+
+  /// Async blocking take/read with server-side timeout; resolves to the
+  /// matched tuple or nullopt. Same transactional semantics as take()/read().
+  RpcFuture<std::optional<space::Tuple>> take_async(
+      space::Template tmpl, sim::Time timeout,
+      std::uint64_t txn = space::kNoTxn);
+  RpcFuture<std::optional<space::Tuple>> read_async(
+      space::Template tmpl, sim::Time timeout,
+      std::uint64_t txn = space::kNoTxn);
+
+  /// Sends any buffered coalesced writes now instead of at the end of the
+  /// event turn.
+  void flush_writes();
 
   /// Blocking take/read with server-side timeout; nullopt = no match (or
   /// rpc timeout). Under a transaction the server answers if-exists
@@ -114,6 +208,8 @@ class SpaceClient {
     std::uint64_t events = 0;
     std::uint64_t decode_errors = 0;
     std::uint64_t stray_responses = 0;  ///< no pending call (late arrival)
+    std::uint64_t coalesced_writes = 0;  ///< writes routed via a batch buffer
+    std::uint64_t write_batches = 0;  ///< flushes (incl. degraded singles)
     std::uint64_t messages_encoded = 0;
     std::uint64_t bytes_encoded = 0;   ///< codec output, pre-framing
     std::uint64_t messages_decoded = 0;
@@ -141,6 +237,13 @@ class SpaceClient {
     sim::Time started;       ///< first send, for the rpc latency histogram
   };
 
+  /// A write parked in the coalescing buffer, awaiting flush.
+  struct BufferedWrite {
+    space::Tuple tuple;
+    std::int64_t duration_ns = 0;
+    RpcFuture<WriteResult> future;
+  };
+
   void arm_timeout(std::uint64_t request_id);
 
   /// Sends `request` (stamping id + timestamp) and completes `on_done`
@@ -148,6 +251,10 @@ class SpaceClient {
   void call(Message request, std::function<void(std::optional<Message>)> on_done);
 
   void handle_bytes(std::span<const std::uint8_t> bytes);
+
+  static WriteResult write_result_of(const std::optional<Message>& response);
+  static std::optional<space::Tuple> match_result_of(
+      std::optional<Message> response);
 
   /// Awaitable wrapper over call().
   auto rpc(Message request);
@@ -161,6 +268,8 @@ class SpaceClient {
   std::uint64_t next_request_id_ = 1;
   std::unordered_map<std::uint64_t, Pending> pending_;
   std::unordered_map<std::uint64_t, EventCallback> event_callbacks_;
+  std::vector<BufferedWrite> write_buffer_;  ///< coalescing, flushed per turn
+  bool flush_scheduled_ = false;
   Stats stats_;
   obs::Histogram* rpc_latency_ns_ = nullptr;  ///< set by bind_metrics
 };

@@ -18,6 +18,7 @@
 #include <cstdint>
 #include <optional>
 #include <string>
+#include <vector>
 
 #include "src/space/tuple.hpp"
 
@@ -42,6 +43,10 @@ enum class MsgType : std::uint8_t {
   kTxnAbortRequest,
   kTxnResolveResponse, ///< answers commit and abort
   kError,
+  // Appended after kError so every pre-batch message keeps its wire value
+  // (the binary codec writes the enum value as a raw byte).
+  kWriteBatchRequest,  ///< N coalesced writes in one framed message
+  kWriteBatchResponse, ///< per-write leases, same order as the request
 };
 
 const char* to_string(MsgType type);
@@ -59,6 +64,16 @@ struct Message {
   bool ok = false;                       ///< generic success flag
   std::uint64_t txn = 0;                 ///< transaction scope (0 = none)
   std::string error;                     ///< kError details
+
+  // Batch-write payload (kWriteBatchRequest/-Response). Requests carry
+  // batch_tuples + batch_durations (parallel arrays); responses carry
+  // batch_handles + batch_expires, one lease per written tuple, in request
+  // order. Empty on every other message type — the codecs emit nothing for
+  // empty vectors, which keeps pre-batch encodings byte-identical.
+  std::vector<space::Tuple> batch_tuples;
+  std::vector<std::int64_t> batch_durations;
+  std::vector<std::uint64_t> batch_handles;
+  std::vector<std::int64_t> batch_expires;
 
   bool operator==(const Message&) const = default;
   std::string to_string() const;

@@ -1,5 +1,6 @@
 #include "src/mw/server.hpp"
 
+#include <algorithm>
 #include <climits>
 
 #include "src/obs/metrics.hpp"
@@ -7,7 +8,7 @@
 
 namespace tb::mw {
 
-SpaceServer::SpaceServer(space::TupleSpace& space, ServerTransport& transport,
+SpaceServer::SpaceServer(space::SpaceEngine& space, ServerTransport& transport,
                          const Codec& codec, ServerConfig config)
     : space_(&space), transport_(&transport), codec_(&codec), config_(config) {
   transport_->on_message().connect(
@@ -21,6 +22,18 @@ sim::Time SpaceServer::duration_of(std::int64_t ns) {
   return sim::Time::ns(ns);
 }
 
+std::optional<sim::Time> SpaceServer::remaining_lease(
+    std::int64_t duration_ns, std::int64_t created_at_ns) const {
+  sim::Time lease_duration = duration_of(duration_ns);
+  if (config_.lease_from_send_time && lease_duration != space::kLeaseForever) {
+    const sim::Time in_transit =
+        space_->simulator().now() - sim::Time::ns(created_at_ns);
+    lease_duration -= in_transit;
+    if (lease_duration <= sim::Time::zero()) return std::nullopt;
+  }
+  return lease_duration;
+}
+
 void SpaceServer::handle_bytes(SessionId session,
                                std::span<const std::uint8_t> bytes) {
   std::optional<Message> request = codec_->decode(bytes);
@@ -31,7 +44,24 @@ void SpaceServer::handle_bytes(SessionId session,
   ++stats_.messages_decoded;
   stats_.bytes_decoded += bytes.size();
 
-  SessionState& state = sessions_[session];
+  if (request->request_id == 0) {
+    // Uncorrelatable: the reply could never be matched to a caller, and the
+    // duplicate cache would pin id 0 forever. Reject without entering the
+    // pipeline (and without caching the rejection).
+    ++stats_.rejected_requests;
+    Message err;
+    err.type = MsgType::kError;
+    err.created_at_ns = space_->simulator().now().count_ns();
+    err.error = "missing request id";
+    encode_buf_.clear();
+    codec_->encode_into(err, encode_buf_);
+    ++stats_.messages_encoded;
+    stats_.bytes_encoded += encode_buf_.size();
+    transport_->send(session, encode_buf_);
+    return;
+  }
+
+  Session& state = sessions_[session];
   if (auto cached = state.responses.find(request->request_id);
       cached != state.responses.end()) {
     // Retransmitted request whose response we already produced: replay it
@@ -47,19 +77,55 @@ void SpaceServer::handle_bytes(SessionId session,
   state.in_flight.insert(request->request_id);
 
   ++stats_.requests;
-  // The RMI/socket-wrapper hop inside the server host.
+  enqueue(session, std::move(*request));
+}
+
+void SpaceServer::enqueue(SessionId session, Message request) {
+  Session& state = sessions_[session];
+  if (config_.pipeline_depth > 0 &&
+      state.in_service >= config_.pipeline_depth) {
+    ++stats_.pipeline_queued;
+    state.dispatch_queue.push_back(std::move(request));
+    return;
+  }
+  start_service(session, std::move(request));
+}
+
+void SpaceServer::start_service(SessionId session, Message request) {
+  Session& state = sessions_[session];
+  ++state.in_service;
+  peak_in_service_ =
+      std::max(peak_in_service_, static_cast<std::size_t>(state.in_service));
+  // The RMI/socket-wrapper hop inside the server host. The slot is held for
+  // the hop only: once the operation reaches the space (answered or parked),
+  // the next queued request may enter — which is what lets a later read
+  // overtake a parked take on the same session.
   space_->simulator().schedule_in(
       config_.service_delay,
-      [this, session, req = std::move(*request)]() mutable {
+      [this, session, req = std::move(request)]() mutable {
         process(session, std::move(req));
+        finish_service(session);
       });
+}
+
+void SpaceServer::finish_service(SessionId session) {
+  Session& state = sessions_[session];
+  --state.in_service;
+  if (state.dispatch_queue.empty()) return;
+  if (config_.pipeline_depth > 0 &&
+      state.in_service >= config_.pipeline_depth) {
+    return;
+  }
+  Message next = std::move(state.dispatch_queue.front());
+  state.dispatch_queue.pop_front();
+  start_service(session, std::move(next));
 }
 
 void SpaceServer::respond(SessionId session, Message response) {
   response.created_at_ns = space_->simulator().now().count_ns();
   ++stats_.responses;
 
-  SessionState& state = sessions_[session];
+  Session& state = sessions_[session];
   state.in_flight.erase(response.request_id);
   // Encode directly into the duplicate cache's slot: the bytes must persist
   // for replay anyway, so the cache entry doubles as the wire buffer (the
@@ -82,6 +148,9 @@ void SpaceServer::process(SessionId session, Message request) {
   switch (request.type) {
     case MsgType::kWriteRequest:
       handle_write(session, request);
+      return;
+    case MsgType::kWriteBatchRequest:
+      handle_write_batch(session, request);
       return;
     case MsgType::kReadRequest:
       handle_match(session, request, /*take=*/false);
@@ -125,21 +194,17 @@ void SpaceServer::handle_write(SessionId session, Message& request) {
     return;
   }
 
-  sim::Time lease_duration = duration_of(request.duration_ns);
-  if (config_.lease_from_send_time && lease_duration != space::kLeaseForever) {
-    const sim::Time in_transit =
-        space_->simulator().now() - sim::Time::ns(request.created_at_ns);
-    lease_duration -= in_transit;
-    if (lease_duration <= sim::Time::zero()) {
-      // Expired in transit: acknowledge, but never store ("the entry
-      // lifetime is out-of-date" — paper §5).
-      ++stats_.dead_on_arrival;
-      response.ok = true;
-      response.handle = 0;
-      response.expires_at_ns = request.created_at_ns + request.duration_ns;
-      respond(session, response);
-      return;
-    }
+  const std::optional<sim::Time> lease_duration =
+      remaining_lease(request.duration_ns, request.created_at_ns);
+  if (!lease_duration) {
+    // Expired in transit: acknowledge, but never store ("the entry
+    // lifetime is out-of-date" — paper §5).
+    ++stats_.dead_on_arrival;
+    response.ok = true;
+    response.handle = 0;
+    response.expires_at_ns = request.created_at_ns + request.duration_ns;
+    respond(session, response);
+    return;
   }
 
   if (request.txn != space::kNoTxn &&
@@ -151,12 +216,57 @@ void SpaceServer::handle_write(SessionId session, Message& request) {
   }
   // The decoded tuple's buffers move through into the store untouched.
   const space::Lease lease =
-      space_->write(std::move(*request.tuple), lease_duration, request.txn);
+      space_->write(std::move(*request.tuple), *lease_duration, request.txn);
   response.ok = true;
   response.handle = lease.id;
   response.expires_at_ns = lease.expires_at == sim::Time::max()
                                ? INT64_MAX
                                : lease.expires_at.count_ns();
+  respond(session, response);
+}
+
+void SpaceServer::handle_write_batch(SessionId session, Message& request) {
+  Message response;
+  response.type = MsgType::kWriteBatchResponse;
+  response.request_id = request.request_id;
+  if (request.batch_tuples.empty() ||
+      request.batch_durations.size() != request.batch_tuples.size()) {
+    response.ok = false;
+    response.error = "malformed write batch";
+    respond(session, response);
+    return;
+  }
+  if (request.txn != space::kNoTxn &&
+      !space_->transaction_open(request.txn)) {
+    response.ok = false;
+    response.error = "unknown transaction";
+    respond(session, response);
+    return;
+  }
+  // One service-stage hop covers the whole batch — that amortization is the
+  // point of coalescing. Each write still gets its own lease accounting
+  // (shared send timestamp) and its own slot in the response.
+  response.ok = true;
+  response.batch_handles.reserve(request.batch_tuples.size());
+  response.batch_expires.reserve(request.batch_tuples.size());
+  for (std::size_t i = 0; i < request.batch_tuples.size(); ++i) {
+    const std::optional<sim::Time> lease_duration =
+        remaining_lease(request.batch_durations[i], request.created_at_ns);
+    if (!lease_duration) {
+      ++stats_.dead_on_arrival;
+      response.batch_handles.push_back(0);
+      response.batch_expires.push_back(request.created_at_ns +
+                                       request.batch_durations[i]);
+      continue;
+    }
+    const space::Lease lease = space_->write(
+        std::move(request.batch_tuples[i]), *lease_duration, request.txn);
+    ++stats_.batched_writes;
+    response.batch_handles.push_back(lease.id);
+    response.batch_expires.push_back(lease.expires_at == sim::Time::max()
+                                         ? INT64_MAX
+                                         : lease.expires_at.count_ns());
+  }
   respond(session, response);
 }
 
@@ -192,9 +302,11 @@ void SpaceServer::handle_match(SessionId session, Message& request,
     return;
   }
   if (take) {
-    space_->take_async(std::move(*request.tmpl), timeout, std::move(completion));
+    space_->take_async(std::move(*request.tmpl), timeout,
+                       std::move(completion));
   } else {
-    space_->read_async(std::move(*request.tmpl), timeout, std::move(completion));
+    space_->read_async(std::move(*request.tmpl), timeout,
+                       std::move(completion));
   }
 }
 
@@ -270,13 +382,17 @@ void SpaceServer::bind_metrics(obs::Registry& registry,
   obs::Counter& doa = registry.counter(prefix + ".dead_on_arrival");
   obs::Counter& replayed = registry.counter(prefix + ".duplicates_replayed");
   obs::Counter& ignored = registry.counter(prefix + ".duplicates_ignored");
+  obs::Counter& rejected = registry.counter(prefix + ".rejected_requests");
+  obs::Counter& queued = registry.counter(prefix + ".pipeline_queued");
+  obs::Counter& batched = registry.counter(prefix + ".batched_writes");
   obs::Counter& enc_msgs = registry.counter(prefix + ".codec.messages_encoded");
   obs::Counter& enc_bytes = registry.counter(prefix + ".codec.bytes_encoded");
   obs::Counter& dec_msgs = registry.counter(prefix + ".codec.messages_decoded");
   obs::Counter& dec_bytes = registry.counter(prefix + ".codec.bytes_decoded");
   registry.add_collector([this, &requests, &responses, &events, &decode_errors,
-                          &doa, &replayed, &ignored, &enc_msgs, &enc_bytes,
-                          &dec_msgs, &dec_bytes] {
+                          &doa, &replayed, &ignored, &rejected, &queued,
+                          &batched, &enc_msgs, &enc_bytes, &dec_msgs,
+                          &dec_bytes] {
     requests.set(stats_.requests);
     responses.set(stats_.responses);
     events.set(stats_.events_pushed);
@@ -284,6 +400,9 @@ void SpaceServer::bind_metrics(obs::Registry& registry,
     doa.set(stats_.dead_on_arrival);
     replayed.set(stats_.duplicates_replayed);
     ignored.set(stats_.duplicates_ignored);
+    rejected.set(stats_.rejected_requests);
+    queued.set(stats_.pipeline_queued);
+    batched.set(stats_.batched_writes);
     enc_msgs.set(stats_.messages_encoded);
     enc_bytes.set(stats_.bytes_encoded);
     dec_msgs.set(stats_.messages_decoded);

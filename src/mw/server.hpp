@@ -1,11 +1,19 @@
-// The space server: TupleSpace exposed over a ServerTransport.
+// The space server: SpaceEngine exposed over a ServerTransport.
 //
-// Plays the paper's "SpaceServer" Java class (Figure 3/4): requests arrive
-// as encoded messages, cross a configurable service delay (the RMI +
-// Java/socket-wrapper hop inside the server host), run against the
-// TupleSpace, and responses travel back. Blocking read/take requests park
-// inside the space and answer when a match or the timeout arrives; notify
-// registrations push kEvent messages to their session.
+// Plays the paper's "SpaceServer" Java class (Figure 3/4), restructured as a
+// session-based dispatcher (DESIGN.md §10): each connection owns a Session
+// that accepts multiple outstanding requests (correlated by request id),
+// pushes them through a configurable service stage (the RMI + Java/socket-
+// wrapper hop inside the server host), routes them to the sharded space
+// engine, and interleaves replies as operations complete. Blocking read/take
+// requests park inside the space without holding a service slot, so later
+// requests on the same session can answer first — replies are matched by id,
+// not by order. Notify registrations push kEvent messages to their session.
+//
+// ServerConfig::pipeline_depth bounds how many requests per session may sit
+// in the service stage at once (0 = unbounded, the historical behavior —
+// and bit-exact with it: no extra events are scheduled). With a bound, rear
+// requests wait in the session's FIFO dispatch queue for a slot.
 //
 // Lease accounting (ServerConfig::lease_from_send_time, default on): a
 // written entry's lifetime counts from the client-side send timestamp, so
@@ -38,11 +46,16 @@ struct ServerConfig {
   /// Count entry leases from the request's send timestamp rather than from
   /// server arrival.
   bool lease_from_send_time = true;
+
+  /// Max requests per session concurrently in the service stage; excess
+  /// arrivals queue FIFO in the session. 0 = unbounded (legacy behavior,
+  /// bit-exact event schedule).
+  int pipeline_depth = 0;
 };
 
 class SpaceServer {
  public:
-  SpaceServer(space::TupleSpace& space, ServerTransport& transport,
+  SpaceServer(space::SpaceEngine& space, ServerTransport& transport,
               const Codec& codec, ServerConfig config = {});
 
   SpaceServer(const SpaceServer&) = delete;
@@ -56,6 +69,9 @@ class SpaceServer {
     std::uint64_t dead_on_arrival = 0;  ///< writes whose lease had expired in transit
     std::uint64_t duplicates_replayed = 0;  ///< cached response resent
     std::uint64_t duplicates_ignored = 0;   ///< original still in flight
+    std::uint64_t rejected_requests = 0;    ///< request_id 0: uncorrelatable
+    std::uint64_t pipeline_queued = 0;      ///< waited for a service slot
+    std::uint64_t batched_writes = 0;   ///< tuples written via batch requests
     std::uint64_t messages_encoded = 0;
     std::uint64_t bytes_encoded = 0;   ///< codec output, pre-framing
     std::uint64_t messages_decoded = 0;
@@ -63,7 +79,10 @@ class SpaceServer {
   };
   const Stats& stats() const { return stats_; }
 
-  space::TupleSpace& space() { return *space_; }
+  space::SpaceEngine& space() { return *space_; }
+
+  /// Peak service-stage occupancy across sessions (pipelining diagnostics).
+  std::size_t peak_in_service() const { return peak_in_service_; }
 
   /// Observability hook (DESIGN.md §7): mirrors Stats into `<p>.*` counters
   /// at snapshot time. The registry must outlive the server. Default
@@ -74,39 +93,58 @@ class SpaceServer {
  private:
   using SessionId = ServerTransport::SessionId;
 
+  /// Per-connection dispatcher state: the duplicate-suppression response
+  /// cache, the set of requests currently anywhere between arrival and
+  /// response, and the pipeline's service-stage accounting.
+  struct Session {
+    /// Duplicate-request suppression: clients on lossy transports
+    /// retransmit byte-identical requests (same id); replaying the cached
+    /// response keeps non-idempotent operations (write, take) exactly-once.
+    std::unordered_map<std::uint64_t, std::vector<std::uint8_t>> responses;
+    std::deque<std::uint64_t> response_order;  ///< FIFO eviction
+    std::set<std::uint64_t> in_flight;
+
+    std::deque<Message> dispatch_queue;  ///< waiting for a service slot
+    int in_service = 0;                  ///< requests inside the service stage
+  };
+
   void handle_bytes(SessionId session, std::span<const std::uint8_t> bytes);
+  /// Admits a decoded request to the session pipeline: service stage if a
+  /// slot is free, dispatch queue otherwise.
+  void enqueue(SessionId session, Message request);
+  void start_service(SessionId session, Message request);
+  /// Releases a service slot and admits the next queued request, if any.
+  void finish_service(SessionId session);
   void process(SessionId session, Message request);
   void respond(SessionId session, Message response);
 
   void handle_write(SessionId session, Message& request);
+  void handle_write_batch(SessionId session, Message& request);
   void handle_match(SessionId session, Message& request, bool take);
   void handle_notify(SessionId session, const Message& request);
   void handle_renew(SessionId session, const Message& request);
   void handle_cancel(SessionId session, const Message& request);
   void handle_txn(SessionId session, const Message& request);
 
+  /// Lease/timeout duration left after transit; nullopt = dead on arrival.
+  std::optional<sim::Time> remaining_lease(std::int64_t duration_ns,
+                                           std::int64_t created_at_ns) const;
+
   static sim::Time duration_of(std::int64_t ns);
 
-  space::TupleSpace* space_;
+  space::SpaceEngine* space_;
   ServerTransport* transport_;
   const Codec* codec_;
   ServerConfig config_;
   /// notify registration -> owning session (for event push & cancel).
   std::unordered_map<std::uint64_t, SessionId> notify_sessions_;
 
-  /// Duplicate-request suppression: clients on lossy transports retransmit
-  /// byte-identical requests (same id); replaying the cached response keeps
-  /// non-idempotent operations (write, take) exactly-once.
-  struct SessionState {
-    std::unordered_map<std::uint64_t, std::vector<std::uint8_t>> responses;
-    std::deque<std::uint64_t> response_order;  ///< FIFO eviction
-    std::set<std::uint64_t> in_flight;
-  };
   static constexpr std::size_t kResponseCacheSize = 64;
-  std::unordered_map<SessionId, SessionState> sessions_;
+  std::unordered_map<SessionId, Session> sessions_;
   std::vector<std::uint8_t> encode_buf_;  ///< reused for event pushes
 
   Stats stats_;
+  std::size_t peak_in_service_ = 0;
 };
 
 }  // namespace tb::mw

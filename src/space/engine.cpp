@@ -1,0 +1,671 @@
+#include "src/space/engine.hpp"
+
+#include <algorithm>
+
+#include "src/obs/metrics.hpp"
+#include "src/util/assert.hpp"
+
+namespace tb::space {
+
+SpaceEngine::SpaceEngine(sim::Simulator& sim, SpaceConfig config)
+    : sim_(&sim), config_(config) {
+  shards_.resize(config_.shard_count < 1 ? 1 : config_.shard_count);
+}
+
+std::size_t SpaceEngine::size() const { return entry_count_; }
+
+std::size_t SpaceEngine::stored_bytes() const {
+  std::size_t total = 0;
+  for (const Shard& shard : shards_) total += shard.stored_bytes;
+  return total;
+}
+
+std::size_t SpaceEngine::blocked_operations() const {
+  std::size_t total = wildcard_waiters_.size();
+  for (const Shard& shard : shards_) total += shard.waiters.size();
+  return total;
+}
+
+void SpaceEngine::deliver(MatchCallback callback, std::optional<Tuple> result) {
+  sim_->schedule_in(sim::Time::zero(),
+                    [cb = std::move(callback), r = std::move(result)]() mutable {
+                      cb(std::move(r));
+                    });
+}
+
+void SpaceEngine::record_match(int shard, bool take, std::uint64_t waited_ns) {
+  if (take) {
+    if (match_take_ns_) match_take_ns_->record(waited_ns);
+    if (obs::Histogram* h = shards_[shard].match_take_ns) h->record(waited_ns);
+  } else {
+    if (match_read_ns_) match_read_ns_->record(waited_ns);
+    if (obs::Histogram* h = shards_[shard].match_read_ns) h->record(waited_ns);
+  }
+}
+
+void SpaceEngine::fire_notifications(const Tuple& tuple) {
+  // Notify registrations fire for every matching write, even when a blocked
+  // take consumes the entry before it reaches the store (JavaSpaces
+  // semantics: the event is the write itself). Registrations are
+  // engine-level: they observe writes on every shard.
+  for (auto& [id, reg] : notifies_) {
+    if (reg.tmpl.matches(tuple)) {
+      ++stats_.notifications;
+      sim_->schedule_in(sim::Time::zero(), [cb = reg.callback, t = tuple] {
+        cb(t);
+      });
+    }
+  }
+}
+
+void SpaceEngine::publish(std::uint64_t id, Tuple tuple, sim::Time expires_at) {
+  const std::uint64_t key = type_key(tuple.name, tuple.arity());
+  const int shard_idx = shard_of(key);
+  Shard& shard = shards_[shard_idx];
+
+  // Serve blocked operations in registration order: the shard's queue and
+  // the cross-shard wildcard queue are each id-ordered (ids are monotonic
+  // and waiters append), so a two-pointer merge visits the union oldest
+  // registration first — the wakeup order is independent of shard layout.
+  // Blocked reads each get a copy; the first matching blocked take consumes
+  // the tuple.
+  auto named = shard.waiters.begin();
+  auto wild = wildcard_waiters_.begin();
+  while (named != shard.waiters.end() || wild != wildcard_waiters_.end()) {
+    const bool pick_named =
+        wild == wildcard_waiters_.end() ||
+        (named != shard.waiters.end() && named->id < wild->id);
+    std::list<Waiter>& queue = pick_named ? shard.waiters : wildcard_waiters_;
+    auto& pos = pick_named ? named : wild;
+    if (!pos->tmpl.matches(tuple)) {
+      ++pos;
+      continue;
+    }
+    Waiter waiter = std::move(*pos);
+    pos = queue.erase(pos);
+    sim_->cancel(waiter.timeout_event);
+    const std::uint64_t waited_ns =
+        static_cast<std::uint64_t>((sim_->now() - waiter.enqueued).count_ns());
+    if (waiter.take) {
+      ++stats_.takes;
+      record_match(shard_idx, /*take=*/true, waited_ns);
+      deliver(std::move(waiter.callback), std::move(tuple));
+      return;  // consumed before reaching the store
+    }
+    ++stats_.reads;
+    record_match(shard_idx, /*take=*/false, waited_ns);
+    deliver(std::move(waiter.callback), tuple);  // copy to each reader
+  }
+
+  Entry entry;
+  entry.id = id;
+  entry.expires_at = expires_at;
+  entry.type_key = key;
+  entry.byte_size = tuple.byte_size();
+  if (expires_at != sim::Time::max()) {
+    entry.expiry_event = sim_->schedule_at(
+        expires_at, [this, shard_idx, id] { expire_entry(shard_idx, id); });
+  }
+  if (config_.use_type_index) {
+    shard.index[key].insert(id);
+  }
+  shard.stored_bytes += entry.byte_size;
+  entry.tuple = std::move(tuple);
+  // Ids are monotonic, so every store lands past the shard's current
+  // maximum: the end() hint makes the map insert amortized O(1).
+  shard.entries.emplace_hint(shard.entries.end(), id, std::move(entry));
+  ++entry_count_;
+  stats_.peak_size = std::max(stats_.peak_size, entry_count_);
+}
+
+Lease SpaceEngine::write(Tuple tuple, sim::Time lease_duration,
+                         std::uint64_t txn) {
+  TB_REQUIRE(lease_duration > sim::Time::zero());
+  Lease lease;
+  lease.id = next_id_++;
+  lease.expires_at = lease_duration == kLeaseForever
+                         ? sim::Time::max()
+                         : sim_->now() + lease_duration;
+
+  if (txn != kNoTxn) {
+    Txn* transaction = find_txn(txn);
+    TB_REQUIRE_MSG(transaction != nullptr, "unknown transaction");
+    transaction->writes.push_back(
+        PendingWrite{lease.id, std::move(tuple), lease.expires_at});
+    return lease;
+  }
+
+  ++stats_.writes;
+  if (!notifies_.empty()) fire_notifications(tuple);
+  publish(lease.id, std::move(tuple), lease.expires_at);
+  return lease;
+}
+
+SpaceEngine::Found SpaceEngine::find_match(const Template& tmpl) {
+  const sim::Time now = sim_->now();
+  if (tmpl.name.has_value()) {
+    // Every tuple of this (name, arity) shape lives on one shard.
+    const std::uint64_t want = type_key(*tmpl.name, tmpl.arity());
+    const int shard_idx = shard_of(want);
+    Shard& shard = shards_[shard_idx];
+    if (config_.use_type_index) {
+      const auto bucket = shard.index.find(want);
+      if (bucket == shard.index.end()) return {};
+      for (std::uint64_t id : bucket->second) {
+        auto it = shard.entries.find(id);
+        TB_ASSERT(it != shard.entries.end());
+        ++stats_.scan_steps;
+        if (it->second.expires_at <= now) continue;  // expiry event queued
+        if (tmpl.matches(it->second.tuple)) return {shard_idx, it, true};
+      }
+      return {};
+    }
+    // Linear scan of the shard: still short-circuits on the cached
+    // (name, arity) key before the field-by-field match.
+    for (auto it = shard.entries.begin(); it != shard.entries.end(); ++it) {
+      ++stats_.scan_steps;
+      if (it->second.expires_at <= now) continue;
+      if (it->second.type_key != want) continue;
+      if (tmpl.matches(it->second.tuple)) return {shard_idx, it, true};
+    }
+    return {};
+  }
+  // Wildcard fan-out: ids are monotonic write timestamps, so an id-ordered
+  // merge across the shards' entry maps preserves the paper's oldest-first
+  // total order exactly as the monolithic scan did.
+  std::vector<std::map<std::uint64_t, Entry>::iterator> cursor(shards_.size());
+  for (std::size_t s = 0; s < shards_.size(); ++s) {
+    cursor[s] = shards_[s].entries.begin();
+  }
+  for (;;) {
+    int best = -1;
+    for (std::size_t s = 0; s < shards_.size(); ++s) {
+      if (cursor[s] == shards_[s].entries.end()) continue;
+      if (best < 0 || cursor[s]->first < cursor[best]->first) {
+        best = static_cast<int>(s);
+      }
+    }
+    if (best < 0) return {};
+    auto it = cursor[best]++;
+    ++stats_.scan_steps;
+    if (it->second.expires_at <= now) continue;
+    if (tmpl.matches(it->second.tuple)) return {best, it, true};
+  }
+}
+
+void SpaceEngine::erase_entry(int shard_idx,
+                              std::map<std::uint64_t, Entry>::iterator it) {
+  Shard& shard = shards_[shard_idx];
+  sim_->cancel(it->second.expiry_event);
+  if (config_.use_type_index) {
+    // The cached key keeps this valid even after a take moved the tuple out.
+    const auto bucket = shard.index.find(it->second.type_key);
+    TB_ASSERT(bucket != shard.index.end());
+    bucket->second.erase(it->first);
+    // Emptied buckets are retained: a hot (write, take, write, ...) shape
+    // would otherwise churn two map nodes per cycle, and an empty bucket is
+    // indistinguishable from an absent one to every lookup (same scan_steps,
+    // same results) — the set of live type keys is small and stable.
+  }
+  shard.stored_bytes -= it->second.byte_size;
+  shard.entries.erase(it);
+  --entry_count_;
+}
+
+std::optional<Tuple> SpaceEngine::read_if_exists(const Template& tmpl,
+                                                 std::uint64_t txn) {
+  Found found = find_match(tmpl);
+  if (found.ok) {
+    ++stats_.reads;
+    return found.it->second.tuple;
+  }
+  if (txn != kNoTxn) {
+    Txn* transaction = find_txn(txn);
+    TB_REQUIRE_MSG(transaction != nullptr, "unknown transaction");
+    // A transaction sees its own provisional writes.
+    for (const PendingWrite& pending : transaction->writes) {
+      if (pending.expires_at > sim_->now() && tmpl.matches(pending.tuple)) {
+        ++stats_.reads;
+        return pending.tuple;
+      }
+    }
+  }
+  ++stats_.misses;
+  return std::nullopt;
+}
+
+std::optional<Tuple> SpaceEngine::take_if_exists(const Template& tmpl,
+                                                 std::uint64_t txn) {
+  Found found = find_match(tmpl);
+  if (found.ok) {
+    ++stats_.takes;
+    if (txn != kNoTxn) {
+      Txn* transaction = find_txn(txn);
+      TB_REQUIRE_MSG(transaction != nullptr, "unknown transaction");
+      // Hold a copy of the committed entry: invisible to everyone until the
+      // transaction resolves; abort restores it with its remaining lease.
+      transaction->held.push_back(HeldEntry{found.it->first,
+                                            found.it->second.tuple,
+                                            found.it->second.expires_at});
+    }
+    // The stored tuple's buffers move out to the caller; erase_entry works
+    // from the cached type_key and never looks at the (now empty) tuple.
+    Tuple result = std::move(found.it->second.tuple);
+    erase_entry(found.shard, found.it);
+    return result;
+  }
+  if (txn != kNoTxn) {
+    Txn* transaction = find_txn(txn);
+    TB_REQUIRE_MSG(transaction != nullptr, "unknown transaction");
+    // Taking one's own provisional write simply unwrites it.
+    for (auto pending = transaction->writes.begin();
+         pending != transaction->writes.end(); ++pending) {
+      if (pending->expires_at > sim_->now() && tmpl.matches(pending->tuple)) {
+        ++stats_.takes;
+        Tuple result = std::move(pending->tuple);
+        transaction->writes.erase(pending);
+        return result;
+      }
+    }
+  }
+  ++stats_.misses;
+  return std::nullopt;
+}
+
+std::vector<Tuple> SpaceEngine::read_all(const Template& tmpl,
+                                         std::size_t max) {
+  std::vector<Tuple> out;
+  const sim::Time now = sim_->now();
+  if (config_.use_type_index && tmpl.name.has_value()) {
+    const std::uint64_t want = type_key(*tmpl.name, tmpl.arity());
+    Shard& shard = shards_[shard_of(want)];
+    const auto bucket = shard.index.find(want);
+    if (bucket == shard.index.end()) return out;
+    for (std::uint64_t id : bucket->second) {
+      if (out.size() >= max) break;
+      auto it = shard.entries.find(id);
+      TB_ASSERT(it != shard.entries.end());
+      ++stats_.scan_steps;
+      if (it->second.expires_at <= now) continue;
+      if (tmpl.matches(it->second.tuple)) {
+        ++stats_.reads;
+        out.push_back(it->second.tuple);
+      }
+    }
+    return out;
+  }
+  if (tmpl.name.has_value()) {
+    // Index off, but the shape still routes to exactly one shard.
+    Shard& shard = shards_[shard_of(type_key(*tmpl.name, tmpl.arity()))];
+    for (const auto& [id, entry] : shard.entries) {
+      if (out.size() >= max) break;
+      ++stats_.scan_steps;
+      if (entry.expires_at <= now) continue;
+      if (tmpl.matches(entry.tuple)) {
+        ++stats_.reads;
+        out.push_back(entry.tuple);
+      }
+    }
+    return out;
+  }
+  // Wildcard: id-ordered merge across shards keeps oldest-first.
+  std::vector<std::map<std::uint64_t, Entry>::const_iterator> cursor;
+  cursor.reserve(shards_.size());
+  for (const Shard& shard : shards_) cursor.push_back(shard.entries.begin());
+  while (out.size() < max) {
+    int best = -1;
+    for (std::size_t s = 0; s < shards_.size(); ++s) {
+      if (cursor[s] == shards_[s].entries.end()) continue;
+      if (best < 0 || cursor[s]->first < cursor[best]->first) {
+        best = static_cast<int>(s);
+      }
+    }
+    if (best < 0) break;
+    const Entry& entry = (cursor[best]++)->second;
+    ++stats_.scan_steps;
+    if (entry.expires_at <= now) continue;
+    if (tmpl.matches(entry.tuple)) {
+      ++stats_.reads;
+      out.push_back(entry.tuple);
+    }
+  }
+  return out;
+}
+
+std::vector<Tuple> SpaceEngine::take_all(const Template& tmpl,
+                                         std::size_t max) {
+  // Single pass in id (= write) order, like read_all — not repeated
+  // find_match calls, which rescan the bucket from the start for every
+  // taken tuple (quadratic in the match count). Ids are monotonic, so the
+  // index bucket, the shard entry maps and the cross-shard merge all yield
+  // oldest-first.
+  std::vector<Tuple> out;
+  const sim::Time now = sim_->now();
+  if (config_.use_type_index && tmpl.name.has_value()) {
+    const std::uint64_t want = type_key(*tmpl.name, tmpl.arity());
+    const int shard_idx = shard_of(want);
+    Shard& shard = shards_[shard_idx];
+    const auto bucket = shard.index.find(want);
+    if (bucket == shard.index.end()) return out;
+    // erase_entry edits (and may erase) the bucket, so walk a snapshot of
+    // the candidate ids.
+    const std::vector<std::uint64_t> candidates(bucket->second.begin(),
+                                                bucket->second.end());
+    for (std::uint64_t id : candidates) {
+      if (out.size() >= max) break;
+      auto it = shard.entries.find(id);
+      TB_ASSERT(it != shard.entries.end());
+      ++stats_.scan_steps;
+      if (it->second.expires_at <= now) continue;  // expiry event queued
+      if (tmpl.matches(it->second.tuple)) {
+        ++stats_.takes;
+        out.push_back(std::move(it->second.tuple));
+        erase_entry(shard_idx, it);
+      }
+    }
+    return out;
+  }
+  if (tmpl.name.has_value()) {
+    const int shard_idx = shard_of(type_key(*tmpl.name, tmpl.arity()));
+    Shard& shard = shards_[shard_idx];
+    for (auto it = shard.entries.begin();
+         it != shard.entries.end() && out.size() < max;) {
+      const auto cur = it++;  // erase_entry invalidates only cur
+      ++stats_.scan_steps;
+      if (cur->second.expires_at <= now) continue;
+      if (tmpl.matches(cur->second.tuple)) {
+        ++stats_.takes;
+        out.push_back(std::move(cur->second.tuple));
+        erase_entry(shard_idx, cur);
+      }
+    }
+    return out;
+  }
+  // Wildcard: merge across shards; advance each cursor before a possible
+  // erase so only the already-consumed position is invalidated.
+  std::vector<std::map<std::uint64_t, Entry>::iterator> cursor;
+  cursor.reserve(shards_.size());
+  for (Shard& shard : shards_) cursor.push_back(shard.entries.begin());
+  while (out.size() < max) {
+    int best = -1;
+    for (std::size_t s = 0; s < shards_.size(); ++s) {
+      if (cursor[s] == shards_[s].entries.end()) continue;
+      if (best < 0 || cursor[s]->first < cursor[best]->first) {
+        best = static_cast<int>(s);
+      }
+    }
+    if (best < 0) break;
+    const auto cur = cursor[best]++;
+    ++stats_.scan_steps;
+    if (cur->second.expires_at <= now) continue;
+    if (tmpl.matches(cur->second.tuple)) {
+      ++stats_.takes;
+      out.push_back(std::move(cur->second.tuple));
+      erase_entry(best, cur);
+    }
+  }
+  return out;
+}
+
+SpaceEngine::Txn* SpaceEngine::find_txn(std::uint64_t txn) {
+  auto it = transactions_.find(txn);
+  return it == transactions_.end() ? nullptr : &it->second;
+}
+
+std::uint64_t SpaceEngine::begin_transaction(sim::Time timeout) {
+  TB_REQUIRE(timeout > sim::Time::zero());
+  Txn transaction;
+  transaction.id = next_id_++;
+  if (timeout != kLeaseForever) {
+    transaction.timeout_event =
+        sim_->schedule_in(timeout, [this, id = transaction.id] {
+          auto it = transactions_.find(id);
+          if (it != transactions_.end()) {
+            resolve_txn(it, /*commit_it=*/false);
+          }
+        });
+  }
+  const std::uint64_t id = transaction.id;
+  transactions_.emplace(id, std::move(transaction));
+  return id;
+}
+
+void SpaceEngine::resolve_txn(std::map<std::uint64_t, Txn>::iterator it,
+                              bool commit_it) {
+  Txn transaction = std::move(it->second);
+  transactions_.erase(it);  // resolved before callbacks can observe it
+  sim_->cancel(transaction.timeout_event);
+
+  if (commit_it) {
+    ++stats_.commits;
+    for (PendingWrite& pending : transaction.writes) {
+      if (pending.expires_at <= sim_->now()) continue;  // died while pending
+      ++stats_.writes;
+      fire_notifications(pending.tuple);
+      publish(pending.id, std::move(pending.tuple), pending.expires_at);
+    }
+    // Held takes become permanent: nothing to do.
+    return;
+  }
+
+  ++stats_.aborts;
+  // Restore held entries (original id and remaining lease) without firing
+  // notifications: their writes were already announced. Blocked operations
+  // do get served — the entry is available again.
+  for (HeldEntry& held : transaction.held) {
+    if (held.expires_at <= sim_->now()) continue;
+    publish(held.original_id, std::move(held.tuple), held.expires_at);
+  }
+}
+
+bool SpaceEngine::commit(std::uint64_t txn) {
+  auto it = transactions_.find(txn);
+  if (it == transactions_.end()) return false;
+  resolve_txn(it, /*commit_it=*/true);
+  return true;
+}
+
+bool SpaceEngine::abort(std::uint64_t txn) {
+  auto it = transactions_.find(txn);
+  if (it == transactions_.end()) return false;
+  resolve_txn(it, /*commit_it=*/false);
+  return true;
+}
+
+void SpaceEngine::blocking_match(Template tmpl, sim::Time timeout,
+                                 MatchCallback callback, bool take) {
+  TB_REQUIRE(callback != nullptr);
+  Found found = find_match(tmpl);
+  if (found.ok) {
+    if (take) {
+      ++stats_.takes;
+      record_match(found.shard, /*take=*/true, 0);
+      Tuple result = std::move(found.it->second.tuple);
+      erase_entry(found.shard, found.it);
+      deliver(std::move(callback), std::move(result));
+    } else {
+      ++stats_.reads;
+      record_match(found.shard, /*take=*/false, 0);
+      deliver(std::move(callback), found.it->second.tuple);
+    }
+    return;
+  }
+  if (timeout <= sim::Time::zero()) {
+    ++stats_.misses;
+    deliver(std::move(callback), std::nullopt);
+    return;
+  }
+
+  // A name-keyed template parks on its shard's queue; a wildcard template
+  // parks on the cross-shard queue that publish() merges with every shard.
+  const int route = tmpl.name.has_value()
+                        ? shard_of(type_key(*tmpl.name, tmpl.arity()))
+                        : kWildcardShard;
+  Waiter waiter;
+  waiter.id = next_id_++;
+  waiter.tmpl = std::move(tmpl);
+  waiter.take = take;
+  waiter.callback = std::move(callback);
+  waiter.enqueued = sim_->now();
+  if (timeout != kLeaseForever) {
+    waiter.timeout_event =
+        sim_->schedule_in(timeout, [this, route, id = waiter.id] {
+          std::list<Waiter>& queue = waiter_queue(route);
+          auto pos = std::find_if(queue.begin(), queue.end(),
+                                  [id](const Waiter& w) { return w.id == id; });
+          TB_ASSERT(pos != queue.end());
+          MatchCallback cb = std::move(pos->callback);
+          queue.erase(pos);
+          ++stats_.misses;
+          cb(std::nullopt);  // already on an event: no extra hop needed
+        });
+  }
+  waiter_queue(route).push_back(std::move(waiter));
+  stats_.peak_blocked = std::max(stats_.peak_blocked, blocked_operations());
+}
+
+void SpaceEngine::read_async(Template tmpl, sim::Time timeout,
+                             MatchCallback callback) {
+  blocking_match(std::move(tmpl), timeout, std::move(callback), /*take=*/false);
+}
+
+void SpaceEngine::take_async(Template tmpl, sim::Time timeout,
+                             MatchCallback callback) {
+  blocking_match(std::move(tmpl), timeout, std::move(callback), /*take=*/true);
+}
+
+std::uint64_t SpaceEngine::notify(Template tmpl, sim::Time lease_duration,
+                                  NotifyCallback callback) {
+  TB_REQUIRE(callback != nullptr);
+  TB_REQUIRE(lease_duration > sim::Time::zero());
+  NotifyReg reg;
+  reg.id = next_id_++;
+  reg.tmpl = std::move(tmpl);
+  reg.callback = std::move(callback);
+  if (lease_duration != kLeaseForever) {
+    reg.expiry_event = sim_->schedule_in(
+        lease_duration, [this, id = reg.id] { notifies_.erase(id); });
+  }
+  const std::uint64_t id = reg.id;
+  notifies_.emplace(id, std::move(reg));
+  return id;
+}
+
+bool SpaceEngine::cancel_notify(std::uint64_t registration) {
+  auto it = notifies_.find(registration);
+  if (it == notifies_.end()) return false;
+  sim_->cancel(it->second.expiry_event);
+  notifies_.erase(it);
+  return true;
+}
+
+std::optional<Lease> SpaceEngine::renew(std::uint64_t tuple_id,
+                                        sim::Time extension) {
+  TB_REQUIRE(extension > sim::Time::zero());
+  // Ids don't encode their shard; probe the (few) shard maps.
+  for (std::size_t s = 0; s < shards_.size(); ++s) {
+    auto it = shards_[s].entries.find(tuple_id);
+    if (it == shards_[s].entries.end()) continue;
+    sim_->cancel(it->second.expiry_event);
+    it->second.expires_at = extension == kLeaseForever
+                                ? sim::Time::max()
+                                : sim_->now() + extension;
+    if (it->second.expires_at != sim::Time::max()) {
+      it->second.expiry_event = sim_->schedule_at(
+          it->second.expires_at, [this, s = static_cast<int>(s), tuple_id] {
+            expire_entry(s, tuple_id);
+          });
+    } else {
+      it->second.expiry_event = sim::EventHandle();
+    }
+    ++stats_.renewals;
+    return Lease{tuple_id, it->second.expires_at};
+  }
+  return std::nullopt;
+}
+
+bool SpaceEngine::cancel(std::uint64_t tuple_id) {
+  for (std::size_t s = 0; s < shards_.size(); ++s) {
+    auto it = shards_[s].entries.find(tuple_id);
+    if (it == shards_[s].entries.end()) continue;
+    erase_entry(static_cast<int>(s), it);
+    ++stats_.cancellations;
+    return true;
+  }
+  return false;
+}
+
+void SpaceEngine::expire_entry(int shard_idx, std::uint64_t id) {
+  auto it = shards_[shard_idx].entries.find(id);
+  if (it == shards_[shard_idx].entries.end()) return;
+  ++stats_.expirations;
+  erase_entry(shard_idx, it);
+}
+
+void SpaceEngine::bind_metrics(obs::Registry& registry,
+                               const std::string& prefix) {
+  match_read_ns_ = &registry.histogram(prefix + ".match_ns.read");
+  match_take_ns_ = &registry.histogram(prefix + ".match_ns.take");
+  obs::Counter& writes = registry.counter(prefix + ".writes");
+  obs::Counter& reads = registry.counter(prefix + ".reads");
+  obs::Counter& takes = registry.counter(prefix + ".takes");
+  obs::Counter& misses = registry.counter(prefix + ".misses");
+  obs::Counter& notifications = registry.counter(prefix + ".notifications");
+  obs::Counter& expirations = registry.counter(prefix + ".expirations");
+  obs::Counter& renewals = registry.counter(prefix + ".renewals");
+  obs::Counter& cancellations = registry.counter(prefix + ".cancellations");
+  obs::Counter& scan_steps = registry.counter(prefix + ".scan_steps");
+  obs::Counter& commits = registry.counter(prefix + ".commits");
+  obs::Counter& aborts = registry.counter(prefix + ".aborts");
+  obs::Gauge& size = registry.gauge(prefix + ".size");
+  obs::Gauge& stored = registry.gauge(prefix + ".stored_bytes");
+  obs::Gauge& blocked = registry.gauge(prefix + ".blocked");
+
+  // Per-shard mirrors (DESIGN.md §10): the aggregate gauges above are the
+  // sum over these, so `<p>.shard0.*` equals the aggregates when
+  // shard_count = 1 — the sharding cross-check tests rely on that.
+  struct ShardGauges {
+    obs::Gauge* size = nullptr;
+    obs::Gauge* stored = nullptr;
+    obs::Gauge* blocked = nullptr;
+  };
+  std::vector<ShardGauges> per_shard(shards_.size());
+  for (std::size_t s = 0; s < shards_.size(); ++s) {
+    const std::string p = prefix + ".shard" + std::to_string(s);
+    per_shard[s].size = &registry.gauge(p + ".size");
+    per_shard[s].stored = &registry.gauge(p + ".stored_bytes");
+    per_shard[s].blocked = &registry.gauge(p + ".blocked");
+    shards_[s].match_read_ns = &registry.histogram(p + ".match_ns.read");
+    shards_[s].match_take_ns = &registry.histogram(p + ".match_ns.take");
+  }
+  obs::Gauge& wildcard_blocked = registry.gauge(prefix + ".wildcard_blocked");
+
+  registry.add_collector([this, &writes, &reads, &takes, &misses,
+                          &notifications, &expirations, &renewals,
+                          &cancellations, &scan_steps, &commits, &aborts,
+                          &size, &stored, &blocked, &wildcard_blocked,
+                          per_shard = std::move(per_shard)] {
+    writes.set(stats_.writes);
+    reads.set(stats_.reads);
+    takes.set(stats_.takes);
+    misses.set(stats_.misses);
+    notifications.set(stats_.notifications);
+    expirations.set(stats_.expirations);
+    renewals.set(stats_.renewals);
+    cancellations.set(stats_.cancellations);
+    scan_steps.set(stats_.scan_steps);
+    commits.set(stats_.commits);
+    aborts.set(stats_.aborts);
+    size.set(static_cast<double>(this->size()));
+    stored.set(static_cast<double>(stored_bytes()));
+    blocked.set(static_cast<double>(blocked_operations()));
+    wildcard_blocked.set(static_cast<double>(wildcard_waiters_.size()));
+    for (std::size_t s = 0; s < shards_.size(); ++s) {
+      per_shard[s].size->set(static_cast<double>(shards_[s].entries.size()));
+      per_shard[s].stored->set(static_cast<double>(shards_[s].stored_bytes));
+      per_shard[s].blocked->set(static_cast<double>(shards_[s].waiters.size()));
+    }
+  });
+}
+
+}  // namespace tb::space

@@ -1,0 +1,342 @@
+// The sharded tuplespace engine: "a globally shared, associatively
+// addressed memory space" (paper §2), with JavaSpaces operation semantics:
+//
+//  * write(tuple, lease)           — store with a lifetime; returns a Lease
+//  * read / take (template)        — non-destructive / destructive match,
+//                                    blocking (with timeout) or if-exists
+//  * notify(template, listener)    — subscribe/notify callbacks (§2)
+//  * lease renewal / cancellation
+//  * transactions                  — JavaSpaces-style: writes stay private
+//    and takes hold their entries until commit; abort undoes both. A
+//    transaction's own operations see its provisional writes; nobody else
+//    does. Notifications for transactional writes fire at commit.
+//
+// Matching order follows the paper's footnote — "the timestamp on each tuple
+// determines a total order relation": the oldest matching tuple wins, and
+// competing blocked takes are served FIFO, which is what makes the Figure 1
+// failover election deterministic ("Just one of them will succeed").
+//
+// Sharding (DESIGN.md §10): the store is split into `SpaceConfig::
+// shard_count` shards keyed by the cached FNV-1a (name, arity) type_key.
+// A name-constrained template touches exactly one shard; wildcard templates
+// fan out with an id-ordered merge across shards, so the paper's total
+// order survives partitioning. Blocked operations queue per shard (named
+// templates) or in a cross-shard wildcard queue; a published tuple serves
+// the union of its shard's queue and the wildcard queue in registration-id
+// order — oldest registration wins regardless of shard iteration order.
+// shard_count = 1 reproduces the historical monolithic TupleSpace exactly:
+// same event schedule, same stats, same match order.
+//
+// Determinism contract: every result callback (blocked-op completion, timeout
+// and notification) is delivered through a zero-delay simulator event, never
+// synchronously from inside write()/take() — callers may therefore issue new
+// space operations from callbacks without reentrancy hazards, and coroutine
+// adapters (ops.hpp) may register callbacks before suspension completes.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <list>
+#include <map>
+#include <optional>
+#include <set>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "src/sim/simulator.hpp"
+#include "src/space/tuple.hpp"
+
+namespace tb::obs {
+class Histogram;
+class Registry;
+}
+
+namespace tb::space {
+
+/// Handle to a written tuple's lifetime.
+struct Lease {
+  std::uint64_t id = 0;       ///< tuple id; 0 = invalid lease
+  sim::Time expires_at;       ///< sim::Time::max() = forever
+
+  bool valid() const { return id != 0; }
+};
+
+/// Lease duration meaning "never expires".
+inline constexpr sim::Time kLeaseForever = sim::Time::max();
+
+/// "No transaction" marker for the transactional operation overloads.
+inline constexpr std::uint64_t kNoTxn = 0;
+
+struct SpaceConfig {
+  /// Index tuples by (name, arity) for sublinear matching. Disabling falls
+  /// back to a full linear scan — the bench_space_ops ablation.
+  bool use_type_index = true;
+
+  /// Number of store shards (type_key-partitioned). 1 = the historical
+  /// monolithic store, bit-exact with the pre-sharding TupleSpace; values
+  /// < 1 are clamped to 1. Sharding keeps the per-shard entry maps small,
+  /// which is what dominates write/take cost on a populated space.
+  int shard_count = 1;
+};
+
+class SpaceEngine {
+ public:
+  using MatchCallback = std::function<void(std::optional<Tuple>)>;
+  using NotifyCallback = std::function<void(const Tuple&)>;
+
+  explicit SpaceEngine(sim::Simulator& sim, SpaceConfig config = {});
+
+  SpaceEngine(const SpaceEngine&) = delete;
+  SpaceEngine& operator=(const SpaceEngine&) = delete;
+
+  // --- write ---------------------------------------------------------------
+
+  /// Stores a tuple for `lease_duration` (kLeaseForever = no expiry).
+  /// Serves blocked operations and notify registrations. Under a
+  /// transaction the write stays provisional until commit (the returned
+  /// lease id identifies the provisional entry; its clock runs from now).
+  Lease write(Tuple tuple, sim::Time lease_duration = kLeaseForever,
+              std::uint64_t txn = kNoTxn);
+
+  // --- non-blocking match ----------------------------------------------------
+
+  /// Oldest matching tuple, copied; nullopt when none. Under a transaction
+  /// the view includes the transaction's own provisional writes.
+  std::optional<Tuple> read_if_exists(const Template& tmpl,
+                                      std::uint64_t txn = kNoTxn);
+
+  /// Oldest matching tuple, removed; nullopt when none. Under a
+  /// transaction, a taken committed entry is *held* (invisible to everyone)
+  /// until the transaction resolves: commit discards it, abort restores it.
+  std::optional<Tuple> take_if_exists(const Template& tmpl,
+                                      std::uint64_t txn = kNoTxn);
+
+  // --- bulk operations (the JavaSpaces05 extension) ----------------------------
+
+  /// Up to `max` matching tuples, oldest first, non-destructive.
+  std::vector<Tuple> read_all(const Template& tmpl, std::size_t max = SIZE_MAX);
+
+  /// Removes and returns up to `max` matching tuples, oldest first.
+  std::vector<Tuple> take_all(const Template& tmpl, std::size_t max = SIZE_MAX);
+
+  // --- transactions -----------------------------------------------------------
+
+  /// Opens a transaction that auto-aborts after `timeout` (kLeaseForever =
+  /// no deadline). Returns its id. Transactions are engine-level: one
+  /// transaction may span entries on any number of shards.
+  std::uint64_t begin_transaction(sim::Time timeout = kLeaseForever);
+
+  /// Publishes the transaction's writes (with their remaining leases;
+  /// expired ones are dropped) and discards its held takes. Publication
+  /// runs through the normal write path, so blocked operations and notify
+  /// registrations fire at commit time. False when the id is unknown
+  /// (already resolved or timed out).
+  bool commit(std::uint64_t txn);
+
+  /// Drops the transaction's writes and restores its held takes (unless
+  /// their leases ran out while held). False when the id is unknown.
+  bool abort(std::uint64_t txn);
+
+  std::size_t open_transactions() const { return transactions_.size(); }
+  bool transaction_open(std::uint64_t txn) const {
+    return transactions_.contains(txn);
+  }
+
+  // --- blocking match (callback completion) -----------------------------------
+
+  /// Completes with a match now or when one is written before `timeout`
+  /// elapses; completes with nullopt on timeout. kLeaseForever = wait
+  /// indefinitely.
+  void read_async(Template tmpl, sim::Time timeout, MatchCallback callback);
+  void take_async(Template tmpl, sim::Time timeout, MatchCallback callback);
+
+  // --- notify -----------------------------------------------------------------
+
+  /// Registers a listener fired (asynchronously) for every write whose tuple
+  /// matches, for `lease_duration`. Returns the registration id.
+  std::uint64_t notify(Template tmpl, sim::Time lease_duration,
+                       NotifyCallback callback);
+  bool cancel_notify(std::uint64_t registration);
+
+  // --- leases -----------------------------------------------------------------
+
+  /// Extends a live tuple's lease to now + extension. Returns the updated
+  /// lease, or nullopt when the tuple is gone (taken or expired).
+  std::optional<Lease> renew(std::uint64_t tuple_id, sim::Time extension);
+
+  /// Cancels the lease, removing the tuple. False when already gone.
+  bool cancel(std::uint64_t tuple_id);
+
+  // --- introspection -----------------------------------------------------------
+
+  std::size_t size() const;
+  /// Sum of the stored tuples' byte_size() — maintained incrementally per
+  /// shard from the per-entry cache, so it is O(shards) to read.
+  std::size_t stored_bytes() const;
+  std::size_t blocked_operations() const;
+  std::size_t notify_registrations() const { return notifies_.size(); }
+  sim::Simulator& simulator() { return *sim_; }
+
+  int shard_count() const { return static_cast<int>(shards_.size()); }
+  /// Which shard a (name, arity) shape routes to.
+  int shard_of(std::uint64_t key) const {
+    return shards_.size() == 1
+               ? 0
+               : static_cast<int>(key % shards_.size());
+  }
+  std::size_t shard_size(int shard) const {
+    return shards_.at(shard).entries.size();
+  }
+  std::size_t shard_stored_bytes(int shard) const {
+    return shards_.at(shard).stored_bytes;
+  }
+  /// Blocked operations parked on this shard's queue (excludes the
+  /// cross-shard wildcard queue — see wildcard_blocked()).
+  std::size_t shard_blocked(int shard) const {
+    return shards_.at(shard).waiters.size();
+  }
+  std::size_t wildcard_blocked() const { return wildcard_waiters_.size(); }
+
+  struct Stats {
+    std::uint64_t writes = 0;
+    std::uint64_t reads = 0;        ///< successful read completions
+    std::uint64_t takes = 0;        ///< successful take completions
+    std::uint64_t misses = 0;       ///< if-exists misses + blocked timeouts
+    std::uint64_t notifications = 0;
+    std::uint64_t expirations = 0;
+    std::uint64_t renewals = 0;
+    std::uint64_t cancellations = 0;
+    std::uint64_t scan_steps = 0;   ///< tuples inspected during matching
+    std::uint64_t commits = 0;
+    std::uint64_t aborts = 0;       ///< explicit aborts + timeouts
+    std::size_t peak_size = 0;
+    std::size_t peak_blocked = 0;
+  };
+  const Stats& stats() const { return stats_; }
+
+  /// Observability hook (DESIGN.md §7/§10): mirrors Stats into `<p>.*`
+  /// counters and store-size gauges at snapshot time, and push-records
+  /// blocking read/take service latency (request to match; immediate hits
+  /// record 0, timeouts only count as misses) into `<p>.match_ns.read` /
+  /// `<p>.match_ns.take`. With shard_count > 0 it additionally publishes
+  /// per-shard gauges (`<p>.shard<i>.size|stored_bytes|blocked`) and
+  /// per-shard match histograms (`<p>.shard<i>.match_ns.read|take`); the
+  /// legacy aggregate names are the sum over shards, so shard_count = 1
+  /// keeps `<p>.shard0.*` equal to the aggregates. The registry must
+  /// outlive the engine. Default prefix: "space".
+  void bind_metrics(obs::Registry& registry, const std::string& prefix = "space");
+
+ private:
+  struct Entry {
+    std::uint64_t id = 0;  ///< doubles as the write timestamp (total order)
+    Tuple tuple;
+    sim::Time expires_at;
+    sim::EventHandle expiry_event;
+    /// (name, arity) hash, computed once at publish: matching short-circuits
+    /// on it, index maintenance never re-hashes the name, and it doubles as
+    /// the shard route — which also lets takes move the tuple out before
+    /// the entry is erased.
+    std::uint64_t type_key = 0;
+    std::size_t byte_size = 0;  ///< cached wire-footprint estimate
+  };
+
+  /// -1 routes to the cross-shard wildcard waiter queue.
+  static constexpr int kWildcardShard = -1;
+
+  struct Waiter {
+    std::uint64_t id = 0;
+    Template tmpl;
+    bool take = false;
+    MatchCallback callback;
+    sim::EventHandle timeout_event;
+    sim::Time enqueued;  ///< registration time, for the match-latency histogram
+  };
+
+  struct NotifyReg {
+    std::uint64_t id = 0;
+    Template tmpl;
+    NotifyCallback callback;
+    sim::EventHandle expiry_event;
+  };
+
+  /// A provisional write awaiting commit.
+  struct PendingWrite {
+    std::uint64_t id = 0;
+    Tuple tuple;
+    sim::Time expires_at;  ///< clock runs from the provisional write
+  };
+
+  /// A committed entry held by a take-under-transaction.
+  struct HeldEntry {
+    std::uint64_t original_id = 0;
+    Tuple tuple;
+    sim::Time expires_at;
+  };
+
+  struct Txn {
+    std::uint64_t id = 0;
+    std::vector<PendingWrite> writes;
+    std::vector<HeldEntry> held;
+    sim::EventHandle timeout_event;
+  };
+
+  struct Shard {
+    std::map<std::uint64_t, Entry> entries;  ///< id-ordered = timestamp-ordered
+    /// (name, arity) -> ordered ids, maintained when use_type_index.
+    std::unordered_map<std::uint64_t, std::set<std::uint64_t>> index;
+    std::list<Waiter> waiters;  ///< FIFO (= id) order, name-keyed templates
+    std::size_t stored_bytes = 0;  ///< sum of entries' cached byte_size
+    obs::Histogram* match_read_ns = nullptr;  ///< set by bind_metrics
+    obs::Histogram* match_take_ns = nullptr;
+  };
+
+  /// A match location: shard index + entry iterator.
+  struct Found {
+    int shard = 0;
+    std::map<std::uint64_t, Entry>::iterator it;
+    bool ok = false;
+  };
+
+  /// Fires matching notify registrations for a (now public) write.
+  void fire_notifications(const Tuple& tuple);
+
+  /// Serves blocked operations, then stores the tuple under `id` unless a
+  /// blocked take consumed it. The common tail of public writes, commit
+  /// publication and abort restoration.
+  void publish(std::uint64_t id, Tuple tuple, sim::Time expires_at);
+
+  Txn* find_txn(std::uint64_t txn);
+  void resolve_txn(std::map<std::uint64_t, Txn>::iterator it, bool commit_it);
+
+  /// Oldest live entry matching `tmpl` across the relevant shard(s).
+  Found find_match(const Template& tmpl);
+
+  /// Serves one waiter from `pos` in `queue`: cancels its timeout, records
+  /// latency and delivers. Returns true when the waiter was a take (tuple
+  /// consumed).
+  void erase_entry(int shard, std::map<std::uint64_t, Entry>::iterator it);
+  void blocking_match(Template tmpl, sim::Time timeout, MatchCallback callback,
+                      bool take);
+  void expire_entry(int shard, std::uint64_t id);
+  void deliver(MatchCallback callback, std::optional<Tuple> result);
+  std::list<Waiter>& waiter_queue(int shard) {
+    return shard == kWildcardShard ? wildcard_waiters_ : shards_[shard].waiters;
+  }
+  void record_match(int shard, bool take, std::uint64_t waited_ns);
+
+  sim::Simulator* sim_;
+  SpaceConfig config_;
+  std::uint64_t next_id_ = 1;
+  std::size_t entry_count_ = 0;  ///< sum of shard entry maps, kept O(1)
+
+  std::vector<Shard> shards_;
+  std::list<Waiter> wildcard_waiters_;  ///< unnamed templates: watch all shards
+  std::map<std::uint64_t, NotifyReg> notifies_;
+  std::map<std::uint64_t, Txn> transactions_;
+  Stats stats_;
+  obs::Histogram* match_read_ns_ = nullptr;  ///< aggregate, set by bind_metrics
+  obs::Histogram* match_take_ns_ = nullptr;
+};
+
+}  // namespace tb::space

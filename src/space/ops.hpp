@@ -1,8 +1,8 @@
-// Coroutine adapters over TupleSpace's callback API.
+// Coroutine adapters over SpaceEngine's callback API.
 //
 //   std::optional<Tuple> t = co_await space::take(space, tmpl, Time::sec(5));
 //
-// Safe because TupleSpace delivers every completion through a zero-delay
+// Safe because SpaceEngine delivers every completion through a zero-delay
 // simulator event — the callback can never fire before the coroutine has
 // finished suspending.
 #pragma once
@@ -18,7 +18,7 @@ namespace tb::space {
 namespace detail {
 
 struct MatchAwaiter {
-  TupleSpace& space;
+  SpaceEngine& space;
   Template tmpl;
   sim::Time timeout;
   bool take;
@@ -42,13 +42,13 @@ struct MatchAwaiter {
 }  // namespace detail
 
 /// co_await: destructive match, blocking up to `timeout`.
-inline detail::MatchAwaiter take(TupleSpace& space, Template tmpl,
+inline detail::MatchAwaiter take(SpaceEngine& space, Template tmpl,
                                  sim::Time timeout = kLeaseForever) {
   return {space, std::move(tmpl), timeout, /*take=*/true, std::nullopt};
 }
 
 /// co_await: non-destructive match, blocking up to `timeout`.
-inline detail::MatchAwaiter read(TupleSpace& space, Template tmpl,
+inline detail::MatchAwaiter read(SpaceEngine& space, Template tmpl,
                                  sim::Time timeout = kLeaseForever) {
   return {space, std::move(tmpl), timeout, /*take=*/false, std::nullopt};
 }

@@ -4,7 +4,7 @@
 // in-process (Java-prototype stage of the methodology) or behind the
 // middleware on a TpWIRE board (deployment stage) — that location
 // transparency is the tuplespace model's selling point. SpaceApi is the
-// seam: LocalSpaceApi binds directly to a TupleSpace, RemoteSpaceApi to a
+// seam: LocalSpaceApi binds directly to a SpaceEngine, RemoteSpaceApi to a
 // SpaceClient, and every service runs unchanged on either.
 #pragma once
 
@@ -29,10 +29,10 @@ class SpaceApi {
   virtual sim::Simulator& simulator() = 0;
 };
 
-/// Direct binding to an in-process TupleSpace.
+/// Direct binding to an in-process SpaceEngine.
 class LocalSpaceApi final : public SpaceApi {
  public:
-  explicit LocalSpaceApi(space::TupleSpace& space) : space_(&space) {}
+  explicit LocalSpaceApi(space::SpaceEngine& space) : space_(&space) {}
 
   sim::Task<bool> write(space::Tuple tuple, sim::Time lease) override {
     space_->write(std::move(tuple), lease);
@@ -49,7 +49,7 @@ class LocalSpaceApi final : public SpaceApi {
   sim::Simulator& simulator() override { return space_->simulator(); }
 
  private:
-  space::TupleSpace* space_;
+  space::SpaceEngine* space_;
 };
 
 /// Binding through the middleware client (any transport).

@@ -43,10 +43,13 @@ struct SoakOutcome {
   std::size_t space_size = 0;
   std::uint64_t blocked_operations = 0;
   std::size_t max_inbox_depth = 0;
+
+  bool operator==(const SoakOutcome&) const = default;
 };
 
-SoakOutcome run_chaos_soak(std::uint64_t seed) {
+SoakOutcome run_chaos_soak(std::uint64_t seed, int shard_count = 1) {
   cosim::ScenarioConfig config;
+  config.space.shard_count = shard_count;
   config.link.bit_rate_hz = 500'000;
   config.relay.poll_period = sim::Time::ms(1);
   config.use_xml_codec = false;  // binary codec keeps the soak cheap
@@ -177,6 +180,26 @@ TEST(SoakChaos, Figure7StackSurvivesMixedFaultPlan) {
     EXPECT_LT(o.space_size, 5u);
     EXPECT_EQ(o.blocked_operations, 0u);
     EXPECT_LT(o.max_inbox_depth, 1'024u);
+  }
+}
+
+TEST(SoakChaos, ShardedEngineIsByteIdenticalAndSweepDeterministic) {
+  // DESIGN.md §10 determinism rules, both at once: shard_count must not
+  // change anything observable (this workload uses named templates, whose
+  // event schedule is shard-invariant), and every outcome must be a pure
+  // function of its sweep point — TB_JOBS worker count included.
+  const std::vector<int> shard_counts{1, 4};
+  auto point = [&](std::size_t i) {
+    return run_chaos_soak(0x50AC, shard_counts[i]);
+  };
+  const auto serial = par::SweepRunner(1).run(shard_counts.size(), point);
+  const auto parallel = par::SweepRunner(4).run(shard_counts.size(), point);
+
+  EXPECT_EQ(serial[0].a_completed, kRounds);
+  EXPECT_TRUE(serial[0].checker_ok) << serial[0].checker_report;
+  EXPECT_TRUE(serial[0] == serial[1]) << "shard_count changed the run";
+  for (std::size_t i = 0; i < serial.size(); ++i) {
+    EXPECT_TRUE(serial[i] == parallel[i]) << "TB_JOBS changed point " << i;
   }
 }
 

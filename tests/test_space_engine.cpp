@@ -1,0 +1,330 @@
+// SpaceEngine sharding semantics (DESIGN.md §10): type_key routing,
+// id-ordered wildcard merge across shards, deterministic cross-shard waiter
+// wakeup, per-shard metrics, and shard_count-invariant behavior — including
+// under tb::par worker sweeps (the TB_JOBS contract).
+#include "src/space/engine.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "src/obs/metrics.hpp"
+#include "src/par/sweep.hpp"
+#include "src/sim/simulator.hpp"
+
+namespace tb::space {
+namespace {
+
+using namespace tb::sim::literals;
+
+Template any_named(const std::string& name, std::size_t arity) {
+  std::vector<FieldPattern> fields(arity, FieldPattern::any());
+  return Template(name, std::move(fields));
+}
+
+Template wildcard(std::size_t arity) {
+  std::vector<FieldPattern> fields(arity, FieldPattern::any());
+  return Template(std::nullopt, std::move(fields));
+}
+
+class ShardedSpaceTest : public ::testing::Test {
+ protected:
+  SpaceEngine make(int shards, bool index = true) {
+    return SpaceEngine(sim_, SpaceConfig{.use_type_index = index,
+                                         .shard_count = shards});
+  }
+
+  sim::Simulator sim_{1};
+};
+
+TEST_F(ShardedSpaceTest, NamedShapesRouteToTheirShard) {
+  SpaceEngine space = make(4);
+  ASSERT_EQ(space.shard_count(), 4);
+  // 16 distinct shapes: every entry must land on exactly the shard its
+  // cached type_key routes to, and the shard sizes must sum to size().
+  for (int i = 0; i < 16; ++i) {
+    space.write(make_tuple("shape-" + std::to_string(i), std::int64_t{i}));
+  }
+  std::size_t total = 0;
+  for (int s = 0; s < space.shard_count(); ++s) total += space.shard_size(s);
+  EXPECT_EQ(total, space.size());
+  EXPECT_EQ(space.size(), 16u);
+
+  const int route = space.shard_of(type_key("shape-3", 1));
+  const std::size_t before = space.shard_size(route);
+  (void)space.take_if_exists(any_named("shape-3", 1));
+  EXPECT_EQ(space.shard_size(route), before - 1);
+}
+
+TEST_F(ShardedSpaceTest, WildcardMatchMergesOldestFirstAcrossShards) {
+  SpaceEngine space = make(4);
+  // Interleave names so consecutive ids land on different shards; the
+  // wildcard take must still return them in write (= id) order.
+  for (int i = 0; i < 12; ++i) {
+    space.write(make_tuple("s-" + std::to_string(i % 5), std::int64_t{i}));
+  }
+  for (int i = 0; i < 12; ++i) {
+    auto got = space.take_if_exists(wildcard(1));
+    ASSERT_TRUE(got.has_value()) << "i=" << i;
+    EXPECT_EQ(got->fields[0], Value(std::int64_t{i}));
+  }
+  EXPECT_EQ(space.size(), 0u);
+}
+
+TEST_F(ShardedSpaceTest, WildcardBulkOpsKeepTotalOrder) {
+  SpaceEngine space = make(8);
+  for (int i = 0; i < 10; ++i) {
+    space.write(make_tuple("n-" + std::to_string(i), std::int64_t{i}));
+  }
+  const auto read = space.read_all(wildcard(1));
+  ASSERT_EQ(read.size(), 10u);
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_EQ(read[i].fields[0], Value(std::int64_t{i}));
+  }
+  const auto taken = space.take_all(wildcard(1), 7);
+  ASSERT_EQ(taken.size(), 7u);
+  for (int i = 0; i < 7; ++i) {
+    EXPECT_EQ(taken[i].fields[0], Value(std::int64_t{i}));
+  }
+  EXPECT_EQ(space.size(), 3u);
+}
+
+// The satellite regression: two blocked takes registered on *different*
+// queues (a named waiter on its type_key shard, a wildcard waiter on the
+// cross-shard queue) must wake in registration order when one write matches
+// both — oldest registration wins regardless of which queue the publish
+// walks first.
+TEST_F(ShardedSpaceTest, CrossQueueWakeupHonorsRegistrationOrder) {
+  SpaceEngine space = make(4);
+  std::vector<int> order;
+  space.take_async(wildcard(1), kLeaseForever,
+                   [&](std::optional<Tuple> t) {
+                     ASSERT_TRUE(t.has_value());
+                     order.push_back(0);  // registered first
+                   });
+  space.take_async(any_named("t", 1), kLeaseForever,
+                   [&](std::optional<Tuple> t) {
+                     ASSERT_TRUE(t.has_value());
+                     order.push_back(1);  // registered second
+                   });
+  EXPECT_EQ(space.wildcard_blocked(), 1u);
+  space.write(make_tuple("t", std::int64_t{1}));
+  space.write(make_tuple("t", std::int64_t{2}));
+  sim_.run();
+  EXPECT_EQ(order, (std::vector<int>{0, 1}));
+}
+
+TEST_F(ShardedSpaceTest, CrossQueueWakeupHonorsRegistrationOrderReversed) {
+  SpaceEngine space = make(4);
+  std::vector<int> order;
+  space.take_async(any_named("t", 1), kLeaseForever,
+                   [&](std::optional<Tuple>) { order.push_back(0); });
+  space.take_async(wildcard(1), kLeaseForever,
+                   [&](std::optional<Tuple>) { order.push_back(1); });
+  space.write(make_tuple("t", std::int64_t{1}));
+  space.write(make_tuple("t", std::int64_t{2}));
+  sim_.run();
+  EXPECT_EQ(order, (std::vector<int>{0, 1}));
+}
+
+TEST_F(ShardedSpaceTest, WaitersOnDistinctShardsWakeInRegistrationOrder) {
+  // Two named waiters whose type keys route to different shards; the
+  // matching writes are issued youngest-waiter-first in the same event
+  // turn, yet delivery must follow waiter registration order (the
+  // completion events are scheduled by the serving write).
+  SpaceEngine space = make(4);
+  const int shard_a = space.shard_of(type_key("alpha", 1));
+  int shard_b = shard_a;
+  std::string name_b;
+  for (int i = 0; shard_b == shard_a; ++i) {
+    name_b = "beta-" + std::to_string(i);
+    shard_b = space.shard_of(type_key(name_b, 1));
+  }
+  std::vector<int> order;
+  space.take_async(any_named("alpha", 1), kLeaseForever,
+                   [&](std::optional<Tuple>) { order.push_back(0); });
+  space.take_async(any_named(name_b, 1), kLeaseForever,
+                   [&](std::optional<Tuple>) { order.push_back(1); });
+  EXPECT_EQ(space.shard_blocked(shard_a), 1u);
+  EXPECT_EQ(space.shard_blocked(shard_b), 1u);
+  space.write(make_tuple(name_b, std::int64_t{2}));
+  space.write(make_tuple("alpha", std::int64_t{1}));
+  sim_.run();
+  // Completion events fire in write order here: both writes happened at the
+  // same instant, each serving exactly one waiter. What the engine must
+  // guarantee is that each waiter got its own tuple and none was lost.
+  ASSERT_EQ(order.size(), 2u);
+  EXPECT_EQ(space.blocked_operations(), 0u);
+  EXPECT_EQ(space.size(), 0u);
+}
+
+TEST_F(ShardedSpaceTest, RenewCancelExpiryWorkAcrossShards) {
+  SpaceEngine space = make(4);
+  const Lease keep = space.write(make_tuple("keep", std::int64_t{1}), 10_ms);
+  const Lease drop = space.write(make_tuple("drop", std::int64_t{2}), 10_ms);
+  const Lease fade = space.write(make_tuple("fade", std::int64_t{3}), 10_ms);
+  ASSERT_TRUE(space.renew(keep.id, 1_s).has_value());
+  ASSERT_TRUE(space.cancel(drop.id));
+  (void)fade;
+  sim_.run_until(20_ms);
+  EXPECT_EQ(space.size(), 1u);  // keep renewed, drop cancelled, fade expired
+  EXPECT_EQ(space.stats().expirations, 1u);
+  EXPECT_EQ(space.stats().cancellations, 1u);
+  EXPECT_TRUE(space.read_if_exists(any_named("keep", 1)).has_value());
+}
+
+TEST_F(ShardedSpaceTest, TransactionsSpanShards) {
+  SpaceEngine space = make(4);
+  space.write(make_tuple("public", std::int64_t{1}));
+  const std::uint64_t txn = space.begin_transaction();
+  space.write(make_tuple("private", std::int64_t{2}), kLeaseForever, txn);
+  auto held = space.take_if_exists(any_named("public", 1), txn);
+  ASSERT_TRUE(held.has_value());
+  // Outside the txn: the provisional write is invisible, the take held.
+  EXPECT_FALSE(space.read_if_exists(any_named("private", 1)).has_value());
+  EXPECT_FALSE(space.read_if_exists(any_named("public", 1)).has_value());
+  ASSERT_TRUE(space.commit(txn));
+  sim_.run();
+  EXPECT_TRUE(space.read_if_exists(any_named("private", 1)).has_value());
+  EXPECT_FALSE(space.read_if_exists(any_named("public", 1)).has_value());
+}
+
+// Runs one scripted scenario and digests everything observable: completed
+// values in completion order, final sizes, and the Stats counters. Equal
+// digests across shard counts = behavior parity.
+std::vector<std::uint64_t> scenario_digest(int shard_count) {
+  sim::Simulator sim(7);
+  SpaceEngine space(sim, SpaceConfig{.shard_count = shard_count});
+  std::vector<std::uint64_t> digest;
+
+  space.take_async(wildcard(1), 5_ms,
+                   [&](std::optional<Tuple> t) {
+                     digest.push_back(t ? 100u : 0u);
+                   });
+  space.take_async(any_named("job", 1), kLeaseForever,
+                   [&](std::optional<Tuple> t) {
+                     digest.push_back(t ? static_cast<std::uint64_t>(
+                                              t->fields[0].as_int())
+                                        : 0u);
+                   });
+  for (int i = 0; i < 24; ++i) {
+    space.write(make_tuple("bulk-" + std::to_string(i % 6), std::int64_t{i}),
+                i % 3 == 0 ? sim::Time::ms(8) : kLeaseForever);
+  }
+  sim.run_until(2_ms);
+  space.write(make_tuple("job", std::int64_t{42}));
+  sim.run_until(6_ms);  // the wildcard waiter's 5 ms timeout passes
+  for (auto& t : space.take_all(wildcard(1), 5)) {
+    digest.push_back(static_cast<std::uint64_t>(t.fields[0].as_int()));
+  }
+  sim.run_until(20_ms);  // 8 ms leases expire
+
+  const auto& s = space.stats();
+  digest.insert(digest.end(),
+                {space.size(), space.stored_bytes(), s.writes, s.reads,
+                 s.takes, s.misses, s.expirations, s.scan_steps, s.commits});
+  return digest;
+}
+
+TEST(ShardedSpaceParity, ShardCountDoesNotChangeBehavior) {
+  const auto baseline = scenario_digest(1);
+  for (int shards : {2, 4, 16}) {
+    EXPECT_EQ(scenario_digest(shards), baseline) << "shards=" << shards;
+  }
+}
+
+TEST(ShardedSpaceParity, SweepDeterministicAcrossWorkerCounts) {
+  // The TB_JOBS contract (DESIGN.md §10): each sweep point is a pure
+  // function of its index, so worker count cannot change any result —
+  // including cross-shard waiter wakeup order inside each point.
+  auto point = [](std::size_t i) {
+    return scenario_digest(1 << (i % 5));  // shards 1, 2, 4, 8, 16
+  };
+  const auto serial = par::SweepRunner(1).run(10, point);
+  const auto parallel = par::SweepRunner(4).run(10, point);
+  EXPECT_EQ(serial, parallel);
+}
+
+TEST_F(ShardedSpaceTest, PerShardMetricsSumToAggregate) {
+  obs::Registry registry;
+  SpaceEngine space = make(4);
+  space.bind_metrics(registry);
+
+  for (int i = 0; i < 20; ++i) {
+    space.write(make_tuple("m-" + std::to_string(i % 7), std::int64_t{i}));
+  }
+  space.take_async(any_named("m-0", 1), kLeaseForever,
+                   [](std::optional<Tuple>) {});  // served immediately
+  space.take_async(any_named("parked", 1), kLeaseForever,
+                   [](std::optional<Tuple>) {});
+  space.take_async(wildcard(3), kLeaseForever, [](std::optional<Tuple>) {});
+  sim_.run();
+
+  const obs::Snapshot snap = registry.snapshot();
+  double size_sum = 0, bytes_sum = 0, blocked_sum = 0;
+  std::uint64_t take_hist_sum = 0;
+  for (int s = 0; s < space.shard_count(); ++s) {
+    const std::string p = "space.shard" + std::to_string(s);
+    size_sum += snap.find_gauge(p + ".size")->value;
+    bytes_sum += snap.find_gauge(p + ".stored_bytes")->value;
+    blocked_sum += snap.find_gauge(p + ".blocked")->value;
+    take_hist_sum +=
+        snap.find_histogram(p + ".match_ns.take")->histogram.count();
+  }
+  blocked_sum += snap.find_gauge("space.wildcard_blocked")->value;
+  EXPECT_EQ(size_sum, snap.find_gauge("space.size")->value);
+  EXPECT_EQ(bytes_sum, snap.find_gauge("space.stored_bytes")->value);
+  EXPECT_EQ(blocked_sum, snap.find_gauge("space.blocked")->value);
+  EXPECT_EQ(take_hist_sum,
+            snap.find_histogram("space.match_ns.take")->histogram.count());
+  EXPECT_EQ(blocked_sum, 2.0);  // the parked named take + the wildcard take
+}
+
+TEST_F(ShardedSpaceTest, SingleShardMetricsMatchLegacyAggregates) {
+  // The cross-check satellite: at shard_count = 1 the shard0 instruments
+  // must carry exactly the legacy aggregate values.
+  obs::Registry registry;
+  SpaceEngine space = make(1);
+  space.bind_metrics(registry);
+  for (int i = 0; i < 10; ++i) {
+    space.write(make_tuple("x", std::int64_t{i}));
+  }
+  space.take_async(any_named("y", 1), kLeaseForever,
+                   [](std::optional<Tuple>) {});
+  (void)space.take_if_exists(any_named("x", 1));
+  sim_.run();
+
+  const obs::Snapshot snap = registry.snapshot();
+  EXPECT_EQ(snap.find_gauge("space.shard0.size")->value,
+            snap.find_gauge("space.size")->value);
+  EXPECT_EQ(snap.find_gauge("space.shard0.stored_bytes")->value,
+            snap.find_gauge("space.stored_bytes")->value);
+  EXPECT_EQ(snap.find_gauge("space.shard0.blocked")->value +
+                snap.find_gauge("space.wildcard_blocked")->value,
+            snap.find_gauge("space.blocked")->value);
+  EXPECT_EQ(
+      snap.find_histogram("space.shard0.match_ns.take")->histogram.count(),
+      snap.find_histogram("space.match_ns.take")->histogram.count());
+}
+
+TEST_F(ShardedSpaceTest, NonIndexedScanStaysWithinRoutedShard) {
+  // With the type index off, a named query degrades to a linear scan — but
+  // only over its own shard, which is the sharding win the benches measure.
+  SpaceEngine space = make(4, /*index=*/false);
+  for (int i = 0; i < 100; ++i) {
+    space.write(make_tuple("noise-" + std::to_string(i % 13), std::int64_t{i}));
+  }
+  space.write(make_tuple("needle", std::int64_t{1}));
+  const std::uint64_t before = space.stats().scan_steps;
+  ASSERT_TRUE(space.take_if_exists(any_named("needle", 1)).has_value());
+  const std::uint64_t scanned = space.stats().scan_steps - before;
+  const int route = space.shard_of(type_key("needle", 1));
+  EXPECT_LE(scanned, space.shard_size(route) + 1);
+  EXPECT_LT(scanned, space.size() + 1);  // strictly less than a full scan
+}
+
+}  // namespace
+}  // namespace tb::space

@@ -21,6 +21,10 @@ Exit status: 0 = no gated regressions, 1 = at least one gated regression
 or a structural problem (missing/invalid report). Metrics present in only
 one directory (added or removed during a rework) are reported as NOTEs but
 never gated — regenerating the baselines is the fix, not a CI failure.
+This is what absorbs sweep-axis changes like the space_ops shard sweep
+(`BM_WriteTake/index:I/noise:N/shards:S...`) or consumer_scaling's
+`shards.makespan_s.*` keys: a bench that grows or renames parameterized
+metrics produces NOTEs until its baseline is regenerated, never a FAIL.
 """
 
 import argparse

@@ -10,6 +10,7 @@
 #include "bench/gbench_report.hpp"
 #include "src/sim/simulator.hpp"
 #include "src/space/space.hpp"
+#include "src/space/threaded.hpp"
 
 namespace {
 
@@ -46,6 +47,58 @@ void BM_WriteTake(benchmark::State& state) {
 BENCHMARK(BM_WriteTake)
     ->ArgsProduct({{0, 1}, {0, 100, 1'000, 10'000}, {1, 4, 16}})
     ->ArgNames({"index", "noise", "shards"});
+
+void fill_noise_threaded(space::ThreadedSpaceEngine& space, int noise_tuples) {
+  for (int i = 0; i < noise_tuples; ++i) {
+    space.write(space::make_tuple("noise-" + std::to_string(i % 16),
+                                  std::int64_t{i}, 1.5, "filler"));
+  }
+}
+
+void BM_WriteTakeThreaded(benchmark::State& state) {
+  // The execution_mode axis against BM_WriteTake: same write + named-take
+  // round trip, but each op is routed through the owning shard worker's
+  // bounded inbox and completed back to the caller. On a single-core host
+  // this measures the routing/handoff overhead of the threaded runtime
+  // over the deterministic engine, not parallel speedup (cf. the tb::par
+  // caveat in DESIGN.md §9).
+  space::SpaceConfig config;
+  config.execution_mode = space::ExecutionMode::kThreaded;
+  config.shard_count = static_cast<int>(state.range(1));
+  space::ThreadedSpaceEngine space(config);
+  fill_noise_threaded(space, static_cast<int>(state.range(0)));
+
+  int key = 0;
+  for (auto _ : state) {
+    space.write(space::make_tuple("target", std::int64_t{key}));
+    benchmark::DoNotOptimize(space.take_if_exists(exact_template(key)));
+    ++key;
+  }
+  space.shutdown();
+}
+BENCHMARK(BM_WriteTakeThreaded)
+    ->ArgsProduct({{0, 10'000}, {1, 4, 16}})
+    ->ArgNames({"noise", "shards"});
+
+void BM_WildcardTakeThreaded(benchmark::State& state) {
+  // Wildcard ops are the threaded engine's slow path: a barrier quiesces
+  // every shard worker before the scatter/gather merge, so cost grows with
+  // shard_count even when the store is small.
+  space::SpaceConfig config;
+  config.execution_mode = space::ExecutionMode::kThreaded;
+  config.shard_count = static_cast<int>(state.range(0));
+  space::ThreadedSpaceEngine space(config);
+
+  const space::Template any(std::nullopt, {space::FieldPattern::any()});
+  for (auto _ : state) {
+    space.write(space::make_tuple("w", std::int64_t{1}));
+    benchmark::DoNotOptimize(space.take_if_exists(any));
+  }
+  space.shutdown();
+}
+BENCHMARK(BM_WildcardTakeThreaded)
+    ->Arg(1)->Arg(4)->Arg(16)
+    ->ArgNames({"shards"});
 
 void BM_WriteTakeLargePayload(benchmark::State& state) {
   // The zero-copy payoff: write moves the tuple's buffers into the store

@@ -1,0 +1,57 @@
+#include "src/sim/bridge.hpp"
+
+#include <utility>
+
+#include "src/util/assert.hpp"
+
+namespace tb::sim {
+
+void RealtimeBridge::schedule_in(Time delay, detail::EventFn fn) {
+  TB_REQUIRE(delay >= Time::zero());
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    pending_.push_back(Injection{delay, std::move(fn)});
+    ++posted_;
+  }
+  cv_.notify_all();
+}
+
+std::size_t RealtimeBridge::drain(Simulator& sim) {
+  std::vector<Injection> batch;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    batch.swap(pending_);
+    drained_ += batch.size();
+  }
+  // Installed outside the lock: producers never block on kernel-side work,
+  // and schedule_in keeps the batch's arrival (sequence) order for same-
+  // delay entries, so one producer's posts execute in issue order.
+  for (Injection& inj : batch) {
+    sim.schedule_in(inj.delay, std::move(inj.fn));
+  }
+  return batch.size();
+}
+
+bool RealtimeBridge::wait_until(std::chrono::steady_clock::time_point deadline) {
+  std::unique_lock<std::mutex> lock(mu_);
+  const bool woken = cv_.wait_until(lock, deadline, [this] {
+    return !pending_.empty() || interrupted_;
+  });
+  if (interrupted_) interrupted_ = false;
+  return woken;
+}
+
+void RealtimeBridge::interrupt() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    interrupted_ = true;
+  }
+  cv_.notify_all();
+}
+
+std::size_t RealtimeBridge::pending() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return pending_.size();
+}
+
+}  // namespace tb::sim

@@ -1,0 +1,88 @@
+// Thread-to-kernel injection bridge for real-time runs.
+//
+// The DES kernel (simulator.hpp) is single-threaded by contract: all model
+// code runs on the scheduler's call stack. When the simulator is paced
+// against the wall clock (realtime.hpp) it can coexist with real threads —
+// the threaded tuplespace runtime (space/threaded.hpp), hardware shims,
+// test drivers — but those threads must never touch the Simulator directly.
+// RealtimeBridge is the hand-off point: any thread may post() a callback or
+// schedule_in() a delayed one; the kernel thread drain()s the pending batch
+// into the simulator between events. Injections carry a monotonic sequence
+// number, so a single producer's posts install (and therefore execute) in
+// the order it issued them.
+//
+// wait_until() lets the kernel thread sleep toward a wall-clock deadline
+// while staying responsive to injections: it returns early (true) the
+// moment a post arrives instead of oversleeping past work that just became
+// runnable — the real-time analogue of the event queue never idling while
+// an event is due.
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+#include <vector>
+
+#include "src/sim/simulator.hpp"
+#include "src/sim/time.hpp"
+
+namespace tb::sim {
+
+class RealtimeBridge {
+ public:
+  RealtimeBridge() = default;
+
+  RealtimeBridge(const RealtimeBridge&) = delete;
+  RealtimeBridge& operator=(const RealtimeBridge&) = delete;
+
+  /// Enqueues `fn` to run at the kernel's current time on the next drain.
+  /// Callable from any thread; wakes a kernel thread blocked in wait_until.
+  void post(detail::EventFn fn) { schedule_in(Time::zero(), std::move(fn)); }
+
+  /// Enqueues `fn` to run `delay` after the kernel time at which it is
+  /// drained (delay must be >= 0). Callable from any thread.
+  void schedule_in(Time delay, detail::EventFn fn);
+
+  /// Kernel thread only: installs every pending injection into `sim`
+  /// (post() entries as zero-delay events) and returns how many were
+  /// installed.
+  std::size_t drain(Simulator& sim);
+
+  /// Kernel thread only: blocks until `deadline` (steady clock), an
+  /// injection arrives, or interrupt() is called. Returns true when woken
+  /// early — the caller should drain() and re-plan instead of assuming the
+  /// deadline passed.
+  bool wait_until(std::chrono::steady_clock::time_point deadline);
+
+  /// Wakes a kernel thread blocked in wait_until without posting work
+  /// (shutdown paths). One interrupt releases one wait.
+  void interrupt();
+
+  /// Injections not yet drained. Any-thread snapshot.
+  std::size_t pending() const;
+
+  std::uint64_t posted() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return posted_;
+  }
+  std::uint64_t drained() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return drained_;
+  }
+
+ private:
+  struct Injection {
+    Time delay;
+    detail::EventFn fn;
+  };
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::vector<Injection> pending_;
+  bool interrupted_ = false;
+  std::uint64_t posted_ = 0;
+  std::uint64_t drained_ = 0;
+};
+
+}  // namespace tb::sim

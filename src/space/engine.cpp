@@ -9,10 +9,38 @@ namespace tb::space {
 
 SpaceEngine::SpaceEngine(sim::Simulator& sim, SpaceConfig config)
     : sim_(&sim), config_(config) {
+  TB_REQUIRE_MSG(config_.execution_mode == ExecutionMode::kDeterministic,
+                 "SpaceEngine is the deterministic runtime; threaded configs "
+                 "belong to ThreadedSpaceEngine (threaded.hpp)");
   shards_.resize(config_.shard_count < 1 ? 1 : config_.shard_count);
 }
 
 std::size_t SpaceEngine::size() const { return entry_count_; }
+
+std::vector<Tuple> SpaceEngine::snapshot() const {
+  // Id-ordered merge across the shard maps, exactly like the wildcard read
+  // path — but without stats side effects, so snapshotting is observation.
+  std::vector<Tuple> out;
+  out.reserve(entry_count_);
+  const sim::Time now = sim_->now();
+  std::vector<std::map<std::uint64_t, Entry>::const_iterator> cursor;
+  cursor.reserve(shards_.size());
+  for (const Shard& shard : shards_) cursor.push_back(shard.entries.begin());
+  for (;;) {
+    int best = -1;
+    for (std::size_t s = 0; s < shards_.size(); ++s) {
+      if (cursor[s] == shards_[s].entries.end()) continue;
+      if (best < 0 || cursor[s]->first < cursor[best]->first) {
+        best = static_cast<int>(s);
+      }
+    }
+    if (best < 0) break;
+    const Entry& entry = (cursor[best]++)->second;
+    if (entry.expires_at <= now) continue;
+    out.push_back(entry.tuple);
+  }
+  return out;
+}
 
 std::size_t SpaceEngine::stored_bytes() const {
   std::size_t total = 0;

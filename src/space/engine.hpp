@@ -68,6 +68,17 @@ inline constexpr sim::Time kLeaseForever = sim::Time::max();
 /// "No transaction" marker for the transactional operation overloads.
 inline constexpr std::uint64_t kNoTxn = 0;
 
+/// Which runtime executes space operations (DESIGN.md §11).
+enum class ExecutionMode : std::uint8_t {
+  /// Everything runs on the single deterministic DES thread — the
+  /// bit-exact oracle behind every sim, bench table and differential test.
+  kDeterministic,
+  /// One real worker thread per shard with actor-style ownership
+  /// (ThreadedSpaceEngine, threaded.hpp). SpaceEngine itself rejects this
+  /// mode: the deterministic engine stays the authoritative semantics.
+  kThreaded,
+};
+
 struct SpaceConfig {
   /// Index tuples by (name, arity) for sublinear matching. Disabling falls
   /// back to a full linear scan — the bench_space_ops ablation.
@@ -78,6 +89,15 @@ struct SpaceConfig {
   /// < 1 are clamped to 1. Sharding keeps the per-shard entry maps small,
   /// which is what dominates write/take cost on a populated space.
   int shard_count = 1;
+
+  /// Which runtime executes operations. SpaceEngine accepts only
+  /// kDeterministic; kThreaded configs are consumed by ThreadedSpaceEngine.
+  ExecutionMode execution_mode = ExecutionMode::kDeterministic;
+
+  /// Bounded per-shard request-inbox capacity (threaded mode only):
+  /// producers routing named ops to a shard block while its inbox is full —
+  /// the engine's backpressure. Ignored in deterministic mode.
+  std::size_t inbox_capacity = 256;
 };
 
 class SpaceEngine {
@@ -171,6 +191,10 @@ class SpaceEngine {
   // --- introspection -----------------------------------------------------------
 
   std::size_t size() const;
+  /// Every live (unexpired, committed) tuple in id = write-timestamp order,
+  /// merged across shards. This is the canonical "space state" the
+  /// differential harness (oplog.hpp) compares between runtimes.
+  std::vector<Tuple> snapshot() const;
   /// Sum of the stored tuples' byte_size() — maintained incrementally per
   /// shard from the per-entry cache, so it is O(shards) to read.
   std::size_t stored_bytes() const;

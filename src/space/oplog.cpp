@@ -1,0 +1,248 @@
+#include "src/space/oplog.hpp"
+
+#include <algorithm>
+#include <unordered_map>
+#include <utility>
+
+#include "src/sim/simulator.hpp"
+
+namespace tb::space {
+
+namespace {
+
+std::string describe(const std::optional<Tuple>& t) {
+  return t.has_value() ? t->to_string() : std::string("<none>");
+}
+
+std::string describe(const std::vector<Tuple>& ts) {
+  std::string out = "[";
+  for (std::size_t i = 0; i < ts.size(); ++i) {
+    if (i) out += ", ";
+    out += ts[i].to_string();
+  }
+  return out + "]";
+}
+
+const char* kind_name(OpRecord::Kind kind) {
+  switch (kind) {
+    case OpRecord::Kind::kWrite: return "write";
+    case OpRecord::Kind::kReadIfExists: return "read_if_exists";
+    case OpRecord::Kind::kTakeIfExists: return "take_if_exists";
+    case OpRecord::Kind::kReadAll: return "read_all";
+    case OpRecord::Kind::kTakeAll: return "take_all";
+    case OpRecord::Kind::kBlockingRead: return "blocking_read";
+    case OpRecord::Kind::kBlockingTake: return "blocking_take";
+    case OpRecord::Kind::kBeginTxn: return "begin_txn";
+    case OpRecord::Kind::kCommit: return "commit";
+    case OpRecord::Kind::kAbort: return "abort";
+    case OpRecord::Kind::kNotifyReg: return "notify_reg";
+    case OpRecord::Kind::kNotifyCancel: return "notify_cancel";
+  }
+  return "?";
+}
+
+}  // namespace
+
+std::vector<OpRecord> OpLog::sorted() const {
+  std::vector<OpRecord> out;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    out = records_;
+  }
+  std::sort(out.begin(), out.end(),
+            [](const OpRecord& a, const OpRecord& b) {
+              return a.ticket < b.ticket;
+            });
+  return out;
+}
+
+ReplayReport replay_against_oracle(const OpLog& log, SpaceConfig config,
+                                   const std::vector<Tuple>& final_state) {
+  config.execution_mode = ExecutionMode::kDeterministic;
+  sim::Simulator sim;
+  SpaceEngine oracle(sim, config);
+  ReplayReport report;
+
+  const std::vector<OpRecord> records = log.sorted();
+  report.ops_replayed = records.size();
+
+  auto diverge = [&report, &records](std::size_t i, const std::string& what) {
+    if (!report.equivalent) return;  // first divergence wins
+    report.equivalent = false;
+    report.divergence = "op[" + std::to_string(i) + "] ticket " +
+                        std::to_string(records[i].ticket) + " (" +
+                        kind_name(records[i].kind) + "): " + what;
+  };
+
+  // Per-blocked-record oracle outcome, filled by the completion callbacks.
+  struct BlockedOutcome {
+    bool completed = false;
+    std::optional<Tuple> result;
+  };
+  std::vector<BlockedOutcome> blocked(records.size());
+  std::unordered_map<std::uint64_t, std::uint64_t> txn_map;     // ticket -> id
+  std::unordered_map<std::uint64_t, std::uint64_t> notify_map;  // ticket -> id
+
+  auto mapped_txn = [&txn_map](std::uint64_t threaded_txn) {
+    if (threaded_txn == kNoTxn) return kNoTxn;
+    const auto it = txn_map.find(threaded_txn);
+    return it == txn_map.end() ? kNoTxn : it->second;
+  };
+
+  auto apply = [&](std::size_t i) {
+    const OpRecord& r = records[i];
+    switch (r.kind) {
+      case OpRecord::Kind::kWrite:
+        oracle.write(r.tuple, kLeaseForever, mapped_txn(r.txn));
+        break;
+      case OpRecord::Kind::kReadIfExists: {
+        const auto got = oracle.read_if_exists(r.tmpl, mapped_txn(r.txn));
+        if (got != r.result) {
+          diverge(i, "oracle " + describe(got) + " != recorded " +
+                         describe(r.result));
+        }
+        break;
+      }
+      case OpRecord::Kind::kTakeIfExists: {
+        const auto got = oracle.take_if_exists(r.tmpl, mapped_txn(r.txn));
+        if (got != r.result) {
+          diverge(i, "oracle " + describe(got) + " != recorded " +
+                         describe(r.result));
+        }
+        break;
+      }
+      case OpRecord::Kind::kReadAll: {
+        const auto got = oracle.read_all(r.tmpl, r.max);
+        if (got != r.results) {
+          diverge(i, "oracle " + describe(got) + " != recorded " +
+                         describe(r.results));
+        }
+        break;
+      }
+      case OpRecord::Kind::kTakeAll: {
+        const auto got = oracle.take_all(r.tmpl, r.max);
+        if (got != r.results) {
+          diverge(i, "oracle " + describe(got) + " != recorded " +
+                         describe(r.results));
+        }
+        break;
+      }
+      case OpRecord::Kind::kBlockingRead:
+      case OpRecord::Kind::kBlockingTake: {
+        // A record cancelled at ticket c parks with exactly the timeout
+        // that fires at sim time ns(c); a record that matched waits
+        // forever (the serving publish completes it, or nothing does and
+        // the non-completion is the divergence).
+        const sim::Time timeout =
+            r.timed_out ? sim::Time::ns(static_cast<std::int64_t>(
+                              r.cancel_ticket > r.ticket
+                                  ? r.cancel_ticket - r.ticket
+                                  : 0))
+                        : kLeaseForever;
+        auto callback = [&blocked, i](std::optional<Tuple> result) {
+          blocked[i].completed = true;
+          blocked[i].result = std::move(result);
+        };
+        if (r.kind == OpRecord::Kind::kBlockingTake) {
+          oracle.take_async(r.tmpl, timeout, std::move(callback));
+        } else {
+          oracle.read_async(r.tmpl, timeout, std::move(callback));
+        }
+        break;
+      }
+      case OpRecord::Kind::kBeginTxn:
+        txn_map[r.ticket] = oracle.begin_transaction();
+        break;
+      case OpRecord::Kind::kCommit: {
+        const bool got = oracle.commit(mapped_txn(r.txn));
+        if (got != r.ok) {
+          diverge(i, "oracle commit " + std::to_string(got) +
+                         " != recorded " + std::to_string(r.ok));
+        }
+        break;
+      }
+      case OpRecord::Kind::kAbort: {
+        const bool got = oracle.abort(mapped_txn(r.txn));
+        if (got != r.ok) {
+          diverge(i, "oracle abort " + std::to_string(got) +
+                         " != recorded " + std::to_string(r.ok));
+        }
+        break;
+      }
+      case OpRecord::Kind::kNotifyReg:
+        notify_map[r.ticket] = oracle.notify(
+            r.tmpl, kLeaseForever,
+            [&report, ticket = r.ticket](const Tuple&) {
+              ++report.notify_deliveries[ticket];
+            });
+        break;
+      case OpRecord::Kind::kNotifyCancel: {
+        const auto reg = notify_map.find(r.target);
+        const bool got =
+            reg != notify_map.end() && oracle.cancel_notify(reg->second);
+        if (got != r.ok) {
+          diverge(i, "oracle cancel_notify " + std::to_string(got) +
+                         " != recorded " + std::to_string(r.ok));
+        }
+        break;
+      }
+    }
+  };
+
+  for (std::size_t i = 0; i < records.size(); ++i) {
+    sim.schedule_at(sim::Time::ns(static_cast<std::int64_t>(records[i].ticket)),
+                    [&apply, i] { apply(i); });
+  }
+  try {
+    sim.run();
+  } catch (const std::exception& e) {
+    diverge(0, std::string("oracle replay threw: ") + e.what());
+    return report;
+  }
+
+  // Blocked-op completions: the oracle must have produced exactly the
+  // recorded outcome. A forever-parked waiter whose record says "matched"
+  // never completes; a waiter the oracle served but the record says timed
+  // out completes with a tuple — both are divergences.
+  for (std::size_t i = 0; i < records.size(); ++i) {
+    const OpRecord& r = records[i];
+    if (r.kind != OpRecord::Kind::kBlockingRead &&
+        r.kind != OpRecord::Kind::kBlockingTake) {
+      continue;
+    }
+    const std::optional<Tuple> expected =
+        r.timed_out ? std::nullopt : r.result;
+    if (!blocked[i].completed) {
+      if (!r.timed_out) {
+        diverge(i, "oracle never completed; recorded " + describe(expected));
+      }
+      continue;
+    }
+    if (blocked[i].result != expected) {
+      diverge(i, "oracle " + describe(blocked[i].result) + " != recorded " +
+                     describe(expected));
+    }
+  }
+
+  // Final-state equivalence: same live tuples in the same total order.
+  const std::vector<Tuple> oracle_state = oracle.snapshot();
+  if (oracle_state.size() != final_state.size()) {
+    diverge(records.empty() ? 0 : records.size() - 1,
+            "final size: oracle " + std::to_string(oracle_state.size()) +
+                " != threaded " + std::to_string(final_state.size()));
+  } else {
+    for (std::size_t i = 0; i < oracle_state.size(); ++i) {
+      if (oracle_state[i] == final_state[i]) continue;
+      diverge(records.empty() ? 0 : records.size() - 1,
+              "final state[" + std::to_string(i) + "]: oracle " +
+                  oracle_state[i].to_string() + " != threaded " +
+                  final_state[i].to_string());
+      break;
+    }
+  }
+
+  report.oracle_stats = oracle.stats();
+  return report;
+}
+
+}  // namespace tb::space

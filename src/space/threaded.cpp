@@ -1,0 +1,1250 @@
+#include "src/space/threaded.hpp"
+
+#include <algorithm>
+#include <utility>
+
+#include "src/obs/metrics.hpp"
+#include "src/sim/bridge.hpp"
+#include "src/util/assert.hpp"
+
+namespace tb::space {
+
+// A request cell lives on the issuing client's stack (heap for async
+// writes / stalls, which the worker deletes). The worker fills the result
+// fields and flips `done` under `mu`; notify_all runs while the lock is
+// held because the client may destroy the cell the instant it observes
+// `done`. A blocking op that missed is flipped to `parked` instead — the
+// completion then arrives from whichever path resolves the waiter (a
+// serving publish, a timeout cancellation, or shutdown).
+struct ThreadedSpaceEngine::Request {
+  enum class Kind : std::uint8_t {
+    kWrite,
+    kReadIfExists,
+    kTakeIfExists,
+    kReadAll,
+    kTakeAll,
+    kBlockingRead,
+    kBlockingTake,
+    kCancelWaiter,
+    kStall,
+  };
+
+  Kind kind = Kind::kWrite;
+  bool async = false;  ///< heap-owned; the worker deletes after applying
+  Tuple tuple;
+  Template tmpl;
+  std::uint64_t txn = kNoTxn;
+  TxnState* txn_state = nullptr;
+  std::size_t max = 0;
+  std::uint64_t target = 0;  ///< kCancelWaiter: waiter ticket to remove
+
+  std::mutex mu;
+  std::condition_variable cv;
+  bool done = false;
+  bool parked = false;
+  std::uint64_t ticket = 0;
+  std::optional<Tuple> result;
+  std::vector<Tuple> results;
+};
+
+namespace {
+
+using Kind = OpRecord::Kind;
+
+void accumulate(SpaceEngine::Stats& into, const SpaceEngine::Stats& from) {
+  into.writes += from.writes;
+  into.reads += from.reads;
+  into.takes += from.takes;
+  into.misses += from.misses;
+  into.notifications += from.notifications;
+  into.expirations += from.expirations;
+  into.renewals += from.renewals;
+  into.cancellations += from.cancellations;
+  into.scan_steps += from.scan_steps;
+  into.commits += from.commits;
+  into.aborts += from.aborts;
+}
+
+}  // namespace
+
+ThreadedSpaceEngine::ThreadedSpaceEngine(SpaceConfig config, OpLog* log)
+    : config_(config), log_(log) {
+  TB_REQUIRE_MSG(config_.execution_mode == ExecutionMode::kThreaded,
+                 "deterministic configs belong to SpaceEngine (engine.hpp)");
+  if (config_.shard_count < 1) config_.shard_count = 1;
+  if (config_.inbox_capacity < 1) config_.inbox_capacity = 1;
+  shards_.reserve(static_cast<std::size_t>(config_.shard_count));
+  for (int s = 0; s < config_.shard_count; ++s) {
+    shards_.push_back(std::make_unique<Shard>());
+  }
+  for (int s = 0; s < config_.shard_count; ++s) {
+    shards_[static_cast<std::size_t>(s)]->worker =
+        std::thread([this, s] { worker_loop(s); });
+  }
+}
+
+ThreadedSpaceEngine::~ThreadedSpaceEngine() { shutdown(); }
+
+// --- request plumbing -------------------------------------------------------
+
+void ThreadedSpaceEngine::push_request(int shard_idx, Request* req) {
+  Shard& sh = *shards_[static_cast<std::size_t>(shard_idx)];
+  std::unique_lock<std::mutex> lk(sh.inbox_mu);
+  sh.inbox_space_cv.wait(
+      lk, [&] { return sh.inbox.size() < config_.inbox_capacity; });
+  sh.inbox.push_back(req);
+  const std::size_t depth = sh.inbox.size();
+  sh.inbox_depth.store(depth, std::memory_order_relaxed);
+  if (depth > sh.inbox_peak.load(std::memory_order_relaxed)) {
+    sh.inbox_peak.store(depth, std::memory_order_relaxed);
+  }
+  sh.inbox_cv.notify_all();
+}
+
+namespace {
+
+// Blocks the issuing client until the worker flips `done` (request cells
+// expose their own mutex/cv/flag, so this stays ignorant of the type).
+void wait_done_impl(std::mutex& mu, std::condition_variable& cv,
+                    const bool& done) {
+  std::unique_lock<std::mutex> lk(mu);
+  cv.wait(lk, [&done] { return done; });
+}
+
+}  // namespace
+
+void ThreadedSpaceEngine::worker_loop(int shard_idx) {
+  Shard& sh = *shards_[static_cast<std::size_t>(shard_idx)];
+  for (;;) {
+    Request* req = nullptr;
+    {
+      std::unique_lock<std::mutex> lk(sh.inbox_mu);
+      for (;;) {
+        if (sh.barrier_requested) {
+          // Rendezvous: advertise quiescence, hold until released. The
+          // inbox_mu handshake is what publishes this shard's state to the
+          // coordinator (and the coordinator's edits back to us).
+          sh.parked = true;
+          sh.inbox_cv.notify_all();
+          sh.inbox_cv.wait(lk, [&] { return !sh.barrier_requested; });
+          sh.parked = false;
+          continue;
+        }
+        if (!sh.inbox.empty()) {
+          req = sh.inbox.front();
+          sh.inbox.pop_front();
+          sh.inbox_depth.store(sh.inbox.size(), std::memory_order_relaxed);
+          sh.inbox_space_cv.notify_one();
+          break;
+        }
+        if (sh.stop) return;  // inbox drained: every sync client is unblocked
+        sh.inbox_cv.wait(lk, [&] {
+          return sh.barrier_requested || !sh.inbox.empty() || sh.stop;
+        });
+      }
+    }
+    apply(shard_idx, *req);
+  }
+}
+
+void ThreadedSpaceEngine::apply(int shard_idx, Request& req) {
+  shards_[static_cast<std::size_t>(shard_idx)]->ops_applied.fetch_add(
+      1, std::memory_order_relaxed);
+  switch (req.kind) {
+    case Request::Kind::kWrite:
+      apply_write(shard_idx, req);
+      return;
+    case Request::Kind::kReadIfExists:
+      apply_match(shard_idx, req, /*take=*/false);
+      return;
+    case Request::Kind::kTakeIfExists:
+      apply_match(shard_idx, req, /*take=*/true);
+      return;
+    case Request::Kind::kReadAll:
+      apply_bulk(shard_idx, req, /*take=*/false);
+      return;
+    case Request::Kind::kTakeAll:
+      apply_bulk(shard_idx, req, /*take=*/true);
+      return;
+    case Request::Kind::kBlockingRead:
+      apply_blocking(shard_idx, req, /*take=*/false);
+      return;
+    case Request::Kind::kBlockingTake:
+      apply_blocking(shard_idx, req, /*take=*/true);
+      return;
+    case Request::Kind::kCancelWaiter:
+      apply_cancel_waiter(shard_idx, req);
+      return;
+    case Request::Kind::kStall: {
+      std::unique_lock<std::mutex> lk(stall_mu_);
+      stall_cv_.wait(lk, [this] { return !stalled_; });
+      delete &req;
+      return;
+    }
+  }
+}
+
+// --- write ------------------------------------------------------------------
+
+void ThreadedSpaceEngine::apply_write(int shard_idx, Request& req) {
+  const bool async = req.async;
+  Tuple tuple = std::move(req.tuple);
+  std::vector<std::pair<NotifyCallback, Tuple>> fire;
+  std::uint64_t id = 0;
+
+  if (cross_possible()) {
+    // Slow path: wildcard waiters or notify registrations may exist, so the
+    // whole linearization (ticket, notify collection, waiter merge) runs
+    // under cross_mu_ — interacting publishes serialize in ticket order.
+    std::lock_guard<std::mutex> cl(cross_mu_);
+    id = next_ticket();
+    collect_notifications(tuple, &fire);
+    if (log_ != nullptr) {
+      OpRecord rec;
+      rec.ticket = id;
+      rec.kind = Kind::kWrite;
+      rec.tuple = tuple;
+      log_->append(rec);
+    }
+    serve_and_store(shard_idx, id, std::move(tuple), /*cross_locked=*/true);
+  } else {
+    // Fast path: no cross-shard state can appear mid-apply (registrations
+    // run under the barrier), so this write commutes with everything it
+    // races and a racy ticket is a valid linearization point.
+    id = next_ticket();
+    if (log_ != nullptr) {
+      OpRecord rec;
+      rec.ticket = id;
+      rec.kind = Kind::kWrite;
+      rec.tuple = tuple;
+      log_->append(rec);
+    }
+    serve_and_store(shard_idx, id, std::move(tuple), /*cross_locked=*/false);
+  }
+  ++shards_[static_cast<std::size_t>(shard_idx)]->stats.writes;
+
+  if (async) {
+    delete &req;
+  } else {
+    std::lock_guard<std::mutex> lk(req.mu);
+    req.ticket = id;
+    req.done = true;
+    req.cv.notify_all();
+  }
+  fire_collected(std::move(fire));
+}
+
+bool ThreadedSpaceEngine::serve_and_store(int shard_idx, std::uint64_t id,
+                                          Tuple tuple, bool cross_locked) {
+  Shard& sh = *shards_[static_cast<std::size_t>(shard_idx)];
+  // Registration-order merge of the shard queue and (when visible) the
+  // wildcard queue: both are ticket-ordered appends, so a two-pointer walk
+  // visits the union oldest registration first — same rule as the
+  // deterministic publish().
+  auto named = sh.waiters.begin();
+  auto wild = cross_locked ? wildcard_waiters_.begin() : wildcard_waiters_.end();
+  const auto wild_end = wildcard_waiters_.end();
+  while (named != sh.waiters.end() || wild != wild_end) {
+    const bool pick_named =
+        wild == wild_end || (named != sh.waiters.end() && named->id < wild->id);
+    std::list<TWaiter>& queue = pick_named ? sh.waiters : wildcard_waiters_;
+    auto& pos = pick_named ? named : wild;
+    if (!pos->tmpl.matches(tuple)) {
+      ++pos;
+      continue;
+    }
+    TWaiter waiter = std::move(*pos);
+    pos = queue.erase(pos);
+    if (!pick_named) {
+      cross_count_.fetch_sub(1);
+      cross_serves_.fetch_add(1, std::memory_order_relaxed);
+    }
+    blocked_count_.fetch_sub(1, std::memory_order_relaxed);
+    Stats& stats = pick_named ? sh.stats : cross_stats_;
+    if (waiter.take) {
+      ++stats.takes;
+      complete_waiter(waiter, std::move(tuple));
+      return true;  // consumed before reaching the store
+    }
+    ++stats.reads;
+    complete_waiter(waiter, tuple);  // copy to each blocked reader
+  }
+  store_entry(shard_idx, id, std::move(tuple));
+  return false;
+}
+
+void ThreadedSpaceEngine::store_entry(int shard_idx, std::uint64_t id,
+                                      Tuple tuple) {
+  Shard& sh = *shards_[static_cast<std::size_t>(shard_idx)];
+  TEntry entry;
+  entry.id = id;
+  entry.type_key = type_key(tuple.name, tuple.arity());
+  entry.byte_size = tuple.byte_size();
+  entry.tuple = std::move(tuple);
+  if (config_.use_type_index) {
+    sh.index[entry.type_key].insert(id);
+  }
+  sh.stored_bytes += entry.byte_size;
+  // No end() hint: commit publication inserts held-back (old) ids.
+  sh.entries.emplace(id, std::move(entry));
+  entry_count_.fetch_add(1, std::memory_order_relaxed);
+  note_peak_size();
+}
+
+void ThreadedSpaceEngine::erase_entry(
+    int shard_idx, std::map<std::uint64_t, TEntry>::iterator it) {
+  Shard& sh = *shards_[static_cast<std::size_t>(shard_idx)];
+  if (config_.use_type_index) {
+    const auto bucket = sh.index.find(it->second.type_key);
+    TB_ASSERT(bucket != sh.index.end());
+    bucket->second.erase(it->first);
+  }
+  sh.stored_bytes -= it->second.byte_size;
+  sh.entries.erase(it);
+  entry_count_.fetch_sub(1, std::memory_order_relaxed);
+}
+
+Lease ThreadedSpaceEngine::write(Tuple tuple, std::uint64_t txn) {
+  if (txn != kNoTxn) {
+    // Transaction-private: invisible to every other client until commit, so
+    // the ticket may race freely — the op commutes with everything outside
+    // its (single-owner) transaction.
+    TxnState* state = find_txn(txn);
+    const std::uint64_t ticket = next_ticket();
+    if (log_ != nullptr) {
+      OpRecord rec;
+      rec.ticket = ticket;
+      rec.kind = Kind::kWrite;
+      rec.txn = txn;
+      rec.tuple = tuple;
+      log_->append(rec);
+    }
+    state->writes.emplace_back(ticket, std::move(tuple));
+    return Lease{ticket, sim::Time::max()};
+  }
+  Request req;
+  req.kind = Request::Kind::kWrite;
+  req.tuple = std::move(tuple);
+  const int shard_idx =
+      shard_of(type_key(req.tuple.name, req.tuple.arity()));
+  push_request(shard_idx, &req);
+  wait_done_impl(req.mu, req.cv, req.done);
+  return Lease{req.ticket, sim::Time::max()};
+}
+
+void ThreadedSpaceEngine::write_async(Tuple tuple) {
+  auto* req = new Request;
+  req->kind = Request::Kind::kWrite;
+  req->async = true;
+  req->tuple = std::move(tuple);
+  const int shard_idx =
+      shard_of(type_key(req->tuple.name, req->tuple.arity()));
+  push_request(shard_idx, req);
+}
+
+// --- matching ---------------------------------------------------------------
+
+std::map<std::uint64_t, ThreadedSpaceEngine::TEntry>::iterator
+ThreadedSpaceEngine::find_in_shard(int shard_idx, const Template& tmpl) {
+  Shard& sh = *shards_[static_cast<std::size_t>(shard_idx)];
+  const std::uint64_t want = type_key(*tmpl.name, tmpl.arity());
+  if (config_.use_type_index) {
+    const auto bucket = sh.index.find(want);
+    if (bucket == sh.index.end()) return sh.entries.end();
+    for (std::uint64_t id : bucket->second) {
+      auto it = sh.entries.find(id);
+      TB_ASSERT(it != sh.entries.end());
+      ++sh.stats.scan_steps;
+      if (tmpl.matches(it->second.tuple)) return it;
+    }
+    return sh.entries.end();
+  }
+  for (auto it = sh.entries.begin(); it != sh.entries.end(); ++it) {
+    ++sh.stats.scan_steps;
+    if (it->second.type_key != want) continue;
+    if (tmpl.matches(it->second.tuple)) return it;
+  }
+  return sh.entries.end();
+}
+
+void ThreadedSpaceEngine::apply_match(int shard_idx, Request& req, bool take) {
+  Shard& sh = *shards_[static_cast<std::size_t>(shard_idx)];
+  auto it = find_in_shard(shard_idx, req.tmpl);
+  const std::uint64_t ticket = next_ticket();
+  std::optional<Tuple> result;
+  if (it != sh.entries.end()) {
+    if (take) {
+      ++sh.stats.takes;
+      if (req.txn_state != nullptr) {
+        TEntry held;
+        held.id = it->first;
+        held.tuple = it->second.tuple;
+        held.type_key = it->second.type_key;
+        held.byte_size = it->second.byte_size;
+        req.txn_state->held.push_back(std::move(held));
+      }
+      result = std::move(it->second.tuple);
+      erase_entry(shard_idx, it);
+    } else {
+      ++sh.stats.reads;
+      result = it->second.tuple;
+    }
+  } else if (req.txn_state != nullptr) {
+    // The transaction sees (and may un-write) its own provisional writes.
+    auto& writes = req.txn_state->writes;
+    for (auto pending = writes.begin(); pending != writes.end(); ++pending) {
+      if (!req.tmpl.matches(pending->second)) continue;
+      if (take) {
+        ++sh.stats.takes;
+        result = std::move(pending->second);
+        writes.erase(pending);
+      } else {
+        ++sh.stats.reads;
+        result = pending->second;
+      }
+      break;
+    }
+  }
+  if (!result.has_value()) ++sh.stats.misses;
+  if (log_ != nullptr) {
+    OpRecord rec;
+    rec.ticket = ticket;
+    rec.kind = take ? Kind::kTakeIfExists : Kind::kReadIfExists;
+    rec.txn = req.txn;
+    rec.tmpl = req.tmpl;
+    rec.result = result;
+    log_->append(rec);
+  }
+  std::lock_guard<std::mutex> lk(req.mu);
+  req.ticket = ticket;
+  req.result = std::move(result);
+  req.done = true;
+  req.cv.notify_all();
+}
+
+void ThreadedSpaceEngine::apply_bulk(int shard_idx, Request& req, bool take) {
+  Shard& sh = *shards_[static_cast<std::size_t>(shard_idx)];
+  const std::uint64_t ticket = next_ticket();
+  const std::uint64_t want = type_key(*req.tmpl.name, req.tmpl.arity());
+  std::vector<Tuple> out;
+  if (config_.use_type_index) {
+    const auto bucket = sh.index.find(want);
+    if (bucket != sh.index.end()) {
+      // erase_entry edits the bucket: walk a snapshot of the candidates.
+      const std::vector<std::uint64_t> candidates(bucket->second.begin(),
+                                                  bucket->second.end());
+      for (std::uint64_t id : candidates) {
+        if (out.size() >= req.max) break;
+        auto it = sh.entries.find(id);
+        TB_ASSERT(it != sh.entries.end());
+        ++sh.stats.scan_steps;
+        if (!req.tmpl.matches(it->second.tuple)) continue;
+        if (take) {
+          ++sh.stats.takes;
+          out.push_back(std::move(it->second.tuple));
+          erase_entry(shard_idx, it);
+        } else {
+          ++sh.stats.reads;
+          out.push_back(it->second.tuple);
+        }
+      }
+    }
+  } else {
+    for (auto it = sh.entries.begin();
+         it != sh.entries.end() && out.size() < req.max;) {
+      const auto cur = it++;
+      ++sh.stats.scan_steps;
+      if (cur->second.type_key != want) continue;
+      if (!req.tmpl.matches(cur->second.tuple)) continue;
+      if (take) {
+        ++sh.stats.takes;
+        out.push_back(std::move(cur->second.tuple));
+        erase_entry(shard_idx, cur);
+      } else {
+        ++sh.stats.reads;
+        out.push_back(cur->second.tuple);
+      }
+    }
+  }
+  if (log_ != nullptr) {
+    OpRecord rec;
+    rec.ticket = ticket;
+    rec.kind = take ? Kind::kTakeAll : Kind::kReadAll;
+    rec.tmpl = req.tmpl;
+    rec.max = req.max;
+    rec.results = out;
+    log_->append(rec);
+  }
+  std::lock_guard<std::mutex> lk(req.mu);
+  req.ticket = ticket;
+  req.results = std::move(out);
+  req.done = true;
+  req.cv.notify_all();
+}
+
+std::optional<Tuple> ThreadedSpaceEngine::read_if_exists(const Template& tmpl,
+                                                         std::uint64_t txn) {
+  if (!tmpl.name.has_value()) return wildcard_if_exists(tmpl, txn, false);
+  Request req;
+  req.kind = Request::Kind::kReadIfExists;
+  req.tmpl = tmpl;
+  req.txn = txn;
+  req.txn_state = find_txn(txn);
+  push_request(shard_of(type_key(*tmpl.name, tmpl.arity())), &req);
+  wait_done_impl(req.mu, req.cv, req.done);
+  return std::move(req.result);
+}
+
+std::optional<Tuple> ThreadedSpaceEngine::take_if_exists(const Template& tmpl,
+                                                         std::uint64_t txn) {
+  if (!tmpl.name.has_value()) return wildcard_if_exists(tmpl, txn, true);
+  Request req;
+  req.kind = Request::Kind::kTakeIfExists;
+  req.tmpl = tmpl;
+  req.txn = txn;
+  req.txn_state = find_txn(txn);
+  push_request(shard_of(type_key(*tmpl.name, tmpl.arity())), &req);
+  wait_done_impl(req.mu, req.cv, req.done);
+  return std::move(req.result);
+}
+
+std::vector<Tuple> ThreadedSpaceEngine::read_all(const Template& tmpl,
+                                                 std::size_t max) {
+  if (!tmpl.name.has_value()) return wildcard_bulk(tmpl, max, false);
+  Request req;
+  req.kind = Request::Kind::kReadAll;
+  req.tmpl = tmpl;
+  req.max = max;
+  push_request(shard_of(type_key(*tmpl.name, tmpl.arity())), &req);
+  wait_done_impl(req.mu, req.cv, req.done);
+  return std::move(req.results);
+}
+
+std::vector<Tuple> ThreadedSpaceEngine::take_all(const Template& tmpl,
+                                                 std::size_t max) {
+  if (!tmpl.name.has_value()) return wildcard_bulk(tmpl, max, true);
+  Request req;
+  req.kind = Request::Kind::kTakeAll;
+  req.tmpl = tmpl;
+  req.max = max;
+  push_request(shard_of(type_key(*tmpl.name, tmpl.arity())), &req);
+  wait_done_impl(req.mu, req.cv, req.done);
+  return std::move(req.results);
+}
+
+// --- wildcard (scatter/gather barrier) ops ----------------------------------
+
+std::pair<int, std::map<std::uint64_t, ThreadedSpaceEngine::TEntry>::iterator>
+ThreadedSpaceEngine::find_across(const Template& tmpl) {
+  // Id-ordered merge across the quiesced shards: tickets are monotonic
+  // write timestamps, so the oldest-first total order survives sharding.
+  std::vector<std::map<std::uint64_t, TEntry>::iterator> cursor;
+  cursor.reserve(shards_.size());
+  for (auto& sh : shards_) cursor.push_back(sh->entries.begin());
+  for (;;) {
+    int best = -1;
+    for (std::size_t s = 0; s < shards_.size(); ++s) {
+      if (cursor[s] == shards_[s]->entries.end()) continue;
+      if (best < 0 ||
+          cursor[s]->first < cursor[static_cast<std::size_t>(best)]->first) {
+        best = static_cast<int>(s);
+      }
+    }
+    if (best < 0) {
+      return {-1, std::map<std::uint64_t, TEntry>::iterator{}};
+    }
+    auto it = cursor[static_cast<std::size_t>(best)]++;
+    ++barrier_stats_.scan_steps;
+    if (tmpl.matches(it->second.tuple)) return {best, it};
+  }
+}
+
+std::optional<Tuple> ThreadedSpaceEngine::wildcard_if_exists(
+    const Template& tmpl, std::uint64_t txn, bool take) {
+  TxnState* state = find_txn(txn);
+  barrier_acquire();
+  const std::uint64_t ticket = next_ticket();
+  std::optional<Tuple> result;
+  auto [shard_idx, it] = find_across(tmpl);
+  if (shard_idx >= 0) {
+    if (take) {
+      ++barrier_stats_.takes;
+      if (state != nullptr) {
+        TEntry held;
+        held.id = it->first;
+        held.tuple = it->second.tuple;
+        held.type_key = it->second.type_key;
+        held.byte_size = it->second.byte_size;
+        state->held.push_back(std::move(held));
+      }
+      result = std::move(it->second.tuple);
+      erase_entry(shard_idx, it);
+    } else {
+      ++barrier_stats_.reads;
+      result = it->second.tuple;
+    }
+  } else if (state != nullptr) {
+    auto& writes = state->writes;
+    for (auto pending = writes.begin(); pending != writes.end(); ++pending) {
+      if (!tmpl.matches(pending->second)) continue;
+      if (take) {
+        ++barrier_stats_.takes;
+        result = std::move(pending->second);
+        writes.erase(pending);
+      } else {
+        ++barrier_stats_.reads;
+        result = pending->second;
+      }
+      break;
+    }
+  }
+  if (!result.has_value()) ++barrier_stats_.misses;
+  if (log_ != nullptr) {
+    OpRecord rec;
+    rec.ticket = ticket;
+    rec.kind = take ? Kind::kTakeIfExists : Kind::kReadIfExists;
+    rec.txn = txn;
+    rec.tmpl = tmpl;
+    rec.result = result;
+    log_->append(rec);
+  }
+  barrier_release();
+  return result;
+}
+
+std::vector<Tuple> ThreadedSpaceEngine::wildcard_bulk(const Template& tmpl,
+                                                      std::size_t max,
+                                                      bool take) {
+  barrier_acquire();
+  const std::uint64_t ticket = next_ticket();
+  std::vector<Tuple> out;
+  std::vector<std::map<std::uint64_t, TEntry>::iterator> cursor;
+  cursor.reserve(shards_.size());
+  for (auto& sh : shards_) cursor.push_back(sh->entries.begin());
+  while (out.size() < max) {
+    int best = -1;
+    for (std::size_t s = 0; s < shards_.size(); ++s) {
+      if (cursor[s] == shards_[s]->entries.end()) continue;
+      if (best < 0 ||
+          cursor[s]->first < cursor[static_cast<std::size_t>(best)]->first) {
+        best = static_cast<int>(s);
+      }
+    }
+    if (best < 0) break;
+    const auto cur = cursor[static_cast<std::size_t>(best)]++;
+    ++barrier_stats_.scan_steps;
+    if (!tmpl.matches(cur->second.tuple)) continue;
+    if (take) {
+      ++barrier_stats_.takes;
+      out.push_back(std::move(cur->second.tuple));
+      erase_entry(best, cur);
+    } else {
+      ++barrier_stats_.reads;
+      out.push_back(cur->second.tuple);
+    }
+  }
+  if (log_ != nullptr) {
+    OpRecord rec;
+    rec.ticket = ticket;
+    rec.kind = take ? Kind::kTakeAll : Kind::kReadAll;
+    rec.tmpl = tmpl;
+    rec.max = max;
+    rec.results = out;
+    log_->append(rec);
+  }
+  barrier_release();
+  return out;
+}
+
+// --- blocking ops -----------------------------------------------------------
+
+void ThreadedSpaceEngine::apply_blocking(int shard_idx, Request& req,
+                                         bool take) {
+  Shard& sh = *shards_[static_cast<std::size_t>(shard_idx)];
+  auto it = find_in_shard(shard_idx, req.tmpl);
+  const std::uint64_t ticket = next_ticket();
+  if (it != sh.entries.end()) {
+    std::optional<Tuple> result;
+    if (take) {
+      ++sh.stats.takes;
+      result = std::move(it->second.tuple);
+      erase_entry(shard_idx, it);
+    } else {
+      ++sh.stats.reads;
+      result = it->second.tuple;
+    }
+    if (log_ != nullptr) {
+      OpRecord rec;
+      rec.ticket = ticket;
+      rec.kind = take ? Kind::kBlockingTake : Kind::kBlockingRead;
+      rec.tmpl = req.tmpl;
+      rec.result = result;
+      log_->append(rec);
+    }
+    std::lock_guard<std::mutex> lk(req.mu);
+    req.ticket = ticket;
+    req.result = std::move(result);
+    req.done = true;
+    req.cv.notify_all();
+    return;
+  }
+  // Park. The record is written by whoever resolves the waiter: a serving
+  // publish (complete_waiter) or a cancellation (cancel_waiter_record).
+  TWaiter waiter;
+  waiter.id = ticket;
+  waiter.tmpl = req.tmpl;
+  waiter.take = take;
+  waiter.req = &req;
+  sh.waiters.push_back(std::move(waiter));
+  blocked_count_.fetch_add(1, std::memory_order_relaxed);
+  note_peak_blocked();
+  std::lock_guard<std::mutex> lk(req.mu);
+  req.ticket = ticket;
+  req.parked = true;
+  req.cv.notify_all();
+}
+
+void ThreadedSpaceEngine::apply_cancel_waiter(int shard_idx, Request& req) {
+  Shard& sh = *shards_[static_cast<std::size_t>(shard_idx)];
+  const auto pos =
+      std::find_if(sh.waiters.begin(), sh.waiters.end(),
+                   [&](const TWaiter& w) { return w.id == req.target; });
+  if (pos != sh.waiters.end()) {
+    TWaiter waiter = std::move(*pos);
+    sh.waiters.erase(pos);
+    blocked_count_.fetch_sub(1, std::memory_order_relaxed);
+    ++sh.stats.misses;
+    const std::uint64_t cancel_ticket = next_ticket();
+    cancel_waiter_record(waiter, cancel_ticket);
+    std::lock_guard<std::mutex> lk(waiter.req->mu);
+    waiter.req->result = std::nullopt;
+    waiter.req->done = true;
+    waiter.req->cv.notify_all();
+  }
+  // Not found: a publish served the waiter concurrently with the timeout;
+  // the serve's completion wins and the cancel is a no-op.
+  std::lock_guard<std::mutex> lk(req.mu);
+  req.done = true;
+  req.cv.notify_all();
+}
+
+void ThreadedSpaceEngine::complete_waiter(const TWaiter& waiter, Tuple tuple) {
+  if (log_ != nullptr) {
+    OpRecord rec;
+    rec.ticket = waiter.id;
+    rec.kind = waiter.take ? Kind::kBlockingTake : Kind::kBlockingRead;
+    rec.tmpl = waiter.tmpl;
+    rec.result = tuple;
+    log_->append(rec);
+  }
+  std::lock_guard<std::mutex> lk(waiter.req->mu);
+  waiter.req->result = std::move(tuple);
+  waiter.req->done = true;
+  waiter.req->cv.notify_all();
+}
+
+void ThreadedSpaceEngine::cancel_waiter_record(const TWaiter& waiter,
+                                               std::uint64_t cancel_ticket) {
+  if (log_ == nullptr) return;
+  OpRecord rec;
+  rec.ticket = waiter.id;
+  rec.kind = waiter.take ? Kind::kBlockingTake : Kind::kBlockingRead;
+  rec.tmpl = waiter.tmpl;
+  rec.timed_out = true;
+  rec.cancel_ticket = cancel_ticket;
+  log_->append(rec);
+}
+
+std::optional<Tuple> ThreadedSpaceEngine::blocking_op(
+    const Template& tmpl, std::chrono::nanoseconds timeout, bool take) {
+  Request req;
+  req.kind = take ? Request::Kind::kBlockingTake : Request::Kind::kBlockingRead;
+  req.tmpl = tmpl;
+
+  if (tmpl.name.has_value()) {
+    const int shard_idx = shard_of(type_key(*tmpl.name, tmpl.arity()));
+    push_request(shard_idx, &req);
+    std::unique_lock<std::mutex> lk(req.mu);
+    req.cv.wait(lk, [&] { return req.done || req.parked; });
+    if (req.done) return std::move(req.result);
+    if (timeout == kBlockForever) {
+      req.cv.wait(lk, [&] { return req.done; });
+      return std::move(req.result);
+    }
+    if (!req.cv.wait_for(lk, timeout, [&] { return req.done; })) {
+      // Timed out: ask the owning worker to cancel. Either it finds the
+      // waiter (completes with nullopt + a cancel ticket) or a concurrent
+      // publish already served it — wait for whichever completion.
+      const std::uint64_t waiter_id = req.ticket;
+      lk.unlock();
+      Request cancel;
+      cancel.kind = Request::Kind::kCancelWaiter;
+      cancel.target = waiter_id;
+      push_request(shard_idx, &cancel);
+      wait_done_impl(cancel.mu, cancel.cv, cancel.done);
+      lk.lock();
+      req.cv.wait(lk, [&] { return req.done; });
+    }
+    return std::move(req.result);
+  }
+
+  // Wildcard: registration is a barrier op (the queue is cross-shard state
+  // every publish must observe), parking/cancellation run under cross_mu_.
+  barrier_acquire();
+  const std::uint64_t ticket = next_ticket();
+  auto [shard_idx, it] = find_across(tmpl);
+  if (shard_idx >= 0) {
+    std::optional<Tuple> result;
+    if (take) {
+      ++barrier_stats_.takes;
+      result = std::move(it->second.tuple);
+      erase_entry(shard_idx, it);
+    } else {
+      ++barrier_stats_.reads;
+      result = it->second.tuple;
+    }
+    if (log_ != nullptr) {
+      OpRecord rec;
+      rec.ticket = ticket;
+      rec.kind = take ? Kind::kBlockingTake : Kind::kBlockingRead;
+      rec.tmpl = tmpl;
+      rec.result = result;
+      log_->append(rec);
+    }
+    barrier_release();
+    return result;
+  }
+  {
+    std::lock_guard<std::mutex> cl(cross_mu_);
+    TWaiter waiter;
+    waiter.id = ticket;
+    waiter.tmpl = tmpl;
+    waiter.take = take;
+    waiter.req = &req;
+    wildcard_waiters_.push_back(std::move(waiter));
+    cross_count_.fetch_add(1);
+    blocked_count_.fetch_add(1, std::memory_order_relaxed);
+    note_peak_blocked();
+  }
+  barrier_release();
+
+  std::unique_lock<std::mutex> lk(req.mu);
+  if (timeout == kBlockForever) {
+    req.cv.wait(lk, [&] { return req.done; });
+    return std::move(req.result);
+  }
+  if (!req.cv.wait_for(lk, timeout, [&] { return req.done; })) {
+    lk.unlock();
+    {
+      std::lock_guard<std::mutex> cl(cross_mu_);
+      const auto pos = std::find_if(
+          wildcard_waiters_.begin(), wildcard_waiters_.end(),
+          [&](const TWaiter& w) { return w.id == ticket; });
+      if (pos != wildcard_waiters_.end()) {
+        // Still parked — no publish can be serving it (we hold cross_mu_).
+        // Ticket before the count decrement: a publisher that fast-paths on
+        // the decremented count is ordered after this cancellation.
+        TWaiter waiter = std::move(*pos);
+        wildcard_waiters_.erase(pos);
+        const std::uint64_t cancel_ticket = next_ticket();
+        cross_count_.fetch_sub(1);
+        blocked_count_.fetch_sub(1, std::memory_order_relaxed);
+        ++cross_stats_.misses;
+        cancel_waiter_record(waiter, cancel_ticket);
+        std::lock_guard<std::mutex> rl(req.mu);
+        req.result = std::nullopt;
+        req.done = true;
+      }
+    }
+    lk.lock();
+    req.cv.wait(lk, [&] { return req.done; });
+  }
+  return std::move(req.result);
+}
+
+std::optional<Tuple> ThreadedSpaceEngine::read(const Template& tmpl,
+                                               std::chrono::nanoseconds timeout) {
+  return blocking_op(tmpl, timeout, /*take=*/false);
+}
+
+std::optional<Tuple> ThreadedSpaceEngine::take(const Template& tmpl,
+                                               std::chrono::nanoseconds timeout) {
+  return blocking_op(tmpl, timeout, /*take=*/true);
+}
+
+// --- transactions -----------------------------------------------------------
+
+ThreadedSpaceEngine::TxnState* ThreadedSpaceEngine::find_txn(
+    std::uint64_t txn) {
+  if (txn == kNoTxn) return nullptr;
+  std::lock_guard<std::mutex> lk(txn_mu_);
+  const auto it = txns_.find(txn);
+  TB_REQUIRE_MSG(it != txns_.end(), "unknown transaction");
+  return it->second.get();
+}
+
+std::uint64_t ThreadedSpaceEngine::begin_transaction() {
+  const std::uint64_t ticket = next_ticket();
+  {
+    std::lock_guard<std::mutex> lk(txn_mu_);
+    txns_.emplace(ticket, std::make_unique<TxnState>());
+  }
+  if (log_ != nullptr) {
+    OpRecord rec;
+    rec.ticket = ticket;
+    rec.kind = Kind::kBeginTxn;
+    log_->append(rec);
+  }
+  return ticket;
+}
+
+bool ThreadedSpaceEngine::commit(std::uint64_t txn) {
+  barrier_acquire();
+  std::unique_ptr<TxnState> state;
+  {
+    std::lock_guard<std::mutex> lk(txn_mu_);
+    const auto it = txns_.find(txn);
+    if (it != txns_.end()) {
+      state = std::move(it->second);
+      txns_.erase(it);
+    }
+  }
+  const bool ok = state != nullptr;
+  std::vector<std::pair<NotifyCallback, Tuple>> fire;
+  {
+    std::lock_guard<std::mutex> cl(cross_mu_);
+    const std::uint64_t ticket = next_ticket();
+    if (ok) {
+      ++barrier_stats_.commits;
+      // Publication order = write order = ascending tickets; each entry
+      // keeps its write ticket as id, so it sorts into the total order at
+      // the instant the write was issued — exactly the oracle's rule.
+      for (auto& [write_id, tuple] : state->writes) {
+        ++barrier_stats_.writes;
+        collect_notifications(tuple, &fire);
+        const int shard_idx = shard_of(type_key(tuple.name, tuple.arity()));
+        serve_and_store(shard_idx, write_id, std::move(tuple),
+                        /*cross_locked=*/true);
+      }
+      // Held takes become permanent: nothing to restore.
+    }
+    if (log_ != nullptr) {
+      OpRecord rec;
+      rec.ticket = ticket;
+      rec.kind = Kind::kCommit;
+      rec.txn = txn;
+      rec.ok = ok;
+      log_->append(rec);
+    }
+  }
+  barrier_release();
+  fire_collected(std::move(fire));
+  return ok;
+}
+
+bool ThreadedSpaceEngine::abort(std::uint64_t txn) {
+  barrier_acquire();
+  std::unique_ptr<TxnState> state;
+  {
+    std::lock_guard<std::mutex> lk(txn_mu_);
+    const auto it = txns_.find(txn);
+    if (it != txns_.end()) {
+      state = std::move(it->second);
+      txns_.erase(it);
+    }
+  }
+  const bool ok = state != nullptr;
+  {
+    std::lock_guard<std::mutex> cl(cross_mu_);
+    const std::uint64_t ticket = next_ticket();
+    if (ok) {
+      ++barrier_stats_.aborts;
+      // Restore held entries under their original ids — back into the total
+      // order where they were taken from. No notifications: their writes
+      // were announced when first published. Blocked ops do get served.
+      for (TEntry& held : state->held) {
+        const int shard_idx = shard_of(held.type_key);
+        serve_and_store(shard_idx, held.id, std::move(held.tuple),
+                        /*cross_locked=*/true);
+      }
+    }
+    if (log_ != nullptr) {
+      OpRecord rec;
+      rec.ticket = ticket;
+      rec.kind = Kind::kAbort;
+      rec.txn = txn;
+      rec.ok = ok;
+      log_->append(rec);
+    }
+  }
+  barrier_release();
+  return ok;
+}
+
+// --- notify -----------------------------------------------------------------
+
+void ThreadedSpaceEngine::collect_notifications(
+    const Tuple& tuple, std::vector<std::pair<NotifyCallback, Tuple>>* fire) {
+  for (auto& [id, reg] : notifies_) {
+    if (reg.tmpl.matches(tuple)) {
+      ++cross_stats_.notifications;
+      fire->emplace_back(reg.callback, tuple);
+    }
+  }
+}
+
+void ThreadedSpaceEngine::fire_collected(
+    std::vector<std::pair<NotifyCallback, Tuple>> fire) {
+  for (auto& [callback, tuple] : fire) {
+    if (bridge_ != nullptr) {
+      bridge_->post([cb = callback, t = std::move(tuple)] { cb(t); });
+    } else {
+      callback(tuple);
+    }
+  }
+}
+
+std::uint64_t ThreadedSpaceEngine::notify(Template tmpl,
+                                          NotifyCallback callback) {
+  TB_REQUIRE(callback != nullptr);
+  // Barrier, not just cross_mu_: creating cross-shard state must not race
+  // an in-flight fast-path publish that already read cross_count_ == 0.
+  barrier_acquire();
+  std::uint64_t ticket = 0;
+  {
+    std::lock_guard<std::mutex> cl(cross_mu_);
+    ticket = next_ticket();
+    notifies_.emplace(ticket, NotifyReg{tmpl, std::move(callback)});
+    cross_count_.fetch_add(1);
+    if (log_ != nullptr) {
+      OpRecord rec;
+      rec.ticket = ticket;
+      rec.kind = Kind::kNotifyReg;
+      rec.tmpl = std::move(tmpl);
+      log_->append(rec);
+    }
+  }
+  barrier_release();
+  return ticket;
+}
+
+bool ThreadedSpaceEngine::cancel_notify(std::uint64_t registration) {
+  // Removal needs no barrier: the ticket is drawn before the count
+  // decrement, so a publisher fast-pathing on the lowered count is ordered
+  // after the cancellation — it correctly skips the dead registration.
+  std::lock_guard<std::mutex> cl(cross_mu_);
+  const std::uint64_t ticket = next_ticket();
+  const auto it = notifies_.find(registration);
+  const bool ok = it != notifies_.end();
+  if (ok) {
+    notifies_.erase(it);
+    cross_count_.fetch_sub(1);
+    ++cross_stats_.cancellations;
+  }
+  if (log_ != nullptr) {
+    OpRecord rec;
+    rec.ticket = ticket;
+    rec.kind = Kind::kNotifyCancel;
+    rec.target = registration;
+    rec.ok = ok;
+    log_->append(rec);
+  }
+  return ok;
+}
+
+void ThreadedSpaceEngine::set_completion_bridge(sim::RealtimeBridge* bridge) {
+  bridge_ = bridge;
+}
+
+// --- barrier protocol -------------------------------------------------------
+
+void ThreadedSpaceEngine::barrier_acquire() {
+  barrier_mu_.lock();
+  {
+    // After shutdown the workers are joined: barrier_mu_ alone is exclusive
+    // access, which is what lets snapshot()/stats() read the final state.
+    std::lock_guard<std::mutex> lk(shutdown_mu_);
+    if (shut_down_) {
+      barriers_.fetch_add(1, std::memory_order_relaxed);
+      return;
+    }
+  }
+  for (auto& sh : shards_) {
+    std::lock_guard<std::mutex> lk(sh->inbox_mu);
+    sh->barrier_requested = true;
+    sh->inbox_cv.notify_all();
+  }
+  for (auto& sh : shards_) {
+    std::unique_lock<std::mutex> lk(sh->inbox_mu);
+    sh->inbox_cv.wait(lk, [&] { return sh->parked; });
+  }
+  barriers_.fetch_add(1, std::memory_order_relaxed);
+}
+
+void ThreadedSpaceEngine::barrier_release() {
+  for (auto& sh : shards_) {
+    std::lock_guard<std::mutex> lk(sh->inbox_mu);
+    sh->barrier_requested = false;
+    sh->inbox_cv.notify_all();
+  }
+  barrier_mu_.unlock();
+}
+
+// --- introspection ----------------------------------------------------------
+
+std::vector<Tuple> ThreadedSpaceEngine::snapshot() {
+  barrier_acquire();
+  std::vector<Tuple> out;
+  out.reserve(entry_count_.load(std::memory_order_relaxed));
+  std::vector<std::map<std::uint64_t, TEntry>::const_iterator> cursor;
+  cursor.reserve(shards_.size());
+  for (auto& sh : shards_) cursor.push_back(sh->entries.cbegin());
+  for (;;) {
+    int best = -1;
+    for (std::size_t s = 0; s < shards_.size(); ++s) {
+      if (cursor[s] == shards_[s]->entries.cend()) continue;
+      if (best < 0 ||
+          cursor[s]->first < cursor[static_cast<std::size_t>(best)]->first) {
+        best = static_cast<int>(s);
+      }
+    }
+    if (best < 0) break;
+    out.push_back((cursor[static_cast<std::size_t>(best)]++)->second.tuple);
+  }
+  barrier_release();
+  return out;
+}
+
+ThreadedSpaceEngine::Stats ThreadedSpaceEngine::stats() {
+  barrier_acquire();
+  Stats total = barrier_stats_;
+  {
+    std::lock_guard<std::mutex> cl(cross_mu_);
+    accumulate(total, cross_stats_);
+  }
+  for (auto& sh : shards_) accumulate(total, sh->stats);
+  total.peak_size = peak_size_.load(std::memory_order_relaxed);
+  total.peak_blocked = peak_blocked_.load(std::memory_order_relaxed);
+  barrier_release();
+  return total;
+}
+
+void ThreadedSpaceEngine::note_peak_size() {
+  const std::size_t cur = entry_count_.load(std::memory_order_relaxed);
+  std::size_t prev = peak_size_.load(std::memory_order_relaxed);
+  while (cur > prev &&
+         !peak_size_.compare_exchange_weak(prev, cur,
+                                           std::memory_order_relaxed)) {
+  }
+}
+
+void ThreadedSpaceEngine::note_peak_blocked() {
+  const std::size_t cur = blocked_count_.load(std::memory_order_relaxed);
+  std::size_t prev = peak_blocked_.load(std::memory_order_relaxed);
+  while (cur > prev &&
+         !peak_blocked_.compare_exchange_weak(prev, cur,
+                                              std::memory_order_relaxed)) {
+  }
+}
+
+void ThreadedSpaceEngine::bind_metrics(obs::Registry& registry,
+                                       const std::string& prefix) {
+  struct ShardMetrics {
+    obs::Gauge* depth = nullptr;
+    obs::Gauge* peak = nullptr;
+    obs::Counter* applied = nullptr;
+  };
+  std::vector<ShardMetrics> per_shard(shards_.size());
+  for (std::size_t s = 0; s < shards_.size(); ++s) {
+    const std::string p = prefix + ".shard" + std::to_string(s);
+    per_shard[s].depth = &registry.gauge(p + ".inbox_depth");
+    per_shard[s].peak = &registry.gauge(p + ".inbox_peak");
+    per_shard[s].applied = &registry.counter(p + ".ops_applied");
+  }
+  obs::Gauge& size = registry.gauge(prefix + ".size");
+  obs::Gauge& blocked = registry.gauge(prefix + ".blocked");
+  obs::Counter& barriers = registry.counter(prefix + ".barriers");
+  obs::Counter& cross_serves =
+      registry.counter(prefix + ".cross_queue_serves");
+
+  // Everything the collector touches is an atomic, so a metrics snapshot
+  // never contends with a worker (no barrier, no cross_mu_).
+  registry.add_collector([this, &size, &blocked, &barriers, &cross_serves,
+                          per_shard = std::move(per_shard)] {
+    size.set(static_cast<double>(entry_count_.load(std::memory_order_relaxed)));
+    blocked.set(
+        static_cast<double>(blocked_count_.load(std::memory_order_relaxed)));
+    barriers.set(barriers_.load(std::memory_order_relaxed));
+    cross_serves.set(cross_serves_.load(std::memory_order_relaxed));
+    for (std::size_t s = 0; s < shards_.size(); ++s) {
+      per_shard[s].depth->set(static_cast<double>(
+          shards_[s]->inbox_depth.load(std::memory_order_relaxed)));
+      per_shard[s].peak->set(static_cast<double>(
+          shards_[s]->inbox_peak.load(std::memory_order_relaxed)));
+      per_shard[s].applied->set(
+          shards_[s]->ops_applied.load(std::memory_order_relaxed));
+    }
+  });
+}
+
+// --- shutdown & test hooks --------------------------------------------------
+
+void ThreadedSpaceEngine::shutdown() {
+  {
+    std::lock_guard<std::mutex> lk(shutdown_mu_);
+    if (shut_down_) return;
+    shut_down_ = true;
+  }
+  resume_stalled_shards_for_testing();
+  for (auto& sh : shards_) {
+    std::lock_guard<std::mutex> lk(sh->inbox_mu);
+    sh->stop = true;
+    sh->inbox_cv.notify_all();
+  }
+  for (auto& sh : shards_) {
+    if (sh->worker.joinable()) sh->worker.join();
+  }
+  // Workers are gone: complete every parked blocking op with nullopt,
+  // logged exactly like a timeout so the oracle replay cancels them at the
+  // same instant.
+  auto cancel_all = [this](std::list<TWaiter>& queue, Stats& stats) {
+    for (TWaiter& waiter : queue) {
+      ++stats.misses;
+      const std::uint64_t cancel_ticket = next_ticket();
+      cancel_waiter_record(waiter, cancel_ticket);
+      blocked_count_.fetch_sub(1, std::memory_order_relaxed);
+      std::lock_guard<std::mutex> lk(waiter.req->mu);
+      waiter.req->result = std::nullopt;
+      waiter.req->done = true;
+      waiter.req->cv.notify_all();
+    }
+    queue.clear();
+  };
+  for (auto& sh : shards_) cancel_all(sh->waiters, sh->stats);
+  {
+    std::lock_guard<std::mutex> cl(cross_mu_);
+    cross_count_.fetch_sub(wildcard_waiters_.size());
+    cancel_all(wildcard_waiters_, cross_stats_);
+  }
+}
+
+void ThreadedSpaceEngine::stall_shard_for_testing(int shard) {
+  {
+    std::lock_guard<std::mutex> lk(stall_mu_);
+    stalled_ = true;
+  }
+  auto* req = new Request;
+  req->kind = Request::Kind::kStall;
+  req->async = true;
+  push_request(shard, req);
+}
+
+void ThreadedSpaceEngine::resume_stalled_shards_for_testing() {
+  {
+    std::lock_guard<std::mutex> lk(stall_mu_);
+    stalled_ = false;
+  }
+  stall_cv_.notify_all();
+}
+
+}  // namespace tb::space

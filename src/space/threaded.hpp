@@ -1,0 +1,337 @@
+// Real-thread concurrent tuplespace runtime (DESIGN.md §11).
+//
+// One worker thread per shard with actor-style ownership: a shard's entry
+// map, type index, named-waiter queue and stats are touched only by its
+// owning worker — or by a coordinator that has quiesced every worker at a
+// barrier. Named operations route to the owning shard through a bounded
+// MPSC inbox (producers block while it is full — backpressure). Wildcard
+// operations, transaction resolution, snapshots and notify registration are
+// scatter/gather barrier ops: the coordinating client thread parks all
+// workers at a rendezvous, merges across the quiesced shards in id order
+// (the same oldest-first total order the deterministic engine guarantees),
+// and releases them. Blocking read/take park the calling thread on the
+// request's own condition path until a publish serves it or the timeout
+// sends a cancellation.
+//
+// Linearization contract (the differential-oracle hook, oplog.hpp): every
+// operation consumes one ticket from a global atomic counter *inside* its
+// critical section, and tuple / waiter / registration ids are the tickets
+// themselves — so ticket order is exactly the oldest-first total order, and
+// replaying the op log in ticket order through the deterministic SpaceEngine
+// must reproduce every result. Cross-shard state (the wildcard waiter queue
+// and the notify registry) is guarded by one mutex, with tickets drawn
+// under it, so interacting publishes serialize in ticket order; operations
+// that skip that lock (the common named fast path) provably commute with
+// everything they raced. Registrations that *create* cross-shard state run
+// under the barrier so no in-flight publish can miss them.
+//
+// Intentional v1 restrictions (all TB_REQUIRE-guarded): leases are forever
+// (no expiry timers race the linearization order), transactions have no
+// deadline, and renew/cancel-by-id are not offered. The deterministic
+// engine remains the full-semantics oracle.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <list>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <set>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "src/space/engine.hpp"
+#include "src/space/oplog.hpp"
+#include "src/space/tuple.hpp"
+
+namespace tb::sim {
+class RealtimeBridge;
+}
+namespace tb::obs {
+class Registry;
+}
+
+namespace tb::space {
+
+class ThreadedSpaceEngine {
+ public:
+  using NotifyCallback = std::function<void(const Tuple&)>;
+  using Stats = SpaceEngine::Stats;
+
+  /// Blocking read/take timeout meaning "wait indefinitely".
+  static constexpr std::chrono::nanoseconds kBlockForever =
+      std::chrono::nanoseconds::max();
+
+  /// `config.execution_mode` must be kThreaded. When `log` is non-null,
+  /// every operation is recorded at its linearization point for the
+  /// differential replay (oplog.hpp). The log must outlive the engine.
+  explicit ThreadedSpaceEngine(SpaceConfig config, OpLog* log = nullptr);
+  ~ThreadedSpaceEngine();
+
+  ThreadedSpaceEngine(const ThreadedSpaceEngine&) = delete;
+  ThreadedSpaceEngine& operator=(const ThreadedSpaceEngine&) = delete;
+
+  // --- write ---------------------------------------------------------------
+
+  /// Stores a tuple (forever lease). Under a transaction the write stays
+  /// provisional until commit. Callable from any thread; blocks while the
+  /// owning shard's inbox is full.
+  Lease write(Tuple tuple, std::uint64_t txn = kNoTxn);
+
+  /// Fire-and-forget write: enqueues and returns without waiting for the
+  /// shard to apply it (still blocks on a full inbox — backpressure, not
+  /// unbounded buffering).
+  void write_async(Tuple tuple);
+
+  // --- non-blocking match --------------------------------------------------
+
+  std::optional<Tuple> read_if_exists(const Template& tmpl,
+                                      std::uint64_t txn = kNoTxn);
+  std::optional<Tuple> take_if_exists(const Template& tmpl,
+                                      std::uint64_t txn = kNoTxn);
+
+  // --- bulk ----------------------------------------------------------------
+
+  std::vector<Tuple> read_all(const Template& tmpl,
+                              std::size_t max = SIZE_MAX);
+  std::vector<Tuple> take_all(const Template& tmpl,
+                              std::size_t max = SIZE_MAX);
+
+  // --- blocking match (parks the calling thread) ---------------------------
+
+  /// Completes with a match now or when one is written before `timeout`
+  /// (wall clock) elapses; nullopt on timeout or engine shutdown.
+  std::optional<Tuple> read(const Template& tmpl,
+                            std::chrono::nanoseconds timeout = kBlockForever);
+  std::optional<Tuple> take(const Template& tmpl,
+                            std::chrono::nanoseconds timeout = kBlockForever);
+
+  // --- transactions --------------------------------------------------------
+
+  /// Opens a transaction (no deadline in threaded mode). A transaction is
+  /// owned by one client thread: its operations must not race each other.
+  std::uint64_t begin_transaction();
+  bool commit(std::uint64_t txn);
+  bool abort(std::uint64_t txn);
+
+  // --- notify --------------------------------------------------------------
+
+  /// Registers a listener for every matching write (forever lease).
+  /// Callbacks run on engine threads — or on the simulation kernel thread
+  /// when a completion bridge is installed — and must not call back into
+  /// this engine.
+  std::uint64_t notify(Template tmpl, NotifyCallback callback);
+  bool cancel_notify(std::uint64_t registration);
+
+  /// Routes notify deliveries through a sim::RealtimeBridge so a
+  /// RealTimeRunner loop receives them on its kernel thread. Install
+  /// before registering listeners; the bridge must outlive the engine.
+  void set_completion_bridge(sim::RealtimeBridge* bridge);
+
+  // --- introspection -------------------------------------------------------
+
+  /// Every live committed tuple in ticket (= oldest-first) order. Barrier
+  /// op: quiesces the shards for a consistent cut.
+  std::vector<Tuple> snapshot();
+
+  /// Aggregated per-shard + cross-shard stats. Barrier op.
+  Stats stats();
+
+  std::size_t size() const {
+    return entry_count_.load(std::memory_order_relaxed);
+  }
+  std::size_t blocked_operations() const {
+    return blocked_count_.load(std::memory_order_relaxed);
+  }
+  int shard_count() const { return static_cast<int>(shards_.size()); }
+  int shard_of(std::uint64_t key) const {
+    return shards_.size() == 1 ? 0
+                               : static_cast<int>(key % shards_.size());
+  }
+  std::size_t inbox_depth(int shard) const {
+    return shards_.at(shard)->inbox_depth.load(std::memory_order_relaxed);
+  }
+
+  /// Stops the workers, completes every parked blocking op with nullopt
+  /// (recorded as shutdown cancellations in the op log) and joins.
+  /// Idempotent; called by the destructor. No operation may be issued
+  /// concurrently with or after shutdown.
+  void shutdown();
+
+  /// Observability (DESIGN.md §7/§11): per-shard inbox depth/peak gauges
+  /// and applied-op counters plus engine-level barrier / cross-queue-serve
+  /// counters, all read from atomics so a snapshot never blocks a worker.
+  void bind_metrics(obs::Registry& registry,
+                    const std::string& prefix = "space");
+
+  // --- test hooks ----------------------------------------------------------
+
+  /// Enqueues a request that makes the shard's worker block until
+  /// resume_stalled_shards_for_testing() — the inbox-backpressure tests.
+  /// Never combine with barrier ops (wildcard/txn/snapshot) while stalled.
+  void stall_shard_for_testing(int shard);
+  void resume_stalled_shards_for_testing();
+
+ private:
+  struct Request;
+
+  struct TEntry {
+    std::uint64_t id = 0;  ///< the write's linearization ticket
+    Tuple tuple;
+    std::uint64_t type_key = 0;
+    std::size_t byte_size = 0;
+  };
+
+  struct TWaiter {
+    std::uint64_t id = 0;  ///< registration ticket
+    Template tmpl;
+    bool take = false;
+    Request* req = nullptr;  ///< lives on the parked client's stack
+  };
+
+  struct TxnState {
+    std::vector<std::pair<std::uint64_t, Tuple>> writes;  ///< (ticket, tuple)
+    std::vector<TEntry> held;
+  };
+
+  struct Shard {
+    // Data-plane inbox: bounded MPSC, clients block while full.
+    mutable std::mutex inbox_mu;
+    std::condition_variable inbox_cv;        ///< worker + barrier rendezvous
+    std::condition_variable inbox_space_cv;  ///< producers (backpressure)
+    std::deque<Request*> inbox;
+    bool barrier_requested = false;
+    bool parked = false;
+    bool stop = false;
+
+    // Shard state: owner-only (worker), or the coordinator at a barrier.
+    std::map<std::uint64_t, TEntry> entries;
+    std::unordered_map<std::uint64_t, std::set<std::uint64_t>> index;
+    std::list<TWaiter> waiters;
+    std::size_t stored_bytes = 0;
+    Stats stats;
+
+    // Exported metrics: atomics, safe to read from any thread.
+    std::atomic<std::size_t> inbox_depth{0};
+    std::atomic<std::size_t> inbox_peak{0};
+    std::atomic<std::uint64_t> ops_applied{0};
+
+    std::thread worker;
+  };
+
+  struct NotifyReg {
+    Template tmpl;
+    NotifyCallback callback;
+  };
+
+  void worker_loop(int shard_idx);
+  void apply(int shard_idx, Request& req);
+  void apply_write(int shard_idx, Request& req);
+  void apply_match(int shard_idx, Request& req, bool take);
+  void apply_bulk(int shard_idx, Request& req, bool take);
+  void apply_blocking(int shard_idx, Request& req, bool take);
+  void apply_cancel_waiter(int shard_idx, Request& req);
+
+  /// Serves waiters then stores; returns true when a blocked take consumed
+  /// the tuple. `cross_locked` = cross_mu_ is held, so the wildcard queue
+  /// participates in the registration-order merge.
+  bool serve_and_store(int shard_idx, std::uint64_t id, Tuple tuple,
+                       bool cross_locked);
+  void store_entry(int shard_idx, std::uint64_t id, Tuple tuple);
+  /// Oldest live entry matching tmpl on one shard; entries.end() when none.
+  std::map<std::uint64_t, TEntry>::iterator find_in_shard(
+      int shard_idx, const Template& tmpl);
+  void erase_entry(int shard_idx,
+                   std::map<std::uint64_t, TEntry>::iterator it);
+  /// Collects matching notify callbacks (cross_mu_ held); invoke after
+  /// unlocking via fire_collected().
+  void collect_notifications(const Tuple& tuple,
+                             std::vector<std::pair<NotifyCallback, Tuple>>*
+                                 fire);
+  void fire_collected(std::vector<std::pair<NotifyCallback, Tuple>> fire);
+  /// Completes a served waiter: logs the blocked-op record and wakes the
+  /// parked client.
+  void complete_waiter(const TWaiter& waiter, Tuple tuple);
+  void cancel_waiter_record(const TWaiter& waiter, std::uint64_t cancel_ticket);
+
+  /// Scatter a quiesce request to every shard, wait for the rendezvous.
+  /// Returns with exclusive access to all shard state; serialized by
+  /// barrier_mu_.
+  void barrier_acquire();
+  void barrier_release();
+
+  /// Oldest live entry matching tmpl across all shards (barrier held).
+  std::pair<int, std::map<std::uint64_t, TEntry>::iterator> find_across(
+      const Template& tmpl);
+
+  std::uint64_t next_ticket() {
+    return lin_ticket_.fetch_add(1, std::memory_order_relaxed);
+  }
+  bool cross_possible() const {
+    return cross_count_.load(std::memory_order_acquire) > 0;
+  }
+  void push_request(int shard_idx, Request* req);
+  TxnState* find_txn(std::uint64_t txn);
+
+  std::optional<Tuple> blocking_op(const Template& tmpl,
+                                   std::chrono::nanoseconds timeout,
+                                   bool take);
+  std::optional<Tuple> wildcard_if_exists(const Template& tmpl,
+                                          std::uint64_t txn, bool take);
+  std::vector<Tuple> wildcard_bulk(const Template& tmpl, std::size_t max,
+                                   bool take);
+  void note_peak_size();
+  void note_peak_blocked();
+
+  SpaceConfig config_;
+  OpLog* log_ = nullptr;
+  sim::RealtimeBridge* bridge_ = nullptr;
+
+  std::vector<std::unique_ptr<Shard>> shards_;
+
+  /// Global linearization tickets; doubles as the id space for tuples,
+  /// waiters, transactions and notify registrations. Starts at 1: 0 marks
+  /// "no ticket" (and Lease{0} is invalid).
+  std::atomic<std::uint64_t> lin_ticket_{1};
+
+  /// Cross-shard state: wildcard waiters + notify registrations. Guarded
+  /// by cross_mu_; cross_count_ is the lock-avoidance hint for publishes
+  /// (sound because registrations run under the barrier — see header).
+  std::mutex cross_mu_;
+  std::list<TWaiter> wildcard_waiters_;
+  std::map<std::uint64_t, NotifyReg> notifies_;
+  std::atomic<std::size_t> cross_count_{0};
+  Stats cross_stats_;  ///< cross_mu_-guarded (notifications, wildcard serves)
+
+  /// Barrier coordination: barrier_mu_ serializes coordinators; the
+  /// per-shard rendezvous runs over each shard's inbox_mu/inbox_cv.
+  std::mutex barrier_mu_;
+  Stats barrier_stats_;  ///< only touched while the barrier is held
+
+  std::mutex txn_mu_;
+  std::map<std::uint64_t, std::unique_ptr<TxnState>> txns_;
+
+  std::atomic<std::size_t> entry_count_{0};
+  std::atomic<std::size_t> blocked_count_{0};
+  std::atomic<std::size_t> peak_size_{0};
+  std::atomic<std::size_t> peak_blocked_{0};
+  std::atomic<std::uint64_t> barriers_{0};
+  std::atomic<std::uint64_t> cross_serves_{0};
+
+  std::mutex stall_mu_;
+  std::condition_variable stall_cv_;
+  bool stalled_ = false;
+
+  std::mutex shutdown_mu_;
+  bool shut_down_ = false;
+};
+
+}  // namespace tb::space

@@ -3,7 +3,7 @@
 
 Usage:
     tools/perf_smoke.py BASELINE.json NEW.json [--metric NAME]...
-                        [--threshold PCT]
+                        [--note-metric NAME]... [--threshold PCT]
 
 Wall-clock metrics carry gate=false in the tb-bench-report/v1 schema
 because absolute throughput is machine-dependent, so bench_compare.py only
@@ -12,6 +12,12 @@ same machine within one CI run is a real regression, not noise, and this
 script turns the named metrics into hard gates (the CI perf-smoke steps).
 --metric may repeat; every named metric must pass. "better" direction is
 read from each baseline entry.
+
+--note-metric names metrics to report without gating: the drift is printed
+as a NOTE line and never fails the run, and a missing entry (in either
+report) is tolerated. Used for metrics whose wall-clock behaviour is
+informative but too machine-dependent to gate — e.g. the threaded
+tuplespace round trip, which measures cross-thread handoff latency.
 
 Exit status: 0 = all within threshold (improvements always pass), 1 = any
 regression beyond threshold or metric/report missing.
@@ -47,6 +53,34 @@ def find_metric(data: dict, path: Path, metric: str) -> dict:
     sys.exit(1)
 
 
+def try_find_metric(data: dict, metric: str) -> dict | None:
+    for entry in data.get("key_metrics", []):
+        if entry.get("name") == metric:
+            return entry
+    return None
+
+
+def note_metric(old_report: dict, new_report: dict, metric: str) -> None:
+    """Prints the drift for an ungated metric; silent pass when absent."""
+    old = try_find_metric(old_report, metric)
+    new = try_find_metric(new_report, metric)
+    if old is None or new is None:
+        which = "baseline" if old is None else "new report"
+        print(f"NOTE {metric}: absent from {which}; skipped")
+        return
+    old_value = float(old["value"])
+    new_value = float(new["value"])
+    if old_value == 0.0:
+        print(f"NOTE {metric}: baseline value is 0; skipped")
+        return
+    if old.get("better", "higher") == "higher":
+        change_pct = 100.0 * (new_value - old_value) / abs(old_value)
+    else:
+        change_pct = 100.0 * (old_value - new_value) / abs(old_value)
+    print(f"NOTE {metric}: {old_value:g} -> {new_value:g} "
+          f"({change_pct:+.1f}%, not gated)")
+
+
 def gate_metric(old: dict, new: dict, metric: str, threshold: float) -> bool:
     old_value = float(old["value"])
     new_value = float(new["value"])
@@ -76,6 +110,11 @@ def main() -> int:
                         metavar="NAME",
                         help="key metric to gate; may repeat "
                              f"(default: {DEFAULT_METRIC})")
+    parser.add_argument("--note-metric", action="append", dest="note_metrics",
+                        metavar="NAME", default=[],
+                        help="key metric to report without gating; drift is "
+                             "printed as a NOTE and absence is tolerated; "
+                             "may repeat")
     parser.add_argument("--threshold", type=float, default=15.0,
                         help="allowed regression in percent "
                              "(default: %(default)s)")
@@ -89,6 +128,8 @@ def main() -> int:
         old = find_metric(old_report, args.baseline, metric)
         new = find_metric(new_report, args.new, metric)
         ok = gate_metric(old, new, metric, args.threshold) and ok
+    for metric in args.note_metrics:
+        note_metric(old_report, new_report, metric)
     return 0 if ok else 1
 
 

@@ -1,0 +1,168 @@
+// Lease-churn study (ISSUE 7): the timer wheel must hold arm/cancel at
+// O(1) regardless of how many leases are outstanding — that is the whole
+// argument for replacing one-kernel-event-per-lease with the hierarchical
+// wheel. The bench sweeps the outstanding-lease population from 1e3 to
+// 1e6, measures steady-state cancel+re-arm cost and mass-expiry drain
+// cost, and reports the 1e6-vs-1e3 flatness ratio as the gated metric
+// (per-population wall-clock numbers are machine-dependent NOTE metrics;
+// the ratio is taken on one machine and should stay near 1 apart from
+// cache effects).
+//
+// A second scenario drives the deterministic SpaceEngine end to end:
+// finite-lease writes whose expirations are reclaimed by the engine's
+// wheel off a single re-armed kernel event, measuring the full
+// write→expire lifecycle.
+#include <chrono>
+#include <cstdio>
+#include <random>
+#include <vector>
+
+#include "src/cosim/report.hpp"
+#include "src/obs/report.hpp"
+#include "src/sim/timer_wheel.hpp"
+#include "src/space/engine.hpp"
+
+using namespace tb;
+using namespace tb::sim::literals;
+
+namespace {
+
+double now_ns() {
+  return static_cast<double>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+struct ChurnOutcome {
+  double arm_cancel_ns = 0;  ///< steady-state cancel + re-arm pair
+  double expire_ns = 0;      ///< mass drain, per timer
+};
+
+/// Steady-state churn at `outstanding` armed timers: every op cancels a
+/// random live timer and arms a replacement, so the population never
+/// moves. Deadlines spread over ~17 minutes exercise every wheel level.
+ChurnOutcome run_wheel_churn(std::size_t outstanding, std::size_t churn_ops) {
+  sim::TimerWheel wheel;
+  std::mt19937_64 rng(0x1e357c42);
+  std::uniform_int_distribution<std::int64_t> spread(1'000,
+                                                     1'000'000'000'000);
+  std::vector<sim::TimerWheel::TimerId> live(outstanding);
+  for (std::size_t i = 0; i < outstanding; ++i) {
+    live[i] = wheel.arm(spread(rng), i);
+  }
+
+  ChurnOutcome outcome;
+  const double churn_start = now_ns();
+  for (std::size_t op = 0; op < churn_ops; ++op) {
+    const std::size_t victim = rng() % outstanding;
+    wheel.cancel(live[victim]);
+    live[victim] = wheel.arm(spread(rng), victim);
+  }
+  outcome.arm_cancel_ns = (now_ns() - churn_start) /
+                          static_cast<double>(churn_ops);
+
+  std::uint64_t fired = 0;
+  const double drain_start = now_ns();
+  wheel.advance(1'000'000'000'001,
+                [&fired](std::uint64_t, std::int64_t) { ++fired; });
+  outcome.expire_ns = fired == 0 ? 0
+                                 : (now_ns() - drain_start) /
+                                       static_cast<double>(fired);
+  TB_REQUIRE(fired == outstanding);
+  return outcome;
+}
+
+/// Full engine lifecycle: every write arms a lease on the engine's wheel,
+/// the single kernel timer event re-arms itself across expiry batches, and
+/// each expiration probes the shard maps to reclaim the entry.
+double run_engine_lifecycle(std::size_t leases) {
+  sim::Simulator sim;
+  space::SpaceEngine space(sim, space::SpaceConfig{.shard_count = 4});
+  std::mt19937_64 rng(0x5ea5e7);
+  const double start = now_ns();
+  for (std::size_t i = 0; i < leases; ++i) {
+    const auto lease = sim::Time::us(10 + static_cast<std::int64_t>(
+                                              rng() % 10'000));
+    (void)space.write(
+        space::make_tuple("lease", static_cast<std::int64_t>(i)), lease);
+  }
+  sim.run();
+  const double elapsed = now_ns() - start;
+  TB_REQUIRE(space.size() == 0);
+  TB_REQUIRE(space.stats().expirations == leases);
+  return elapsed / static_cast<double>(leases);
+}
+
+std::string fmt_ns(double ns) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%.1f", ns);
+  return buf;
+}
+
+}  // namespace
+
+int main() {
+  const bool short_mode = obs::bench_short_mode();
+  obs::BenchReport bench("lease_churn");
+  bench.add_param("short_mode", obs::JsonValue(short_mode));
+  std::printf("Timer-wheel lease churn: steady-state arm/cancel cost vs "
+              "outstanding-lease population\n\n");
+
+  const std::size_t churn_ops = short_mode ? 50'000 : 400'000;
+  struct Point {
+    const char* label;
+    std::size_t outstanding;
+  };
+  const std::vector<Point> points = {{"1e3", 1'000},
+                                     {"1e4", 10'000},
+                                     {"1e5", 100'000},
+                                     {"1e6", 1'000'000}};
+
+  cosim::TablePrinter table(
+      {"outstanding", "arm+cancel ns/op", "expire ns/timer"});
+  double ns_1e3 = 0;
+  double ns_1e6 = 0;
+  for (const Point& p : points) {
+    const ChurnOutcome outcome = run_wheel_churn(p.outstanding, churn_ops);
+    table.add_row({p.label, fmt_ns(outcome.arm_cancel_ns),
+                   fmt_ns(outcome.expire_ns)});
+    if (p.outstanding == 1'000) ns_1e3 = outcome.arm_cancel_ns;
+    if (p.outstanding == 1'000'000) ns_1e6 = outcome.arm_cancel_ns;
+    bench.add_key_metric(
+        std::string("wheel.arm_cancel_ns_per_op.") + p.label,
+        outcome.arm_cancel_ns, obs::Better::kLower,
+        {.unit = "ns", .gate = false});
+    if (p.outstanding == 1'000'000) {
+      bench.add_key_metric("wheel.expire_ns_per_op.1e6", outcome.expire_ns,
+                           obs::Better::kLower,
+                           {.unit = "ns", .gate = false});
+    }
+  }
+  std::printf("%s\n", table.render().c_str());
+  bench.add_table("wheel_churn", table.headers(), table.rows());
+
+  // The O(1) claim, as a machine-independent gate: churn cost at 1e6
+  // outstanding over churn cost at 1e3. Pointer splices are O(1) at any
+  // population; what's left is cache pressure on the 1e6-node pool, so the
+  // ratio sits in low single digits. The 100% tolerance absorbs cache
+  // noise run to run while still failing anything with a log(n) factor
+  // (a heap-backed scheme lands at 30x+).
+  const double flatness = ns_1e3 > 0 ? ns_1e6 / ns_1e3 : 0;
+  std::printf("flatness 1e6/1e3: %.2fx (O(1) wheel: cache effects only)\n\n",
+              flatness);
+  bench.add_key_metric("wheel.flatness_1e6_vs_1e3", flatness,
+                       obs::Better::kLower,
+                       {.unit = "x", .tolerance_pct = 100.0});
+
+  const std::size_t lifecycle = short_mode ? 20'000 : 200'000;
+  const double lifecycle_ns = run_engine_lifecycle(lifecycle);
+  std::printf("engine write→expire lifecycle: %.0f ns/lease "
+              "(%zu leases through the kernel wheel event)\n",
+              lifecycle_ns, lifecycle);
+  bench.add_key_metric("space.lease_lifecycle_ns_per_op", lifecycle_ns,
+                       obs::Better::kLower, {.unit = "ns", .gate = false});
+
+  std::printf("bench report: %s\n", bench.write().c_str());
+  return 0;
+}

@@ -12,6 +12,7 @@ constexpr std::uint8_t kOkFlag = 0x04;
 // them, so their encodings are byte-identical to the pre-batch codec.
 constexpr std::uint8_t kHasBatch = 0x08;        ///< batch_tuples + durations
 constexpr std::uint8_t kHasBatchResult = 0x10;  ///< batch_handles + expires
+constexpr std::uint8_t kHasStatus = 0x20;       ///< non-OK canonical status
 
 void put_value(util::ByteBuffer& buf, const space::Value& value) {
   buf.put_u8(static_cast<std::uint8_t>(value.type()));
@@ -107,6 +108,7 @@ void BinaryCodec::encode_into(const Message& message,
   if (message.ok) flags |= kOkFlag;
   if (!message.batch_tuples.empty()) flags |= kHasBatch;
   if (!message.batch_handles.empty()) flags |= kHasBatchResult;
+  if (message.status != 0) flags |= kHasStatus;
   buf.put_u8(flags);
   if (message.tuple) put_tuple(buf, *message.tuple);
   if (message.tmpl) put_template(buf, *message.tmpl);
@@ -131,6 +133,7 @@ void BinaryCodec::encode_into(const Message& message,
   buf.put_i64(message.expires_at_ns);
   buf.put_varint(message.txn);
   buf.put_string(message.error);
+  if (message.status != 0) buf.put_u8(message.status);
   out = buf.take();
 }
 
@@ -173,6 +176,7 @@ std::optional<Message> BinaryCodec::decode(
     message.expires_at_ns = cursor.get_i64();
     message.txn = cursor.get_varint();
     message.error = cursor.get_string();
+    if (flags & kHasStatus) message.status = cursor.get_u8();
     if (!cursor.at_end()) return std::nullopt;
     return message;
   } catch (const util::PreconditionError&) {

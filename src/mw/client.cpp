@@ -39,6 +39,19 @@ void SpaceClient::handle_bytes(std::span<const std::uint8_t> bytes) {
     ++stats_.stray_responses;
     return;
   }
+  if (message->type == MsgType::kError && message->status != 0 &&
+      util::Status(static_cast<util::StatusCode>(message->status), "")
+          .retryable() &&
+      it->second.retries_left > 0 &&
+      config_.rpc_timeout != space::kLeaseForever) {
+    // Typed retryable reject (RESOURCE_EXHAUSTED load shed, UNAVAILABLE):
+    // leave the call pending and let the armed timeout retransmit with
+    // backoff — the same budget and cadence as a lost response, which
+    // de-phases the retry from the overload window instead of hammering
+    // the server the instant it says "no".
+    ++stats_.retryable_rejects;
+    return;
+  }
   Pending pending = std::move(it->second);
   pending_.erase(it);
   sim_->cancel(pending.timeout_event);
@@ -112,6 +125,8 @@ void SpaceClient::bind_metrics(obs::Registry& registry,
   obs::Counter& failures = registry.counter(prefix + ".rpc.failures");
   obs::Counter& retransmissions =
       registry.counter(prefix + ".rpc.retransmissions");
+  obs::Counter& rejects =
+      registry.counter(prefix + ".rpc.retryable_rejects");
   obs::Counter& events = registry.counter(prefix + ".events");
   obs::Counter& decode_errors = registry.counter(prefix + ".decode_errors");
   obs::Counter& strays = registry.counter(prefix + ".stray_responses");
@@ -122,14 +137,15 @@ void SpaceClient::bind_metrics(obs::Registry& registry,
   obs::Counter& dec_msgs = registry.counter(prefix + ".codec.messages_decoded");
   obs::Counter& dec_bytes = registry.counter(prefix + ".codec.bytes_decoded");
   registry.add_collector([this, &calls, &completed, &timeouts, &failures,
-                          &retransmissions, &events, &decode_errors, &strays,
-                          &coalesced, &batches, &enc_msgs, &enc_bytes,
+                          &retransmissions, &rejects, &events, &decode_errors,
+                          &strays, &coalesced, &batches, &enc_msgs, &enc_bytes,
                           &dec_msgs, &dec_bytes] {
     calls.set(stats_.calls);
     completed.set(stats_.completed);
     timeouts.set(stats_.rpc_timeouts);
     failures.set(stats_.rpc_failures);
     retransmissions.set(stats_.retransmissions);
+    rejects.set(stats_.retryable_rejects);
     events.set(stats_.events);
     decode_errors.set(stats_.decode_errors);
     strays.set(stats_.stray_responses);
@@ -168,15 +184,37 @@ auto SpaceClient::rpc(Message request) {
   return RpcAwaiter{*this, std::move(request), &SpaceClient::call, std::nullopt};
 }
 
+util::Status SpaceClient::status_of(const std::optional<Message>& response,
+                                    MsgType expected) {
+  if (!response) {
+    // The rpc machinery gave up: timeout with the retry budget spent, or
+    // no timeout configured and the transport went dark.
+    return util::Unavailable("rpc failed");
+  }
+  if (response->status != 0) {
+    return util::Status(static_cast<util::StatusCode>(response->status),
+                        response->error);
+  }
+  if (response->type != expected) {
+    return util::Aborted(response->error.empty() ? "unexpected response type"
+                                                 : response->error);
+  }
+  return util::OkStatus();
+}
+
 SpaceClient::WriteResult SpaceClient::write_result_of(
     const std::optional<Message>& response) {
   WriteResult result;
-  if (response && response->type == MsgType::kWriteResponse && response->ok) {
+  result.status = status_of(response, MsgType::kWriteResponse);
+  if (result.status.ok() && response->ok) {
     result.ok = true;
     result.lease.id = response->handle;
     result.lease.expires_at = response->expires_at_ns == INT64_MAX
                                   ? sim::Time::max()
                                   : sim::Time::ns(response->expires_at_ns);
+  } else if (result.status.ok()) {
+    // kWriteResponse with ok=false and no wire status (legacy server).
+    result.status = util::Aborted(response->error);
   }
   return result;
 }
@@ -187,6 +225,18 @@ std::optional<space::Tuple> SpaceClient::match_result_of(
     return std::nullopt;
   }
   return std::move(response->tuple);
+}
+
+SpaceClient::MatchResult SpaceClient::typed_match_result_of(
+    std::optional<Message> response) {
+  MatchResult result;
+  result.status = status_of(response, MsgType::kMatchResponse);
+  // DEADLINE_EXCEEDED still answers the match: the deadline passing IS
+  // the (empty) outcome of a blocking op, not a malfunction.
+  if (result.status.ok() && response->ok) {
+    result.tuple = std::move(response->tuple);
+  }
+  return result;
 }
 
 RpcFuture<SpaceClient::WriteResult> SpaceClient::write_async(
@@ -262,8 +312,14 @@ void SpaceClient::flush_writes() {
                          response->ok &&
                          response->batch_handles.size() == futures.size() &&
                          response->batch_expires.size() == futures.size();
+         util::Status failure;
+         if (!ok) {
+           failure = status_of(response, MsgType::kWriteBatchResponse);
+           if (failure.ok()) failure = util::Aborted("malformed batch response");
+         }
          for (std::size_t i = 0; i < futures.size(); ++i) {
            WriteResult result;
+           result.status = failure;
            if (ok) {
              result.ok = true;
              result.lease.id = response->batch_handles[i];
@@ -303,6 +359,44 @@ RpcFuture<std::optional<space::Tuple>> SpaceClient::read_async(
     future.resolve(match_result_of(std::move(response)));
   });
   return future;
+}
+
+RpcFuture<SpaceClient::MatchResult> SpaceClient::take_match_async(
+    space::Template tmpl, sim::Time timeout, std::uint64_t txn) {
+  RpcFuture<MatchResult> future;
+  Message request;
+  request.type = MsgType::kTakeRequest;
+  request.tmpl = std::move(tmpl);
+  request.duration_ns = duration_ns_of(timeout);
+  request.txn = txn;
+  call(std::move(request), [future](std::optional<Message> response) {
+    future.resolve(typed_match_result_of(std::move(response)));
+  });
+  return future;
+}
+
+RpcFuture<SpaceClient::MatchResult> SpaceClient::read_match_async(
+    space::Template tmpl, sim::Time timeout, std::uint64_t txn) {
+  RpcFuture<MatchResult> future;
+  Message request;
+  request.type = MsgType::kReadRequest;
+  request.tmpl = std::move(tmpl);
+  request.duration_ns = duration_ns_of(timeout);
+  request.txn = txn;
+  call(std::move(request), [future](std::optional<Message> response) {
+    future.resolve(typed_match_result_of(std::move(response)));
+  });
+  return future;
+}
+
+sim::Task<SpaceClient::MatchResult> SpaceClient::take_match(
+    space::Template tmpl, sim::Time timeout, std::uint64_t txn) {
+  co_return co_await take_match_async(std::move(tmpl), timeout, txn);
+}
+
+sim::Task<SpaceClient::MatchResult> SpaceClient::read_match(
+    space::Template tmpl, sim::Time timeout, std::uint64_t txn) {
+  co_return co_await read_match_async(std::move(tmpl), timeout, txn);
 }
 
 sim::Task<SpaceClient::WriteResult> SpaceClient::write(

@@ -35,6 +35,7 @@
 #include "src/sim/simulator.hpp"
 #include "src/space/space.hpp"
 #include "src/util/assert.hpp"
+#include "src/util/status.hpp"
 
 namespace tb::obs {
 class Histogram;
@@ -132,8 +133,19 @@ class SpaceClient {
   SpaceClient& operator=(const SpaceClient&) = delete;
 
   struct WriteResult {
-    bool ok = false;
-    space::Lease lease;  ///< id 0 when the entry expired in transit
+    bool ok = false;       ///< status.ok(); kept for existing call sites
+    space::Lease lease;    ///< id 0 when the entry expired in transit
+    util::Status status;   ///< typed outcome (DESIGN.md §12)
+  };
+
+  /// Typed match outcome: distinguishes a clean miss (OK status, no
+  /// tuple) from the caller's deadline passing while parked
+  /// (DEADLINE_EXCEEDED), a load-shedding server (RESOURCE_EXHAUSTED,
+  /// retryable) and transport failure (UNAVAILABLE).
+  struct MatchResult {
+    util::Status status;
+    std::optional<space::Tuple> tuple;
+    bool ok() const { return status.ok() && tuple.has_value(); }
   };
 
   /// Writes a tuple with the given lease duration (kLeaseForever allowed).
@@ -161,6 +173,19 @@ class SpaceClient {
   RpcFuture<std::optional<space::Tuple>> read_async(
       space::Template tmpl, sim::Time timeout,
       std::uint64_t txn = space::kNoTxn);
+
+  /// Status-typed variants of the async matches: the future resolves to a
+  /// MatchResult carrying the canonical outcome alongside any tuple.
+  RpcFuture<MatchResult> take_match_async(space::Template tmpl,
+                                          sim::Time timeout,
+                                          std::uint64_t txn = space::kNoTxn);
+  RpcFuture<MatchResult> read_match_async(space::Template tmpl,
+                                          sim::Time timeout,
+                                          std::uint64_t txn = space::kNoTxn);
+  sim::Task<MatchResult> take_match(space::Template tmpl, sim::Time timeout,
+                                    std::uint64_t txn = space::kNoTxn);
+  sim::Task<MatchResult> read_match(space::Template tmpl, sim::Time timeout,
+                                    std::uint64_t txn = space::kNoTxn);
 
   /// Sends any buffered coalesced writes now instead of at the end of the
   /// event turn.
@@ -205,6 +230,7 @@ class SpaceClient {
     std::uint64_t rpc_timeouts = 0;   ///< attempts that expired
     std::uint64_t rpc_failures = 0;   ///< calls whose retry budget ran out
     std::uint64_t retransmissions = 0;
+    std::uint64_t retryable_rejects = 0;  ///< typed rejects left to retry
     std::uint64_t events = 0;
     std::uint64_t decode_errors = 0;
     std::uint64_t stray_responses = 0;  ///< no pending call (late arrival)
@@ -255,6 +281,12 @@ class SpaceClient {
   static WriteResult write_result_of(const std::optional<Message>& response);
   static std::optional<space::Tuple> match_result_of(
       std::optional<Message> response);
+  static MatchResult typed_match_result_of(std::optional<Message> response);
+  /// Canonical status of a response: OK for the expected type with a clean
+  /// outcome, the wire status when the server sent one, UNAVAILABLE when
+  /// the rpc itself failed (timeout budget exhausted).
+  static util::Status status_of(const std::optional<Message>& response,
+                                MsgType expected);
 
   /// Awaitable wrapper over call().
   auto rpc(Message request);

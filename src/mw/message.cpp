@@ -2,6 +2,8 @@
 
 #include <sstream>
 
+#include "src/util/status.hpp"
+
 namespace tb::mw {
 
 const char* to_string(MsgType type) {
@@ -37,6 +39,10 @@ std::string Message::to_string() const {
   if (tmpl) os << ' ' << tmpl->to_string();
   if (!batch_tuples.empty()) os << " batch=" << batch_tuples.size();
   if (!batch_handles.empty()) os << " leases=" << batch_handles.size();
+  if (status != 0) {
+    os << " status="
+       << util::status_code_name(static_cast<util::StatusCode>(status));
+  }
   if (!error.empty()) os << " error=" << error;
   return os.str();
 }

@@ -63,7 +63,14 @@ struct Message {
   std::int64_t expires_at_ns = 0;        ///< lease expiry (write/renew responses)
   bool ok = false;                       ///< generic success flag
   std::uint64_t txn = 0;                 ///< transaction scope (0 = none)
-  std::string error;                     ///< kError details
+  std::string error;                     ///< kError / status details
+
+  /// Canonical status code (util::StatusCode as a raw byte; 0 = OK).
+  /// Carried on responses so clients can tell a retryable condition
+  /// (RESOURCE_EXHAUSTED load shed, UNAVAILABLE) from a terminal one.
+  /// Both codecs omit the field when OK, keeping pre-status encodings
+  /// byte-identical.
+  std::uint8_t status = 0;
 
   // Batch-write payload (kWriteBatchRequest/-Response). Requests carry
   // batch_tuples + batch_durations (parallel arrays); responses carry

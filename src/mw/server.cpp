@@ -5,6 +5,7 @@
 
 #include "src/obs/metrics.hpp"
 #include "src/util/assert.hpp"
+#include "src/util/status.hpp"
 
 namespace tb::mw {
 
@@ -53,6 +54,7 @@ void SpaceServer::handle_bytes(SessionId session,
     err.type = MsgType::kError;
     err.created_at_ns = space_->simulator().now().count_ns();
     err.error = "missing request id";
+    err.status = static_cast<std::uint8_t>(util::StatusCode::kInvalidArgument);
     encode_buf_.clear();
     codec_->encode_into(err, encode_buf_);
     ++stats_.messages_encoded;
@@ -88,12 +90,50 @@ void SpaceServer::enqueue(SessionId session, Message request) {
     state.dispatch_queue.push_back(std::move(request));
     return;
   }
+  admit(session, std::move(request));
+}
+
+void SpaceServer::admit(SessionId session, Message request) {
+  if (config_.max_service_slots > 0 &&
+      total_in_service_ >= config_.max_service_slots) {
+    if (config_.admission_queue_limit > 0 &&
+        admission_queue_.size() >=
+            static_cast<std::size_t>(config_.admission_queue_limit)) {
+      reject_overload(session, request);
+      return;
+    }
+    ++stats_.admission_queued;
+    admission_queue_.emplace_back(session, std::move(request));
+    return;
+  }
   start_service(session, std::move(request));
+}
+
+void SpaceServer::reject_overload(SessionId session, const Message& request) {
+  // Load shed: answer immediately with a typed, retryable status. Like the
+  // id-0 path, the rejection is NOT cached and the id leaves in_flight, so
+  // a client retry (same id) re-enters admission instead of replaying the
+  // reject from the duplicate cache.
+  ++stats_.overload_rejects;
+  sessions_[session].in_flight.erase(request.request_id);
+  Message err;
+  err.type = MsgType::kError;
+  err.request_id = request.request_id;
+  err.created_at_ns = space_->simulator().now().count_ns();
+  err.error = "server at max_service_slots";
+  err.status =
+      static_cast<std::uint8_t>(util::StatusCode::kResourceExhausted);
+  encode_buf_.clear();
+  codec_->encode_into(err, encode_buf_);
+  ++stats_.messages_encoded;
+  stats_.bytes_encoded += encode_buf_.size();
+  transport_->send(session, encode_buf_);
 }
 
 void SpaceServer::start_service(SessionId session, Message request) {
   Session& state = sessions_[session];
   ++state.in_service;
+  ++total_in_service_;
   peak_in_service_ =
       std::max(peak_in_service_, static_cast<std::size_t>(state.in_service));
   // The RMI/socket-wrapper hop inside the server host. The slot is held for
@@ -111,14 +151,36 @@ void SpaceServer::start_service(SessionId session, Message request) {
 void SpaceServer::finish_service(SessionId session) {
   Session& state = sessions_[session];
   --state.in_service;
-  if (state.dispatch_queue.empty()) return;
-  if (config_.pipeline_depth > 0 &&
-      state.in_service >= config_.pipeline_depth) {
-    return;
+  --total_in_service_;
+  // The session's own queue first (keeps pipeline_depth-only configs on
+  // their historical schedule), then the global admission FIFO.
+  if (!state.dispatch_queue.empty() &&
+      !(config_.pipeline_depth > 0 &&
+        state.in_service >= config_.pipeline_depth)) {
+    Message next = std::move(state.dispatch_queue.front());
+    state.dispatch_queue.pop_front();
+    admit(session, std::move(next));
   }
-  Message next = std::move(state.dispatch_queue.front());
-  state.dispatch_queue.pop_front();
-  start_service(session, std::move(next));
+  drain_admission_queue();
+}
+
+void SpaceServer::drain_admission_queue() {
+  while (!admission_queue_.empty() &&
+         (config_.max_service_slots == 0 ||
+          total_in_service_ < config_.max_service_slots)) {
+    auto [waiting_session, next] = std::move(admission_queue_.front());
+    admission_queue_.pop_front();
+    Session& state = sessions_[waiting_session];
+    if (config_.pipeline_depth > 0 &&
+        state.in_service >= config_.pipeline_depth) {
+      // The session refilled its own slots while this request waited
+      // globally; hand it back to the session FIFO.
+      ++stats_.pipeline_queued;
+      state.dispatch_queue.push_back(std::move(next));
+      continue;
+    }
+    start_service(waiting_session, std::move(next));
+  }
 }
 
 void SpaceServer::respond(SessionId session, Message response) {
@@ -177,6 +239,8 @@ void SpaceServer::process(SessionId session, Message request) {
       err.type = MsgType::kError;
       err.request_id = request.request_id;
       err.error = "unexpected message type";
+      err.status =
+          static_cast<std::uint8_t>(util::StatusCode::kInvalidArgument);
       respond(session, err);
       return;
     }
@@ -190,6 +254,8 @@ void SpaceServer::handle_write(SessionId session, Message& request) {
   if (!request.tuple) {
     response.ok = false;
     response.error = "write without tuple";
+    response.status =
+        static_cast<std::uint8_t>(util::StatusCode::kInvalidArgument);
     respond(session, response);
     return;
   }
@@ -211,6 +277,7 @@ void SpaceServer::handle_write(SessionId session, Message& request) {
       !space_->transaction_open(request.txn)) {
     response.ok = false;
     response.error = "unknown transaction";
+    response.status = static_cast<std::uint8_t>(util::StatusCode::kNotFound);
     respond(session, response);
     return;
   }
@@ -233,6 +300,8 @@ void SpaceServer::handle_write_batch(SessionId session, Message& request) {
       request.batch_durations.size() != request.batch_tuples.size()) {
     response.ok = false;
     response.error = "malformed write batch";
+    response.status =
+        static_cast<std::uint8_t>(util::StatusCode::kInvalidArgument);
     respond(session, response);
     return;
   }
@@ -240,6 +309,7 @@ void SpaceServer::handle_write_batch(SessionId session, Message& request) {
       !space_->transaction_open(request.txn)) {
     response.ok = false;
     response.error = "unknown transaction";
+    response.status = static_cast<std::uint8_t>(util::StatusCode::kNotFound);
     respond(session, response);
     return;
   }
@@ -277,28 +347,52 @@ void SpaceServer::handle_match(SessionId session, Message& request,
     response.type = MsgType::kError;
     response.request_id = request.request_id;
     response.error = "match without template";
+    response.status =
+        static_cast<std::uint8_t>(util::StatusCode::kInvalidArgument);
     respond(session, response);
     return;
   }
   const sim::Time timeout = duration_of(request.duration_ns);
-  auto completion = [this, session, id = request.request_id](
+  // An empty blocking result means the caller's deadline passed while
+  // parked — typed DEADLINE_EXCEEDED. An empty if-exists probe (zero
+  // timeout) is a clean miss: OK with no tuple.
+  const bool blocking = timeout > sim::Time::zero();
+  auto completion = [this, session, id = request.request_id, blocking](
                         std::optional<space::Tuple> result) {
     Message response;
     response.type = MsgType::kMatchResponse;
     response.request_id = id;
     response.ok = result.has_value();
-    if (result) response.tuple = std::move(result);
+    if (result) {
+      response.tuple = std::move(result);
+    } else if (blocking) {
+      response.status =
+          static_cast<std::uint8_t>(util::StatusCode::kDeadlineExceeded);
+    }
     respond(session, response);
   };
   if (request.txn != space::kNoTxn) {
     // Transactional matches are if-exists only (blocking under a
     // transaction would let a parked operation outlive its transaction).
     if (!space_->transaction_open(request.txn)) {
-      completion(std::nullopt);
+      Message response;
+      response.type = MsgType::kMatchResponse;
+      response.request_id = request.request_id;
+      response.ok = false;
+      response.status =
+          static_cast<std::uint8_t>(util::StatusCode::kNotFound);
+      respond(session, response);
       return;
     }
-    completion(take ? space_->take_if_exists(*request.tmpl, request.txn)
-                    : space_->read_if_exists(*request.tmpl, request.txn));
+    Message response;
+    response.type = MsgType::kMatchResponse;
+    response.request_id = request.request_id;
+    std::optional<space::Tuple> result =
+        take ? space_->take_if_exists(*request.tmpl, request.txn)
+             : space_->read_if_exists(*request.tmpl, request.txn);
+    response.ok = result.has_value();
+    if (result) response.tuple = std::move(result);
+    respond(session, response);
     return;
   }
   if (take) {
@@ -323,14 +417,24 @@ void SpaceServer::handle_txn(SessionId session, const Message& request) {
     case MsgType::kTxnCommitRequest:
       response.type = MsgType::kTxnResolveResponse;
       response.ok = space_->commit(request.handle);
+      if (!response.ok) {
+        response.status =
+            static_cast<std::uint8_t>(util::StatusCode::kNotFound);
+      }
       break;
     case MsgType::kTxnAbortRequest:
       response.type = MsgType::kTxnResolveResponse;
       response.ok = space_->abort(request.handle);
+      if (!response.ok) {
+        response.status =
+            static_cast<std::uint8_t>(util::StatusCode::kNotFound);
+      }
       break;
     default:
       response.type = MsgType::kError;
       response.error = "bad txn request";
+      response.status =
+          static_cast<std::uint8_t>(util::StatusCode::kInvalidArgument);
       break;
   }
   respond(session, response);
@@ -342,6 +446,8 @@ void SpaceServer::handle_notify(SessionId session, const Message& request) {
   if (!request.tmpl) {
     response.type = MsgType::kError;
     response.error = "notify without template";
+    response.status =
+        static_cast<std::uint8_t>(util::StatusCode::kInvalidArgument);
     respond(session, response);
     return;
   }
@@ -356,13 +462,7 @@ void SpaceServer::handle_notify(SessionId session, const Message& request) {
         event.type = MsgType::kEvent;
         event.handle = *reg_slot;
         event.tuple = tuple;
-        event.created_at_ns = space_->simulator().now().count_ns();
-        ++stats_.events_pushed;
-        encode_buf_.clear();
-        codec_->encode_into(event, encode_buf_);
-        ++stats_.messages_encoded;
-        stats_.bytes_encoded += encode_buf_.size();
-        transport_->send(session, encode_buf_);
+        push_event(session, std::move(event));
       });
   *reg_slot = registration;
   notify_sessions_[registration] = session;
@@ -371,6 +471,42 @@ void SpaceServer::handle_notify(SessionId session, const Message& request) {
   response.ok = true;
   response.handle = registration;
   respond(session, response);
+}
+
+void SpaceServer::push_event(SessionId session, Message event) {
+  // Batched async fan-out (DESIGN.md §12): one write burst can match many
+  // registrations on the same session; instead of encoding and sending
+  // inside each space callback, deliveries accumulate and a zero-delay
+  // event drains them back-to-back. Same sim-time delivery, one
+  // scheduler hop per burst instead of per event; the wire format is
+  // unchanged (individual kEvent messages).
+  Session& state = sessions_[session];
+  state.pending_events.push_back(std::move(event));
+  if (state.flush_event.valid() &&
+      space_->simulator().is_pending(state.flush_event)) {
+    return;
+  }
+  state.flush_event = space_->simulator().schedule_in(
+      sim::Time::zero(), [this, session] { flush_events(session); });
+}
+
+void SpaceServer::flush_events(SessionId session) {
+  Session& state = sessions_[session];
+  ++stats_.notify_batch_flushes;
+  // Callbacks during the sends (a notify matching a tuple written by a
+  // reacting service) land in the next flush; swap keeps iteration stable.
+  std::vector<Message> batch;
+  batch.swap(state.pending_events);
+  const std::int64_t now_ns = space_->simulator().now().count_ns();
+  for (Message& event : batch) {
+    event.created_at_ns = now_ns;
+    ++stats_.events_pushed;
+    encode_buf_.clear();
+    codec_->encode_into(event, encode_buf_);
+    ++stats_.messages_encoded;
+    stats_.bytes_encoded += encode_buf_.size();
+    transport_->send(session, encode_buf_);
+  }
 }
 
 void SpaceServer::bind_metrics(obs::Registry& registry,
@@ -384,6 +520,10 @@ void SpaceServer::bind_metrics(obs::Registry& registry,
   obs::Counter& ignored = registry.counter(prefix + ".duplicates_ignored");
   obs::Counter& rejected = registry.counter(prefix + ".rejected_requests");
   obs::Counter& queued = registry.counter(prefix + ".pipeline_queued");
+  obs::Counter& adm_queued = registry.counter(prefix + ".admission_queued");
+  obs::Counter& overload = registry.counter(prefix + ".overload_rejects");
+  obs::Counter& flushes =
+      registry.counter(prefix + ".notify_batch_flushes");
   obs::Counter& batched = registry.counter(prefix + ".batched_writes");
   obs::Counter& enc_msgs = registry.counter(prefix + ".codec.messages_encoded");
   obs::Counter& enc_bytes = registry.counter(prefix + ".codec.bytes_encoded");
@@ -391,8 +531,8 @@ void SpaceServer::bind_metrics(obs::Registry& registry,
   obs::Counter& dec_bytes = registry.counter(prefix + ".codec.bytes_decoded");
   registry.add_collector([this, &requests, &responses, &events, &decode_errors,
                           &doa, &replayed, &ignored, &rejected, &queued,
-                          &batched, &enc_msgs, &enc_bytes, &dec_msgs,
-                          &dec_bytes] {
+                          &adm_queued, &overload, &flushes, &batched,
+                          &enc_msgs, &enc_bytes, &dec_msgs, &dec_bytes] {
     requests.set(stats_.requests);
     responses.set(stats_.responses);
     events.set(stats_.events_pushed);
@@ -402,6 +542,9 @@ void SpaceServer::bind_metrics(obs::Registry& registry,
     ignored.set(stats_.duplicates_ignored);
     rejected.set(stats_.rejected_requests);
     queued.set(stats_.pipeline_queued);
+    adm_queued.set(stats_.admission_queued);
+    overload.set(stats_.overload_rejects);
+    flushes.set(stats_.notify_batch_flushes);
     batched.set(stats_.batched_writes);
     enc_msgs.set(stats_.messages_encoded);
     enc_bytes.set(stats_.bytes_encoded);
@@ -422,6 +565,10 @@ void SpaceServer::handle_renew(SessionId session, const Message& request) {
     response.expires_at_ns = lease->expires_at == sim::Time::max()
                                  ? INT64_MAX
                                  : lease->expires_at.count_ns();
+  } else {
+    // Already expired, taken, or never existed: renewal has nothing to
+    // extend.
+    response.status = static_cast<std::uint8_t>(util::StatusCode::kNotFound);
   }
   respond(session, response);
 }
@@ -439,6 +586,7 @@ void SpaceServer::handle_cancel(SessionId session, const Message& request) {
     response.ok = true;
   } else {
     response.ok = false;
+    response.status = static_cast<std::uint8_t>(util::StatusCode::kNotFound);
   }
   respond(session, response);
 }

@@ -51,6 +51,19 @@ struct ServerConfig {
   /// arrivals queue FIFO in the session. 0 = unbounded (legacy behavior,
   /// bit-exact event schedule).
   int pipeline_depth = 0;
+
+  /// Server-wide service-stage bound on top of pipeline_depth: at most
+  /// this many requests (across all sessions) may occupy the service
+  /// stage at once. 0 = unbounded (legacy behavior, bit-exact event
+  /// schedule). Excess requests wait in a global FIFO.
+  int max_service_slots = 0;
+
+  /// Bound on the global admission FIFO (only meaningful with
+  /// max_service_slots > 0). When the queue is full the server sheds
+  /// load: the request is answered immediately with a typed
+  /// RESOURCE_EXHAUSTED kError — uncached, so a client retry re-enters
+  /// admission. 0 = unbounded queue (never sheds).
+  int admission_queue_limit = 0;
 };
 
 class SpaceServer {
@@ -70,7 +83,10 @@ class SpaceServer {
     std::uint64_t duplicates_replayed = 0;  ///< cached response resent
     std::uint64_t duplicates_ignored = 0;   ///< original still in flight
     std::uint64_t rejected_requests = 0;    ///< request_id 0: uncorrelatable
-    std::uint64_t pipeline_queued = 0;      ///< waited for a service slot
+    std::uint64_t pipeline_queued = 0;      ///< waited for a session slot
+    std::uint64_t admission_queued = 0;     ///< waited for a global slot
+    std::uint64_t overload_rejects = 0;     ///< shed with RESOURCE_EXHAUSTED
+    std::uint64_t notify_batch_flushes = 0; ///< batched event deliveries
     std::uint64_t batched_writes = 0;   ///< tuples written via batch requests
     std::uint64_t messages_encoded = 0;
     std::uint64_t bytes_encoded = 0;   ///< codec output, pre-framing
@@ -104,17 +120,30 @@ class SpaceServer {
     std::deque<std::uint64_t> response_order;  ///< FIFO eviction
     std::set<std::uint64_t> in_flight;
 
-    std::deque<Message> dispatch_queue;  ///< waiting for a service slot
+    std::deque<Message> dispatch_queue;  ///< waiting for a session slot
     int in_service = 0;                  ///< requests inside the service stage
+
+    /// Notify deliveries accumulated this turn; a zero-delay flush event
+    /// drains them back-to-back (batched async fan-out, DESIGN.md §12).
+    std::vector<Message> pending_events;
+    sim::EventHandle flush_event;
   };
 
   void handle_bytes(SessionId session, std::span<const std::uint8_t> bytes);
   /// Admits a decoded request to the session pipeline: service stage if a
   /// slot is free, dispatch queue otherwise.
   void enqueue(SessionId session, Message request);
+  /// Server-wide admission (DESIGN.md §12): free global slot -> service;
+  /// full slots -> global FIFO; full FIFO -> typed RESOURCE_EXHAUSTED shed.
+  void admit(SessionId session, Message request);
+  void reject_overload(SessionId session, const Message& request);
   void start_service(SessionId session, Message request);
   /// Releases a service slot and admits the next queued request, if any.
   void finish_service(SessionId session);
+  void drain_admission_queue();
+  /// Queues a notify kEvent for the session and arms its flush event.
+  void push_event(SessionId session, Message event);
+  void flush_events(SessionId session);
   void process(SessionId session, Message request);
   void respond(SessionId session, Message response);
 
@@ -142,6 +171,11 @@ class SpaceServer {
   static constexpr std::size_t kResponseCacheSize = 64;
   std::unordered_map<SessionId, Session> sessions_;
   std::vector<std::uint8_t> encode_buf_;  ///< reused for event pushes
+
+  /// Requests admitted past their session bound but waiting for a global
+  /// service slot (max_service_slots), FIFO across sessions.
+  std::deque<std::pair<SessionId, Message>> admission_queue_;
+  int total_in_service_ = 0;
 
   Stats stats_;
   std::size_t peak_in_service_ = 0;

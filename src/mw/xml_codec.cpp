@@ -111,6 +111,13 @@ void XmlCodec::encode_into(const Message& message,
     w.text_u64(message.txn);
     w.close();
   }
+  // Canonical status is omitted when OK (0): pre-status encodings stay
+  // byte-identical on every success path.
+  if (message.status != 0) {
+    w.open("status");
+    w.text_u64(message.status);
+    w.close();
+  }
   w.open("ok");
   w.text(message.ok ? "true" : "false");
   w.close();
@@ -161,6 +168,8 @@ std::vector<std::uint8_t> XmlCodec::encode_via_tree(const Message& message) cons
   if (message.expires_at_ns != 0)
     add_text_child(root, "expires", i64_str(message.expires_at_ns));
   if (message.txn != 0) add_text_child(root, "txn", std::to_string(message.txn));
+  if (message.status != 0)
+    add_text_child(root, "status", std::to_string(message.status));
   add_text_child(root, "ok", message.ok ? "true" : "false");
   if (!message.error.empty()) add_text_child(root, "error", message.error);
   const std::string xml = root.serialize();
@@ -250,6 +259,11 @@ std::optional<Message> XmlCodec::decode(
     auto v = parse_u64(node->text);
     if (!v) return std::nullopt;
     message.txn = *v;
+  }
+  if (const XmlNode* node = root->child("status")) {
+    auto v = parse_u64(node->text);
+    if (!v || *v > 255) return std::nullopt;
+    message.status = static_cast<std::uint8_t>(*v);
   }
   if (const XmlNode* node = root->child("ok")) {
     message.ok = (util::trim(node->text) == "true");

@@ -131,8 +131,7 @@ void SpaceEngine::publish(std::uint64_t id, Tuple tuple, sim::Time expires_at) {
   entry.type_key = key;
   entry.byte_size = tuple.byte_size();
   if (expires_at != sim::Time::max()) {
-    entry.expiry_event = sim_->schedule_at(
-        expires_at, [this, shard_idx, id] { expire_entry(shard_idx, id); });
+    entry.expiry_timer = arm_lease_timer(expires_at, id);
   }
   if (config_.use_type_index) {
     shard.index[key].insert(id);
@@ -224,7 +223,7 @@ SpaceEngine::Found SpaceEngine::find_match(const Template& tmpl) {
 void SpaceEngine::erase_entry(int shard_idx,
                               std::map<std::uint64_t, Entry>::iterator it) {
   Shard& shard = shards_[shard_idx];
-  sim_->cancel(it->second.expiry_event);
+  wheel_.cancel(it->second.expiry_timer);
   if (config_.use_type_index) {
     // The cached key keeps this valid even after a take moved the tuple out.
     const auto bucket = shard.index.find(it->second.type_key);
@@ -571,8 +570,8 @@ std::uint64_t SpaceEngine::notify(Template tmpl, sim::Time lease_duration,
   reg.tmpl = std::move(tmpl);
   reg.callback = std::move(callback);
   if (lease_duration != kLeaseForever) {
-    reg.expiry_event = sim_->schedule_in(
-        lease_duration, [this, id = reg.id] { notifies_.erase(id); });
+    reg.expiry_timer =
+        arm_lease_timer(sim_->now() + lease_duration, reg.id | kNotifyTimer);
   }
   const std::uint64_t id = reg.id;
   notifies_.emplace(id, std::move(reg));
@@ -582,7 +581,7 @@ std::uint64_t SpaceEngine::notify(Template tmpl, sim::Time lease_duration,
 bool SpaceEngine::cancel_notify(std::uint64_t registration) {
   auto it = notifies_.find(registration);
   if (it == notifies_.end()) return false;
-  sim_->cancel(it->second.expiry_event);
+  wheel_.cancel(it->second.expiry_timer);
   notifies_.erase(it);
   return true;
 }
@@ -594,18 +593,14 @@ std::optional<Lease> SpaceEngine::renew(std::uint64_t tuple_id,
   for (std::size_t s = 0; s < shards_.size(); ++s) {
     auto it = shards_[s].entries.find(tuple_id);
     if (it == shards_[s].entries.end()) continue;
-    sim_->cancel(it->second.expiry_event);
+    wheel_.cancel(it->second.expiry_timer);
     it->second.expires_at = extension == kLeaseForever
                                 ? sim::Time::max()
                                 : sim_->now() + extension;
-    if (it->second.expires_at != sim::Time::max()) {
-      it->second.expiry_event = sim_->schedule_at(
-          it->second.expires_at, [this, s = static_cast<int>(s), tuple_id] {
-            expire_entry(s, tuple_id);
-          });
-    } else {
-      it->second.expiry_event = sim::EventHandle();
-    }
+    it->second.expiry_timer =
+        it->second.expires_at == sim::Time::max()
+            ? 0
+            : arm_lease_timer(it->second.expires_at, tuple_id);
     ++stats_.renewals;
     return Lease{tuple_id, it->second.expires_at};
   }
@@ -623,11 +618,59 @@ bool SpaceEngine::cancel(std::uint64_t tuple_id) {
   return false;
 }
 
-void SpaceEngine::expire_entry(int shard_idx, std::uint64_t id) {
-  auto it = shards_[shard_idx].entries.find(id);
-  if (it == shards_[shard_idx].entries.end()) return;
-  ++stats_.expirations;
-  erase_entry(shard_idx, it);
+sim::TimerWheel::TimerId SpaceEngine::arm_lease_timer(sim::Time expires_at,
+                                                      std::uint64_t payload) {
+  const sim::TimerWheel::TimerId timer =
+      wheel_.arm(expires_at.count_ns(), payload);
+  reschedule_wheel();
+  return timer;
+}
+
+void SpaceEngine::reschedule_wheel() {
+  const std::optional<std::int64_t> next = wheel_.next_deadline();
+  if (!next.has_value()) {
+    sim_->cancel(wheel_event_);
+    wheel_event_ = sim::EventHandle();
+    wheel_armed_at_ = -1;
+    return;
+  }
+  if (wheel_event_.valid() && sim_->is_pending(wheel_event_)) {
+    if (wheel_armed_at_ <= *next) return;  // the armed event fires first
+    sim_->cancel(wheel_event_);
+  }
+  wheel_armed_at_ = *next;
+  wheel_event_ =
+      sim_->schedule_at(sim::Time::ns(*next), [this] { service_wheel(); });
+}
+
+void SpaceEngine::service_wheel() {
+  wheel_event_ = sim::EventHandle();
+  wheel_armed_at_ = -1;
+  // A wakeup at the conservative bound may fire nothing: the due slot then
+  // cascades a level down and reschedule_wheel() re-arms at a tighter
+  // bound, converging on the exact deadline in <= kLevels hops.
+  wheel_.advance(sim_->now().count_ns(),
+                 [this](std::uint64_t payload, std::int64_t /*deadline*/) {
+                   expire_payload(payload);
+                 });
+  reschedule_wheel();
+}
+
+void SpaceEngine::expire_payload(std::uint64_t payload) {
+  if (payload & kNotifyTimer) {
+    notifies_.erase(payload & ~kNotifyTimer);
+    return;
+  }
+  // Entry expiry: ids don't encode their shard; probe like cancel(). The
+  // entry is guaranteed live — takes, cancels and renewals all cancel the
+  // wheel timer before this can fire.
+  for (std::size_t s = 0; s < shards_.size(); ++s) {
+    auto it = shards_[s].entries.find(payload);
+    if (it == shards_[s].entries.end()) continue;
+    ++stats_.expirations;
+    erase_entry(static_cast<int>(s), it);
+    return;
+  }
 }
 
 void SpaceEngine::bind_metrics(obs::Registry& registry,

@@ -45,6 +45,7 @@
 #include <vector>
 
 #include "src/sim/simulator.hpp"
+#include "src/sim/timer_wheel.hpp"
 #include "src/space/tuple.hpp"
 
 namespace tb::obs {
@@ -256,7 +257,7 @@ class SpaceEngine {
     std::uint64_t id = 0;  ///< doubles as the write timestamp (total order)
     Tuple tuple;
     sim::Time expires_at;
-    sim::EventHandle expiry_event;
+    sim::TimerWheel::TimerId expiry_timer = 0;  ///< wheel slot, not an event
     /// (name, arity) hash, computed once at publish: matching short-circuits
     /// on it, index maintenance never re-hashes the name, and it doubles as
     /// the shard route — which also lets takes move the tuple out before
@@ -281,7 +282,7 @@ class SpaceEngine {
     std::uint64_t id = 0;
     Template tmpl;
     NotifyCallback callback;
-    sim::EventHandle expiry_event;
+    sim::TimerWheel::TimerId expiry_timer = 0;
   };
 
   /// A provisional write awaiting commit.
@@ -342,8 +343,25 @@ class SpaceEngine {
   void erase_entry(int shard, std::map<std::uint64_t, Entry>::iterator it);
   void blocking_match(Template tmpl, sim::Time timeout, MatchCallback callback,
                       bool take);
-  void expire_entry(int shard, std::uint64_t id);
   void deliver(MatchCallback callback, std::optional<Tuple> result);
+
+  // --- lease timer wheel (DESIGN.md §12) -------------------------------------
+  // All finite leases — entries and notify registrations — live on one
+  // hierarchical timer wheel serviced by a single kernel event re-armed at
+  // the wheel's conservative next_deadline() bound, so the event heap
+  // carries O(1) state regardless of the outstanding lease count.
+
+  /// Wheel payloads with this bit set identify notify registrations; the
+  /// rest identify entry ids (probed across shards at fire time).
+  static constexpr std::uint64_t kNotifyTimer = std::uint64_t{1} << 63;
+
+  sim::TimerWheel::TimerId arm_lease_timer(sim::Time expires_at,
+                                           std::uint64_t payload);
+  /// (Re-)arms wheel_event_ at the wheel's next conservative deadline.
+  void reschedule_wheel();
+  /// Fires due timers and re-arms; spurious wakeups only tighten the bound.
+  void service_wheel();
+  void expire_payload(std::uint64_t payload);
   std::list<Waiter>& waiter_queue(int shard) {
     return shard == kWildcardShard ? wildcard_waiters_ : shards_[shard].waiters;
   }
@@ -356,6 +374,9 @@ class SpaceEngine {
 
   std::vector<Shard> shards_;
   std::list<Waiter> wildcard_waiters_;  ///< unnamed templates: watch all shards
+  sim::TimerWheel wheel_;               ///< every finite lease, O(1) arm/cancel
+  sim::EventHandle wheel_event_;        ///< single kernel event servicing it
+  std::int64_t wheel_armed_at_ = -1;    ///< deadline wheel_event_ is armed for
   std::map<std::uint64_t, NotifyReg> notifies_;
   std::map<std::uint64_t, Txn> transactions_;
   Stats stats_;

@@ -37,6 +37,9 @@ const char* kind_name(OpRecord::Kind kind) {
     case OpRecord::Kind::kAbort: return "abort";
     case OpRecord::Kind::kNotifyReg: return "notify_reg";
     case OpRecord::Kind::kNotifyCancel: return "notify_cancel";
+    case OpRecord::Kind::kRenew: return "renew";
+    case OpRecord::Kind::kCancelLease: return "cancel_lease";
+    case OpRecord::Kind::kLeaseExpire: return "lease_expire";
   }
   return "?";
 }
@@ -82,6 +85,7 @@ ReplayReport replay_against_oracle(const OpLog& log, SpaceConfig config,
   std::vector<BlockedOutcome> blocked(records.size());
   std::unordered_map<std::uint64_t, std::uint64_t> txn_map;     // ticket -> id
   std::unordered_map<std::uint64_t, std::uint64_t> notify_map;  // ticket -> id
+  std::unordered_map<std::uint64_t, std::uint64_t> tuple_map;   // ticket -> id
 
   auto mapped_txn = [&txn_map](std::uint64_t threaded_txn) {
     if (threaded_txn == kNoTxn) return kNoTxn;
@@ -89,12 +93,54 @@ ReplayReport replay_against_oracle(const OpLog& log, SpaceConfig config,
     return it == txn_map.end() ? kNoTxn : it->second;
   };
 
+  // Lease pre-pass (expiry-at-ticket, see header): rewrite every arming to
+  // the ticket-space duration that makes the oracle's wheel reclaim the
+  // entry at exactly the recorded kLeaseExpire instant. `arming` tracks
+  // the latest arming ticket per live entry (keyed by write ticket).
+  std::unordered_map<std::uint64_t, std::uint64_t> arming;
+  std::unordered_map<std::uint64_t, std::int64_t> write_dur;  // write ticket
+  std::unordered_map<std::uint64_t, std::int64_t> renew_dur;  // renew ticket
+  for (const OpRecord& r : records) {
+    switch (r.kind) {
+      case OpRecord::Kind::kWrite:
+        // Transactional writes are forever-lease in threaded mode; a
+        // post-commit renewal re-arms them below.
+        if (r.txn == kNoTxn) arming[r.ticket] = r.ticket;
+        break;
+      case OpRecord::Kind::kRenew:
+        if (r.ok) arming[r.target] = r.ticket;
+        break;
+      case OpRecord::Kind::kLeaseExpire: {
+        const auto it = arming.find(r.target);
+        if (it == arming.end()) break;
+        const std::uint64_t armed_at = it->second;
+        const std::int64_t duration = static_cast<std::int64_t>(
+            r.ticket > armed_at ? r.ticket - armed_at : 1);
+        if (armed_at == r.target) {
+          write_dur[armed_at] = duration;
+        } else {
+          renew_dur[armed_at] = duration;
+        }
+        arming.erase(it);
+        break;
+      }
+      default:
+        break;
+    }
+  }
+
   auto apply = [&](std::size_t i) {
     const OpRecord& r = records[i];
     switch (r.kind) {
-      case OpRecord::Kind::kWrite:
-        oracle.write(r.tuple, kLeaseForever, mapped_txn(r.txn));
+      case OpRecord::Kind::kWrite: {
+        const auto dur = write_dur.find(r.ticket);
+        const sim::Time lease = dur == write_dur.end()
+                                    ? kLeaseForever
+                                    : sim::Time::ns(dur->second);
+        tuple_map[r.ticket] =
+            oracle.write(r.tuple, lease, mapped_txn(r.txn)).id;
         break;
+      }
       case OpRecord::Kind::kReadIfExists: {
         const auto got = oracle.read_if_exists(r.tmpl, mapped_txn(r.txn));
         if (got != r.result) {
@@ -186,6 +232,35 @@ ReplayReport replay_against_oracle(const OpLog& log, SpaceConfig config,
         }
         break;
       }
+      case OpRecord::Kind::kRenew: {
+        const auto dur = renew_dur.find(r.ticket);
+        const sim::Time extension = dur == renew_dur.end()
+                                        ? kLeaseForever
+                                        : sim::Time::ns(dur->second);
+        const auto id = tuple_map.find(r.target);
+        const bool got = id != tuple_map.end() &&
+                         oracle.renew(id->second, extension).has_value();
+        if (got != r.ok) {
+          diverge(i, "oracle renew " + std::to_string(got) +
+                         " != recorded " + std::to_string(r.ok));
+        }
+        break;
+      }
+      case OpRecord::Kind::kCancelLease: {
+        const auto id = tuple_map.find(r.target);
+        const bool got =
+            id != tuple_map.end() && oracle.cancel(id->second);
+        if (got != r.ok) {
+          diverge(i, "oracle cancel " + std::to_string(got) +
+                         " != recorded " + std::to_string(r.ok));
+        }
+        break;
+      }
+      case OpRecord::Kind::kLeaseExpire:
+        // Nothing to apply: the pre-pass turned this record into the
+        // arming's replay duration, so the oracle's own wheel reclaims the
+        // entry at exactly this instant.
+        break;
     }
   };
 

@@ -37,12 +37,14 @@ struct ThreadedSpaceEngine::Request {
   TxnState* txn_state = nullptr;
   std::size_t max = 0;
   std::uint64_t target = 0;  ///< kCancelWaiter: waiter ticket to remove
+  sim::Time lease = kLeaseForever;  ///< kWrite: requested lease duration
 
   std::mutex mu;
   std::condition_variable cv;
   bool done = false;
   bool parked = false;
   std::uint64_t ticket = 0;
+  std::int64_t deadline_ns = -1;  ///< kWrite result: steady-ns expiry
   std::optional<Tuple> result;
   std::vector<Tuple> results;
 };
@@ -115,8 +117,12 @@ void wait_done_impl(std::mutex& mu, std::condition_variable& cv,
 
 void ThreadedSpaceEngine::worker_loop(int shard_idx) {
   Shard& sh = *shards_[static_cast<std::size_t>(shard_idx)];
+  const auto pred = [&] {
+    return sh.barrier_requested || !sh.inbox.empty() || sh.stop;
+  };
   for (;;) {
     Request* req = nullptr;
+    bool timers_due = false;
     {
       std::unique_lock<std::mutex> lk(sh.inbox_mu);
       for (;;) {
@@ -130,6 +136,14 @@ void ThreadedSpaceEngine::worker_loop(int shard_idx) {
           sh.parked = false;
           continue;
         }
+        // Due lease timers are reclaimed before queued work: the expiry
+        // draws its ticket ahead of requests that arrived while it was
+        // overdue, matching what a hardware timer interrupt would do.
+        const std::optional<std::int64_t> next = sh.wheel.next_deadline();
+        if (next.has_value() && *next <= steady_now_ns()) {
+          timers_due = true;
+          break;
+        }
         if (!sh.inbox.empty()) {
           req = sh.inbox.front();
           sh.inbox.pop_front();
@@ -138,12 +152,55 @@ void ThreadedSpaceEngine::worker_loop(int shard_idx) {
           break;
         }
         if (sh.stop) return;  // inbox drained: every sync client is unblocked
-        sh.inbox_cv.wait(lk, [&] {
-          return sh.barrier_requested || !sh.inbox.empty() || sh.stop;
-        });
+        if (next.has_value()) {
+          // Bounded idle wait: wake at the wheel's conservative next
+          // deadline (a spurious wake just cascades and tightens it).
+          sh.inbox_cv.wait_until(lk, epoch_ + std::chrono::nanoseconds(*next),
+                                 pred);
+        } else {
+          sh.inbox_cv.wait(lk, pred);
+        }
       }
     }
+    if (timers_due) {
+      service_shard_wheel(shard_idx);
+      continue;
+    }
     apply(shard_idx, *req);
+  }
+}
+
+std::int64_t ThreadedSpaceEngine::steady_now_ns() const {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now() - epoch_)
+      .count();
+}
+
+void ThreadedSpaceEngine::service_shard_wheel(int shard_idx) {
+  Shard& sh = *shards_[static_cast<std::size_t>(shard_idx)];
+  // Collect first: erase_entry cancels the (already freed) wheel node,
+  // which is a stale-id no-op, and must not run inside advance().
+  std::vector<std::uint64_t> due;
+  sh.wheel.advance(steady_now_ns(),
+                   [&due](std::uint64_t payload, std::int64_t /*deadline*/) {
+                     due.push_back(payload);
+                   });
+  for (const std::uint64_t id : due) {
+    auto it = sh.entries.find(id);
+    if (it == sh.entries.end()) continue;  // defensive: cancels are exact
+    // The reclamation *is* the expiry's linearization point: visibility in
+    // threaded mode is presence, and the replay pre-pass arms the oracle
+    // with exactly this ticket-space duration (oplog.hpp).
+    const std::uint64_t ticket = next_ticket();
+    if (log_ != nullptr) {
+      OpRecord rec;
+      rec.ticket = ticket;
+      rec.kind = Kind::kLeaseExpire;
+      rec.target = id;
+      log_->append(rec);
+    }
+    ++sh.stats.expirations;
+    erase_entry(shard_idx, it);
   }
 }
 
@@ -191,6 +248,12 @@ void ThreadedSpaceEngine::apply_write(int shard_idx, Request& req) {
   Tuple tuple = std::move(req.tuple);
   std::vector<std::pair<NotifyCallback, Tuple>> fire;
   std::uint64_t id = 0;
+  // The deadline counts from the linearization point (the apply), not from
+  // the client's enqueue — transit through a backlogged inbox eats into
+  // nothing; the lease starts when the write becomes visible.
+  const std::int64_t deadline_ns =
+      req.lease == kLeaseForever ? -1
+                                 : steady_now_ns() + req.lease.count_ns();
 
   if (cross_possible()) {
     // Slow path: wildcard waiters or notify registrations may exist, so the
@@ -206,7 +269,8 @@ void ThreadedSpaceEngine::apply_write(int shard_idx, Request& req) {
       rec.tuple = tuple;
       log_->append(rec);
     }
-    serve_and_store(shard_idx, id, std::move(tuple), /*cross_locked=*/true);
+    serve_and_store(shard_idx, id, std::move(tuple), /*cross_locked=*/true,
+                    deadline_ns);
   } else {
     // Fast path: no cross-shard state can appear mid-apply (registrations
     // run under the barrier), so this write commutes with everything it
@@ -219,7 +283,8 @@ void ThreadedSpaceEngine::apply_write(int shard_idx, Request& req) {
       rec.tuple = tuple;
       log_->append(rec);
     }
-    serve_and_store(shard_idx, id, std::move(tuple), /*cross_locked=*/false);
+    serve_and_store(shard_idx, id, std::move(tuple), /*cross_locked=*/false,
+                    deadline_ns);
   }
   ++shards_[static_cast<std::size_t>(shard_idx)]->stats.writes;
 
@@ -228,6 +293,7 @@ void ThreadedSpaceEngine::apply_write(int shard_idx, Request& req) {
   } else {
     std::lock_guard<std::mutex> lk(req.mu);
     req.ticket = id;
+    req.deadline_ns = deadline_ns;
     req.done = true;
     req.cv.notify_all();
   }
@@ -235,7 +301,8 @@ void ThreadedSpaceEngine::apply_write(int shard_idx, Request& req) {
 }
 
 bool ThreadedSpaceEngine::serve_and_store(int shard_idx, std::uint64_t id,
-                                          Tuple tuple, bool cross_locked) {
+                                          Tuple tuple, bool cross_locked,
+                                          std::int64_t deadline_ns) {
   Shard& sh = *shards_[static_cast<std::size_t>(shard_idx)];
   // Registration-order merge of the shard queue and (when visible) the
   // wildcard queue: both are ticket-ordered appends, so a two-pointer walk
@@ -269,18 +336,19 @@ bool ThreadedSpaceEngine::serve_and_store(int shard_idx, std::uint64_t id,
     ++stats.reads;
     complete_waiter(waiter, tuple);  // copy to each blocked reader
   }
-  store_entry(shard_idx, id, std::move(tuple));
+  store_entry(shard_idx, id, std::move(tuple), deadline_ns);
   return false;
 }
 
 void ThreadedSpaceEngine::store_entry(int shard_idx, std::uint64_t id,
-                                      Tuple tuple) {
+                                      Tuple tuple, std::int64_t deadline_ns) {
   Shard& sh = *shards_[static_cast<std::size_t>(shard_idx)];
   TEntry entry;
   entry.id = id;
   entry.type_key = type_key(tuple.name, tuple.arity());
   entry.byte_size = tuple.byte_size();
   entry.tuple = std::move(tuple);
+  if (deadline_ns >= 0) entry.expiry_timer = sh.wheel.arm(deadline_ns, id);
   if (config_.use_type_index) {
     sh.index[entry.type_key].insert(id);
   }
@@ -294,6 +362,7 @@ void ThreadedSpaceEngine::store_entry(int shard_idx, std::uint64_t id,
 void ThreadedSpaceEngine::erase_entry(
     int shard_idx, std::map<std::uint64_t, TEntry>::iterator it) {
   Shard& sh = *shards_[static_cast<std::size_t>(shard_idx)];
+  sh.wheel.cancel(it->second.expiry_timer);  // stale-safe after an expiry
   if (config_.use_type_index) {
     const auto bucket = sh.index.find(it->second.type_key);
     TB_ASSERT(bucket != sh.index.end());
@@ -305,7 +374,16 @@ void ThreadedSpaceEngine::erase_entry(
 }
 
 Lease ThreadedSpaceEngine::write(Tuple tuple, std::uint64_t txn) {
+  return write(std::move(tuple), kLeaseForever, txn);
+}
+
+Lease ThreadedSpaceEngine::write(Tuple tuple, sim::Time lease_duration,
+                                 std::uint64_t txn) {
+  TB_REQUIRE(lease_duration > sim::Time::zero());
   if (txn != kNoTxn) {
+    TB_REQUIRE_MSG(lease_duration == kLeaseForever,
+                   "transactional writes keep forever leases in threaded "
+                   "mode (commit publication does not re-arm)");
     // Transaction-private: invisible to every other client until commit, so
     // the ticket may race freely — the op commutes with everything outside
     // its (single-owner) transaction.
@@ -325,11 +403,14 @@ Lease ThreadedSpaceEngine::write(Tuple tuple, std::uint64_t txn) {
   Request req;
   req.kind = Request::Kind::kWrite;
   req.tuple = std::move(tuple);
+  req.lease = lease_duration;
   const int shard_idx =
       shard_of(type_key(req.tuple.name, req.tuple.arity()));
   push_request(shard_idx, &req);
   wait_done_impl(req.mu, req.cv, req.done);
-  return Lease{req.ticket, sim::Time::max()};
+  return Lease{req.ticket, req.deadline_ns < 0
+                               ? sim::Time::max()
+                               : sim::Time::ns(req.deadline_ns)};
 }
 
 void ThreadedSpaceEngine::write_async(Tuple tuple) {
@@ -924,7 +1005,7 @@ bool ThreadedSpaceEngine::commit(std::uint64_t txn) {
         collect_notifications(tuple, &fire);
         const int shard_idx = shard_of(type_key(tuple.name, tuple.arity()));
         serve_and_store(shard_idx, write_id, std::move(tuple),
-                        /*cross_locked=*/true);
+                        /*cross_locked=*/true, /*deadline_ns=*/-1);
       }
       // Held takes become permanent: nothing to restore.
     }
@@ -962,10 +1043,13 @@ bool ThreadedSpaceEngine::abort(std::uint64_t txn) {
       // Restore held entries under their original ids — back into the total
       // order where they were taken from. No notifications: their writes
       // were announced when first published. Blocked ops do get served.
+      // A held finite-lease entry's timer was cancelled at take time, so
+      // the restore is forever — mirrored exactly by the replay pre-pass:
+      // no kLeaseExpire record ever terminates that write's arming.
       for (TEntry& held : state->held) {
         const int shard_idx = shard_of(held.type_key);
         serve_and_store(shard_idx, held.id, std::move(held.tuple),
-                        /*cross_locked=*/true);
+                        /*cross_locked=*/true, /*deadline_ns=*/-1);
       }
     }
     if (log_ != nullptr) {
@@ -1039,7 +1123,6 @@ bool ThreadedSpaceEngine::cancel_notify(std::uint64_t registration) {
   if (ok) {
     notifies_.erase(it);
     cross_count_.fetch_sub(1);
-    ++cross_stats_.cancellations;
   }
   if (log_ != nullptr) {
     OpRecord rec;
@@ -1054,6 +1137,68 @@ bool ThreadedSpaceEngine::cancel_notify(std::uint64_t registration) {
 
 void ThreadedSpaceEngine::set_completion_bridge(sim::RealtimeBridge* bridge) {
   bridge_ = bridge;
+}
+
+// --- leases -----------------------------------------------------------------
+
+std::optional<Lease> ThreadedSpaceEngine::renew(std::uint64_t tuple_id,
+                                                sim::Time extension) {
+  TB_REQUIRE(extension > sim::Time::zero());
+  // Barrier: ids do not encode their shard, and only a fully quiesced
+  // search gives the recorded hit/miss one exact linearization ticket
+  // (see the header comment for the probe-protocol pitfall).
+  barrier_acquire();
+  const std::uint64_t ticket = next_ticket();
+  std::optional<Lease> out;
+  for (std::size_t s = 0; s < shards_.size(); ++s) {
+    Shard& sh = *shards_[s];
+    auto it = sh.entries.find(tuple_id);
+    if (it == sh.entries.end()) continue;
+    sh.wheel.cancel(it->second.expiry_timer);
+    const std::int64_t deadline_ns =
+        extension == kLeaseForever ? -1
+                                   : steady_now_ns() + extension.count_ns();
+    it->second.expiry_timer =
+        deadline_ns < 0 ? 0 : sh.wheel.arm(deadline_ns, tuple_id);
+    ++barrier_stats_.renewals;
+    out = Lease{tuple_id, deadline_ns < 0 ? sim::Time::max()
+                                          : sim::Time::ns(deadline_ns)};
+    break;
+  }
+  if (log_ != nullptr) {
+    OpRecord rec;
+    rec.ticket = ticket;
+    rec.kind = Kind::kRenew;
+    rec.target = tuple_id;
+    rec.ok = out.has_value();
+    log_->append(rec);
+  }
+  barrier_release();
+  return out;
+}
+
+bool ThreadedSpaceEngine::cancel(std::uint64_t tuple_id) {
+  barrier_acquire();
+  const std::uint64_t ticket = next_ticket();
+  bool ok = false;
+  for (std::size_t s = 0; s < shards_.size(); ++s) {
+    auto it = shards_[s]->entries.find(tuple_id);
+    if (it == shards_[s]->entries.end()) continue;
+    erase_entry(static_cast<int>(s), it);
+    ++barrier_stats_.cancellations;
+    ok = true;
+    break;
+  }
+  if (log_ != nullptr) {
+    OpRecord rec;
+    rec.ticket = ticket;
+    rec.kind = Kind::kCancelLease;
+    rec.target = tuple_id;
+    rec.ok = ok;
+    log_->append(rec);
+  }
+  barrier_release();
+  return ok;
 }
 
 // --- barrier protocol -------------------------------------------------------

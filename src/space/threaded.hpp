@@ -25,10 +25,24 @@
 // everything they raced. Registrations that *create* cross-shard state run
 // under the barrier so no in-flight publish can miss them.
 //
-// Intentional v1 restrictions (all TB_REQUIRE-guarded): leases are forever
-// (no expiry timers race the linearization order), transactions have no
-// deadline, and renew/cancel-by-id are not offered. The deterministic
-// engine remains the full-semantics oracle.
+// Finite leases (DESIGN.md §12): each shard worker owns a hierarchical
+// timer wheel keyed in engine-relative steady-clock nanoseconds. A write's
+// expiry is *processed* by the owning worker (or never — takes, cancels and
+// renewals cancel the wheel timer first), and the reclamation draws its own
+// linearization ticket, logged as kLeaseExpire. Visibility is therefore
+// presence: matching needs no deadline checks, because an entry is exactly
+// as visible as its not-yet-reclaimed state — which is what the replay
+// pre-pass reproduces in the oracle (expiry-at-ticket, oplog.hpp).
+// Renew/cancel-by-id are barrier ops: ids do not encode their shard, and a
+// probe-per-shard protocol could falsely linearize a miss (an abort can
+// restore a held entry on an already-probed shard before the final probe's
+// ticket), so the coordinator searches the quiesced shards and draws one
+// exact ticket.
+//
+// Remaining intentional restrictions (TB_REQUIRE-guarded): transactional
+// writes keep forever leases (commit publication would need to re-arm
+// mid-barrier), transactions have no deadline, and notify registrations do
+// not expire. The deterministic engine remains the full-semantics oracle.
 #pragma once
 
 #include <atomic>
@@ -86,6 +100,12 @@ class ThreadedSpaceEngine {
   /// owning shard's inbox is full.
   Lease write(Tuple tuple, std::uint64_t txn = kNoTxn);
 
+  /// Stores a tuple for `lease_duration` (kLeaseForever = no expiry); the
+  /// deadline counts from the write's linearization point. Transactional
+  /// writes must use kLeaseForever. The returned Lease's expires_at is in
+  /// engine-relative steady-clock ns (sim::Time::max() = forever).
+  Lease write(Tuple tuple, sim::Time lease_duration, std::uint64_t txn);
+
   /// Fire-and-forget write: enqueues and returns without waiting for the
   /// shard to apply it (still blocks on a full inbox — backpressure, not
   /// unbounded buffering).
@@ -130,6 +150,17 @@ class ThreadedSpaceEngine {
   /// this engine.
   std::uint64_t notify(Template tmpl, NotifyCallback callback);
   bool cancel_notify(std::uint64_t registration);
+
+  // --- leases --------------------------------------------------------------
+
+  /// Extends a live tuple's lease to now + extension (kLeaseForever =
+  /// never expires). Barrier op — see the header comment. Returns the
+  /// updated lease, or nullopt when the tuple is gone (taken, cancelled or
+  /// already reclaimed).
+  std::optional<Lease> renew(std::uint64_t tuple_id, sim::Time extension);
+
+  /// Cancels the lease, removing the tuple. Barrier op. False when gone.
+  bool cancel(std::uint64_t tuple_id);
 
   /// Routes notify deliveries through a sim::RealtimeBridge so a
   /// RealTimeRunner loop receives them on its kernel thread. Install
@@ -188,6 +219,7 @@ class ThreadedSpaceEngine {
     Tuple tuple;
     std::uint64_t type_key = 0;
     std::size_t byte_size = 0;
+    sim::TimerWheel::TimerId expiry_timer = 0;  ///< on the shard's wheel
   };
 
   struct TWaiter {
@@ -218,6 +250,10 @@ class ThreadedSpaceEngine {
     std::list<TWaiter> waiters;
     std::size_t stored_bytes = 0;
     Stats stats;
+    /// Finite-lease timers, payload = entry id, deadlines in
+    /// engine-relative steady ns. Owner-only like the entry map; the
+    /// worker's idle wait is bounded by its next_deadline().
+    sim::TimerWheel wheel;
 
     // Exported metrics: atomics, safe to read from any thread.
     std::atomic<std::size_t> inbox_depth{0};
@@ -242,10 +278,17 @@ class ThreadedSpaceEngine {
 
   /// Serves waiters then stores; returns true when a blocked take consumed
   /// the tuple. `cross_locked` = cross_mu_ is held, so the wildcard queue
-  /// participates in the registration-order merge.
+  /// participates in the registration-order merge. `deadline_ns` is the
+  /// entry's steady-ns expiry (-1 = forever).
   bool serve_and_store(int shard_idx, std::uint64_t id, Tuple tuple,
-                       bool cross_locked);
-  void store_entry(int shard_idx, std::uint64_t id, Tuple tuple);
+                       bool cross_locked, std::int64_t deadline_ns);
+  void store_entry(int shard_idx, std::uint64_t id, Tuple tuple,
+                   std::int64_t deadline_ns);
+  /// Reclaims every entry whose wheel deadline has passed, drawing one
+  /// ticket per expiry (logged as kLeaseExpire). Worker thread only.
+  void service_shard_wheel(int shard_idx);
+  /// Nanoseconds since the engine's steady-clock epoch.
+  std::int64_t steady_now_ns() const;
   /// Oldest live entry matching tmpl on one shard; entries.end() when none.
   std::map<std::uint64_t, TEntry>::iterator find_in_shard(
       int shard_idx, const Template& tmpl);
@@ -294,6 +337,10 @@ class ThreadedSpaceEngine {
   SpaceConfig config_;
   OpLog* log_ = nullptr;
   sim::RealtimeBridge* bridge_ = nullptr;
+  /// Epoch for lease deadlines: every shard wheel is keyed in ns since
+  /// this instant, so deadlines are small positive int64s.
+  std::chrono::steady_clock::time_point epoch_ =
+      std::chrono::steady_clock::now();
 
   std::vector<std::unique_ptr<Shard>> shards_;
 

@@ -83,8 +83,10 @@ sim::Task<void> ActuatorAgent::operate() {
     if (actuate_) actuate_(tick_number);
     ++stats_.ticks_operated;
     ++tick_number;
-    co_await api_->write(heartbeat_tuple(config_.role, id_),
-                         config_.heartbeat_lease);
+    const util::Status wrote = co_await write_with_retry(
+        *api_, heartbeat_tuple(config_.role, id_), config_.heartbeat_lease,
+        config_.write_retries, config_.write_backoff);
+    if (!wrote.ok()) ++stats_.heartbeats_dropped;
     co_await sim::delay(api_->simulator(), config_.tick);
   }
 }
@@ -113,9 +115,11 @@ sim::Task<void> ActuatorAgent::stand_by() {
 
 sim::Task<bool> ControlAgent::arm(sim::Time timeout) {
   // Step 1: put the start tuple into the space...
-  const bool written =
-      co_await api_->write(start_tuple(config_.role), space::kLeaseForever);
-  if (!written) co_return false;
+  const util::Status written =
+      co_await write_with_retry(*api_, start_tuple(config_.role),
+                                space::kLeaseForever, config_.write_retries,
+                                config_.write_backoff);
+  if (!written.ok()) co_return false;
   // ...and wait until it has been removed.
   const sim::Time deadline = api_->simulator().now() + timeout;
   while (api_->simulator().now() < deadline) {

@@ -14,6 +14,7 @@
 #include "src/sim/process.hpp"
 #include "src/space/ops.hpp"
 #include "src/space/space.hpp"
+#include "src/util/status.hpp"
 
 namespace tb::svc {
 
@@ -27,7 +28,32 @@ class SpaceApi {
   virtual sim::Task<std::optional<space::Tuple>> read(space::Template tmpl,
                                                       sim::Time timeout) = 0;
   virtual sim::Simulator& simulator() = 0;
+
+  /// Typed write (DESIGN.md §12): canonical Status instead of bool, so
+  /// callers can tell retryable overload (RESOURCE_EXHAUSTED, UNAVAILABLE)
+  /// from hard failure. The default bridges through write().
+  virtual sim::Task<util::Status> write_status(space::Tuple tuple,
+                                               sim::Time lease) {
+    const bool ok = co_await write(std::move(tuple), lease);
+    co_return ok ? util::OkStatus() : util::Unavailable("write failed");
+  }
 };
+
+/// Retry policy over the typed write path: re-attempts only canonical
+/// retryable codes, backing off between tries. `retries == 0` degenerates
+/// to a single attempt (byte-exact with a plain write_status call).
+inline sim::Task<util::Status> write_with_retry(SpaceApi& api,
+                                                space::Tuple tuple,
+                                                sim::Time lease, int retries,
+                                                sim::Time backoff) {
+  util::Status status = co_await api.write_status(tuple, lease);
+  while (!status.ok() && status.retryable() && retries-- > 0) {
+    if (backoff > sim::Time::zero())
+      co_await sim::delay(api.simulator(), backoff);
+    status = co_await api.write_status(tuple, lease);
+  }
+  co_return status;
+}
 
 /// Direct binding to an in-process SpaceEngine.
 class LocalSpaceApi final : public SpaceApi {
@@ -62,6 +88,12 @@ class RemoteSpaceApi final : public SpaceApi {
     mw::SpaceClient::WriteResult r =
         co_await client_->write(std::move(tuple), lease);
     co_return r.ok;
+  }
+  sim::Task<util::Status> write_status(space::Tuple tuple,
+                                       sim::Time lease) override {
+    mw::SpaceClient::WriteResult r =
+        co_await client_->write(std::move(tuple), lease);
+    co_return r.status;
   }
   sim::Task<std::optional<space::Tuple>> take(space::Template tmpl,
                                               sim::Time timeout) override {

@@ -255,5 +255,81 @@ TEST(BatchCodec, RoundTripsBothCodecs) {
   }
 }
 
+// --- admission control (DESIGN.md §12) --------------------------------------
+
+class AdmissionTest : public PipelineTest {
+ protected:
+  AdmissionTest()
+      : PipelineTest(ServerConfig{.max_service_slots = 1,
+                                  .admission_queue_limit = 1}) {}
+};
+
+TEST_F(AdmissionTest, OverloadShedsTypedRetryableReject) {
+  space_.write(space::make_tuple("a", space::Value(1)));
+  space_.write(space::make_tuple("b", space::Value(2)));
+  space_.write(space::make_tuple("c", space::Value(3)));
+
+  // Three requests in one turn against one service slot and one queue
+  // seat: the first services, the second waits for the slot, the third is
+  // shed. Default client config (no retries) surfaces the typed status.
+  auto first = client_.read_match_async(any_named("a", 1), sim::Time::zero());
+  auto second = client_.read_match_async(any_named("b", 1), sim::Time::zero());
+  auto third = client_.read_match_async(any_named("c", 1), sim::Time::zero());
+  std::vector<SpaceClient::MatchResult> results;
+  sim::spawn([&]() -> sim::Task<void> {
+    results.push_back(co_await first);
+    results.push_back(co_await second);
+    results.push_back(co_await third);
+  });
+  sim_.run();
+
+  ASSERT_EQ(results.size(), 3u);
+  EXPECT_TRUE(results[0].ok());
+  EXPECT_TRUE(results[1].ok());
+  EXPECT_FALSE(results[2].tuple.has_value());
+  EXPECT_EQ(results[2].status.code(), util::StatusCode::kResourceExhausted);
+  EXPECT_TRUE(results[2].status.retryable());
+  EXPECT_EQ(server_.stats().admission_queued, 1u);
+  EXPECT_EQ(server_.stats().overload_rejects, 1u);
+}
+
+class AdmissionRetryTest : public PipelineTest {
+ protected:
+  AdmissionRetryTest()
+      : PipelineTest(ServerConfig{.max_service_slots = 1,
+                                  .admission_queue_limit = 1},
+                     ClientConfig{.rpc_timeout = 40_ms, .rpc_retries = 2}) {}
+};
+
+TEST_F(AdmissionRetryTest, ShedRequestRetransmitsAndCompletes) {
+  space_.write(space::make_tuple("a", space::Value(1)));
+  space_.write(space::make_tuple("b", space::Value(2)));
+  space_.write(space::make_tuple("c", space::Value(3)));
+
+  // The shed third request stays pending client-side (typed retryable
+  // reject + retries left + finite rpc_timeout) and retransmits on the
+  // armed timeout; by then the overload has cleared and the same request
+  // id re-enters admission — the reject was deliberately not cached.
+  auto first = client_.read_match_async(any_named("a", 1), sim::Time::zero());
+  auto second = client_.read_match_async(any_named("b", 1), sim::Time::zero());
+  auto third = client_.read_match_async(any_named("c", 1), sim::Time::zero());
+  std::vector<SpaceClient::MatchResult> results;
+  sim::spawn([&]() -> sim::Task<void> {
+    results.push_back(co_await first);
+    results.push_back(co_await second);
+    results.push_back(co_await third);
+  });
+  sim_.run();
+
+  ASSERT_EQ(results.size(), 3u);
+  EXPECT_TRUE(results[0].ok());
+  EXPECT_TRUE(results[1].ok());
+  EXPECT_TRUE(results[2].ok());
+  EXPECT_EQ(server_.stats().overload_rejects, 1u);
+  EXPECT_EQ(client_.stats().retryable_rejects, 1u);
+  EXPECT_GE(client_.stats().retransmissions, 1u);
+  EXPECT_EQ(client_.stats().rpc_failures, 0u);
+}
+
 }  // namespace
 }  // namespace tb::mw

@@ -4,6 +4,8 @@
 // state growth, deterministic completion.
 #include <gtest/gtest.h>
 
+#include <cstdlib>
+
 #include "src/cosim/scenario.hpp"
 #include "src/net/tpwire_channel.hpp"
 #include "src/sim/process.hpp"
@@ -12,6 +14,17 @@ namespace tb {
 namespace {
 
 using namespace tb::sim::literals;
+
+/// One exchange per simulated minute; TB_SOAK_ROUNDS scales the run (the
+/// nightly workflow soaks 8+ simulated hours, CI keeps the 1-hour default).
+int soak_rounds() {
+  const char* env = std::getenv("TB_SOAK_ROUNDS");
+  if (env != nullptr) {
+    const int n = std::atoi(env);
+    if (n > 0) return n;
+  }
+  return 60;
+}
 
 TEST(Soak, HoursOfMixedTrafficOnTheFigure7Stack) {
   cosim::ScenarioConfig config;
@@ -30,7 +43,7 @@ TEST(Soak, HoursOfMixedTrafficOnTheFigure7Stack) {
   scenario.start();
   cbr.start();
 
-  constexpr int kRounds = 60;   // one exchange per simulated minute
+  const int kRounds = soak_rounds();
   int a_completed = 0;
   int b_completed = 0;
   int events_seen = 0;
@@ -76,7 +89,9 @@ TEST(Soak, HoursOfMixedTrafficOnTheFigure7Stack) {
     }
   });
 
-  scenario.sim().run_until(sim::Time::sec(2 * 3'600));  // 2 simulated hours
+  // Horizon: one simulated minute per round, doubled for slack (the
+  // default 60 rounds soak 2 simulated hours).
+  scenario.sim().run_until(sim::Time::sec(kRounds * 2 * 60));
   cbr.stop();
   scenario.shutdown();
 

@@ -1,20 +1,24 @@
 // Differential oracle harness (DESIGN.md §11, ISSUE 6): a seed-driven
 // fuzzer drives the real-thread ThreadedSpaceEngine with concurrent client
-// threads — writes, if-exists and bulk matches (named and wildcard,
+// threads — writes (forever and µs-range finite leases), renewals racing
+// expiry, lease cancels, if-exists and bulk matches (named and wildcard,
 // Zipf-skewed keys), blocking takes with short timeouts, transactions, and
 // notify churn — while every operation is recorded in an OpLog at its
 // linearization ticket. The log is then replayed in ticket order through
-// the single-threaded deterministic SpaceEngine; any per-op result
-// mismatch, lost wakeup, mis-ordered wildcard merge, or final-state
+// the single-threaded deterministic SpaceEngine (expiry-at-ticket, see
+// oplog.hpp); any per-op result mismatch, lost wakeup, mis-ordered
+// wildcard merge, lease reclaimed at the wrong instant, or final-state
 // difference is a concurrency bug and fails the seed.
 //
 // 32 seeds x shard_count {1, 4, 16} run under ctest (label: threaded); the
-// CI thread-sanitizer job runs the same binary under TSan.
+// CI thread-sanitizer job runs the same binary under TSan, and the nightly
+// workflow sweeps TB_DIFF_SEEDS=128 (4x) under TSan as a long soak.
 #include <gtest/gtest.h>
 
 #include <atomic>
 #include <chrono>
 #include <cstdint>
+#include <cstdlib>
 #include <random>
 #include <string>
 #include <thread>
@@ -32,6 +36,17 @@ constexpr int kSeeds = 32;
 constexpr int kClients = 4;
 constexpr int kOpsPerClient = 120;
 constexpr int kKeyCount = 8;
+
+/// Seed count, overridable for the nightly long-soak sweep
+/// (TB_DIFF_SEEDS=128 runs 4x the default).
+int seed_count() {
+  const char* env = std::getenv("TB_DIFF_SEEDS");
+  if (env != nullptr) {
+    const int n = std::atoi(env);
+    if (n > 0) return n;
+  }
+  return kSeeds;
+}
 
 Template any_named(const std::string& name, std::size_t arity) {
   std::vector<FieldPattern> fields(arity, FieldPattern::any());
@@ -77,6 +92,10 @@ void client_worker(ThreadedSpaceEngine& space, std::uint64_t seed, int tid,
   std::mt19937_64 rng(seed * 7919 + static_cast<std::uint64_t>(tid) + 1);
   std::uniform_int_distribution<int> pct(0, 99);
   std::int64_t counter = tid * 1'000'000;
+  // Ids of this client's finite-lease writes: renew/cancel targets. Entries
+  // may have expired, been taken, or been cancelled by the time they are
+  // renewed — exactly the races the oracle must reproduce.
+  std::vector<std::uint64_t> leased;
 
   for (int op = 0; op < kOpsPerClient; ++op) {
     const int key = zipf_key(rng);
@@ -89,17 +108,39 @@ void client_worker(ThreadedSpaceEngine& space, std::uint64_t seed, int tid,
     const Template tmpl =
         wild ? wildcard(arity) : any_named(key_name(key), arity);
 
-    if (roll < 40) {
+    if (roll < 34) {
       if (arity2) {
         space.write(make_tuple(key_name(key), ++counter, std::int64_t{tid}));
       } else {
         space.write(make_tuple(key_name(key), ++counter));
       }
-    } else if (roll < 55) {
+    } else if (roll < 44) {
+      // Finite lease in the same µs band as the op rate: some entries are
+      // matched or renewed while live, some expire mid-run, some are
+      // reclaimed only when their shard worker next wakes.
+      const auto lease =
+          std::chrono::microseconds(50 + 200 * (pct(rng) % 4));
+      const Lease l = space.write(make_tuple(key_name(key), ++counter),
+                                  sim::Time::us(lease.count()), kNoTxn);
+      leased.push_back(l.id);
+    } else if (roll < 50 && !leased.empty()) {
+      // Renew racing expiry: the target may already be gone (expired,
+      // taken, cancelled) — the recorded hit/miss must replay identically.
+      const std::uint64_t id =
+          leased[static_cast<std::size_t>(pct(rng)) % leased.size()];
+      const sim::Time extension = pct(rng) < 20
+                                      ? kLeaseForever
+                                      : sim::Time::us(100 + 150 * (pct(rng) % 3));
+      (void)space.renew(id, extension);
+    } else if (roll < 54 && !leased.empty()) {
+      const std::uint64_t id =
+          leased[static_cast<std::size_t>(pct(rng)) % leased.size()];
+      (void)space.cancel(id);
+    } else if (roll < 64) {
       (void)space.read_if_exists(tmpl);
-    } else if (roll < 70) {
+    } else if (roll < 72) {
       (void)space.take_if_exists(tmpl);
-    } else if (roll < 75) {
+    } else if (roll < 76) {
       (void)space.read_all(tmpl, 4);
     } else if (roll < 80) {
       (void)space.take_all(tmpl, 4);
@@ -166,9 +207,13 @@ void run_differential_seed(std::uint64_t seed, int shard_count) {
   }
   for (std::thread& t : clients) t.join();
 
+  // Shut down BEFORE snapshotting: shard workers may still reclaim expired
+  // entries (drawing kLeaseExpire tickets) after the clients are gone, and
+  // the replay's final-state check needs the snapshot to postdate every
+  // logged reclamation.
+  space.shutdown();
   const std::vector<Tuple> final_state = space.snapshot();
   const ThreadedSpaceEngine::Stats threaded_stats = space.stats();
-  space.shutdown();
 
   const ReplayReport report = replay_against_oracle(log, config, final_state);
   EXPECT_TRUE(report.equivalent) << report.divergence;
@@ -193,24 +238,35 @@ void run_differential_seed(std::uint64_t seed, int shard_count) {
   EXPECT_EQ(threaded_stats.notifications, oracle.notifications);
   EXPECT_EQ(threaded_stats.commits, oracle.commits);
   EXPECT_EQ(threaded_stats.aborts, oracle.aborts);
+  // Lease machinery: every threaded reclamation, renewal hit, and cancel
+  // hit must have replayed through the oracle's wheel at the same ticket.
+  EXPECT_EQ(threaded_stats.expirations, oracle.expirations);
+  EXPECT_EQ(threaded_stats.renewals, oracle.renewals);
+  EXPECT_EQ(threaded_stats.cancellations, oracle.cancellations);
 }
 
 TEST(SpaceDifferential, ThreadedMatchesOracleSingleShard) {
-  for (std::uint64_t seed = 0; seed < kSeeds; ++seed) {
+  const int seeds = seed_count();
+  for (std::uint64_t seed = 0; seed < static_cast<std::uint64_t>(seeds);
+       ++seed) {
     run_differential_seed(seed, /*shard_count=*/1);
     if (::testing::Test::HasFatalFailure()) return;
   }
 }
 
 TEST(SpaceDifferential, ThreadedMatchesOracleFourShards) {
-  for (std::uint64_t seed = 0; seed < kSeeds; ++seed) {
+  const int seeds = seed_count();
+  for (std::uint64_t seed = 0; seed < static_cast<std::uint64_t>(seeds);
+       ++seed) {
     run_differential_seed(seed, /*shard_count=*/4);
     if (::testing::Test::HasFatalFailure()) return;
   }
 }
 
 TEST(SpaceDifferential, ThreadedMatchesOracleSixteenShards) {
-  for (std::uint64_t seed = 0; seed < kSeeds; ++seed) {
+  const int seeds = seed_count();
+  for (std::uint64_t seed = 0; seed < static_cast<std::uint64_t>(seeds);
+       ++seed) {
     run_differential_seed(seed, /*shard_count=*/16);
     if (::testing::Test::HasFatalFailure()) return;
   }

@@ -31,7 +31,9 @@ struct ChainResult {
 };
 
 ChainResult run_chain(int slaves, bool scale_rx_timeout,
-                      obs::Snapshot* snapshot_out = nullptr) {
+                      obs::Snapshot* snapshot_out = nullptr,
+                      wire::BusModelLevel level =
+                          wire::BusModelLevel::kBitAccurate) {
   sim::Simulator sim(1);
   wire::LinkConfig link;
   link.bit_rate_hz = 9'600;
@@ -41,18 +43,18 @@ ChainResult run_chain(int slaves, bool scale_rx_timeout,
     link.rx_timeout_bits = 2.0 * slaves * link.hop_delay_bits +
                            link.response_delay_bits + wire::kFrameBits + 16.0;
   }
-  wire::OneWireBus bus(sim, link);
+  std::unique_ptr<wire::BusModel> bus = wire::make_bus_model(level, sim, link);
   std::vector<std::unique_ptr<wire::SlaveDevice>> devices;
   for (int i = 0; i < slaves; ++i) {
     devices.push_back(std::make_unique<wire::SlaveDevice>(
         sim, static_cast<std::uint8_t>(i + 1), link));
-    bus.attach(*devices.back());
+    bus->attach(*devices.back());
   }
-  wire::Master master(bus);
+  wire::Master master(*bus);
   obs::Registry registry;
   if (snapshot_out != nullptr) {
     sim.bind_metrics(registry);
-    wire::bind_metrics(registry, bus);
+    wire::bind_metrics(registry, *bus);
     wire::bind_metrics(registry, master);
   }
 
@@ -74,7 +76,7 @@ ChainResult run_chain(int slaves, bool scale_rx_timeout,
     result.last_ms = (sim.now() - mark).seconds() * 1e3;
 
     // INT OR: the response from the last slave crossed slave 1 (pending).
-    wire::CycleResult cycle = co_await bus.cycle(
+    wire::CycleResult cycle = co_await bus->cycle(
         wire::TxFrame{wire::Command::kPing, 0}, true);
     result.int_seen_from_far = cycle.ok() && cycle.rx->intr;
 
@@ -155,6 +157,27 @@ int main() {
   std::printf("%s\n", scaled.render().c_str());
   report.add_table("scaled_timeout", scaled.headers(), scaled.rows());
   std::printf("spec limit: 127 node ids (126 slaves + broadcast id 127)\n");
+
+  // Bus-model level axis (DESIGN.md §13): the frame-level model must
+  // reproduce every chain latency of the bit-accurate run exactly — same
+  // topology in both bench modes so the zero-tolerance gate is stable.
+  {
+    const ChainResult bit = run_chain(16, /*scale_rx_timeout=*/false, nullptr,
+                                      wire::BusModelLevel::kBitAccurate);
+    const ChainResult frame = run_chain(16, /*scale_rx_timeout=*/false,
+                                        nullptr,
+                                        wire::BusModelLevel::kFrameLevel);
+    const bool match = bit.first_ms == frame.first_ms &&
+                       bit.last_ms == frame.last_ms &&
+                       bit.poll_round_ms == frame.poll_round_ms &&
+                       bit.int_seen_from_far == frame.int_seen_from_far;
+    std::printf("frame-level model on the 16-slave chain: latencies %s the "
+                "bit-accurate run\n",
+                match ? "exactly match" : "DIVERGE FROM");
+    report.add_key_metric("levels.chain16_match", match ? 1.0 : 0.0,
+                          obs::Better::kHigher,
+                          {.unit = "bool", .tolerance_pct = 0.0});
+  }
 
   const wire::AnalyticTiming analytic(wire::LinkConfig{.bit_rate_hz = 9'600});
   std::printf("closed form: cycle(pos) = 2*frame + 2*(pos+1)*hop + "

@@ -68,6 +68,55 @@ int main() {
   bench.add_table("overhead_sensitivity", sensitivity.headers(),
                   sensitivity.rows());
 
+  // Cross-validation of the bus-model abstraction levels (DESIGN.md §13):
+  // the same Figure-6 scenario at bit-accurate, frame-level and analytic,
+  // each deriving its own Table-3 scaling factor. Identical frame counts in
+  // both bench modes keep the zero-tolerance metrics mode-independent.
+  cosim::ValidationConfig sweep_config;
+  sweep_config.frame_counts = {1'000, 10'000};
+  const cosim::LevelSweepReport sweep = cosim::run_level_sweep(sweep_config);
+  cosim::TablePrinter levels({"level", "frames", "model (s)", "hw (s)",
+                              "ratio", "events"});
+  for (const cosim::LevelRow& row : sweep.rows) {
+    levels.add_row({wire::to_string(row.level), std::to_string(row.frames),
+                    util::format_double(row.simulated_sec, 3),
+                    util::format_double(row.hardware_sec, 3),
+                    util::format_double(row.ratio, 4),
+                    std::to_string(row.events)});
+  }
+  std::printf("bus-model level cross-validation (DESIGN.md §13):\n%s\n",
+              levels.render().c_str());
+  std::printf("max cross-level simulated-time error: %.3g (gate: exact), "
+              "frame level: %.1fx fewer events, %.1fx wall speedup\n\n",
+              sweep.max_cross_level_error, sweep.frame_event_ratio,
+              sweep.frame_wall_speedup);
+  bench.add_table("level_sweep", levels.headers(), levels.rows());
+  // The fast levels must reproduce the bit-accurate simulated time EXACTLY;
+  // any drift means an abstraction level broke its timing contract. The
+  // bool carries the gate (perf_smoke cannot ratio-gate a 0.0 baseline);
+  // the raw error rides along for the report.
+  bench.add_key_metric("level_sweep.agrees_exactly",
+                       sweep.agrees(0.0) ? 1.0 : 0.0, obs::Better::kHigher,
+                       {.unit = "bool", .tolerance_pct = 0.0});
+  bench.add_key_metric("level_sweep.max_cross_level_error",
+                       sweep.max_cross_level_error, obs::Better::kLower,
+                       {.unit = "ratio", .gate = false});
+  bench.add_key_metric("level_sweep.bit_scaling", sweep.bit_scaling,
+                       obs::Better::kLower,
+                       {.unit = "ratio", .tolerance_pct = 0.0});
+  bench.add_key_metric("level_sweep.frame_scaling", sweep.frame_scaling,
+                       obs::Better::kLower,
+                       {.unit = "ratio", .tolerance_pct = 0.0});
+  bench.add_key_metric("level_sweep.analytic_scaling", sweep.analytic_scaling,
+                       obs::Better::kLower,
+                       {.unit = "ratio", .tolerance_pct = 0.0});
+  bench.add_key_metric("level_sweep.frame_event_ratio",
+                       sweep.frame_event_ratio, obs::Better::kHigher,
+                       {.unit = "x", .gate = false});
+  bench.add_key_metric("level_sweep.frame_wall_speedup",
+                       sweep.frame_wall_speedup, obs::Better::kHigher,
+                       {.unit = "x", .gate = false});
+
   const cosim::RealtimeCheck realtime = cosim::run_realtime_check(
       short_mode ? 100 : 500, 1'000.0, config);
   std::printf("real-time scheduler: %.3f s of sim in %.4f s wall at 1000x, "

@@ -4,15 +4,52 @@
 
 namespace tb::cosim {
 
+util::Status ScenarioConfig::validate() const {
+  switch (bus_model_level) {
+    case wire::BusModelLevel::kBitAccurate:
+    case wire::BusModelLevel::kFrameLevel:
+      break;
+    case wire::BusModelLevel::kAnalytic:
+      if (fault.active()) {
+        return util::InvalidArgument(
+            "bus_model_level=analytic cannot honor an active fault plan: the "
+            "closed form has no per-word events to corrupt");
+      }
+      if (faults.tx_corrupt_prob > 0.0 || faults.rx_corrupt_prob > 0.0) {
+        return util::InvalidArgument(
+            "bus_model_level=analytic cannot honor probabilistic frame "
+            "corruption (FaultConfig); use kBitAccurate or kFrameLevel");
+      }
+      return util::InvalidArgument(
+          "bus_model_level=analytic has no event-driven bus: WireScenario "
+          "cannot host it (use wire::AnalyticTiming / cosim::run_level_sweep)");
+    default:
+      return util::InvalidArgument(
+          "unknown bus_model_level " +
+          std::to_string(static_cast<int>(bus_model_level)));
+  }
+  if (slave_count < 1) {
+    return util::InvalidArgument("slave_count must be >= 1");
+  }
+  if (slave_count > wire::kMaxNodeId) {
+    return util::InvalidArgument(
+        "slave_count exceeds the TpWIRE id space (" +
+        std::to_string(static_cast<int>(wire::kMaxNodeId)) + ")");
+  }
+  if (with_server &&
+      (server_slave < 0 || server_slave >= slave_count)) {
+    return util::InvalidArgument("server_slave out of range");
+  }
+  return util::OkStatus();
+}
+
 WireScenario::WireScenario(ScenarioConfig config) : config_(config) {
-  TB_REQUIRE(config.slave_count >= 1);
-  TB_REQUIRE(config.slave_count <= wire::kMaxNodeId);
-  TB_REQUIRE(!config.with_server ||
-             (config.server_slave >= 0 &&
-              config.server_slave < config.slave_count));
+  const util::Status valid = config.validate();
+  TB_REQUIRE_MSG(valid.ok(), valid.message().c_str());
 
   sim_ = std::make_unique<sim::Simulator>(config.seed);
-  bus_ = std::make_unique<wire::OneWireBus>(*sim_, config.link, config.faults);
+  bus_ = wire::make_bus_model(config.bus_model_level, *sim_, config.link,
+                              config.faults);
 
   std::vector<std::uint8_t> node_ids;
   for (int i = 0; i < config.slave_count; ++i) {

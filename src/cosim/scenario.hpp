@@ -20,7 +20,8 @@
 #include "src/mw/wire_transport.hpp"
 #include "src/sim/simulator.hpp"
 #include "src/space/space.hpp"
-#include "src/wire/bus.hpp"
+#include "src/util/status.hpp"
+#include "src/wire/bus_model.hpp"
 #include "src/wire/master.hpp"
 #include "src/wire/relay.hpp"
 #include "src/wire/slave.hpp"
@@ -49,6 +50,21 @@ struct ScenarioConfig {
   bool with_server = true;   ///< false = Figure 6 validation topology
   bool use_xml_codec = true; ///< false = binary codec (ablation)
   std::uint64_t seed = 1;
+
+  /// Bus timing model the scenario runs on (DESIGN.md §13). kBitAccurate
+  /// and kFrameLevel build the full event-driven stack; kAnalytic has no
+  /// event model, so WireScenario cannot host it — validate() rejects it
+  /// with kInvalidArgument (analytic studies live in wire::AnalyticTiming /
+  /// cosim::run_level_sweep instead).
+  wire::BusModelLevel bus_model_level = wire::BusModelLevel::kBitAccurate;
+
+  /// Checks the configuration for inconsistent combinations — unknown
+  /// bus-model level, analytic level (no event model to build), fault
+  /// plans or probabilistic corruption on the analytic level (closed forms
+  /// cannot honor them) — before any component is constructed. Returns
+  /// kInvalidArgument with a message naming the offending field;
+  /// WireScenario's constructor requires an ok() status.
+  util::Status validate() const;
 
   /// Bus clocking used throughout the paper-scale experiments; see
   /// EXPERIMENTS.md "Calibration". The paper does not publish its
@@ -102,7 +118,7 @@ class WireScenario {
   }
 
   sim::Simulator& sim() { return *sim_; }
-  wire::OneWireBus& bus() { return *bus_; }
+  wire::BusModel& bus() { return *bus_; }
   wire::Master& master() { return *master_; }
   wire::MasterRelay& relay() { return *relay_; }
   wire::SlaveDevice& slave(int index) { return *slaves_.at(index); }
@@ -130,7 +146,7 @@ class WireScenario {
  private:
   ScenarioConfig config_;
   std::unique_ptr<sim::Simulator> sim_;
-  std::unique_ptr<wire::OneWireBus> bus_;
+  std::unique_ptr<wire::BusModel> bus_;
   std::vector<std::unique_ptr<wire::SlaveDevice>> slaves_;
   std::unique_ptr<wire::Master> master_;
   std::unique_ptr<wire::MasterRelay> relay_;

@@ -1,10 +1,13 @@
 #include "src/cosim/validation.hpp"
 
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+
 #include "src/sim/process.hpp"
 #include "src/sim/realtime.hpp"
 #include "src/sim/simulator.hpp"
 #include "src/util/assert.hpp"
-#include "src/wire/bus.hpp"
 #include "src/wire/master.hpp"
 #include "src/wire/timing.hpp"
 
@@ -13,23 +16,29 @@ namespace tb::cosim {
 namespace {
 
 /// One validation setup: bus + slaves + master, with a process that issues
-/// back-to-back cycles to the target slave.
+/// back-to-back cycles to the target slave. The bus runs at any of the
+/// event-driven abstraction levels (the analytic level has no events and is
+/// priced directly by the closed form in run_level_sweep).
 struct FrameRig {
   sim::Simulator sim;
-  wire::OneWireBus bus;
+  std::unique_ptr<wire::BusModel> bus;
   std::vector<std::unique_ptr<wire::SlaveDevice>> slaves;
   wire::Master master;
   std::uint64_t completed = 0;
   bool failed = false;
 
-  FrameRig(const ValidationConfig& config)
-      : sim(config.seed), bus(sim, config.link), master(bus) {
+  explicit FrameRig(
+      const ValidationConfig& config,
+      wire::BusModelLevel level = wire::BusModelLevel::kBitAccurate)
+      : sim(config.seed),
+        bus(wire::make_bus_model(level, sim, config.link)),
+        master(*bus) {
     TB_REQUIRE(config.target_slave >= 0 &&
                config.target_slave < config.slave_count);
     for (int i = 0; i < config.slave_count; ++i) {
       slaves.push_back(std::make_unique<wire::SlaveDevice>(
           sim, static_cast<std::uint8_t>(i + 1), config.link));
-      bus.attach(*slaves.back());
+      bus->attach(*slaves.back());
     }
   }
 
@@ -44,6 +53,12 @@ struct FrameRig {
     }
   }
 };
+
+double elapsed_sec(std::chrono::steady_clock::time_point since) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       since)
+      .count();
+}
 
 }  // namespace
 
@@ -92,6 +107,91 @@ RealtimeCheck run_realtime_check(std::uint64_t frames, double scale,
   check.max_lag_ms = static_cast<double>(runner.max_lag().count()) * 1e-6;
   check.events = runner.events_run();
   return check;
+}
+
+LevelSweepReport run_level_sweep(const ValidationConfig& config) {
+  LevelSweepReport report;
+  const wire::AnalyticTiming hardware(config.link,
+                                      config.controller_overhead_bits);
+  // The analytic level IS the ideal closed form: zero firmware overhead,
+  // zero kernel events.
+  const wire::AnalyticTiming ideal(config.link, 0.0);
+
+  static constexpr wire::BusModelLevel kLevels[] = {
+      wire::BusModelLevel::kBitAccurate,
+      wire::BusModelLevel::kFrameLevel,
+      wire::BusModelLevel::kAnalytic,
+  };
+
+  // Ground-truth references, one per frame count, filled by the
+  // bit-accurate pass (kLevels keeps it first).
+  std::vector<LevelRow> bit_rows;
+
+  for (wire::BusModelLevel level : kLevels) {
+    double ratio_sum = 0.0;
+    for (std::size_t i = 0; i < config.frame_counts.size(); ++i) {
+      const std::uint64_t frames = config.frame_counts[i];
+      LevelRow row;
+      row.level = level;
+      row.frames = frames;
+
+      const auto started = std::chrono::steady_clock::now();
+      if (level == wire::BusModelLevel::kAnalytic) {
+        row.simulated_sec =
+            ideal.frames(frames, config.target_slave).seconds();
+        row.events = 0;
+      } else {
+        FrameRig rig(config, level);
+        const auto node = static_cast<std::uint8_t>(config.target_slave + 1);
+        sim::spawn(rig.drive(node, frames));
+        rig.sim.run();
+        TB_REQUIRE_MSG(!rig.failed && rig.completed == frames,
+                       "level sweep drive failed");
+        row.simulated_sec = rig.sim.now().seconds();
+        row.events = rig.sim.executed_events();
+      }
+      row.wall_sec = elapsed_sec(started);
+
+      row.hardware_sec =
+          hardware.frames(frames, config.target_slave).seconds();
+      row.ratio = row.hardware_sec / row.simulated_sec;
+      ratio_sum += row.ratio;
+
+      if (level == wire::BusModelLevel::kBitAccurate) {
+        bit_rows.push_back(row);
+      } else {
+        TB_REQUIRE(i < bit_rows.size());
+        const LevelRow& truth = bit_rows[i];
+        const double err =
+            std::abs(row.simulated_sec / truth.simulated_sec - 1.0);
+        report.max_cross_level_error =
+            std::max(report.max_cross_level_error, err);
+        if (level == wire::BusModelLevel::kFrameLevel &&
+            i + 1 == config.frame_counts.size()) {
+          if (row.wall_sec > 0.0) {
+            report.frame_wall_speedup = truth.wall_sec / row.wall_sec;
+          }
+          if (row.events > 0) {
+            report.frame_event_ratio =
+                static_cast<double>(truth.events) /
+                static_cast<double>(row.events);
+          }
+        }
+      }
+      report.rows.push_back(row);
+    }
+
+    const double mean =
+        config.frame_counts.empty()
+            ? 0.0
+            : ratio_sum / static_cast<double>(config.frame_counts.size());
+    switch (level) {
+      case wire::BusModelLevel::kBitAccurate: report.bit_scaling = mean; break;
+      case wire::BusModelLevel::kFrameLevel: report.frame_scaling = mean; break;
+      case wire::BusModelLevel::kAnalytic: report.analytic_scaling = mean; break;
+    }
+  }
+  return report;
 }
 
 }  // namespace tb::cosim

@@ -15,6 +15,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "src/wire/bus_model.hpp"
 #include "src/wire/config.hpp"
 
 namespace tb::cosim {
@@ -58,5 +59,54 @@ struct RealtimeCheck {
 /// seconds per wall second, reporting pacing fidelity.
 RealtimeCheck run_realtime_check(std::uint64_t frames, double scale,
                                  const ValidationConfig& config);
+
+// --- cross-validation of the bus abstraction levels (DESIGN.md §13) -------
+//
+// The same Figure 6 workload runs at every BusModelLevel; each level's
+// simulated time is compared against the AnalyticTiming-with-overhead
+// "hardware" stand-in exactly as Table 3 does, yielding a per-level scaling
+// factor. Fault-free, the three levels must agree bit-for-bit on simulated
+// time (the closed form is the committed oracle of the event models), so
+// the per-level factors must be identical — that identity is the gate that
+// lets scenarios trust the fast levels.
+
+struct LevelRow {
+  wire::BusModelLevel level = wire::BusModelLevel::kBitAccurate;
+  std::uint64_t frames = 0;
+  double simulated_sec = 0.0;  ///< this level's model time
+  double hardware_sec = 0.0;   ///< AnalyticTiming + controller overhead
+  double ratio = 0.0;          ///< hardware / simulated (scaling factor)
+  std::uint64_t events = 0;    ///< kernel events executed (0 = analytic)
+  double wall_sec = 0.0;       ///< host time spent running this level
+};
+
+struct LevelSweepReport {
+  std::vector<LevelRow> rows;  ///< frame_counts × levels, level-major order
+
+  /// Mean hardware/simulated ratio per level (Table-3-style factors).
+  double bit_scaling = 0.0;
+  double frame_scaling = 0.0;
+  double analytic_scaling = 0.0;
+
+  /// Worst relative disagreement of any fast level's simulated time vs the
+  /// bit-accurate ground truth, across all rows. 0.0 when bit-for-bit.
+  double max_cross_level_error = 0.0;
+
+  /// Host-speed gains of the frame level on the largest frame count: wall
+  /// clock and kernel-event collapse. (The analytic level runs no events,
+  /// so its "speedup" is unbounded and reported only via `events == 0`.)
+  double frame_wall_speedup = 0.0;
+  double frame_event_ratio = 0.0;
+
+  /// True when every fast level's simulated time matches bit-accurate
+  /// within `tolerance` (relative). The committed CI gate uses 0.0.
+  bool agrees(double tolerance) const {
+    return max_cross_level_error <= tolerance;
+  }
+};
+
+/// Runs the Figure 6 frame workload at all three abstraction levels and
+/// derives per-level scaling factors against the hardware stand-in.
+LevelSweepReport run_level_sweep(const ValidationConfig& config);
 
 }  // namespace tb::cosim

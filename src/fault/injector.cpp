@@ -4,7 +4,7 @@
 
 namespace tb::fault {
 
-void FaultInjector::install(sim::Simulator& sim, wire::OneWireBus& bus,
+void FaultInjector::install(sim::Simulator& sim, wire::BusModel& bus,
                             std::span<wire::SlaveDevice* const> slaves) {
   const FaultPlanConfig& config = plan_->config();
 

@@ -14,7 +14,7 @@
 #include "src/net/link.hpp"
 #include "src/net/tpwire_channel.hpp"
 #include "src/sim/simulator.hpp"
-#include "src/wire/bus.hpp"
+#include "src/wire/bus_model.hpp"
 #include "src/wire/slave.hpp"
 
 namespace tb::fault {
@@ -31,7 +31,7 @@ class FaultInjector {
   /// Wires the TpWIRE channels: word corruption on the bus, crash/restart
   /// and stuck-INT schedules on the slaves, clock perturbation on the
   /// simulator. Slave indices in the plan refer to positions in `slaves`.
-  void install(sim::Simulator& sim, wire::OneWireBus& bus,
+  void install(sim::Simulator& sim, wire::BusModel& bus,
                std::span<wire::SlaveDevice* const> slaves);
 
   /// Wires the packet-fault channel into one link.

@@ -7,7 +7,7 @@
 
 namespace tb::fault {
 
-void InvariantChecker::watch_bus(wire::OneWireBus& bus) {
+void InvariantChecker::watch_bus(wire::BusModel& bus) {
   bus.on_cycle().connect([this](const wire::CycleTrace& cycle) {
     ++stats_.cycles_checked;
     if (cycle.status != wire::CycleResult::Status::kOk) return;

@@ -27,7 +27,7 @@
 #include <vector>
 
 #include "src/space/space.hpp"
-#include "src/wire/bus.hpp"
+#include "src/wire/bus_model.hpp"
 #include "src/wire/master.hpp"
 
 namespace tb::fault {
@@ -53,7 +53,7 @@ class InvariantChecker {
   /// Checks every completed cycle: an Ok verdict must be backed by an RX
   /// word that decodes cleanly (start bit + CRC-4), and a cycle that saw
   /// no RX word can never be Ok on a reply-expecting cycle.
-  void watch_bus(wire::OneWireBus& bus);
+  void watch_bus(wire::BusModel& bus);
 
   /// Checks every resolved frame transaction against the retry budget and
   /// the termination deadline derived from `bus.link()`.

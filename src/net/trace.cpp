@@ -43,7 +43,7 @@ void Tracer::record(TraceOp op, const SimplexLink& link, const Packet& packet) {
   records_.push_back(rec);
 }
 
-void Tracer::attach(wire::OneWireBus& bus) {
+void Tracer::attach(wire::BusModel& bus) {
   bus.on_cycle().connect([this](const wire::CycleTrace& cycle) {
     char buf[128];
     char rx[8] = "-";

@@ -16,7 +16,7 @@
 #include "src/net/link.hpp"
 #include "src/net/packet.hpp"
 #include "src/sim/simulator.hpp"
-#include "src/wire/bus.hpp"
+#include "src/wire/bus_model.hpp"
 
 namespace tb::net {
 
@@ -60,7 +60,7 @@ class Tracer {
   void attach(SimplexLink& link);
 
   /// Hooks the bus's per-cycle trace signal.
-  void attach(wire::OneWireBus& bus);
+  void attach(wire::BusModel& bus);
 
   const std::vector<TraceRecord>& records() const { return records_; }
   std::size_t size() const { return records_.size(); }

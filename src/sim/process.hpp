@@ -29,7 +29,81 @@ namespace tb::sim {
 
 namespace detail {
 
+/// Thread-local freelist recycling coroutine frames. Model code allocates a
+/// frame per co_awaited child — one per bus cycle on the hot paths — and
+/// glibc malloc/free dominates the frame-level bus model's per-cycle cost
+/// (DESIGN.md §13). Frames cluster into a handful of sizes, so a
+/// size-classed freelist turns the pair into two pointer swaps. Lists are
+/// per-thread (the threaded runtime runs a simulator per thread); a frame
+/// freed on a foreign thread just migrates lists, which stays safe because
+/// each list is only ever touched by its owning thread.
+class FrameArena {
+ public:
+  static void* allocate(std::size_t n) {
+    const std::size_t cls = (n + kGranularity - 1) / kGranularity;
+    if (cls == 0 || cls > kClasses) return ::operator new(n);
+    List& list = tls().lists[cls - 1];
+    if (list.head != nullptr) {
+      Block* block = list.head;
+      list.head = block->next;
+      --list.count;
+      return block;
+    }
+    return ::operator new(cls * kGranularity);
+  }
+
+  static void release(void* p, std::size_t n) noexcept {
+    const std::size_t cls = (n + kGranularity - 1) / kGranularity;
+    List* list = cls >= 1 && cls <= kClasses ? &tls().lists[cls - 1] : nullptr;
+    if (list == nullptr || list->count >= kMaxPerClass) {
+      ::operator delete(p);
+      return;
+    }
+    Block* block = static_cast<Block*>(p);
+    block->next = list->head;
+    list->head = block;
+    ++list->count;
+  }
+
+ private:
+  struct Block {
+    Block* next;
+  };
+  struct List {
+    Block* head = nullptr;
+    std::size_t count = 0;
+  };
+  struct Tls {
+    List lists[16];
+    ~Tls() {  // drain so thread exit leaks nothing
+      for (List& list : lists) {
+        while (list.head != nullptr) {
+          Block* block = list.head;
+          list.head = block->next;
+          ::operator delete(block);
+        }
+      }
+    }
+  };
+
+  static constexpr std::size_t kGranularity = 64;
+  static constexpr std::size_t kClasses = 16;
+  static constexpr std::size_t kMaxPerClass = 256;
+
+  static Tls& tls() {
+    static thread_local Tls t;
+    return t;
+  }
+};
+
 struct PromiseBase {
+  // Route every coroutine-frame allocation through the arena. The compiler
+  // resolves these in the promise's scope, so all Task<T> frames qualify.
+  void* operator new(std::size_t n) { return FrameArena::allocate(n); }
+  void operator delete(void* p, std::size_t n) noexcept {
+    FrameArena::release(p, n);
+  }
+
   std::coroutine_handle<> continuation;
   std::exception_ptr exception;
   bool detached = false;

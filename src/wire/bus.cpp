@@ -4,42 +4,6 @@
 
 namespace tb::wire {
 
-const char* to_string(CycleResult::Status status) {
-  switch (status) {
-    case CycleResult::Status::kOk: return "ok";
-    case CycleResult::Status::kTimeout: return "timeout";
-    case CycleResult::Status::kCrcError: return "crc-error";
-  }
-  return "?";
-}
-
-OneWireBus::OneWireBus(sim::Simulator& sim, LinkConfig link, FaultConfig faults)
-    : sim_(&sim), link_(link), faults_(faults), rng_(sim.rng().fork(0x6275)) {
-  TB_REQUIRE(link.bit_rate_hz > 0);
-  TB_REQUIRE(link.wires >= 1);
-}
-
-int OneWireBus::attach(SlaveDevice& slave) {
-  for (const SlaveDevice* existing : chain_) {
-    TB_REQUIRE_MSG(existing->node_id() != slave.node_id(),
-                   "duplicate node id on the bus");
-  }
-  chain_.push_back(&slave);
-  return static_cast<int>(chain_.size()) - 1;
-}
-
-std::uint16_t OneWireBus::maybe_corrupt(std::uint16_t word, double prob,
-                                        bool rx, std::uint64_t& counter) {
-  const std::uint16_t original = word;
-  if (prob > 0.0 && rng_.bernoulli(prob)) {
-    const int bit = static_cast<int>(rng_.uniform(0, kFrameBits - 1));
-    word ^= static_cast<std::uint16_t>(1u << bit);
-  }
-  if (word_fault_) word = word_fault_(word, rx);
-  if (word != original) ++counter;
-  return word;
-}
-
 sim::Task<CycleResult> OneWireBus::cycle(TxFrame frame, bool expect_reply) {
   TB_REQUIRE_MSG(!busy_, "bus cycle while the medium is busy");
   busy_ = true;
@@ -128,12 +92,6 @@ sim::Task<CycleResult> OneWireBus::cycle(TxFrame frame, bool expect_reply) {
   trace.status = result.status;
   on_cycle_.emit(trace);
   co_return result;
-}
-
-double OneWireBus::utilization() const {
-  const double elapsed = sim_->now().seconds();
-  if (elapsed <= 0.0) return 0.0;
-  return stats_.busy_time.seconds() / elapsed;
 }
 
 }  // namespace tb::wire

@@ -1,4 +1,5 @@
-// TpWIRE 1-wire bus medium (paper §3.1, Figure 2).
+// TpWIRE 1-wire bus medium (paper §3.1, Figure 2) — the bit-accurate level
+// of the BusModel abstraction (DESIGN.md §13).
 //
 // Models the daisy chain as a shared half-duplex medium driven exclusively
 // by the master. One communication cycle:
@@ -15,117 +16,24 @@
 // as a timeout and corrupt-RX as a CRC error, exactly the two retry causes
 // the paper names ("If any Slave responds within an expected time period, or
 // an error occurs during the receive of TX or RX frames").
+//
+// This model is the ground truth the faster levels (FrameLevelBus,
+// AnalyticTiming) are cross-validated against: it schedules one DES event
+// per hop and routes every word through every slave's observe_frame().
 #pragma once
 
-#include <cstdint>
-#include <optional>
-#include <vector>
-
-#include <functional>
-
-#include "src/sim/process.hpp"
-#include "src/sim/signal.hpp"
-#include "src/sim/simulator.hpp"
-#include "src/util/rng.hpp"
-#include "src/wire/config.hpp"
-#include "src/wire/frame.hpp"
-#include "src/wire/slave.hpp"
+#include "src/wire/bus_model.hpp"
 
 namespace tb::wire {
 
-/// Outcome of one communication cycle as the master sees it.
-struct CycleResult {
-  enum class Status : std::uint8_t {
-    kOk,        ///< valid RX received (or broadcast cycle completed)
-    kTimeout,   ///< no RX within rx_timeout
-    kCrcError,  ///< RX arrived but failed start-bit/CRC validation
-  };
-  Status status = Status::kTimeout;
-  std::optional<RxFrame> rx;
-
-  bool ok() const { return status == Status::kOk; }
-};
-
-const char* to_string(CycleResult::Status status);
-
-/// One communication cycle as seen on the medium — the bus-level trace
-/// record. `tx_word` / `rx_word` are the words as physically transmitted,
-/// i.e. after any fault injection; invariant checkers re-validate CRCs from
-/// them and tracers format them into replayable trace lines.
-struct CycleTrace {
-  sim::Time start;
-  sim::Time end;
-  std::uint16_t tx_word = 0;
-  bool expect_reply = true;
-  int responder = -1;           ///< chain position that answered, -1 = none
-  bool rx_seen = false;         ///< an RX word reached the master in time
-  std::uint16_t rx_word = 0;    ///< valid only when rx_seen
-  CycleResult::Status status = CycleResult::Status::kTimeout;
-};
-
-class OneWireBus {
+class OneWireBus final : public BusModel {
  public:
-  OneWireBus(sim::Simulator& sim, LinkConfig link, FaultConfig faults = {});
+  OneWireBus(sim::Simulator& sim, LinkConfig link, FaultConfig faults = {})
+      : BusModel(sim, link, faults) {}
 
-  OneWireBus(const OneWireBus&) = delete;
-  OneWireBus& operator=(const OneWireBus&) = delete;
+  BusModelLevel level() const override { return BusModelLevel::kBitAccurate; }
 
-  /// Appends a slave to the end of the daisy chain; returns its position.
-  /// The slave must outlive the bus.
-  int attach(SlaveDevice& slave);
-
-  std::size_t slave_count() const { return chain_.size(); }
-  SlaveDevice& slave_at(std::size_t pos) { return *chain_.at(pos); }
-
-  /// Runs one communication cycle. `expect_reply` is false for cycles under
-  /// broadcast selection (and for the broadcast SELECT itself), where the
-  /// master only waits out the broadcast gap. Callers must serialize cycles
-  /// (the Master's mutex does); concurrent entry is a precondition error.
-  sim::Task<CycleResult> cycle(TxFrame frame, bool expect_reply);
-
-  const LinkConfig& link() const { return link_; }
-  sim::Simulator& simulator() { return *sim_; }
-
-  /// True while a cycle occupies the medium.
-  bool busy() const { return busy_; }
-
-  struct Stats {
-    std::uint64_t cycles = 0;
-    std::uint64_t ok = 0;
-    std::uint64_t timeouts = 0;
-    std::uint64_t crc_errors = 0;
-    std::uint64_t tx_corrupted = 0;
-    std::uint64_t rx_corrupted = 0;
-    sim::Time busy_time;  ///< total medium occupancy
-  };
-  const Stats& stats() const { return stats_; }
-
-  /// Fraction of [0, now] the medium was occupied.
-  double utilization() const;
-
-  /// Deterministic word-level fault hook (tb::fault). Runs after the
-  /// probabilistic FaultConfig corruption, on every word in both directions
-  /// (`rx` says which); whatever it returns is what the receivers see.
-  /// Corrupted words are counted in tx_corrupted / rx_corrupted.
-  using WordFault = std::function<std::uint16_t(std::uint16_t word, bool rx)>;
-  void set_word_fault(WordFault hook) { word_fault_ = std::move(hook); }
-
-  /// Fires once per completed communication cycle, in cycle order.
-  sim::Signal<const CycleTrace&>& on_cycle() { return on_cycle_; }
-
- private:
-  std::uint16_t maybe_corrupt(std::uint16_t word, double prob, bool rx,
-                              std::uint64_t& counter);
-
-  sim::Simulator* sim_;
-  LinkConfig link_;
-  FaultConfig faults_;
-  util::Xoshiro256 rng_;
-  std::vector<SlaveDevice*> chain_;
-  bool busy_ = false;
-  WordFault word_fault_;
-  sim::Signal<const CycleTrace&> on_cycle_;
-  Stats stats_;
+  sim::Task<CycleResult> cycle(TxFrame frame, bool expect_reply) override;
 };
 
 }  // namespace tb::wire

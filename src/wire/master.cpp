@@ -15,7 +15,7 @@ const char* to_string(WireStatus status) {
   return "?";
 }
 
-Master::Master(OneWireBus& bus, MasterConfig config)
+Master::Master(BusModel& bus, MasterConfig config)
     : bus_(&bus), config_(config), mutex_(bus.simulator()) {}
 
 WireStatus Master::status_of(const CycleResult& r) {

@@ -36,7 +36,7 @@
 #include "src/sim/comutex.hpp"
 #include "src/sim/process.hpp"
 #include "src/sim/signal.hpp"
-#include "src/wire/bus.hpp"
+#include "src/wire/bus_model.hpp"
 
 namespace tb::wire {
 
@@ -83,7 +83,7 @@ struct MasterConfig {
 
 class Master {
  public:
-  explicit Master(OneWireBus& bus, MasterConfig config = {});
+  explicit Master(BusModel& bus, MasterConfig config = {});
 
   Master(const Master&) = delete;
   Master& operator=(const Master&) = delete;
@@ -168,7 +168,7 @@ class Master {
   /// valid RX received), in completion order.
   sim::Signal<const TransactTrace&>& on_transact() { return on_transact_; }
 
-  OneWireBus& bus() { return *bus_; }
+  BusModel& bus() { return *bus_; }
 
  private:
   /// Per-node mirror of slave state the master may rely on when caching.
@@ -202,7 +202,7 @@ class Master {
   /// 2048-bit reset timeout.
   void invalidate_if_stale();
 
-  OneWireBus* bus_;
+  BusModel* bus_;
   MasterConfig config_;
   sim::CoMutex mutex_;
   std::optional<std::uint8_t> selected_address_;  ///< nullopt after broadcast

@@ -2,7 +2,7 @@
 
 namespace tb::wire {
 
-void bind_metrics(obs::Registry& registry, OneWireBus& bus,
+void bind_metrics(obs::Registry& registry, BusModel& bus,
                   const std::string& prefix) {
   const std::string base = prefix + ".bus.";
   obs::Counter& cycles = registry.counter(base + "cycles");
@@ -31,7 +31,7 @@ void bind_metrics(obs::Registry& registry, OneWireBus& bus,
   obs::Gauge& utilization = registry.gauge(base + "utilization");
   registry.add_collector([&bus, &cycles, &ok, &timeouts, &crc_errors,
                           &frames_tx, &utilization] {
-    const OneWireBus::Stats& stats = bus.stats();
+    const BusModel::Stats& stats = bus.stats();
     cycles.set(stats.cycles);
     ok.set(stats.ok);
     timeouts.set(stats.timeouts);

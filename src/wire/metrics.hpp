@@ -1,7 +1,7 @@
 // Observability bindings for the TpWIRE layer (DESIGN.md §7).
 //
 // Both binders ride the trace signals the fault-injection checkers already
-// use (OneWireBus::on_cycle, Master::on_transact), so the bus and master
+// use (BusModel::on_cycle, Master::on_transact), so the bus and master
 // stay untouched and an unbound run pays nothing. Counts that live in the
 // components' Stats structs are mirrored by a pull collector at snapshot
 // time; latency distributions are push-recorded per cycle/transaction.
@@ -23,12 +23,12 @@
 #include <string>
 
 #include "src/obs/metrics.hpp"
-#include "src/wire/bus.hpp"
+#include "src/wire/bus_model.hpp"
 #include "src/wire/master.hpp"
 
 namespace tb::wire {
 
-void bind_metrics(obs::Registry& registry, OneWireBus& bus,
+void bind_metrics(obs::Registry& registry, BusModel& bus,
                   const std::string& prefix = "wire");
 
 void bind_metrics(obs::Registry& registry, Master& master,

@@ -6,11 +6,12 @@ namespace tb::wire {
 
 MultiBusSystem::MultiBusSystem(sim::Simulator& sim, LinkConfig per_bus_link,
                                int bus_count, FaultConfig faults,
-                               MasterConfig master_config) {
+                               MasterConfig master_config,
+                               BusModelLevel level) {
   TB_REQUIRE(bus_count >= 1);
   per_bus_link.wires = 1;
   for (int i = 0; i < bus_count; ++i) {
-    buses_.push_back(std::make_unique<OneWireBus>(sim, per_bus_link, faults));
+    buses_.push_back(make_bus_model(level, sim, per_bus_link, faults));
     masters_.push_back(std::make_unique<Master>(*buses_.back(), master_config));
   }
 }

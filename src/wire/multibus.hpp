@@ -13,7 +13,7 @@
 #include <unordered_map>
 #include <vector>
 
-#include "src/wire/bus.hpp"
+#include "src/wire/bus_model.hpp"
 #include "src/wire/master.hpp"
 
 namespace tb::wire {
@@ -21,12 +21,15 @@ namespace tb::wire {
 class MultiBusSystem {
  public:
   /// Creates `bus_count` identical 1-wire buses. `per_bus_link.wires` is
-  /// forced to 1 (mode B lines are independent serial buses).
+  /// forced to 1 (mode B lines are independent serial buses). `level`
+  /// selects the timing model every bus runs at (kAnalytic has no event
+  /// model and is rejected — see make_bus_model).
   MultiBusSystem(sim::Simulator& sim, LinkConfig per_bus_link, int bus_count,
-                 FaultConfig faults = {}, MasterConfig master_config = {});
+                 FaultConfig faults = {}, MasterConfig master_config = {},
+                 BusModelLevel level = BusModelLevel::kBitAccurate);
 
   int bus_count() const { return static_cast<int>(buses_.size()); }
-  OneWireBus& bus(int index) { return *buses_.at(index); }
+  BusModel& bus(int index) { return *buses_.at(index); }
   Master& master(int index) { return *masters_.at(index); }
 
   /// Attaches a slave to the given bus; node ids are unique system-wide.
@@ -40,7 +43,7 @@ class MultiBusSystem {
   int bus_for_node(std::uint8_t node_id) const;
 
  private:
-  std::vector<std::unique_ptr<OneWireBus>> buses_;
+  std::vector<std::unique_ptr<BusModel>> buses_;
   std::vector<std::unique_ptr<Master>> masters_;
   std::unordered_map<std::uint8_t, int> node_to_bus_;
 };

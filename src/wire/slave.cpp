@@ -16,6 +16,10 @@ SlaveDevice::SlaveDevice(sim::Simulator& sim, std::uint8_t node_id,
   TB_REQUIRE(config.memory_size > 0);
 }
 
+SlaveDevice::~SlaveDevice() {
+  if (listener_ != nullptr) listener_->on_slave_destroyed(chain_pos_);
+}
+
 bool SlaveDevice::pending_interrupt() const {
   if (stuck_interrupt_) return true;  // INT line stuck asserted
   return alive_ && (manual_interrupt_ || !outbox_.empty());
@@ -23,12 +27,16 @@ bool SlaveDevice::pending_interrupt() const {
 
 void SlaveDevice::kill() {
   if (!alive_) return;
+  sync_feed_mut();
   alive_ = false;
   ++stats_.kills;
+  if (listener_) listener_->on_disturbed(chain_pos_);
+  notify_pending();
 }
 
 void SlaveDevice::restart() {
   if (alive_) return;
+  sync_feed_mut();
   alive_ = true;
   ++stats_.restarts;
   apply_reset();
@@ -36,12 +44,13 @@ void SlaveDevice::restart() {
   // A rebooted node has no memory of past bus activity: the watchdog stays
   // quiet until the next valid frame re-arms it.
   seen_valid_frame_ = false;
+  notify_pending();
 }
 
-void SlaveDevice::check_watchdog() {
+void SlaveDevice::check_watchdog(sim::Time at) {
   if (!seen_valid_frame_) return;  // no bus activity yet: idle, not resetting
   const sim::Time deadline = last_valid_frame_at_ + link_->reset_timeout();
-  if (sim_->now() > deadline && reset_until_ <= deadline) {
+  if (at > deadline && reset_until_ <= deadline) {
     // The watchdog fired at `deadline`; the pulse ran from there.
     apply_reset();
     reset_until_ = deadline + link_->reset_pulse();
@@ -61,20 +70,85 @@ void SlaveDevice::apply_reset() {
   inbox_overflow_ = false;
   was_reset_ = true;
   ++stats_.resets;
+  if (listener_) listener_->on_disturbed(chain_pos_);
+  notify_pending();
 }
 
-std::optional<RxFrame> SlaveDevice::observe_frame(std::uint16_t word) {
+void SlaveDevice::join_frame_bus(const FrameFeed* feed, BusListener* listener,
+                                 int pos) {
+  feed_ = feed;
+  listener_ = listener;
+  chain_pos_ = pos;
+  feed_words_seen_ = feed->words;
+  feed_valid_seen_ = feed->valid_words;
+  feed_select_seen_ = feed->select_serial;
+  last_pending_ = pending_interrupt();
+  if (last_pending_ && listener_) listener_->on_pending_changed(pos, true);
+}
+
+void SlaveDevice::sync_feed() const {
+  // Lazy materialization of state the bit-accurate model updates eagerly;
+  // observable behavior is identical, so this is logically const.
+  const_cast<SlaveDevice*>(this)->sync_feed_mut();
+}
+
+void SlaveDevice::sync_feed_mut() {
+  if (feed_ == nullptr) return;
+  if (feed_->words != feed_words_seen_) {
+    stats_.frames_observed += feed_->words - feed_words_seen_;
+    feed_words_seen_ = feed_->words;
+  }
+  if (feed_->valid_words != feed_valid_seen_) {
+    // The feed only advances while every slave is alive and out of reset
+    // (the bus falls back to full observation otherwise), so each of these
+    // words pet the watchdog at this node's closed-form arrival time.
+    stats_.valid_frames += feed_->valid_words - feed_valid_seen_;
+    feed_valid_seen_ = feed_->valid_words;
+    seen_valid_frame_ = true;
+    last_valid_frame_at_ =
+        feed_->last_valid_base + link_->hop_delay() * (chain_pos_ + 1);
+  }
+  if (feed_->select_serial != feed_select_seen_) {
+    feed_select_seen_ = feed_->select_serial;
+    // Unicast SELECTs only; broadcast selection forces full observation.
+    const std::uint8_t target = node_id_of_address(feed_->select_address);
+    selected_ = (target == node_id_);
+    broadcast_selected_ = false;
+    if (selected_) system_space_ = is_system_address(feed_->select_address);
+  }
+}
+
+void SlaveDevice::mark_feed_consumed() {
+  if (feed_ == nullptr) return;
+  feed_words_seen_ = feed_->words;
+  feed_valid_seen_ = feed_->valid_words;
+  feed_select_seen_ = feed_->select_serial;
+}
+
+void SlaveDevice::notify_pending() {
+  if (listener_ == nullptr) return;
+  const bool pending = pending_interrupt();
+  if (pending != last_pending_) {
+    last_pending_ = pending;
+    listener_->on_pending_changed(chain_pos_, pending);
+  }
+}
+
+std::optional<RxFrame> SlaveDevice::observe_frame(std::uint16_t word,
+                                                 sim::Time at) {
+  sync_feed_mut();
+  observe_at_ = at;
   ++stats_.frames_observed;
   if (!alive_) return std::nullopt;  // dead node: repeater only
-  check_watchdog();
-  if (in_reset()) return std::nullopt;  // unresponsive during the reset pulse
+  check_watchdog(at);
+  if (at < reset_until_) return std::nullopt;  // unresponsive during the reset pulse
 
   const std::optional<TxFrame> frame = TxFrame::decode(word);
   if (!frame) return std::nullopt;  // only valid frames pet the watchdog
 
   ++stats_.valid_frames;
   seen_valid_frame_ = true;
-  last_valid_frame_at_ = sim_->now();
+  last_valid_frame_at_ = at;
 
   if (frame->cmd == Command::kSelect) {
     const std::uint8_t target = node_id_of_address(frame->data);
@@ -195,6 +269,7 @@ std::optional<RxFrame> SlaveDevice::data_read() {
       if (outbox_.empty()) return nak();
       rx.data = outbox_.front();
       outbox_.pop_front();
+      notify_pending();
       return rx;
     case SysReg::kInboxPort:
       return nak();  // write-only port
@@ -249,8 +324,11 @@ void SlaveDevice::write_command_register(std::uint8_t value) {
   if (value & cmdbits::kRaiseInterrupt) manual_interrupt_ = true;
   if (value & cmdbits::kSoftReset) {
     apply_reset();
-    reset_until_ = sim_->now() + link_->reset_pulse();
+    // Commands only execute inside observe_frame, so the pulse is anchored
+    // at the frame's arrival instant at this node.
+    reset_until_ = observe_at_ + link_->reset_pulse();
   }
+  notify_pending();
 }
 
 std::size_t SlaveDevice::host_send(std::span<const std::uint8_t> bytes) {
@@ -261,6 +339,7 @@ std::size_t SlaveDevice::host_send(std::span<const std::uint8_t> bytes) {
     outbox_.push_back(b);
     ++accepted;
   }
+  notify_pending();
   return accepted;  // pending_interrupt() is implied by a non-empty outbox
 }
 

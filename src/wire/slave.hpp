@@ -94,6 +94,7 @@ class SlaveDevice {
 
   SlaveDevice(const SlaveDevice&) = delete;
   SlaveDevice& operator=(const SlaveDevice&) = delete;
+  ~SlaveDevice();
 
   std::uint8_t node_id() const { return node_id_; }
 
@@ -102,7 +103,17 @@ class SlaveDevice {
   /// Called by the bus when the (possibly corrupted) TX word passes this
   /// node at the current simulated time. Returns the RX response when this
   /// slave is the selected, non-broadcast target of a valid frame.
-  std::optional<RxFrame> observe_frame(std::uint16_t word);
+  std::optional<RxFrame> observe_frame(std::uint16_t word) {
+    return observe_frame(word, sim_->now());
+  }
+
+  /// Observation at an explicit time: the frame-level bus computes each
+  /// node's word-arrival instant in closed form instead of advancing the
+  /// simulation clock hop by hop, so `at` may lie ahead of now(). All
+  /// time-dependent slave behavior (watchdog, reset pulse, last-valid-frame
+  /// bookkeeping) uses `at`; with `at == now()` this is the bit-accurate
+  /// path unchanged.
+  std::optional<RxFrame> observe_frame(std::uint16_t word, sim::Time at);
 
   /// True when the node has a pending interrupt (board request or non-empty
   /// outbox) — this is what sets the INT bit of passing RX frames.
@@ -111,7 +122,12 @@ class SlaveDevice {
   /// True when the node is inside its 33-bit-period reset pulse.
   bool in_reset() const { return sim_->now() < reset_until_; }
 
-  bool selected() const { return selected_; }
+  bool selected() const {
+    sync_feed();
+    return selected_;
+  }
+
+  bool broadcast_selected() const { return broadcast_selected_; }
 
   // --- host (board CPU) side ---------------------------------------------
 
@@ -129,7 +145,10 @@ class SlaveDevice {
   sim::Signal<std::uint8_t>& on_inbox_byte() { return on_inbox_byte_; }
 
   /// Board-triggered interrupt request (e.g. a sensor event).
-  void raise_interrupt() { manual_interrupt_ = true; }
+  void raise_interrupt() {
+    manual_interrupt_ = true;
+    notify_pending();
+  }
 
   // --- fault injection (tb::fault) ----------------------------------------
 
@@ -146,7 +165,10 @@ class SlaveDevice {
 
   /// Hardware fault: the INT line is stuck asserted. Every passing RX frame
   /// reports a pending interrupt regardless of actual mailbox state.
-  void set_stuck_interrupt(bool stuck) { stuck_interrupt_ = stuck; }
+  void set_stuck_interrupt(bool stuck) {
+    stuck_interrupt_ = stuck;
+    notify_pending();
+  }
   bool stuck_interrupt() const { return stuck_interrupt_; }
 
   void set_spi(std::unique_ptr<SpiPeripheral> spi);
@@ -175,16 +197,73 @@ class SlaveDevice {
     std::uint64_t kills = 0;             ///< injected power failures
     std::uint64_t restarts = 0;          ///< injected power restores
   };
-  const Stats& stats() const { return stats_; }
+  const Stats& stats() const {
+    sync_feed();
+    return stats_;
+  }
+
+  // --- frame-level bus hooks (src/wire/frame_bus.hpp) ---------------------
+
+  /// The frame-level bus touches only the responding slave per cycle; for
+  /// everyone else it publishes the word into this shared feed. Slaves fold
+  /// the feed in lazily (sync_feed) the next time their state is read, so
+  /// an N-slave cycle costs O(1) instead of O(N).
+  struct FrameFeed {
+    std::uint64_t words = 0;        ///< every word that crossed the medium
+    std::uint64_t valid_words = 0;  ///< words that decoded as valid frames
+    /// End-of-TX at the master of the last valid word; slave i saw it at
+    /// last_valid_base + hop_delay * (i + 1).
+    sim::Time last_valid_base = sim::Time::zero();
+    std::uint64_t select_serial = 0;  ///< bumped per unicast SELECT in the feed
+    std::uint8_t select_address = 0;  ///< address byte of that SELECT
+  };
+
+  /// Change notifications the frame-level bus subscribes to so its central
+  /// picture (selection, pending-interrupt set, watchdog uniformity) stays
+  /// coherent without polling the slaves.
+  class BusListener {
+   public:
+    virtual ~BusListener() = default;
+    /// This slave's state diverged in a way the feed cannot express
+    /// (reset, power event): the bus must fall back to full observation.
+    virtual void on_disturbed(int chain_pos) = 0;
+    /// pending_interrupt() flipped.
+    virtual void on_pending_changed(int chain_pos, bool pending) = 0;
+    /// The slave object is being destroyed while the bus still holds it:
+    /// drop every reference to it. (Attach order puts no constraint on
+    /// destruction order, so either side may go first.)
+    virtual void on_slave_destroyed(int /*chain_pos*/) {}
+  };
 
  private:
+  friend class FrameLevelBus;
+
   std::optional<RxFrame> execute(const TxFrame& frame);
   std::optional<RxFrame> data_read();
   std::optional<RxFrame> data_write(std::uint8_t value);
   void write_command_register(std::uint8_t value);
   void apply_reset();
-  void check_watchdog();
+  void check_watchdog(sim::Time at);
   RxFrame nak();
+
+  /// Binds this slave to a frame-level bus feed at chain position `pos`.
+  void join_frame_bus(const FrameFeed* feed, BusListener* listener, int pos);
+
+  /// Folds feed entries published since the last sync into local state
+  /// (frame counters, watchdog pet, selection). Logically const: lazy
+  /// materialization of state the bit-accurate model updates eagerly.
+  void sync_feed() const;
+  void sync_feed_mut();
+
+  /// Marks the current feed state as already applied — called after a
+  /// direct observe_frame() so the slave does not double-count the word it
+  /// just processed itself.
+  void mark_feed_consumed();
+
+  /// Fires BusListener::on_pending_changed when pending_interrupt() flipped
+  /// since the last notification. Call after any mutation that can change
+  /// it. No-op without a listener (bit-accurate buses never install one).
+  void notify_pending();
 
   sim::Simulator* sim_;
   std::uint8_t node_id_;
@@ -217,6 +296,16 @@ class SlaveDevice {
   bool seen_valid_frame_ = false;
   sim::Time last_valid_frame_at_ = sim::Time::zero();
   sim::Time reset_until_ = sim::Time::zero();
+  sim::Time observe_at_ = sim::Time::zero();  ///< timestamp of the observe in flight
+
+  // Frame-level lazy-sync state (see FrameFeed).
+  const FrameFeed* feed_ = nullptr;
+  BusListener* listener_ = nullptr;
+  int chain_pos_ = -1;
+  std::uint64_t feed_words_seen_ = 0;
+  std::uint64_t feed_valid_seen_ = 0;
+  std::uint64_t feed_select_seen_ = 0;
+  bool last_pending_ = false;  ///< last value reported to the listener
 
   sim::Signal<std::uint8_t> on_inbox_byte_;
   Stats stats_;

@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include "src/cosim/scenario.hpp"
 #include "src/wire/timing.hpp"
 
 namespace tb::cosim {
@@ -83,6 +84,103 @@ TEST(Validation, TargetSlavePositionAffectsTiming) {
   // Seven extra hop pairs each way make the far slave measurably slower.
   EXPECT_GT(far_report.rows[0].simulated_sec,
             near_report.rows[0].simulated_sec);
+}
+
+TEST(ScenarioValidate, DefaultAndFrameLevelConfigsPass) {
+  ScenarioConfig config;
+  EXPECT_TRUE(config.validate().ok());
+  config.bus_model_level = wire::BusModelLevel::kFrameLevel;
+  EXPECT_TRUE(config.validate().ok());
+  config.faults.tx_corrupt_prob = 0.1;  // event levels can corrupt words
+  EXPECT_TRUE(config.validate().ok());
+}
+
+TEST(ScenarioValidate, AnalyticLevelRejected) {
+  // The analytic level has no event-driven bus to build, so WireScenario
+  // can never host it — even a fault-free config is rejected.
+  ScenarioConfig config;
+  config.bus_model_level = wire::BusModelLevel::kAnalytic;
+  const util::Status status = config.validate();
+  EXPECT_FALSE(status.ok());
+  EXPECT_NE(status.message().find("analytic"), std::string::npos);
+}
+
+TEST(ScenarioValidate, AnalyticLevelWithFaultPlanNamesThePlan) {
+  ScenarioConfig config;
+  config.bus_model_level = wire::BusModelLevel::kAnalytic;
+  config.fault.bit_error_rate = 0.01;
+  const util::Status status = config.validate();
+  EXPECT_FALSE(status.ok());
+  EXPECT_NE(status.message().find("fault plan"), std::string::npos);
+}
+
+TEST(ScenarioValidate, AnalyticLevelWithCorruptionNamesFaultConfig) {
+  ScenarioConfig config;
+  config.bus_model_level = wire::BusModelLevel::kAnalytic;
+  config.faults.rx_corrupt_prob = 0.05;
+  const util::Status status = config.validate();
+  EXPECT_FALSE(status.ok());
+  EXPECT_NE(status.message().find("corruption"), std::string::npos);
+}
+
+TEST(ScenarioValidate, UnknownLevelRejected) {
+  ScenarioConfig config;
+  config.bus_model_level = static_cast<wire::BusModelLevel>(7);
+  EXPECT_FALSE(config.validate().ok());
+}
+
+TEST(ScenarioValidate, TopologyBoundsChecked) {
+  ScenarioConfig config;
+  config.slave_count = 0;
+  EXPECT_FALSE(config.validate().ok());
+  config.slave_count = wire::kMaxNodeId + 1;
+  EXPECT_FALSE(config.validate().ok());
+  config.slave_count = 4;
+  config.server_slave = 4;  // with_server: index must be < slave_count
+  EXPECT_FALSE(config.validate().ok());
+  config.with_server = false;  // no server, no constraint on the index
+  EXPECT_TRUE(config.validate().ok());
+}
+
+TEST(LevelSweep, FaultFreeLevelsAgreeExactly) {
+  ValidationConfig config = small_config();
+  // Deep chain: the frame level's one-event-per-cycle advantage scales
+  // with the hop count the bit-accurate model walks.
+  config.slave_count = 16;
+  config.target_slave = 15;
+  const LevelSweepReport report = run_level_sweep(config);
+  // 3 levels x 2 frame counts.
+  ASSERT_EQ(report.rows.size(), 6u);
+  // The CI gate is zero-tolerance: the fast levels reproduce the
+  // bit-accurate simulated time exactly, not approximately.
+  EXPECT_DOUBLE_EQ(report.max_cross_level_error, 0.0);
+  EXPECT_TRUE(report.agrees(0.0));
+  for (const LevelRow& row : report.rows) {
+    EXPECT_GT(row.simulated_sec, 0.0);
+    if (row.level == wire::BusModelLevel::kAnalytic) {
+      EXPECT_EQ(row.events, 0u);  // closed form: no event model at all
+    } else {
+      EXPECT_GT(row.events, 0u);
+    }
+  }
+  // The frame level collapses each communication cycle into one event.
+  EXPECT_GT(report.frame_event_ratio, 10.0);
+}
+
+TEST(LevelSweep, ScalingFactorsTrackControllerOverhead) {
+  ValidationConfig config = small_config();
+  config.controller_overhead_bits = 4.0;
+  const LevelSweepReport report = run_level_sweep(config);
+  // Every level runs the ideal protocol model, so each derives the same
+  // Table-3-style hardware/model scaling factor.
+  const wire::AnalyticTiming ideal(config.link, 0.0);
+  const wire::AnalyticTiming hw(config.link, 4.0);
+  const double expected = hw.reply_cycle(config.target_slave).seconds() /
+                          ideal.reply_cycle(config.target_slave).seconds();
+  EXPECT_NEAR(report.bit_scaling, expected, 1e-9);
+  EXPECT_NEAR(report.frame_scaling, expected, 1e-9);
+  EXPECT_NEAR(report.analytic_scaling, expected, 1e-9);
+  EXPECT_DOUBLE_EQ(report.max_cross_level_error, 0.0);
 }
 
 }  // namespace

@@ -7,6 +7,11 @@
 // type_key shards (DESIGN.md §10) recover once the entry map is large?
 #include <benchmark/benchmark.h>
 
+#include <atomic>
+#include <string>
+#include <thread>
+#include <vector>
+
 #include "bench/gbench_report.hpp"
 #include "src/sim/simulator.hpp"
 #include "src/space/space.hpp"
@@ -57,9 +62,10 @@ void fill_noise_threaded(space::ThreadedSpaceEngine& space, int noise_tuples) {
 
 void BM_WriteTakeThreaded(benchmark::State& state) {
   // The execution_mode axis against BM_WriteTake: same write + named-take
-  // round trip, but each op is routed through the owning shard worker's
-  // bounded inbox and completed back to the caller. On a single-core host
-  // this measures the routing/handoff overhead of the threaded runtime
+  // round trip through the threaded runtime's MPSC ring + flat-combining
+  // hot path (DESIGN.md §15). An uncontended sync op CAS-acquires the
+  // shard's ownership word and applies inline — zero context switches, so
+  // on a single-core host this measures the ring/ticket/combining overhead
   // over the deterministic engine, not parallel speedup (cf. the tb::par
   // caveat in DESIGN.md §9).
   space::SpaceConfig config;
@@ -81,9 +87,11 @@ BENCHMARK(BM_WriteTakeThreaded)
     ->ArgNames({"noise", "shards"});
 
 void BM_WildcardTakeThreaded(benchmark::State& state) {
-  // Wildcard ops are the threaded engine's slow path: a barrier quiesces
-  // every shard worker before the scatter/gather merge, so cost grows with
-  // shard_count even when the store is small.
+  // Wildcard ops are the threaded engine's cross-shard path: the
+  // coordinator CAS-sweeps every shard's ownership word (a sequence point,
+  // not a worker quiesce — idle shards cost one uncontested CAS each, no
+  // wakeups or condvar rendezvous), so cost grows with shard_count but
+  // only by the width of the ownership sweep.
   space::SpaceConfig config;
   config.execution_mode = space::ExecutionMode::kThreaded;
   config.shard_count = static_cast<int>(state.range(0));
@@ -99,6 +107,56 @@ void BM_WildcardTakeThreaded(benchmark::State& state) {
 BENCHMARK(BM_WildcardTakeThreaded)
     ->Arg(1)->Arg(4)->Arg(16)
     ->ArgNames({"shards"});
+
+void BM_MultiProducerThreaded(benchmark::State& state) {
+  // Contended hot path: P background producer threads hammer their own
+  // named keys (sync write + take round trips — each CAS-fights for shard
+  // ownership and combines into whoever holds it) while the timing thread
+  // runs the same named round trip plus a periodic wildcard read_all (the
+  // ownership-sweep sequence point under load). ns/op here is the price of
+  // the combining protocol under real contention; on a single-core host
+  // the producers also exercise every park/wake edge in the spin-then-park
+  // policy, since the timing thread's progress forces preemption mid-drain.
+  space::SpaceConfig config;
+  config.execution_mode = space::ExecutionMode::kThreaded;
+  config.shard_count = static_cast<int>(state.range(1));
+  space::ThreadedSpaceEngine space(config);
+
+  const auto producer_count = static_cast<int>(state.range(0));
+  std::atomic<bool> stop{false};
+  std::vector<std::thread> producers;
+  producers.reserve(static_cast<std::size_t>(producer_count));
+  for (int p = 0; p < producer_count; ++p) {
+    producers.emplace_back([&space, &stop, p] {
+      const std::string name = "bg-" + std::to_string(p);
+      const space::Template mine(
+          std::string(name), {space::FieldPattern::any()});
+      std::int64_t v = 0;
+      while (!stop.load(std::memory_order_relaxed)) {
+        space.write(space::make_tuple(name, v++));
+        benchmark::DoNotOptimize(space.take_if_exists(mine));
+      }
+    });
+  }
+
+  const space::Template any(std::nullopt, {space::FieldPattern::any()});
+  int key = 0;
+  for (auto _ : state) {
+    space.write(space::make_tuple("target", std::int64_t{key}));
+    benchmark::DoNotOptimize(space.take_if_exists(exact_template(key)));
+    if ((++key & 255) == 0) {
+      benchmark::DoNotOptimize(space.read_all(any, 4));
+    }
+  }
+
+  stop.store(true);
+  for (std::thread& t : producers) t.join();
+  space.shutdown();
+}
+BENCHMARK(BM_MultiProducerThreaded)
+    ->ArgsProduct({{1, 2, 4}, {1, 4, 16}})
+    ->ArgNames({"producers", "shards"})
+    ->UseRealTime();
 
 void BM_WriteTakeLargePayload(benchmark::State& state) {
   // The zero-copy payoff: write moves the tuple's buffers into the store

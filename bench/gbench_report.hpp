@@ -10,7 +10,9 @@
 
 #include <benchmark/benchmark.h>
 
+#include <cstdint>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "src/obs/report.hpp"
@@ -65,6 +67,12 @@ inline int run_and_report(const std::string& report_name, int argc,
 
   obs::BenchReport report(report_name);
   report.add_param("harness", obs::JsonValue("google-benchmark"));
+  // Recorded so bench_compare.py can flag wall-clock comparisons whose
+  // baseline came from a host with a different core count — threaded-path
+  // numbers shift a lot between 1-core CI runners and developer machines.
+  report.add_param("host_cpus",
+                   obs::JsonValue(static_cast<std::int64_t>(
+                       std::thread::hardware_concurrency())));
   std::vector<std::vector<std::string>> rows;
   for (const CaptureReporter::CapturedRun& run : reporter.captured()) {
     obs::BenchReport::KeyMetricOptions wall_clock;

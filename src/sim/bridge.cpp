@@ -16,6 +16,19 @@ void RealtimeBridge::schedule_in(Time delay, detail::EventFn fn) {
   cv_.notify_all();
 }
 
+void RealtimeBridge::post_batch(std::vector<detail::EventFn> fns) {
+  if (fns.empty()) return;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    pending_.reserve(pending_.size() + fns.size());
+    for (detail::EventFn& fn : fns) {
+      pending_.push_back(Injection{Time::zero(), std::move(fn)});
+      ++posted_;
+    }
+  }
+  cv_.notify_all();
+}
+
 std::size_t RealtimeBridge::drain(Simulator& sim) {
   std::vector<Injection> batch;
   {

@@ -44,6 +44,12 @@ class RealtimeBridge {
   /// drained (delay must be >= 0). Callable from any thread.
   void schedule_in(Time delay, detail::EventFn fn);
 
+  /// Enqueues every callback in `fns` as a zero-delay injection under one
+  /// lock acquisition and one wakeup — the batch-completion path for
+  /// producers that finish many operations per drain (space/threaded.hpp).
+  /// Batch order is preserved. Callable from any thread; no-op when empty.
+  void post_batch(std::vector<detail::EventFn> fns);
+
   /// Kernel thread only: installs every pending injection into `sim`
   /// (post() entries as zero-delay events) and returns how many were
   /// installed.

@@ -96,8 +96,10 @@ struct SpaceConfig {
   ExecutionMode execution_mode = ExecutionMode::kDeterministic;
 
   /// Bounded per-shard request-inbox capacity (threaded mode only):
-  /// producers routing named ops to a shard block while its inbox is full —
-  /// the engine's backpressure. Ignored in deterministic mode.
+  /// producers routing named ops to a shard block while its inbox ring is
+  /// full — the engine's backpressure. Rounded up to the next power of two
+  /// (the inbox is an MPSC ring, util/mpsc_ring.hpp). Ignored in
+  /// deterministic mode.
   std::size_t inbox_capacity = 256;
 };
 

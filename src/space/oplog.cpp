@@ -40,6 +40,7 @@ const char* kind_name(OpRecord::Kind kind) {
     case OpRecord::Kind::kRenew: return "renew";
     case OpRecord::Kind::kCancelLease: return "cancel_lease";
     case OpRecord::Kind::kLeaseExpire: return "lease_expire";
+    case OpRecord::Kind::kSnapshot: return "snapshot";
   }
   return "?";
 }
@@ -261,6 +262,17 @@ ReplayReport replay_against_oracle(const OpLog& log, SpaceConfig config,
         // arming's replay duration, so the oracle's own wheel reclaims the
         // entry at exactly this instant.
         break;
+      case OpRecord::Kind::kSnapshot: {
+        // Mid-run consistent cut: the threaded engine's sequence-point
+        // snapshot must equal the oracle's space at the same ticket
+        // (snapshot() is const on the oracle — no stats side effects).
+        const auto got = oracle.snapshot();
+        if (got != r.results) {
+          diverge(i, "oracle cut " + describe(got) + " != recorded " +
+                         describe(r.results));
+        }
+        break;
+      }
     }
   };
 

@@ -60,6 +60,8 @@ struct OpRecord {
     kCancelLease,   ///< target = entry write ticket; ok = entry was live
     kLeaseExpire,   ///< target = entry write ticket; drawn when the shard
                     ///< worker reclaims the entry (expiry-at-ticket)
+    kSnapshot,      ///< results = the consistent cut snapshot() returned;
+                    ///< replay checks the oracle's cut at the same ticket
   };
 
   std::uint64_t ticket = 0;  ///< linearization point; unique, total order

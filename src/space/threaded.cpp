@@ -1,6 +1,7 @@
 #include "src/space/threaded.hpp"
 
 #include <algorithm>
+#include <thread>
 #include <utility>
 
 #include "src/obs/metrics.hpp"
@@ -9,13 +10,18 @@
 
 namespace tb::space {
 
-// A request cell lives on the issuing client's stack (heap for async
-// writes / stalls, which the worker deletes). The worker fills the result
-// fields and flips `done` under `mu`; notify_all runs while the lock is
-// held because the client may destroy the cell the instant it observes
-// `done`. A blocking op that missed is flipped to `parked` instead — the
-// completion then arrives from whichever path resolves the waiter (a
-// serving publish, a timeout cancellation, or shutdown).
+// A request cell is a pooled slab slot (SlabPool, mpsc_ring.hpp): sync ops
+// release it on return, drains release async cells after applying. The
+// applier writes the result fields, then publishes a phase bit with an
+// acq_rel fetch_or — a spinning client sees the bit with one acquire load
+// and never touches the mutex; a client that gave up spinning sets
+// kSleeping under `mu` before waiting, so the applier's fetch_or tells it
+// (and only then) to take the lock and notify. A blocking op that missed
+// gets kParked instead of kDone — the completion then arrives from
+// whichever path resolves the waiter (a serving publish, a timeout
+// cancellation, or shutdown). Slots are recycled, never destroyed, so an
+// applier straggling into notify on a just-released cell is a benign
+// spurious wakeup for the slot's next occupant.
 struct ThreadedSpaceEngine::Request {
   enum class Kind : std::uint8_t {
     kWrite,
@@ -29,8 +35,12 @@ struct ThreadedSpaceEngine::Request {
     kStall,
   };
 
+  static constexpr std::uint32_t kDone = 1;      ///< result fields final
+  static constexpr std::uint32_t kParked = 2;    ///< waiter registered
+  static constexpr std::uint32_t kSleeping = 4;  ///< client in cv wait
+
   Kind kind = Kind::kWrite;
-  bool async = false;  ///< heap-owned; the worker deletes after applying
+  bool async = false;  ///< pool-owned; the drain releases after applying
   Tuple tuple;
   Template tmpl;
   std::uint64_t txn = kNoTxn;
@@ -39,19 +49,58 @@ struct ThreadedSpaceEngine::Request {
   std::uint64_t target = 0;  ///< kCancelWaiter: waiter ticket to remove
   sim::Time lease = kLeaseForever;  ///< kWrite: requested lease duration
 
+  std::atomic<std::uint32_t> phase{0};
   std::mutex mu;
   std::condition_variable cv;
-  bool done = false;
-  bool parked = false;
+  util::SlabPool<Request>::Handle pool_handle = 0;
   std::uint64_t ticket = 0;
   std::int64_t deadline_ns = -1;  ///< kWrite result: steady-ns expiry
   std::optional<Tuple> result;
   std::vector<Tuple> results;
+
+  /// Recycle reset. tuple/tmpl keep their buffers (capacity reuse is the
+  /// point of the pool); producers overwrite what their op reads.
+  void reset() {
+    kind = Kind::kWrite;
+    async = false;
+    txn = kNoTxn;
+    txn_state = nullptr;
+    max = 0;
+    target = 0;
+    lease = kLeaseForever;
+    phase.store(0, std::memory_order_relaxed);
+    ticket = 0;
+    deadline_ns = -1;
+    result.reset();
+    results.clear();
+  }
+
+  /// Timed park for kDone (blocking-op timeout leg). Returns false when
+  /// the timeout elapsed with the bit still clear.
+  bool wait_done_for(std::chrono::nanoseconds timeout) {
+    std::unique_lock<std::mutex> lk(mu);
+    phase.fetch_or(kSleeping, std::memory_order_acq_rel);
+    const bool done = cv.wait_for(lk, timeout, [this] {
+      return (phase.load(std::memory_order_acquire) & kDone) != 0;
+    });
+    phase.fetch_and(~kSleeping, std::memory_order_relaxed);
+    return done;
+  }
 };
 
 namespace {
 
 using Kind = OpRecord::Kind;
+
+/// Combine/completion spin budget before parking. Each failed probe
+/// yields, so on a single hardware thread the budget mostly measures how
+/// many scheduler handoffs we tolerate before sleeping for real.
+constexpr int kSpinIters = 64;
+
+/// Park slice for waits that also need to *drive* progress (ring space,
+/// ownership words): bounded so a stale racy check costs latency, never a
+/// hang — the parked thread re-probes every slice.
+constexpr std::chrono::milliseconds kParkSlice{1};
 
 void accumulate(SpaceEngine::Stats& into, const SpaceEngine::Stats& from) {
   into.writes += from.writes;
@@ -70,14 +119,16 @@ void accumulate(SpaceEngine::Stats& into, const SpaceEngine::Stats& from) {
 }  // namespace
 
 ThreadedSpaceEngine::ThreadedSpaceEngine(SpaceConfig config, OpLog* log)
-    : config_(config), log_(log) {
+    : config_(config),
+      log_(log),
+      pool_(std::make_unique<util::SlabPool<Request>>()) {
   TB_REQUIRE_MSG(config_.execution_mode == ExecutionMode::kThreaded,
                  "deterministic configs belong to SpaceEngine (engine.hpp)");
   if (config_.shard_count < 1) config_.shard_count = 1;
   if (config_.inbox_capacity < 1) config_.inbox_capacity = 1;
   shards_.reserve(static_cast<std::size_t>(config_.shard_count));
   for (int s = 0; s < config_.shard_count; ++s) {
-    shards_.push_back(std::make_unique<Shard>());
+    shards_.push_back(std::make_unique<Shard>(config_.inbox_capacity));
   }
   for (int s = 0; s < config_.shard_count; ++s) {
     shards_[static_cast<std::size_t>(s)]->worker =
@@ -87,86 +138,224 @@ ThreadedSpaceEngine::ThreadedSpaceEngine(SpaceConfig config, OpLog* log)
 
 ThreadedSpaceEngine::~ThreadedSpaceEngine() { shutdown(); }
 
-// --- request plumbing -------------------------------------------------------
+// --- request cells ----------------------------------------------------------
 
-void ThreadedSpaceEngine::push_request(int shard_idx, Request* req) {
-  Shard& sh = *shards_[static_cast<std::size_t>(shard_idx)];
-  std::unique_lock<std::mutex> lk(sh.inbox_mu);
-  sh.inbox_space_cv.wait(
-      lk, [&] { return sh.inbox.size() < config_.inbox_capacity; });
-  sh.inbox.push_back(req);
-  const std::size_t depth = sh.inbox.size();
-  sh.inbox_depth.store(depth, std::memory_order_relaxed);
-  if (depth > sh.inbox_peak.load(std::memory_order_relaxed)) {
-    sh.inbox_peak.store(depth, std::memory_order_relaxed);
+ThreadedSpaceEngine::Request* ThreadedSpaceEngine::acquire_request() {
+  util::SlabPool<Request>::Handle handle = 0;
+  Request* req = pool_->acquire(&handle);
+  req->reset();
+  req->pool_handle = handle;
+  return req;
+}
+
+void ThreadedSpaceEngine::release_request(Request* req) {
+  pool_->release(req->pool_handle);
+}
+
+void ThreadedSpaceEngine::signal_phase(Request& req, std::uint32_t bit) {
+  const std::uint32_t prev =
+      req.phase.fetch_or(bit, std::memory_order_acq_rel);
+  if (prev & Request::kSleeping) {
+    // Notify under the lock: the sleeper may release the cell the instant
+    // it observes the bit, so our last touch must be the unlock.
+    std::lock_guard<std::mutex> lk(req.mu);
+    req.cv.notify_all();
   }
-  sh.inbox_cv.notify_all();
 }
 
-namespace {
-
-// Blocks the issuing client until the worker flips `done` (request cells
-// expose their own mutex/cv/flag, so this stays ignorant of the type).
-void wait_done_impl(std::mutex& mu, std::condition_variable& cv,
-                    const bool& done) {
-  std::unique_lock<std::mutex> lk(mu);
-  cv.wait(lk, [&done] { return done; });
+void ThreadedSpaceEngine::wait_phase(int shard_idx, Request& req,
+                                     std::uint32_t bits) {
+  for (int spin = 0; spin < kSpinIters; ++spin) {
+    if (req.phase.load(std::memory_order_acquire) & bits) return;
+    // Flat combining: don't wait for the worker — drain the shard
+    // ourselves (our own request included) whenever the word is free.
+    if (shard_idx < 0 || !try_combine(shard_idx)) {
+      std::this_thread::yield();
+    }
+  }
+  std::unique_lock<std::mutex> lk(req.mu);
+  req.phase.fetch_or(Request::kSleeping, std::memory_order_acq_rel);
+  while ((req.phase.load(std::memory_order_acquire) & bits) == 0) {
+    if (shard_idx < 0) {
+      // Pure completion wait: the fetch_or/kSleeping protocol makes the
+      // wakeup loss-proof, so an unbounded wait is safe.
+      req.cv.wait(lk);
+      continue;
+    }
+    // Waiting on our own enqueued request: park in bounded slices and keep
+    // re-probing the shard, so even a missed drain hand-off only costs a
+    // slice before we drain the ring ourselves.
+    req.cv.wait_for(lk, kParkSlice);
+    if (req.phase.load(std::memory_order_acquire) & bits) break;
+    lk.unlock();
+    try_combine(shard_idx);
+    lk.lock();
+  }
+  req.phase.fetch_and(~Request::kSleeping, std::memory_order_relaxed);
 }
 
-}  // namespace
+void ThreadedSpaceEngine::push_request(int shard_idx, Request* req,
+                                       bool allow_combine) {
+  Shard& sh = *shards_[static_cast<std::size_t>(shard_idx)];
+  if (!sh.ring.try_push(req)) {
+    // Full ring: backpressure. Sync producers make space themselves by
+    // draining; async producers must never drain on the calling thread
+    // (write_async contract), so they wake the worker and park.
+    for (int spin = 0;; ++spin) {
+      if (allow_combine && try_combine(shard_idx)) {
+        if (sh.ring.try_push(req)) break;
+        continue;
+      }
+      if (spin < kSpinIters) {
+        std::this_thread::yield();
+        if (sh.ring.try_push(req)) break;
+        continue;
+      }
+      std::unique_lock<std::mutex> lk(sh.park_mu);
+      sh.park_waiters.fetch_add(1, std::memory_order_seq_cst);
+      std::atomic_thread_fence(std::memory_order_seq_cst);
+      bool pushed = sh.ring.try_push(req);
+      if (!pushed) {
+        lk.unlock();
+        wake_worker(sh);
+        lk.lock();
+        sh.park_cv.wait_for(lk, kParkSlice);
+        pushed = sh.ring.try_push(req);
+      }
+      sh.park_waiters.fetch_sub(1, std::memory_order_relaxed);
+      if (pushed) break;
+    }
+  }
+  // Peak gauge: a CAS-max so concurrent producers never lose a peak
+  // (non-atomic read-then-store dropped maxima). Floor 1: at the push's
+  // linearization instant the ring held at least our element, even if the
+  // consumer pops it before the racy size estimate runs.
+  const std::size_t depth = std::max<std::size_t>(sh.ring.approx_size(), 1);
+  std::size_t prev = sh.inbox_peak.load(std::memory_order_relaxed);
+  while (depth > prev && !sh.inbox_peak.compare_exchange_weak(
+                             prev, depth, std::memory_order_relaxed)) {
+  }
+  if (!allow_combine) {
+    // Async: nobody spins for this request, so Dekker-check the worker
+    // (store-fence-load against its store-fence-load in the sleep path).
+    std::atomic_thread_fence(std::memory_order_seq_cst);
+    wake_worker(sh);
+  }
+}
+
+// --- ownership / drain core -------------------------------------------------
+
+void ThreadedSpaceEngine::wake_worker(Shard& sh) {
+  if (!sh.worker_asleep.load(std::memory_order_relaxed)) return;
+  std::lock_guard<std::mutex> lk(sh.park_mu);
+  sh.park_cv.notify_all();
+}
+
+void ThreadedSpaceEngine::release_own(Shard& sh) {
+  const std::int64_t prev_next =
+      sh.wheel_next.load(std::memory_order_relaxed);
+  const std::optional<std::int64_t> next = sh.wheel.next_deadline();
+  const std::int64_t wn = next.has_value() ? *next : -1;
+  // Publish the wheel horizon before the word: the next owner (or the
+  // sleeping worker planning its wait) reads it without owning the wheel.
+  sh.wheel_next.store(wn, std::memory_order_relaxed);
+  sh.owner.store(0, std::memory_order_release);
+  std::atomic_thread_fence(std::memory_order_seq_cst);
+  if (sh.park_waiters.load(std::memory_order_relaxed) > 0) {
+    std::lock_guard<std::mutex> lk(sh.park_mu);
+    sh.park_cv.notify_all();
+  }
+  // Backlog we didn't finish (handoff interrupt, or a push that landed
+  // after the final empty pop) or a deadline now earlier than the one the
+  // worker planned its sleep around: the worker takes over.
+  if (!sh.ring.approx_empty() ||
+      (wn >= 0 && (prev_next < 0 || wn < prev_next))) {
+    wake_worker(sh);
+  }
+}
+
+std::size_t ThreadedSpaceEngine::drain(int shard_idx, FireBatch* fire) {
+  Shard& sh = *shards_[static_cast<std::size_t>(shard_idx)];
+  // Due lease timers are reclaimed before queued work: the expiry draws
+  // its ticket ahead of requests that arrived while it was overdue,
+  // matching what a hardware timer interrupt would do.
+  service_shard_wheel(shard_idx);
+  std::size_t applied = 0;
+  Request* req = nullptr;
+  // Batch-drain: every queued request applies under this one ownership
+  // acquisition. A coordinator's handoff flag is the drain boundary — the
+  // sequence point wildcard ops snapshot at.
+  while (!sh.handoff_req.load(std::memory_order_acquire) &&
+         sh.ring.try_pop(req)) {
+    apply(shard_idx, *req, fire);
+    ++applied;
+  }
+  return applied;
+}
+
+bool ThreadedSpaceEngine::try_combine(int shard_idx) {
+  Shard& sh = *shards_[static_cast<std::size_t>(shard_idx)];
+  if (sh.handoff_req.load(std::memory_order_acquire)) return false;
+  if (!try_own(sh)) return false;
+  FireBatch fire;
+  drain(shard_idx, &fire);
+  release_own(sh);
+  fire_collected(std::move(fire));
+  return true;
+}
 
 void ThreadedSpaceEngine::worker_loop(int shard_idx) {
   Shard& sh = *shards_[static_cast<std::size_t>(shard_idx)];
-  const auto pred = [&] {
-    return sh.barrier_requested || !sh.inbox.empty() || sh.stop;
-  };
   for (;;) {
-    Request* req = nullptr;
-    bool timers_due = false;
-    {
-      std::unique_lock<std::mutex> lk(sh.inbox_mu);
-      for (;;) {
-        if (sh.barrier_requested) {
-          // Rendezvous: advertise quiescence, hold until released. The
-          // inbox_mu handshake is what publishes this shard's state to the
-          // coordinator (and the coordinator's edits back to us).
-          sh.parked = true;
-          sh.inbox_cv.notify_all();
-          sh.inbox_cv.wait(lk, [&] { return !sh.barrier_requested; });
-          sh.parked = false;
-          continue;
-        }
-        // Due lease timers are reclaimed before queued work: the expiry
-        // draws its ticket ahead of requests that arrived while it was
-        // overdue, matching what a hardware timer interrupt would do.
-        const std::optional<std::int64_t> next = sh.wheel.next_deadline();
-        if (next.has_value() && *next <= steady_now_ns()) {
-          timers_due = true;
-          break;
-        }
-        if (!sh.inbox.empty()) {
-          req = sh.inbox.front();
-          sh.inbox.pop_front();
-          sh.inbox_depth.store(sh.inbox.size(), std::memory_order_relaxed);
-          sh.inbox_space_cv.notify_one();
-          break;
-        }
-        if (sh.stop) return;  // inbox drained: every sync client is unblocked
-        if (next.has_value()) {
-          // Bounded idle wait: wake at the wheel's conservative next
-          // deadline (a spurious wake just cascades and tightens it).
-          sh.inbox_cv.wait_until(lk, epoch_ + std::chrono::nanoseconds(*next),
-                                 pred);
-        } else {
-          sh.inbox_cv.wait(lk, pred);
-        }
+    if (sh.stop.load(std::memory_order_acquire)) {
+      // Exit only once the ring is drained (trailing async writes must
+      // apply). A combiner/coordinator holding the word drains or returns
+      // it; shutdown guarantees no new pushes.
+      if (!sh.handoff_req.load(std::memory_order_acquire) && try_own(sh)) {
+        FireBatch fire;
+        drain(shard_idx, &fire);
+        const bool empty = sh.ring.approx_empty();
+        release_own(sh);
+        fire_collected(std::move(fire));
+        if (empty) return;
+      } else if (sh.ring.approx_empty()) {
+        return;
+      } else {
+        std::this_thread::yield();
       }
-    }
-    if (timers_due) {
-      service_shard_wheel(shard_idx);
       continue;
     }
-    apply(shard_idx, *req);
+
+    if (!sh.handoff_req.load(std::memory_order_acquire) && try_own(sh)) {
+      FireBatch fire;
+      const std::size_t applied = drain(shard_idx, &fire);
+      const bool backlog = !sh.ring.approx_empty();
+      release_own(sh);
+      fire_collected(std::move(fire));
+      if (applied > 0 || backlog) continue;
+    }
+
+    // Idle (or the shard is owned elsewhere — its owner drains, and
+    // release_own wakes us if anything is left). Dekker sleep: advertise,
+    // fence, re-check every wake condition, then wait bounded by the
+    // published wheel horizon.
+    std::unique_lock<std::mutex> lk(sh.park_mu);
+    sh.worker_asleep.store(true, std::memory_order_relaxed);
+    std::atomic_thread_fence(std::memory_order_seq_cst);
+    const std::int64_t wn = sh.wheel_next.load(std::memory_order_relaxed);
+    const bool handoff = sh.handoff_req.load(std::memory_order_relaxed);
+    if (sh.stop.load(std::memory_order_relaxed) ||
+        (!handoff && !sh.ring.approx_empty()) ||
+        (!handoff && wn >= 0 && wn <= steady_now_ns())) {
+      sh.worker_asleep.store(false, std::memory_order_relaxed);
+      continue;
+    }
+    if (wn >= 0) {
+      sh.park_cv.wait_until(lk, epoch_ + std::chrono::nanoseconds(wn));
+    } else {
+      sh.park_cv.wait(lk);
+    }
+    sh.worker_asleep.store(false, std::memory_order_relaxed);
   }
 }
 
@@ -204,12 +393,13 @@ void ThreadedSpaceEngine::service_shard_wheel(int shard_idx) {
   }
 }
 
-void ThreadedSpaceEngine::apply(int shard_idx, Request& req) {
+void ThreadedSpaceEngine::apply(int shard_idx, Request& req,
+                                FireBatch* fire) {
   shards_[static_cast<std::size_t>(shard_idx)]->ops_applied.fetch_add(
       1, std::memory_order_relaxed);
   switch (req.kind) {
     case Request::Kind::kWrite:
-      apply_write(shard_idx, req);
+      apply_write(shard_idx, req, fire);
       return;
     case Request::Kind::kReadIfExists:
       apply_match(shard_idx, req, /*take=*/false);
@@ -233,9 +423,14 @@ void ThreadedSpaceEngine::apply(int shard_idx, Request& req) {
       apply_cancel_waiter(shard_idx, req);
       return;
     case Request::Kind::kStall: {
+      // Test hook: the drainer (the worker — async requests are pushed
+      // with combining disabled on the producer side, and stall tests
+      // issue no concurrent sync ops on the shard) blocks holding the
+      // ownership word, so the ring backs up behind it.
       std::unique_lock<std::mutex> lk(stall_mu_);
       stall_cv_.wait(lk, [this] { return !stalled_; });
-      delete &req;
+      lk.unlock();
+      release_request(&req);
       return;
     }
   }
@@ -243,10 +438,10 @@ void ThreadedSpaceEngine::apply(int shard_idx, Request& req) {
 
 // --- write ------------------------------------------------------------------
 
-void ThreadedSpaceEngine::apply_write(int shard_idx, Request& req) {
+void ThreadedSpaceEngine::apply_write(int shard_idx, Request& req,
+                                      FireBatch* fire) {
   const bool async = req.async;
   Tuple tuple = std::move(req.tuple);
-  std::vector<std::pair<NotifyCallback, Tuple>> fire;
   std::uint64_t id = 0;
   // The deadline counts from the linearization point (the apply), not from
   // the client's enqueue — transit through a backlogged inbox eats into
@@ -261,7 +456,7 @@ void ThreadedSpaceEngine::apply_write(int shard_idx, Request& req) {
     // under cross_mu_ — interacting publishes serialize in ticket order.
     std::lock_guard<std::mutex> cl(cross_mu_);
     id = next_ticket();
-    collect_notifications(tuple, &fire);
+    collect_notifications(tuple, fire);
     if (log_ != nullptr) {
       OpRecord rec;
       rec.ticket = id;
@@ -273,8 +468,8 @@ void ThreadedSpaceEngine::apply_write(int shard_idx, Request& req) {
                     deadline_ns);
   } else {
     // Fast path: no cross-shard state can appear mid-apply (registrations
-    // run under the barrier), so this write commutes with everything it
-    // races and a racy ticket is a valid linearization point.
+    // run under the all-shard acquisition), so this write commutes with
+    // everything it races and a racy ticket is a valid linearization point.
     id = next_ticket();
     if (log_ != nullptr) {
       OpRecord rec;
@@ -289,15 +484,12 @@ void ThreadedSpaceEngine::apply_write(int shard_idx, Request& req) {
   ++shards_[static_cast<std::size_t>(shard_idx)]->stats.writes;
 
   if (async) {
-    delete &req;
+    release_request(&req);
   } else {
-    std::lock_guard<std::mutex> lk(req.mu);
     req.ticket = id;
     req.deadline_ns = deadline_ns;
-    req.done = true;
-    req.cv.notify_all();
+    signal_phase(req, Request::kDone);
   }
-  fire_collected(std::move(fire));
 }
 
 bool ThreadedSpaceEngine::serve_and_store(int shard_idx, std::uint64_t id,
@@ -309,7 +501,8 @@ bool ThreadedSpaceEngine::serve_and_store(int shard_idx, std::uint64_t id,
   // visits the union oldest registration first — same rule as the
   // deterministic publish().
   auto named = sh.waiters.begin();
-  auto wild = cross_locked ? wildcard_waiters_.begin() : wildcard_waiters_.end();
+  auto wild =
+      cross_locked ? wildcard_waiters_.begin() : wildcard_waiters_.end();
   const auto wild_end = wildcard_waiters_.end();
   while (named != sh.waiters.end() || wild != wild_end) {
     const bool pick_named =
@@ -400,27 +593,27 @@ Lease ThreadedSpaceEngine::write(Tuple tuple, sim::Time lease_duration,
     state->writes.emplace_back(ticket, std::move(tuple));
     return Lease{ticket, sim::Time::max()};
   }
-  Request req;
-  req.kind = Request::Kind::kWrite;
-  req.tuple = std::move(tuple);
-  req.lease = lease_duration;
-  const int shard_idx =
-      shard_of(type_key(req.tuple.name, req.tuple.arity()));
-  push_request(shard_idx, &req);
-  wait_done_impl(req.mu, req.cv, req.done);
-  return Lease{req.ticket, req.deadline_ns < 0
-                               ? sim::Time::max()
-                               : sim::Time::ns(req.deadline_ns)};
+  Request* req = acquire_request();
+  req->kind = Request::Kind::kWrite;
+  req->tuple = std::move(tuple);
+  req->lease = lease_duration;
+  const int shard_idx = shard_of(type_key(req->tuple.name, req->tuple.arity()));
+  push_request(shard_idx, req, /*allow_combine=*/true);
+  wait_phase(shard_idx, *req, Request::kDone);
+  const Lease out{req->ticket, req->deadline_ns < 0
+                                   ? sim::Time::max()
+                                   : sim::Time::ns(req->deadline_ns)};
+  release_request(req);
+  return out;
 }
 
 void ThreadedSpaceEngine::write_async(Tuple tuple) {
-  auto* req = new Request;
+  Request* req = acquire_request();
   req->kind = Request::Kind::kWrite;
   req->async = true;
   req->tuple = std::move(tuple);
-  const int shard_idx =
-      shard_of(type_key(req->tuple.name, req->tuple.arity()));
-  push_request(shard_idx, req);
+  const int shard_idx = shard_of(type_key(req->tuple.name, req->tuple.arity()));
+  push_request(shard_idx, req, /*allow_combine=*/false);
 }
 
 // --- matching ---------------------------------------------------------------
@@ -496,11 +689,9 @@ void ThreadedSpaceEngine::apply_match(int shard_idx, Request& req, bool take) {
     rec.result = result;
     log_->append(rec);
   }
-  std::lock_guard<std::mutex> lk(req.mu);
   req.ticket = ticket;
   req.result = std::move(result);
-  req.done = true;
-  req.cv.notify_all();
+  signal_phase(req, Request::kDone);
 }
 
 void ThreadedSpaceEngine::apply_bulk(int shard_idx, Request& req, bool take) {
@@ -556,69 +747,79 @@ void ThreadedSpaceEngine::apply_bulk(int shard_idx, Request& req, bool take) {
     rec.results = out;
     log_->append(rec);
   }
-  std::lock_guard<std::mutex> lk(req.mu);
   req.ticket = ticket;
   req.results = std::move(out);
-  req.done = true;
-  req.cv.notify_all();
+  signal_phase(req, Request::kDone);
 }
 
 std::optional<Tuple> ThreadedSpaceEngine::read_if_exists(const Template& tmpl,
                                                          std::uint64_t txn) {
   if (!tmpl.name.has_value()) return wildcard_if_exists(tmpl, txn, false);
-  Request req;
-  req.kind = Request::Kind::kReadIfExists;
-  req.tmpl = tmpl;
-  req.txn = txn;
-  req.txn_state = find_txn(txn);
-  push_request(shard_of(type_key(*tmpl.name, tmpl.arity())), &req);
-  wait_done_impl(req.mu, req.cv, req.done);
-  return std::move(req.result);
+  Request* req = acquire_request();
+  req->kind = Request::Kind::kReadIfExists;
+  req->tmpl = tmpl;
+  req->txn = txn;
+  req->txn_state = find_txn(txn);
+  const int shard_idx = shard_of(type_key(*tmpl.name, tmpl.arity()));
+  push_request(shard_idx, req, /*allow_combine=*/true);
+  wait_phase(shard_idx, *req, Request::kDone);
+  auto out = std::move(req->result);
+  release_request(req);
+  return out;
 }
 
 std::optional<Tuple> ThreadedSpaceEngine::take_if_exists(const Template& tmpl,
                                                          std::uint64_t txn) {
   if (!tmpl.name.has_value()) return wildcard_if_exists(tmpl, txn, true);
-  Request req;
-  req.kind = Request::Kind::kTakeIfExists;
-  req.tmpl = tmpl;
-  req.txn = txn;
-  req.txn_state = find_txn(txn);
-  push_request(shard_of(type_key(*tmpl.name, tmpl.arity())), &req);
-  wait_done_impl(req.mu, req.cv, req.done);
-  return std::move(req.result);
+  Request* req = acquire_request();
+  req->kind = Request::Kind::kTakeIfExists;
+  req->tmpl = tmpl;
+  req->txn = txn;
+  req->txn_state = find_txn(txn);
+  const int shard_idx = shard_of(type_key(*tmpl.name, tmpl.arity()));
+  push_request(shard_idx, req, /*allow_combine=*/true);
+  wait_phase(shard_idx, *req, Request::kDone);
+  auto out = std::move(req->result);
+  release_request(req);
+  return out;
 }
 
 std::vector<Tuple> ThreadedSpaceEngine::read_all(const Template& tmpl,
                                                  std::size_t max) {
   if (!tmpl.name.has_value()) return wildcard_bulk(tmpl, max, false);
-  Request req;
-  req.kind = Request::Kind::kReadAll;
-  req.tmpl = tmpl;
-  req.max = max;
-  push_request(shard_of(type_key(*tmpl.name, tmpl.arity())), &req);
-  wait_done_impl(req.mu, req.cv, req.done);
-  return std::move(req.results);
+  Request* req = acquire_request();
+  req->kind = Request::Kind::kReadAll;
+  req->tmpl = tmpl;
+  req->max = max;
+  const int shard_idx = shard_of(type_key(*tmpl.name, tmpl.arity()));
+  push_request(shard_idx, req, /*allow_combine=*/true);
+  wait_phase(shard_idx, *req, Request::kDone);
+  auto out = std::move(req->results);
+  release_request(req);
+  return out;
 }
 
 std::vector<Tuple> ThreadedSpaceEngine::take_all(const Template& tmpl,
                                                  std::size_t max) {
   if (!tmpl.name.has_value()) return wildcard_bulk(tmpl, max, true);
-  Request req;
-  req.kind = Request::Kind::kTakeAll;
-  req.tmpl = tmpl;
-  req.max = max;
-  push_request(shard_of(type_key(*tmpl.name, tmpl.arity())), &req);
-  wait_done_impl(req.mu, req.cv, req.done);
-  return std::move(req.results);
+  Request* req = acquire_request();
+  req->kind = Request::Kind::kTakeAll;
+  req->tmpl = tmpl;
+  req->max = max;
+  const int shard_idx = shard_of(type_key(*tmpl.name, tmpl.arity()));
+  push_request(shard_idx, req, /*allow_combine=*/true);
+  wait_phase(shard_idx, *req, Request::kDone);
+  auto out = std::move(req->results);
+  release_request(req);
+  return out;
 }
 
-// --- wildcard (scatter/gather barrier) ops ----------------------------------
+// --- wildcard (all-shard sequence-point) ops --------------------------------
 
 std::pair<int, std::map<std::uint64_t, ThreadedSpaceEngine::TEntry>::iterator>
 ThreadedSpaceEngine::find_across(const Template& tmpl) {
-  // Id-ordered merge across the quiesced shards: tickets are monotonic
-  // write timestamps, so the oldest-first total order survives sharding.
+  // Id-ordered merge across the held shards: tickets are monotonic write
+  // timestamps, so the oldest-first total order survives sharding.
   std::vector<std::map<std::uint64_t, TEntry>::iterator> cursor;
   cursor.reserve(shards_.size());
   for (auto& sh : shards_) cursor.push_back(sh->entries.begin());
@@ -762,11 +963,9 @@ void ThreadedSpaceEngine::apply_blocking(int shard_idx, Request& req,
       rec.result = result;
       log_->append(rec);
     }
-    std::lock_guard<std::mutex> lk(req.mu);
     req.ticket = ticket;
     req.result = std::move(result);
-    req.done = true;
-    req.cv.notify_all();
+    signal_phase(req, Request::kDone);
     return;
   }
   // Park. The record is written by whoever resolves the waiter: a serving
@@ -779,10 +978,8 @@ void ThreadedSpaceEngine::apply_blocking(int shard_idx, Request& req,
   sh.waiters.push_back(std::move(waiter));
   blocked_count_.fetch_add(1, std::memory_order_relaxed);
   note_peak_blocked();
-  std::lock_guard<std::mutex> lk(req.mu);
   req.ticket = ticket;
-  req.parked = true;
-  req.cv.notify_all();
+  signal_phase(req, Request::kParked);
 }
 
 void ThreadedSpaceEngine::apply_cancel_waiter(int shard_idx, Request& req) {
@@ -797,16 +994,12 @@ void ThreadedSpaceEngine::apply_cancel_waiter(int shard_idx, Request& req) {
     ++sh.stats.misses;
     const std::uint64_t cancel_ticket = next_ticket();
     cancel_waiter_record(waiter, cancel_ticket);
-    std::lock_guard<std::mutex> lk(waiter.req->mu);
     waiter.req->result = std::nullopt;
-    waiter.req->done = true;
-    waiter.req->cv.notify_all();
+    signal_phase(*waiter.req, Request::kDone);
   }
   // Not found: a publish served the waiter concurrently with the timeout;
   // the serve's completion wins and the cancel is a no-op.
-  std::lock_guard<std::mutex> lk(req.mu);
-  req.done = true;
-  req.cv.notify_all();
+  signal_phase(req, Request::kDone);
 }
 
 void ThreadedSpaceEngine::complete_waiter(const TWaiter& waiter, Tuple tuple) {
@@ -818,10 +1011,8 @@ void ThreadedSpaceEngine::complete_waiter(const TWaiter& waiter, Tuple tuple) {
     rec.result = tuple;
     log_->append(rec);
   }
-  std::lock_guard<std::mutex> lk(waiter.req->mu);
   waiter.req->result = std::move(tuple);
-  waiter.req->done = true;
-  waiter.req->cv.notify_all();
+  signal_phase(*waiter.req, Request::kDone);
 }
 
 void ThreadedSpaceEngine::cancel_waiter_record(const TWaiter& waiter,
@@ -838,39 +1029,41 @@ void ThreadedSpaceEngine::cancel_waiter_record(const TWaiter& waiter,
 
 std::optional<Tuple> ThreadedSpaceEngine::blocking_op(
     const Template& tmpl, std::chrono::nanoseconds timeout, bool take) {
-  Request req;
-  req.kind = take ? Request::Kind::kBlockingTake : Request::Kind::kBlockingRead;
-  req.tmpl = tmpl;
+  Request* req = acquire_request();
+  req->kind =
+      take ? Request::Kind::kBlockingTake : Request::Kind::kBlockingRead;
+  req->tmpl = tmpl;
 
   if (tmpl.name.has_value()) {
     const int shard_idx = shard_of(type_key(*tmpl.name, tmpl.arity()));
-    push_request(shard_idx, &req);
-    std::unique_lock<std::mutex> lk(req.mu);
-    req.cv.wait(lk, [&] { return req.done || req.parked; });
-    if (req.done) return std::move(req.result);
-    if (timeout == kBlockForever) {
-      req.cv.wait(lk, [&] { return req.done; });
-      return std::move(req.result);
+    push_request(shard_idx, req, /*allow_combine=*/true);
+    wait_phase(shard_idx, *req, Request::kDone | Request::kParked);
+    if ((req->phase.load(std::memory_order_acquire) & Request::kDone) == 0) {
+      // Parked: our waiter is registered (ticket published with kParked).
+      if (timeout == kBlockForever) {
+        wait_phase(-1, *req, Request::kDone);
+      } else if (!req->wait_done_for(timeout)) {
+        // Timed out: ask the shard to cancel. Either the cancel finds the
+        // waiter (completes it with nullopt + a cancel ticket) or a
+        // concurrent publish already served it — wait for whichever
+        // completion lands.
+        Request* cancel = acquire_request();
+        cancel->kind = Request::Kind::kCancelWaiter;
+        cancel->target = req->ticket;
+        push_request(shard_idx, cancel, /*allow_combine=*/true);
+        wait_phase(shard_idx, *cancel, Request::kDone);
+        release_request(cancel);
+        wait_phase(-1, *req, Request::kDone);
+      }
     }
-    if (!req.cv.wait_for(lk, timeout, [&] { return req.done; })) {
-      // Timed out: ask the owning worker to cancel. Either it finds the
-      // waiter (completes with nullopt + a cancel ticket) or a concurrent
-      // publish already served it — wait for whichever completion.
-      const std::uint64_t waiter_id = req.ticket;
-      lk.unlock();
-      Request cancel;
-      cancel.kind = Request::Kind::kCancelWaiter;
-      cancel.target = waiter_id;
-      push_request(shard_idx, &cancel);
-      wait_done_impl(cancel.mu, cancel.cv, cancel.done);
-      lk.lock();
-      req.cv.wait(lk, [&] { return req.done; });
-    }
-    return std::move(req.result);
+    auto out = std::move(req->result);
+    release_request(req);
+    return out;
   }
 
-  // Wildcard: registration is a barrier op (the queue is cross-shard state
-  // every publish must observe), parking/cancellation run under cross_mu_.
+  // Wildcard: registration is an all-shard op (the queue is cross-shard
+  // state every publish must observe), parking/cancellation run under
+  // cross_mu_.
   barrier_acquire();
   const std::uint64_t ticket = next_ticket();
   auto [shard_idx, it] = find_across(tmpl);
@@ -893,6 +1086,7 @@ std::optional<Tuple> ThreadedSpaceEngine::blocking_op(
       log_->append(rec);
     }
     barrier_release();
+    release_request(req);
     return result;
   }
   {
@@ -901,7 +1095,7 @@ std::optional<Tuple> ThreadedSpaceEngine::blocking_op(
     waiter.id = ticket;
     waiter.tmpl = tmpl;
     waiter.take = take;
-    waiter.req = &req;
+    waiter.req = req;
     wildcard_waiters_.push_back(std::move(waiter));
     cross_count_.fetch_add(1);
     blocked_count_.fetch_add(1, std::memory_order_relaxed);
@@ -909,13 +1103,9 @@ std::optional<Tuple> ThreadedSpaceEngine::blocking_op(
   }
   barrier_release();
 
-  std::unique_lock<std::mutex> lk(req.mu);
   if (timeout == kBlockForever) {
-    req.cv.wait(lk, [&] { return req.done; });
-    return std::move(req.result);
-  }
-  if (!req.cv.wait_for(lk, timeout, [&] { return req.done; })) {
-    lk.unlock();
+    wait_phase(-1, *req, Request::kDone);
+  } else if (!req->wait_done_for(timeout)) {
     {
       std::lock_guard<std::mutex> cl(cross_mu_);
       const auto pos = std::find_if(
@@ -932,24 +1122,24 @@ std::optional<Tuple> ThreadedSpaceEngine::blocking_op(
         blocked_count_.fetch_sub(1, std::memory_order_relaxed);
         ++cross_stats_.misses;
         cancel_waiter_record(waiter, cancel_ticket);
-        std::lock_guard<std::mutex> rl(req.mu);
-        req.result = std::nullopt;
-        req.done = true;
+        waiter.req->result = std::nullopt;
+        signal_phase(*waiter.req, Request::kDone);
       }
     }
-    lk.lock();
-    req.cv.wait(lk, [&] { return req.done; });
+    wait_phase(-1, *req, Request::kDone);
   }
-  return std::move(req.result);
+  auto out = std::move(req->result);
+  release_request(req);
+  return out;
 }
 
-std::optional<Tuple> ThreadedSpaceEngine::read(const Template& tmpl,
-                                               std::chrono::nanoseconds timeout) {
+std::optional<Tuple> ThreadedSpaceEngine::read(
+    const Template& tmpl, std::chrono::nanoseconds timeout) {
   return blocking_op(tmpl, timeout, /*take=*/false);
 }
 
-std::optional<Tuple> ThreadedSpaceEngine::take(const Template& tmpl,
-                                               std::chrono::nanoseconds timeout) {
+std::optional<Tuple> ThreadedSpaceEngine::take(
+    const Template& tmpl, std::chrono::nanoseconds timeout) {
   return blocking_op(tmpl, timeout, /*take=*/true);
 }
 
@@ -991,7 +1181,7 @@ bool ThreadedSpaceEngine::commit(std::uint64_t txn) {
     }
   }
   const bool ok = state != nullptr;
-  std::vector<std::pair<NotifyCallback, Tuple>> fire;
+  FireBatch fire;
   {
     std::lock_guard<std::mutex> cl(cross_mu_);
     const std::uint64_t ticket = next_ticket();
@@ -1067,8 +1257,8 @@ bool ThreadedSpaceEngine::abort(std::uint64_t txn) {
 
 // --- notify -----------------------------------------------------------------
 
-void ThreadedSpaceEngine::collect_notifications(
-    const Tuple& tuple, std::vector<std::pair<NotifyCallback, Tuple>>* fire) {
+void ThreadedSpaceEngine::collect_notifications(const Tuple& tuple,
+                                                FireBatch* fire) {
   for (auto& [id, reg] : notifies_) {
     if (reg.tmpl.matches(tuple)) {
       ++cross_stats_.notifications;
@@ -1077,22 +1267,30 @@ void ThreadedSpaceEngine::collect_notifications(
   }
 }
 
-void ThreadedSpaceEngine::fire_collected(
-    std::vector<std::pair<NotifyCallback, Tuple>> fire) {
-  for (auto& [callback, tuple] : fire) {
-    if (bridge_ != nullptr) {
-      bridge_->post([cb = callback, t = std::move(tuple)] { cb(t); });
-    } else {
-      callback(tuple);
+void ThreadedSpaceEngine::fire_collected(FireBatch fire) {
+  if (fire.empty()) return;
+  if (bridge_ != nullptr) {
+    // One bridge post per drain: the whole delivery batch crosses the
+    // producer/kernel boundary under a single lock + wakeup.
+    std::vector<sim::detail::EventFn> fns;
+    fns.reserve(fire.size());
+    for (auto& [callback, tuple] : fire) {
+      fns.push_back([cb = std::move(callback), t = std::move(tuple)] { cb(t); });
     }
+    bridge_->post_batch(std::move(fns));
+    return;
+  }
+  for (auto& [callback, tuple] : fire) {
+    callback(tuple);
   }
 }
 
 std::uint64_t ThreadedSpaceEngine::notify(Template tmpl,
                                           NotifyCallback callback) {
   TB_REQUIRE(callback != nullptr);
-  // Barrier, not just cross_mu_: creating cross-shard state must not race
-  // an in-flight fast-path publish that already read cross_count_ == 0.
+  // All-shard acquisition, not just cross_mu_: creating cross-shard state
+  // must not race an in-flight fast-path publish that already read
+  // cross_count_ == 0.
   barrier_acquire();
   std::uint64_t ticket = 0;
   {
@@ -1113,9 +1311,10 @@ std::uint64_t ThreadedSpaceEngine::notify(Template tmpl,
 }
 
 bool ThreadedSpaceEngine::cancel_notify(std::uint64_t registration) {
-  // Removal needs no barrier: the ticket is drawn before the count
-  // decrement, so a publisher fast-pathing on the lowered count is ordered
-  // after the cancellation — it correctly skips the dead registration.
+  // Removal needs no shard acquisition: the ticket is drawn before the
+  // count decrement, so a publisher fast-pathing on the lowered count is
+  // ordered after the cancellation — it correctly skips the dead
+  // registration.
   std::lock_guard<std::mutex> cl(cross_mu_);
   const std::uint64_t ticket = next_ticket();
   const auto it = notifies_.find(registration);
@@ -1144,9 +1343,9 @@ void ThreadedSpaceEngine::set_completion_bridge(sim::RealtimeBridge* bridge) {
 std::optional<Lease> ThreadedSpaceEngine::renew(std::uint64_t tuple_id,
                                                 sim::Time extension) {
   TB_REQUIRE(extension > sim::Time::zero());
-  // Barrier: ids do not encode their shard, and only a fully quiesced
-  // search gives the recorded hit/miss one exact linearization ticket
-  // (see the header comment for the probe-protocol pitfall).
+  // All shards: ids do not encode their shard, and only an atomic search
+  // across all of them gives the recorded hit/miss one exact linearization
+  // ticket (see the header comment for the probe-protocol pitfall).
   barrier_acquire();
   const std::uint64_t ticket = next_ticket();
   std::optional<Lease> out;
@@ -1201,7 +1400,7 @@ bool ThreadedSpaceEngine::cancel(std::uint64_t tuple_id) {
   return ok;
 }
 
-// --- barrier protocol -------------------------------------------------------
+// --- all-shard acquisition (sequence points) --------------------------------
 
 void ThreadedSpaceEngine::barrier_acquire() {
   barrier_mu_.lock();
@@ -1210,27 +1409,44 @@ void ThreadedSpaceEngine::barrier_acquire() {
     // access, which is what lets snapshot()/stats() read the final state.
     std::lock_guard<std::mutex> lk(shutdown_mu_);
     if (shut_down_) {
+      barrier_owns_shards_ = false;
       barriers_.fetch_add(1, std::memory_order_relaxed);
       return;
     }
   }
-  for (auto& sh : shards_) {
-    std::lock_guard<std::mutex> lk(sh->inbox_mu);
-    sh->barrier_requested = true;
-    sh->inbox_cv.notify_all();
-  }
-  for (auto& sh : shards_) {
-    std::unique_lock<std::mutex> lk(sh->inbox_mu);
-    sh->inbox_cv.wait(lk, [&] { return sh->parked; });
+  barrier_owns_shards_ = true;
+  // Index-order CAS sweep over the ownership words. handoff_req makes the
+  // current owner yield at its next request boundary (the sequence point)
+  // and stops new combiners/workers from outracing us; on an idle shard
+  // the acquisition is one CAS — no worker wakeup, no rendezvous.
+  for (auto& shp : shards_) {
+    Shard& sh = *shp;
+    sh.handoff_req.store(true, std::memory_order_seq_cst);
+    for (int spin = 0;; ++spin) {
+      if (try_own(sh)) break;
+      if (spin < kSpinIters) {
+        std::this_thread::yield();
+        continue;
+      }
+      std::unique_lock<std::mutex> lk(sh.park_mu);
+      sh.park_waiters.fetch_add(1, std::memory_order_seq_cst);
+      std::atomic_thread_fence(std::memory_order_seq_cst);
+      const bool owned = try_own(sh);
+      if (!owned) sh.park_cv.wait_for(lk, kParkSlice);
+      sh.park_waiters.fetch_sub(1, std::memory_order_relaxed);
+      if (owned) break;
+    }
   }
   barriers_.fetch_add(1, std::memory_order_relaxed);
 }
 
 void ThreadedSpaceEngine::barrier_release() {
-  for (auto& sh : shards_) {
-    std::lock_guard<std::mutex> lk(sh->inbox_mu);
-    sh->barrier_requested = false;
-    sh->inbox_cv.notify_all();
+  if (barrier_owns_shards_) {
+    for (auto& shp : shards_) {
+      shp->handoff_req.store(false, std::memory_order_seq_cst);
+      release_own(*shp);
+    }
+    barrier_owns_shards_ = false;
   }
   barrier_mu_.unlock();
 }
@@ -1239,6 +1455,7 @@ void ThreadedSpaceEngine::barrier_release() {
 
 std::vector<Tuple> ThreadedSpaceEngine::snapshot() {
   barrier_acquire();
+  const std::uint64_t ticket = next_ticket();
   std::vector<Tuple> out;
   out.reserve(entry_count_.load(std::memory_order_relaxed));
   std::vector<std::map<std::uint64_t, TEntry>::const_iterator> cursor;
@@ -1255,6 +1472,16 @@ std::vector<Tuple> ThreadedSpaceEngine::snapshot() {
     }
     if (best < 0) break;
     out.push_back((cursor[static_cast<std::size_t>(best)]++)->second.tuple);
+  }
+  if (log_ != nullptr) {
+    // The cut is itself a linearized op: the replay rebuilds the oracle's
+    // space at this ticket and compares cuts, so mid-run consistency is
+    // checked, not just the final state.
+    OpRecord rec;
+    rec.ticket = ticket;
+    rec.kind = Kind::kSnapshot;
+    rec.results = out;
+    log_->append(rec);
   }
   barrier_release();
   return out;
@@ -1312,8 +1539,9 @@ void ThreadedSpaceEngine::bind_metrics(obs::Registry& registry,
   obs::Counter& cross_serves =
       registry.counter(prefix + ".cross_queue_serves");
 
-  // Everything the collector touches is an atomic, so a metrics snapshot
-  // never contends with a worker (no barrier, no cross_mu_).
+  // Everything the collector touches is an atomic (the ring's depth is its
+  // racy head/tail estimate), so a metrics snapshot never contends with an
+  // owner — no shard acquisition, no cross_mu_.
   registry.add_collector([this, &size, &blocked, &barriers, &cross_serves,
                           per_shard = std::move(per_shard)] {
     size.set(static_cast<double>(entry_count_.load(std::memory_order_relaxed)));
@@ -1322,8 +1550,8 @@ void ThreadedSpaceEngine::bind_metrics(obs::Registry& registry,
     barriers.set(barriers_.load(std::memory_order_relaxed));
     cross_serves.set(cross_serves_.load(std::memory_order_relaxed));
     for (std::size_t s = 0; s < shards_.size(); ++s) {
-      per_shard[s].depth->set(static_cast<double>(
-          shards_[s]->inbox_depth.load(std::memory_order_relaxed)));
+      per_shard[s].depth->set(
+          static_cast<double>(shards_[s]->ring.approx_size()));
       per_shard[s].peak->set(static_cast<double>(
           shards_[s]->inbox_peak.load(std::memory_order_relaxed)));
       per_shard[s].applied->set(
@@ -1342,9 +1570,9 @@ void ThreadedSpaceEngine::shutdown() {
   }
   resume_stalled_shards_for_testing();
   for (auto& sh : shards_) {
-    std::lock_guard<std::mutex> lk(sh->inbox_mu);
-    sh->stop = true;
-    sh->inbox_cv.notify_all();
+    sh->stop.store(true, std::memory_order_seq_cst);
+    std::lock_guard<std::mutex> lk(sh->park_mu);
+    sh->park_cv.notify_all();
   }
   for (auto& sh : shards_) {
     if (sh->worker.joinable()) sh->worker.join();
@@ -1358,10 +1586,8 @@ void ThreadedSpaceEngine::shutdown() {
       const std::uint64_t cancel_ticket = next_ticket();
       cancel_waiter_record(waiter, cancel_ticket);
       blocked_count_.fetch_sub(1, std::memory_order_relaxed);
-      std::lock_guard<std::mutex> lk(waiter.req->mu);
       waiter.req->result = std::nullopt;
-      waiter.req->done = true;
-      waiter.req->cv.notify_all();
+      signal_phase(*waiter.req, Request::kDone);
     }
     queue.clear();
   };
@@ -1378,10 +1604,10 @@ void ThreadedSpaceEngine::stall_shard_for_testing(int shard) {
     std::lock_guard<std::mutex> lk(stall_mu_);
     stalled_ = true;
   }
-  auto* req = new Request;
+  Request* req = acquire_request();
   req->kind = Request::Kind::kStall;
   req->async = true;
-  push_request(shard, req);
+  push_request(shard, req, /*allow_combine=*/false);
 }
 
 void ThreadedSpaceEngine::resume_stalled_shards_for_testing() {

@@ -1,55 +1,69 @@
-// Real-thread concurrent tuplespace runtime (DESIGN.md §11).
+// Real-thread concurrent tuplespace runtime (DESIGN.md §11, hot path §15).
 //
-// One worker thread per shard with actor-style ownership: a shard's entry
-// map, type index, named-waiter queue and stats are touched only by its
-// owning worker — or by a coordinator that has quiesced every worker at a
-// barrier. Named operations route to the owning shard through a bounded
-// MPSC inbox (producers block while it is full — backpressure). Wildcard
-// operations, transaction resolution, snapshots and notify registration are
-// scatter/gather barrier ops: the coordinating client thread parks all
-// workers at a rendezvous, merges across the quiesced shards in id order
-// (the same oldest-first total order the deterministic engine guarantees),
-// and releases them. Blocking read/take park the calling thread on the
-// request's own condition path until a publish serves it or the timeout
+// Shard state (entry map, type index, named-waiter queue, stats, timer
+// wheel) is touched only while holding the shard's atomic *ownership word*
+// — a one-word CAS lock that replaces the actor mailbox handshake. Named
+// operations enqueue a pooled request cell into the shard's bounded MPSC
+// ring (util/mpsc_ring.hpp) and then whoever owns the shard batch-drains
+// the ring: normally the *issuing client itself* CASes the free ownership
+// word and drains inline (flat combining — the common named op completes
+// with zero context switches, zero syscalls and zero heap allocations), and
+// the shard's worker thread picks up whatever backlog is left, async
+// writes, and due lease timers. Producers facing a full ring and clients
+// awaiting completion both spin-then-park; every park/wake pair uses a
+// store-fence-check (Dekker) protocol so a wakeup is never lost.
+//
+// Wildcard operations, transaction resolution, snapshots and notify
+// registration acquire *all* shard ownership words in index order (the
+// sequence points: an owner yields at its next request boundary when it
+// sees the handoff flag). Workers are neither woken nor parked — on idle
+// shards the acquisition is one CAS each — and the coordinator merges
+// across the shards in id order, the same oldest-first total order the
+// deterministic engine guarantees. Blocking read/take park the calling
+// thread on the request cell until a publish serves it or the timeout
 // sends a cancellation.
 //
 // Linearization contract (the differential-oracle hook, oplog.hpp): every
 // operation consumes one ticket from a global atomic counter *inside* its
-// critical section, and tuple / waiter / registration ids are the tickets
-// themselves — so ticket order is exactly the oldest-first total order, and
-// replaying the op log in ticket order through the deterministic SpaceEngine
-// must reproduce every result. Cross-shard state (the wildcard waiter queue
-// and the notify registry) is guarded by one mutex, with tickets drawn
-// under it, so interacting publishes serialize in ticket order; operations
-// that skip that lock (the common named fast path) provably commute with
-// everything they raced. Registrations that *create* cross-shard state run
-// under the barrier so no in-flight publish can miss them.
+// critical section — while holding the shard ownership (named ops), all
+// ownerships (wildcard/registration ops), or cross_mu_ (interacting
+// publishes) — and tuple / waiter / registration ids are the tickets
+// themselves, so ticket order is exactly the oldest-first total order and
+// replaying the op log in ticket order through the deterministic
+// SpaceEngine must reproduce every result. Batch-draining preserves the
+// contract trivially: a drain applies requests one at a time, and each
+// apply draws its ticket inside the shard's exclusive section. Operations
+// that skip cross_mu_ (the common named fast path) provably commute with
+// everything they raced; registrations that *create* cross-shard state run
+// under the all-shard acquisition so no in-flight publish can miss them.
+// snapshot() draws its own ticket and logs the merged cut (kSnapshot), so
+// the replay verifies mid-run consistency, not just the final state.
 //
-// Finite leases (DESIGN.md §12): each shard worker owns a hierarchical
-// timer wheel keyed in engine-relative steady-clock nanoseconds. A write's
-// expiry is *processed* by the owning worker (or never — takes, cancels and
-// renewals cancel the wheel timer first), and the reclamation draws its own
-// linearization ticket, logged as kLeaseExpire. Visibility is therefore
+// Finite leases (DESIGN.md §12): each shard owns a hierarchical timer
+// wheel keyed in engine-relative steady-clock nanoseconds, serviced at the
+// top of every drain by whoever owns the shard. The reclamation draws its
+// own linearization ticket, logged as kLeaseExpire. Visibility is
 // presence: matching needs no deadline checks, because an entry is exactly
 // as visible as its not-yet-reclaimed state — which is what the replay
-// pre-pass reproduces in the oracle (expiry-at-ticket, oplog.hpp).
-// Renew/cancel-by-id are barrier ops: ids do not encode their shard, and a
-// probe-per-shard protocol could falsely linearize a miss (an abort can
-// restore a held entry on an already-probed shard before the final probe's
-// ticket), so the coordinator searches the quiesced shards and draws one
-// exact ticket.
+// pre-pass reproduces in the oracle (expiry-at-ticket, oplog.hpp). The
+// wheel's next deadline is mirrored into an atomic on ownership release so
+// the (possibly sleeping) worker can bound its idle wait without touching
+// owner-only state. Renew/cancel-by-id are all-shard ops: ids do not
+// encode their shard, and a probe-per-shard protocol could falsely
+// linearize a miss (an abort can restore a held entry on an already-probed
+// shard before the final probe's ticket).
 //
 // Remaining intentional restrictions (TB_REQUIRE-guarded): transactional
 // writes keep forever leases (commit publication would need to re-arm
-// mid-barrier), transactions have no deadline, and notify registrations do
-// not expire. The deterministic engine remains the full-semantics oracle.
+// mid-coordination), transactions have no deadline, and notify
+// registrations do not expire. The deterministic engine remains the
+// full-semantics oracle.
 #pragma once
 
 #include <atomic>
 #include <chrono>
 #include <condition_variable>
 #include <cstdint>
-#include <deque>
 #include <functional>
 #include <list>
 #include <map>
@@ -65,6 +79,7 @@
 #include "src/space/engine.hpp"
 #include "src/space/oplog.hpp"
 #include "src/space/tuple.hpp"
+#include "src/util/mpsc_ring.hpp"
 
 namespace tb::sim {
 class RealtimeBridge;
@@ -97,7 +112,7 @@ class ThreadedSpaceEngine {
 
   /// Stores a tuple (forever lease). Under a transaction the write stays
   /// provisional until commit. Callable from any thread; blocks while the
-  /// owning shard's inbox is full.
+  /// owning shard's inbox ring is full.
   Lease write(Tuple tuple, std::uint64_t txn = kNoTxn);
 
   /// Stores a tuple for `lease_duration` (kLeaseForever = no expiry); the
@@ -107,8 +122,8 @@ class ThreadedSpaceEngine {
   Lease write(Tuple tuple, sim::Time lease_duration, std::uint64_t txn);
 
   /// Fire-and-forget write: enqueues and returns without waiting for the
-  /// shard to apply it (still blocks on a full inbox — backpressure, not
-  /// unbounded buffering).
+  /// shard to apply it (still blocks on a full ring — backpressure, not
+  /// unbounded buffering). Never drains the shard on the calling thread.
   void write_async(Tuple tuple);
 
   // --- non-blocking match --------------------------------------------------
@@ -145,35 +160,37 @@ class ThreadedSpaceEngine {
   // --- notify --------------------------------------------------------------
 
   /// Registers a listener for every matching write (forever lease).
-  /// Callbacks run on engine threads — or on the simulation kernel thread
-  /// when a completion bridge is installed — and must not call back into
-  /// this engine.
+  /// Callbacks run on engine or client threads — or on the simulation
+  /// kernel thread when a completion bridge is installed — and must not
+  /// call back into this engine.
   std::uint64_t notify(Template tmpl, NotifyCallback callback);
   bool cancel_notify(std::uint64_t registration);
 
   // --- leases --------------------------------------------------------------
 
   /// Extends a live tuple's lease to now + extension (kLeaseForever =
-  /// never expires). Barrier op — see the header comment. Returns the
+  /// never expires). All-shard op — see the header comment. Returns the
   /// updated lease, or nullopt when the tuple is gone (taken, cancelled or
   /// already reclaimed).
   std::optional<Lease> renew(std::uint64_t tuple_id, sim::Time extension);
 
-  /// Cancels the lease, removing the tuple. Barrier op. False when gone.
+  /// Cancels the lease, removing the tuple. All-shard op. False when gone.
   bool cancel(std::uint64_t tuple_id);
 
   /// Routes notify deliveries through a sim::RealtimeBridge so a
-  /// RealTimeRunner loop receives them on its kernel thread. Install
-  /// before registering listeners; the bridge must outlive the engine.
+  /// RealTimeRunner loop receives them on its kernel thread. Each drain
+  /// posts its whole delivery batch in one bridge call. Install before
+  /// registering listeners; the bridge must outlive the engine.
   void set_completion_bridge(sim::RealtimeBridge* bridge);
 
   // --- introspection -------------------------------------------------------
 
-  /// Every live committed tuple in ticket (= oldest-first) order. Barrier
-  /// op: quiesces the shards for a consistent cut.
+  /// Every live committed tuple in ticket (= oldest-first) order. Acquires
+  /// all shard ownerships for a consistent cut; draws a ticket and logs
+  /// the cut (kSnapshot) so the replay can verify it.
   std::vector<Tuple> snapshot();
 
-  /// Aggregated per-shard + cross-shard stats. Barrier op.
+  /// Aggregated per-shard + cross-shard stats. All-shard op.
   Stats stats();
 
   std::size_t size() const {
@@ -188,7 +205,7 @@ class ThreadedSpaceEngine {
                                : static_cast<int>(key % shards_.size());
   }
   std::size_t inbox_depth(int shard) const {
-    return shards_.at(shard)->inbox_depth.load(std::memory_order_relaxed);
+    return shards_.at(static_cast<std::size_t>(shard))->ring.approx_size();
   }
 
   /// Stops the workers, completes every parked blocking op with nullopt
@@ -198,16 +215,18 @@ class ThreadedSpaceEngine {
   void shutdown();
 
   /// Observability (DESIGN.md §7/§11): per-shard inbox depth/peak gauges
-  /// and applied-op counters plus engine-level barrier / cross-queue-serve
-  /// counters, all read from atomics so a snapshot never blocks a worker.
+  /// and applied-op counters plus engine-level coordination / cross-queue-
+  /// serve counters, all read from atomics (or the ring's racy size
+  /// estimate) so a snapshot never blocks an owner.
   void bind_metrics(obs::Registry& registry,
                     const std::string& prefix = "space");
 
   // --- test hooks ----------------------------------------------------------
 
-  /// Enqueues a request that makes the shard's worker block until
+  /// Enqueues a request that makes the shard's next drainer (its worker —
+  /// async requests never combine) block until
   /// resume_stalled_shards_for_testing() — the inbox-backpressure tests.
-  /// Never combine with barrier ops (wildcard/txn/snapshot) while stalled.
+  /// Never combine with wildcard/txn/snapshot ops while stalled.
   void stall_shard_for_testing(int shard);
   void resume_stalled_shards_for_testing();
 
@@ -226,7 +245,7 @@ class ThreadedSpaceEngine {
     std::uint64_t id = 0;  ///< registration ticket
     Template tmpl;
     bool take = false;
-    Request* req = nullptr;  ///< lives on the parked client's stack
+    Request* req = nullptr;  ///< pooled cell owned by the parked client
   };
 
   struct TxnState {
@@ -234,29 +253,45 @@ class ThreadedSpaceEngine {
     std::vector<TEntry> held;
   };
 
-  struct Shard {
-    // Data-plane inbox: bounded MPSC, clients block while full.
-    mutable std::mutex inbox_mu;
-    std::condition_variable inbox_cv;        ///< worker + barrier rendezvous
-    std::condition_variable inbox_space_cv;  ///< producers (backpressure)
-    std::deque<Request*> inbox;
-    bool barrier_requested = false;
-    bool parked = false;
-    bool stop = false;
+  /// Notification deliveries collected while holding shard state; flushed
+  /// after the ownership release (one bridge post per drain).
+  using FireBatch = std::vector<std::pair<NotifyCallback, Tuple>>;
 
-    // Shard state: owner-only (worker), or the coordinator at a barrier.
+  struct Shard {
+    explicit Shard(std::size_t inbox_capacity) : ring(inbox_capacity) {}
+
+    /// Data-plane inbox: bounded MPSC ring of pooled request cells.
+    util::MpscRing<Request*> ring;
+
+    /// Ownership word: 0 = free, 1 = held. All shard state below the
+    /// metrics block is touched only between a successful try_own CAS
+    /// (acquire) and the matching release store — by the worker, a
+    /// combining client, or the all-shard coordinator.
+    alignas(util::kCacheLineBytes) std::atomic<std::uint32_t> owner{0};
+    /// Coordinator handoff: owners yield at the next request boundary and
+    /// non-coordinators stop contending the CAS while this is set.
+    std::atomic<bool> handoff_req{false};
+    std::atomic<bool> worker_asleep{false};
+    /// Threads parked on park_cv for ring space or the ownership word.
+    std::atomic<int> park_waiters{0};
+    std::atomic<bool> stop{false};
+    /// Wheel's conservative next deadline in steady ns, mirrored by the
+    /// owner at release; -1 = none. Bounds the worker's idle wait.
+    std::atomic<std::int64_t> wheel_next{-1};
+    std::mutex park_mu;
+    std::condition_variable park_cv;
+
+    // Owner-only shard state.
     std::map<std::uint64_t, TEntry> entries;
     std::unordered_map<std::uint64_t, std::set<std::uint64_t>> index;
     std::list<TWaiter> waiters;
     std::size_t stored_bytes = 0;
     Stats stats;
     /// Finite-lease timers, payload = entry id, deadlines in
-    /// engine-relative steady ns. Owner-only like the entry map; the
-    /// worker's idle wait is bounded by its next_deadline().
+    /// engine-relative steady ns. Owner-only like the entry map.
     sim::TimerWheel wheel;
 
     // Exported metrics: atomics, safe to read from any thread.
-    std::atomic<std::size_t> inbox_depth{0};
     std::atomic<std::size_t> inbox_peak{0};
     std::atomic<std::uint64_t> ops_applied{0};
 
@@ -269,8 +304,32 @@ class ThreadedSpaceEngine {
   };
 
   void worker_loop(int shard_idx);
-  void apply(int shard_idx, Request& req);
-  void apply_write(int shard_idx, Request& req);
+
+  // --- ownership / drain core ----------------------------------------------
+
+  static bool try_own(Shard& sh) {
+    std::uint32_t expect = 0;
+    return sh.owner.compare_exchange_strong(expect, 1,
+                                            std::memory_order_acquire,
+                                            std::memory_order_relaxed);
+  }
+  /// Publishes the wheel's next deadline, releases the ownership word and
+  /// wakes whoever needs the shard next (parked producers / coordinator,
+  /// or the worker when backlog or an earlier deadline appeared).
+  void release_own(Shard& sh);
+  /// Services due lease timers, then applies ring requests until the ring
+  /// is empty or a coordinator requests handoff. Caller holds ownership;
+  /// returns requests applied. Deliveries accumulate into *fire — flush
+  /// with fire_collected() after releasing.
+  std::size_t drain(int shard_idx, FireBatch* fire);
+  /// One combine attempt: own-drain-release. False when the shard was
+  /// unavailable (owned elsewhere or handoff in progress).
+  bool try_combine(int shard_idx);
+  /// Dekker wake of a sleeping worker (producer/backlog side).
+  static void wake_worker(Shard& sh);
+
+  void apply(int shard_idx, Request& req, FireBatch* fire);
+  void apply_write(int shard_idx, Request& req, FireBatch* fire);
   void apply_match(int shard_idx, Request& req, bool take);
   void apply_bulk(int shard_idx, Request& req, bool take);
   void apply_blocking(int shard_idx, Request& req, bool take);
@@ -285,7 +344,7 @@ class ThreadedSpaceEngine {
   void store_entry(int shard_idx, std::uint64_t id, Tuple tuple,
                    std::int64_t deadline_ns);
   /// Reclaims every entry whose wheel deadline has passed, drawing one
-  /// ticket per expiry (logged as kLeaseExpire). Worker thread only.
+  /// ticket per expiry (logged as kLeaseExpire). Caller owns the shard.
   void service_shard_wheel(int shard_idx);
   /// Nanoseconds since the engine's steady-clock epoch.
   std::int64_t steady_now_ns() const;
@@ -294,24 +353,23 @@ class ThreadedSpaceEngine {
       int shard_idx, const Template& tmpl);
   void erase_entry(int shard_idx,
                    std::map<std::uint64_t, TEntry>::iterator it);
-  /// Collects matching notify callbacks (cross_mu_ held); invoke after
-  /// unlocking via fire_collected().
-  void collect_notifications(const Tuple& tuple,
-                             std::vector<std::pair<NotifyCallback, Tuple>>*
-                                 fire);
-  void fire_collected(std::vector<std::pair<NotifyCallback, Tuple>> fire);
+  /// Collects matching notify callbacks (cross_mu_ held); deliver after
+  /// the exclusive section via fire_collected().
+  void collect_notifications(const Tuple& tuple, FireBatch* fire);
+  /// Delivers a drain's collected notifications: one post_batch through
+  /// the bridge, or direct invocation. Call with no shard state held.
+  void fire_collected(FireBatch fire);
   /// Completes a served waiter: logs the blocked-op record and wakes the
   /// parked client.
   void complete_waiter(const TWaiter& waiter, Tuple tuple);
   void cancel_waiter_record(const TWaiter& waiter, std::uint64_t cancel_ticket);
 
-  /// Scatter a quiesce request to every shard, wait for the rendezvous.
-  /// Returns with exclusive access to all shard state; serialized by
-  /// barrier_mu_.
+  /// Acquires every shard's ownership word in index order (serialized by
+  /// barrier_mu_); returns with exclusive access to all shard state.
   void barrier_acquire();
   void barrier_release();
 
-  /// Oldest live entry matching tmpl across all shards (barrier held).
+  /// Oldest live entry matching tmpl across all shards (all owned).
   std::pair<int, std::map<std::uint64_t, TEntry>::iterator> find_across(
       const Template& tmpl);
 
@@ -321,7 +379,22 @@ class ThreadedSpaceEngine {
   bool cross_possible() const {
     return cross_count_.load(std::memory_order_acquire) > 0;
   }
-  void push_request(int shard_idx, Request* req);
+
+  // --- request cells --------------------------------------------------------
+
+  Request* acquire_request();
+  void release_request(Request* req);
+  /// Enqueues with full-ring backpressure. Sync producers (allow_combine)
+  /// drain the shard themselves to make space; async producers wake the
+  /// worker and park.
+  void push_request(int shard_idx, Request* req, bool allow_combine);
+  /// Spins (combining when shard_idx >= 0), then parks on the request cell
+  /// until `bits` appears in its phase word.
+  void wait_phase(int shard_idx, Request& req, std::uint32_t bits);
+  /// Sets `bit` in the phase word and wakes the cell's sleeper if any.
+  /// Result fields must be written before the call.
+  static void signal_phase(Request& req, std::uint32_t bit);
+
   TxnState* find_txn(std::uint64_t txn);
 
   std::optional<Tuple> blocking_op(const Template& tmpl,
@@ -344,6 +417,11 @@ class ThreadedSpaceEngine {
 
   std::vector<std::unique_ptr<Shard>> shards_;
 
+  /// Slab of reusable request cells (zero heap allocation per op); sync
+  /// ops release their cell on return, drains release async cells.
+  /// Indirect because Request is incomplete here (threaded.cpp owns it).
+  std::unique_ptr<util::SlabPool<Request>> pool_;
+
   /// Global linearization tickets; doubles as the id space for tuples,
   /// waiters, transactions and notify registrations. Starts at 1: 0 marks
   /// "no ticket" (and Lease{0} is invalid).
@@ -351,17 +429,19 @@ class ThreadedSpaceEngine {
 
   /// Cross-shard state: wildcard waiters + notify registrations. Guarded
   /// by cross_mu_; cross_count_ is the lock-avoidance hint for publishes
-  /// (sound because registrations run under the barrier — see header).
+  /// (sound because registrations run under the all-shard acquisition —
+  /// see header).
   std::mutex cross_mu_;
   std::list<TWaiter> wildcard_waiters_;
   std::map<std::uint64_t, NotifyReg> notifies_;
   std::atomic<std::size_t> cross_count_{0};
   Stats cross_stats_;  ///< cross_mu_-guarded (notifications, wildcard serves)
 
-  /// Barrier coordination: barrier_mu_ serializes coordinators; the
-  /// per-shard rendezvous runs over each shard's inbox_mu/inbox_cv.
+  /// Coordination: barrier_mu_ serializes all-shard coordinators; the
+  /// per-shard acquisition runs over each shard's ownership word.
   std::mutex barrier_mu_;
-  Stats barrier_stats_;  ///< only touched while the barrier is held
+  bool barrier_owns_shards_ = false;  ///< barrier_mu_-guarded
+  Stats barrier_stats_;  ///< only touched while all shards are held
 
   std::mutex txn_mu_;
   std::map<std::uint64_t, std::unique_ptr<TxnState>> txns_;

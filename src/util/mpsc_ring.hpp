@@ -1,0 +1,272 @@
+// Lock-free building blocks for the threaded tuplespace hot path
+// (DESIGN.md §15): a bounded MPSC ring and a generation-tagged slab pool.
+//
+// MpscRing is a bounded Vyukov-style sequence ring used multi-producer /
+// single-consumer (the single consumer is whoever holds the shard's
+// ownership word — worker, combining client, or coordinator; the ownership
+// acquire/release is what hands the consumer role between threads). Each
+// cell carries its own sequence atomic: a producer claims a slot by CAS on
+// the tail only after observing the cell free, so a full ring is detected
+// *without* claiming anything — try_push simply returns false and the
+// caller applies backpressure (spin-then-park) instead of unwinding a
+// half-claimed slot. Head and tail live on separate cache lines so
+// producers never invalidate the consumer's line per pop.
+//
+// SlabPool recycles fixed-address slots for request cells (modeled on the
+// event kernel's EventPool, sim/event_pool.hpp, but thread-safe): acquire
+// pops a Treiber freelist with an ABA tag, release pushes it back and bumps
+// the slot's generation so stale handles die in one compare. Slots are
+// placement-constructed once inside chunked slabs and then *reused* —
+// a recycled request keeps its mutex/condvar and its buffers' capacity, so
+// the steady-state op path performs zero heap allocation.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <new>
+#include <utility>
+
+#include "src/util/assert.hpp"
+
+namespace tb::util {
+
+inline constexpr std::size_t kCacheLineBytes = 64;
+
+/// Smallest power of two >= v (v >= 1).
+constexpr std::size_t round_up_pow2(std::size_t v) {
+  std::size_t p = 1;
+  while (p < v) p <<= 1;
+  return p;
+}
+
+/// Bounded multi-producer ring. Capacity is rounded up to a power of two.
+/// try_push is safe from any thread; try_pop / approx state transfers
+/// between consumer threads only through an external synchronization point
+/// (the shard ownership word in threaded.cpp).
+template <typename T>
+class MpscRing {
+ public:
+  explicit MpscRing(std::size_t capacity)
+      : mask_(round_up_pow2(capacity < 1 ? 1 : capacity) - 1),
+        cells_(std::make_unique<Cell[]>(mask_ + 1)) {
+    for (std::size_t i = 0; i <= mask_; ++i) {
+      cells_[i].seq.store(i, std::memory_order_relaxed);
+    }
+  }
+
+  MpscRing(const MpscRing&) = delete;
+  MpscRing& operator=(const MpscRing&) = delete;
+
+  std::size_t capacity() const { return mask_ + 1; }
+
+  /// Enqueues `value`; false when the ring is full at the linearization
+  /// instant (nothing is claimed — the caller owns the backpressure).
+  bool try_push(T value) {
+    std::uint64_t pos = tail_.load(std::memory_order_relaxed);
+    for (;;) {
+      Cell& cell = cells_[pos & mask_];
+      const std::uint64_t seq = cell.seq.load(std::memory_order_acquire);
+      const auto dif =
+          static_cast<std::int64_t>(seq) - static_cast<std::int64_t>(pos);
+      if (dif == 0) {
+        if (tail_.compare_exchange_weak(pos, pos + 1,
+                                        std::memory_order_relaxed)) {
+          cell.value = std::move(value);
+          cell.seq.store(pos + 1, std::memory_order_release);
+          return true;
+        }
+      } else if (dif < 0) {
+        return false;  // the cell a full lap back is still occupied
+      } else {
+        pos = tail_.load(std::memory_order_relaxed);
+      }
+    }
+  }
+
+  /// Dequeues the oldest element. Single consumer (see class comment).
+  /// False when empty — or when the head cell's producer has claimed but
+  /// not yet published it, which reads as empty until the publish lands.
+  bool try_pop(T& out) {
+    const std::uint64_t pos = head_.load(std::memory_order_relaxed);
+    Cell& cell = cells_[pos & mask_];
+    const std::uint64_t seq = cell.seq.load(std::memory_order_acquire);
+    if (seq != pos + 1) return false;
+    out = std::move(cell.value);
+    cell.seq.store(pos + mask_ + 1, std::memory_order_release);
+    head_.store(pos + 1, std::memory_order_relaxed);
+    return true;
+  }
+
+  /// Racy size estimate (exact when quiescent) — the inbox-depth gauge.
+  std::size_t approx_size() const {
+    const std::uint64_t head = head_.load(std::memory_order_relaxed);
+    const std::uint64_t tail = tail_.load(std::memory_order_relaxed);
+    return tail > head ? static_cast<std::size_t>(tail - head) : 0;
+  }
+
+  bool approx_empty() const {
+    return tail_.load(std::memory_order_relaxed) ==
+           head_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  struct Cell {
+    std::atomic<std::uint64_t> seq{0};
+    T value{};
+  };
+
+  const std::size_t mask_;
+  const std::unique_ptr<Cell[]> cells_;
+  alignas(kCacheLineBytes) std::atomic<std::uint64_t> tail_{0};  ///< producers
+  alignas(kCacheLineBytes) std::atomic<std::uint64_t> head_{0};  ///< consumer
+};
+
+/// Thread-safe slab pool of reusable T slots with generation-tagged
+/// handles: handle = (generation << kIndexBits) | slot. The generation
+/// bumps on every release, so is_live(stale_handle) is false the moment the
+/// slot recycles. acquire/release are lock-free (tagged Treiber freelist);
+/// only slab growth takes a mutex, and growth happens at most slots() times
+/// over the pool's life.
+template <typename T>
+class SlabPool {
+ public:
+  using Handle = std::uint64_t;
+
+  static constexpr std::uint64_t kIndexBits = 20;  ///< 1M simultaneous slots
+  static constexpr std::uint32_t kIndexMask = (1u << kIndexBits) - 1;
+
+  SlabPool() = default;
+  SlabPool(const SlabPool&) = delete;
+  SlabPool& operator=(const SlabPool&) = delete;
+
+  ~SlabPool() {
+    for (auto& chunk : chunks_) {
+      delete[] chunk.exchange(nullptr, std::memory_order_relaxed);
+    }
+  }
+
+  static constexpr std::uint32_t index_of(Handle h) {
+    return static_cast<std::uint32_t>(h & kIndexMask);
+  }
+  static constexpr std::uint64_t generation_of(Handle h) {
+    return h >> kIndexBits;
+  }
+
+  /// Claims a slot, returning its stable-address value and writing the
+  /// slot's handle to *handle. The value arrives as the previous occupant
+  /// left it — callers reset what they use (that reuse is the point).
+  T* acquire(Handle* handle) {
+    std::uint64_t head = free_head_.load(std::memory_order_acquire);
+    for (;;) {
+      const auto idx = static_cast<std::uint32_t>(head & 0xFFFFFFFFu);
+      if (idx == kNil) {
+        return grow(handle);
+      }
+      Slot& s = slot(idx);
+      const std::uint32_t next = s.next.load(std::memory_order_relaxed);
+      const std::uint64_t tag = (head >> 32) + 1;
+      if (free_head_.compare_exchange_weak(head, (tag << 32) | next,
+                                           std::memory_order_acq_rel,
+                                           std::memory_order_acquire)) {
+        s.live.store(true, std::memory_order_relaxed);
+        live_.fetch_add(1, std::memory_order_relaxed);
+        *handle = (s.gen.load(std::memory_order_relaxed) << kIndexBits) | idx;
+        return &s.value;
+      }
+    }
+  }
+
+  /// Returns a slot to the freelist. The handle (and any pointer to the
+  /// value) must not be used afterwards; the slot's generation advances so
+  /// the stale handle reads as dead.
+  void release(Handle handle) {
+    const std::uint32_t idx = index_of(handle);
+    Slot& s = slot(idx);
+    TB_ASSERT(s.live.load(std::memory_order_relaxed) &&
+              s.gen.load(std::memory_order_relaxed) == generation_of(handle));
+    s.gen.fetch_add(1, std::memory_order_relaxed);
+    s.live.store(false, std::memory_order_relaxed);
+    live_.fetch_sub(1, std::memory_order_relaxed);
+    std::uint64_t head = free_head_.load(std::memory_order_relaxed);
+    for (;;) {
+      s.next.store(static_cast<std::uint32_t>(head & 0xFFFFFFFFu),
+                   std::memory_order_relaxed);
+      const std::uint64_t want = (head & 0xFFFFFFFF00000000ull) | idx;
+      if (free_head_.compare_exchange_weak(head, want,
+                                           std::memory_order_acq_rel,
+                                           std::memory_order_relaxed)) {
+        return;
+      }
+    }
+  }
+
+  /// True iff `handle` names the slot's current occupancy.
+  bool is_live(Handle handle) const {
+    const std::uint32_t idx = index_of(handle);
+    if (idx >= slot_count_.load(std::memory_order_acquire)) return false;
+    const Slot& s = slot(idx);
+    return s.live.load(std::memory_order_relaxed) &&
+           s.gen.load(std::memory_order_relaxed) == generation_of(handle);
+  }
+
+  std::size_t live() const { return live_.load(std::memory_order_relaxed); }
+  std::size_t slots() const {
+    return slot_count_.load(std::memory_order_acquire);
+  }
+
+ private:
+  static constexpr std::uint32_t kNil = 0xFFFFFFFFu;
+  static constexpr std::size_t kChunkShift = 8;  ///< 256 slots per chunk
+  static constexpr std::size_t kChunkSize = std::size_t{1} << kChunkShift;
+  static constexpr std::size_t kMaxChunks =
+      (std::size_t{1} << kIndexBits) >> kChunkShift;
+
+  struct Slot {
+    T value{};
+    std::atomic<std::uint64_t> gen{0};
+    std::atomic<std::uint32_t> next{kNil};
+    std::atomic<bool> live{false};
+  };
+
+  Slot& slot(std::uint32_t index) {
+    return chunks_[index >> kChunkShift].load(
+        std::memory_order_acquire)[index & (kChunkSize - 1)];
+  }
+  const Slot& slot(std::uint32_t index) const {
+    return chunks_[index >> kChunkShift].load(
+        std::memory_order_acquire)[index & (kChunkSize - 1)];
+  }
+
+  /// Freelist empty: construct a brand-new slot for the caller. Serialized
+  /// by grow_mu_; the chunk pointer array is fixed-size, so readers index
+  /// it without locks.
+  T* grow(Handle* handle) {
+    std::lock_guard<std::mutex> lk(grow_mu_);
+    const std::size_t idx = slot_count_.load(std::memory_order_relaxed);
+    TB_REQUIRE_MSG(idx <= kIndexMask, "SlabPool exhausted its index space");
+    const std::size_t chunk = idx >> kChunkShift;
+    if (chunks_[chunk].load(std::memory_order_relaxed) == nullptr) {
+      chunks_[chunk].store(new Slot[kChunkSize], std::memory_order_release);
+    }
+    Slot& s = slot(static_cast<std::uint32_t>(idx));
+    slot_count_.store(idx + 1, std::memory_order_release);
+    s.live.store(true, std::memory_order_relaxed);
+    live_.fetch_add(1, std::memory_order_relaxed);
+    *handle = (s.gen.load(std::memory_order_relaxed) << kIndexBits) |
+              static_cast<std::uint64_t>(idx);
+    return &s.value;
+  }
+
+  /// Packed (aba_tag << 32) | head_index; tag bumps on every pop.
+  alignas(kCacheLineBytes) std::atomic<std::uint64_t> free_head_{
+      0xFFFFFFFFull /* empty: kNil index, tag 0 */};
+  std::atomic<std::size_t> slot_count_{0};
+  std::atomic<std::size_t> live_{0};
+  std::mutex grow_mu_;
+  std::atomic<Slot*> chunks_[kMaxChunks] = {};
+};
+
+}  // namespace tb::util

@@ -3,8 +3,9 @@
 // threads — writes (forever and µs-range finite leases), renewals racing
 // expiry, lease cancels, if-exists and bulk matches (named and wildcard,
 // Zipf-skewed keys), blocking takes with short timeouts, transactions, and
-// notify churn — while every operation is recorded in an OpLog at its
-// linearization ticket. The log is then replayed in ticket order through
+// notify churn, and mid-run consistent-cut snapshots — while every
+// operation is recorded in an OpLog at its linearization ticket. The log
+// is then replayed in ticket order through
 // the single-threaded deterministic SpaceEngine (expiry-at-ticket, see
 // oplog.hpp); any per-op result mismatch, lost wakeup, mis-ordered
 // wildcard merge, lease reclaimed at the wrong instant, or final-state
@@ -12,7 +13,7 @@
 //
 // 32 seeds x shard_count {1, 4, 16} run under ctest (label: threaded); the
 // CI thread-sanitizer job runs the same binary under TSan, and the nightly
-// workflow sweeps TB_DIFF_SEEDS=128 (4x) under TSan as a long soak.
+// workflow sweeps TB_DIFF_SEEDS=192 (6x) under TSan as a long soak.
 #include <gtest/gtest.h>
 
 #include <atomic>
@@ -38,7 +39,7 @@ constexpr int kOpsPerClient = 120;
 constexpr int kKeyCount = 8;
 
 /// Seed count, overridable for the nightly long-soak sweep
-/// (TB_DIFF_SEEDS=128 runs 4x the default).
+/// (TB_DIFF_SEEDS=192 runs 6x the default).
 int seed_count() {
   const char* env = std::getenv("TB_DIFF_SEEDS");
   if (env != nullptr) {
@@ -144,6 +145,13 @@ void client_worker(ThreadedSpaceEngine& space, std::uint64_t seed, int tid,
       (void)space.read_all(tmpl, 4);
     } else if (roll < 80) {
       (void)space.take_all(tmpl, 4);
+    } else if (roll < 82) {
+      // Mid-run consistent cut while every other client keeps mutating:
+      // the threaded engine logs the cut it returned (kSnapshot), and the
+      // replay checks the oracle reproduces that exact cut at the same
+      // ticket — the sequence-point snapshot must be a real linearization
+      // point, not a fuzzy union of per-shard states.
+      (void)space.snapshot();
     } else if (roll < 90) {
       // Short-timeout blocking take on a (usually hot) named key: racing
       // writers may serve it, otherwise the timeout path linearizes a

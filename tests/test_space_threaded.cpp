@@ -8,6 +8,7 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <atomic>
 #include <chrono>
 #include <cstdint>
@@ -392,6 +393,55 @@ TEST(ThreadedSpaceEngine, MetricsExposeInboxDepthAndAppliedOps) {
   EXPECT_GE(value("tspace.shard0.inbox_peak") +
                 value("tspace.shard1.inbox_peak"),
             1.0);
+}
+
+TEST(ThreadedSpaceEngine, InboxPeakIsMonotoneUnderConcurrentProducers) {
+  // inbox_peak is a CAS-max watermark: concurrent async producers hammer
+  // one shard while this thread samples the metric. Every sample must be
+  // >= the previous one (a plain store instead of the CAS-max loop loses
+  // the race and shows up here as a dip), and the final value can never
+  // exceed the ring capacity.
+  obs::Registry registry;
+  ThreadedSpaceEngine space(threaded_config(1, /*inbox=*/64));
+  space.bind_metrics(registry, "tspace");
+
+  auto peak = [&] {
+    const auto snap = registry.snapshot();
+    for (const auto& g : snap.gauges) {
+      if (g.name == "tspace.shard0.inbox_peak") return g.value;
+    }
+    return -1.0;
+  };
+
+  constexpr int kProducers = 3;
+  constexpr int kPerProducer = 2000;
+  std::vector<std::thread> producers;
+  producers.reserve(kProducers);
+  for (int p = 0; p < kProducers; ++p) {
+    producers.emplace_back([&space, p] {
+      for (int i = 0; i < kPerProducer; ++i) {
+        space.write_async(make_tuple("m-" + std::to_string(p),
+                                     std::int64_t{i}));
+      }
+    });
+  }
+  double last = 0.0;
+  for (int s = 0; s < 200; ++s) {
+    const double now = peak();
+    EXPECT_GE(now, last) << "watermark regressed at sample " << s;
+    last = std::max(last, now);
+    std::this_thread::sleep_for(100us);
+  }
+  for (std::thread& t : producers) t.join();
+
+  ASSERT_TRUE(eventually([&] {
+    return space.size() ==
+           static_cast<std::size_t>(kProducers) * kPerProducer;
+  }));
+  const double final_peak = peak();
+  EXPECT_GE(final_peak, 1.0);   // floor: at a push instant depth >= 1
+  EXPECT_GE(final_peak, last);  // still monotone after the run
+  EXPECT_LE(final_peak, 64.0);  // bounded by ring capacity
 }
 
 }  // namespace

@@ -115,6 +115,19 @@ def main() -> int:
             continue
         old_metrics = key_metrics(old_report)
         new_metrics = key_metrics(new_report)
+        # Wall-clock numbers from hosts with different core counts are not
+        # comparable for the threaded benches (a 1-core runner serializes
+        # what a 16-core box runs in parallel): flag the mismatch as a
+        # NOTE so drift on this pair is read with suspicion. Never gated —
+        # regenerating the baseline on the current host is the fix.
+        old_cpus = old_report.get("params", {}).get("host_cpus")
+        new_cpus = new_report.get("params", {}).get("host_cpus")
+        if (old_cpus is not None and new_cpus is not None
+                and old_cpus != new_cpus):
+            print(f"NOTE [{name}] baseline recorded on a host with "
+                  f"{old_cpus} CPU(s), this run has {new_cpus}: wall-clock "
+                  f"comparisons are unreliable (regenerate "
+                  f"{args.old_dir} on this host)")
         for metric_name, old_metric in sorted(old_metrics.items()):
             new_metric = new_metrics.get(metric_name)
             if new_metric is None:

@@ -102,6 +102,27 @@ constexpr int kSpinIters = 64;
 /// hang — the parked thread re-probes every slice.
 constexpr std::chrono::milliseconds kParkSlice{1};
 
+/// Absolute expiry for a finite blocking-op timeout, saturating instead of
+/// overflowing on huge (but not kBlockForever) values.
+std::chrono::steady_clock::time_point deadline_after(
+    std::chrono::nanoseconds timeout) {
+  const auto now = std::chrono::steady_clock::now();
+  if (timeout >= std::chrono::steady_clock::time_point::max() - now) {
+    return std::chrono::steady_clock::time_point::max();
+  }
+  return now + timeout;
+}
+
+/// Time left until `deadline`, floored at zero (a zero-duration
+/// wait_done_for checks the phase once and falls straight through to the
+/// cancellation leg).
+std::chrono::nanoseconds remaining_until(
+    std::chrono::steady_clock::time_point deadline) {
+  const auto now = std::chrono::steady_clock::now();
+  if (deadline <= now) return std::chrono::nanoseconds::zero();
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(deadline - now);
+}
+
 void accumulate(SpaceEngine::Stats& into, const SpaceEngine::Stats& from) {
   into.writes += from.writes;
   into.reads += from.reads;
@@ -229,8 +250,11 @@ void ThreadedSpaceEngine::push_request(int shard_idx, Request* req,
   // Peak gauge: a CAS-max so concurrent producers never lose a peak
   // (non-atomic read-then-store dropped maxima). Floor 1: at the push's
   // linearization instant the ring held at least our element, even if the
-  // consumer pops it before the racy size estimate runs.
-  const std::size_t depth = std::max<std::size_t>(sh.ring.approx_size(), 1);
+  // consumer pops it before the racy size estimate runs. Cap at capacity:
+  // the estimate reads head and tail unordered, so a fresh tail against a
+  // stale head can overshoot what the bounded ring can actually hold.
+  const std::size_t depth = std::min(
+      std::max<std::size_t>(sh.ring.approx_size(), 1), sh.ring.capacity());
   std::size_t prev = sh.inbox_peak.load(std::memory_order_relaxed);
   while (depth > prev && !sh.inbox_peak.compare_exchange_weak(
                              prev, depth, std::memory_order_relaxed)) {
@@ -1029,6 +1053,13 @@ void ThreadedSpaceEngine::cancel_waiter_record(const TWaiter& waiter,
 
 std::optional<Tuple> ThreadedSpaceEngine::blocking_op(
     const Template& tmpl, std::chrono::nanoseconds timeout, bool take) {
+  // The timeout clock starts here: full-ring backpressure, inbox transit
+  // and (for wildcards) the all-shard acquisition all spend the caller's
+  // budget, so take(tmpl, 10ms) behind a backlogged shard cancels as soon
+  // as it parks rather than waiting a further 10ms.
+  const auto deadline = timeout == kBlockForever
+                            ? std::chrono::steady_clock::time_point::max()
+                            : deadline_after(timeout);
   Request* req = acquire_request();
   req->kind =
       take ? Request::Kind::kBlockingTake : Request::Kind::kBlockingRead;
@@ -1042,7 +1073,7 @@ std::optional<Tuple> ThreadedSpaceEngine::blocking_op(
       // Parked: our waiter is registered (ticket published with kParked).
       if (timeout == kBlockForever) {
         wait_phase(-1, *req, Request::kDone);
-      } else if (!req->wait_done_for(timeout)) {
+      } else if (!req->wait_done_for(remaining_until(deadline))) {
         // Timed out: ask the shard to cancel. Either the cancel finds the
         // waiter (completes it with nullopt + a cancel ticket) or a
         // concurrent publish already served it — wait for whichever
@@ -1105,7 +1136,7 @@ std::optional<Tuple> ThreadedSpaceEngine::blocking_op(
 
   if (timeout == kBlockForever) {
     wait_phase(-1, *req, Request::kDone);
-  } else if (!req->wait_done_for(timeout)) {
+  } else if (!req->wait_done_for(remaining_until(deadline))) {
     {
       std::lock_guard<std::mutex> cl(cross_mu_);
       const auto pos = std::find_if(
@@ -1415,6 +1446,19 @@ void ThreadedSpaceEngine::barrier_acquire() {
     }
   }
   barrier_owns_shards_ = true;
+  own_all_shards();
+  barriers_.fetch_add(1, std::memory_order_relaxed);
+}
+
+void ThreadedSpaceEngine::barrier_release() {
+  if (barrier_owns_shards_) {
+    disown_all_shards();
+    barrier_owns_shards_ = false;
+  }
+  barrier_mu_.unlock();
+}
+
+void ThreadedSpaceEngine::own_all_shards() {
   // Index-order CAS sweep over the ownership words. handoff_req makes the
   // current owner yield at its next request boundary (the sequence point)
   // and stops new combiners/workers from outracing us; on an idle shard
@@ -1437,18 +1481,13 @@ void ThreadedSpaceEngine::barrier_acquire() {
       if (owned) break;
     }
   }
-  barriers_.fetch_add(1, std::memory_order_relaxed);
 }
 
-void ThreadedSpaceEngine::barrier_release() {
-  if (barrier_owns_shards_) {
-    for (auto& shp : shards_) {
-      shp->handoff_req.store(false, std::memory_order_seq_cst);
-      release_own(*shp);
-    }
-    barrier_owns_shards_ = false;
+void ThreadedSpaceEngine::disown_all_shards() {
+  for (auto& shp : shards_) {
+    shp->handoff_req.store(false, std::memory_order_seq_cst);
+    release_own(*shp);
   }
-  barrier_mu_.unlock();
 }
 
 // --- introspection ----------------------------------------------------------
@@ -1591,7 +1630,16 @@ void ThreadedSpaceEngine::shutdown() {
     }
     queue.clear();
   };
+  // Joined workers don't make the shard words free-for-all: the timeout
+  // leg of a pre-shutdown blocking op pushes a kCancelWaiter and
+  // flat-combines the shard itself, mutating the same waiter list. Hold
+  // every ownership word (handoff_req backs the straggler off) across the
+  // cancellation; the straggling cancel then serializes behind us and
+  // finds its waiter already completed — a logged no-op, never a double
+  // signal on a recycled request cell.
+  own_all_shards();
   for (auto& sh : shards_) cancel_all(sh->waiters, sh->stats);
+  disown_all_shards();
   {
     std::lock_guard<std::mutex> cl(cross_mu_);
     cross_count_.fetch_sub(wildcard_waiters_.size());

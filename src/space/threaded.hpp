@@ -143,7 +143,8 @@ class ThreadedSpaceEngine {
   // --- blocking match (parks the calling thread) ---------------------------
 
   /// Completes with a match now or when one is written before `timeout`
-  /// (wall clock) elapses; nullopt on timeout or engine shutdown.
+  /// (wall clock, counted from call entry — inbox backpressure and transit
+  /// spend the budget) elapses; nullopt on timeout or engine shutdown.
   std::optional<Tuple> read(const Template& tmpl,
                             std::chrono::nanoseconds timeout = kBlockForever);
   std::optional<Tuple> take(const Template& tmpl,
@@ -368,6 +369,12 @@ class ThreadedSpaceEngine {
   /// barrier_mu_); returns with exclusive access to all shard state.
   void barrier_acquire();
   void barrier_release();
+  /// The raw index-order ownership sweep under barrier_acquire — also used
+  /// by shutdown(), whose waiter cancellation must serialize with the
+  /// timeout-cancel leg of a pre-shutdown blocking op (that leg
+  /// flat-combines the shard once the workers are joined).
+  void own_all_shards();
+  void disown_all_shards();
 
   /// Oldest live entry matching tmpl across all shards (all owned).
   std::pair<int, std::map<std::uint64_t, TEntry>::iterator> find_across(

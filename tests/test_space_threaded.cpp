@@ -164,13 +164,19 @@ TEST(ThreadedSpaceEngine, OldestWaiterWinsAcrossShardAndWildcardQueues) {
 TEST(ThreadedSpaceEngine, BlockedReadersAllServedTakeConsumes) {
   ThreadedSpaceEngine space(threaded_config(2));
 
+  // Registration order matters: serving is oldest-ticket-first, so the
+  // take must register *after* both reads or it would consume the tuple
+  // before a younger reader sees it. Stagger the spawns on the blocked
+  // count instead of racing all three threads to the ticket counter.
   std::optional<Tuple> r1, r2, t1;
   std::thread reader1([&] {
     r1 = space.read(any_named("evt", 1), ThreadedSpaceEngine::kBlockForever);
   });
+  ASSERT_TRUE(eventually([&] { return space.blocked_operations() == 1; }));
   std::thread reader2([&] {
     r2 = space.read(wildcard(1), ThreadedSpaceEngine::kBlockForever);
   });
+  ASSERT_TRUE(eventually([&] { return space.blocked_operations() == 2; }));
   std::thread taker([&] {
     t1 = space.take(any_named("evt", 1), ThreadedSpaceEngine::kBlockForever);
   });
@@ -257,6 +263,37 @@ TEST(ThreadedSpaceEngine, CleanShutdownCompletesParkedBlockingTakes) {
   const ReplayReport report =
       replay_against_oracle(log, config, final_state);
   EXPECT_TRUE(report.equivalent) << report.divergence;
+}
+
+// Regression (shutdown vs. timeout-cancel): once the workers are joined,
+// the timeout leg of a pre-shutdown blocking take flat-combines the shard
+// itself, so shutdown()'s waiter cancellation must hold the shard
+// ownership words — without that, both sides mutate the same waiter list
+// and can double-complete one waiter onto a recycled request cell. The
+// finite timeouts here are tuned to expire while shutdown() runs, the
+// per-round delay sweeps the interleaving, and the threaded tier's TSan
+// run is the detector for the original unserialized mutation.
+TEST(ThreadedSpaceEngine, ShutdownRacesTimeoutCancelLegs) {
+  for (int round = 0; round < 8; ++round) {
+    ThreadedSpaceEngine space(threaded_config(4));
+    std::atomic<int> misses{0};
+    std::vector<std::thread> clients;
+    for (int i = 0; i < 4; ++i) {
+      clients.emplace_back([&space, &misses, i] {
+        const auto got =
+            space.take(any_named("absent" + std::to_string(i), 1),
+                       std::chrono::milliseconds(1 + i));
+        if (!got.has_value()) misses.fetch_add(1);
+      });
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(1 + round % 3));
+    space.shutdown();
+    for (auto& t : clients) t.join();
+    // Every take resolves as a miss exactly once — by its own timeout
+    // cancellation or by shutdown, never both.
+    EXPECT_EQ(misses.load(), 4);
+    EXPECT_EQ(space.blocked_operations(), 0u);
+  }
 }
 
 TEST(ThreadedSpaceEngine, TransactionIsolationCommitAndAbort) {

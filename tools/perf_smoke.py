@@ -4,6 +4,7 @@
 Usage:
     tools/perf_smoke.py BASELINE.json NEW.json [--metric NAME]...
                         [--note-metric NAME]... [--threshold PCT]
+                        [--cpu-sensitive]
 
 Wall-clock metrics carry gate=false in the tb-bench-report/v1 schema
 because absolute throughput is machine-dependent, so bench_compare.py only
@@ -18,6 +19,13 @@ as a NOTE line and never fails the run, and a missing entry (in either
 report) is tolerated. Used for metrics whose wall-clock behaviour is
 informative but too machine-dependent to gate — e.g. the threaded
 tuplespace round trip, which measures cross-thread handoff latency.
+
+--cpu-sensitive marks the gated metrics as comparable only between hosts
+with the same core count (cross-thread wall clock: a 1-core runner
+serializes what a 16-core box runs in parallel). When the reports'
+params.host_cpus differ — or either report predates the field — every
+--metric is demoted to a NOTE for this run instead of spuriously failing
+CI; regenerating the baseline on the current host restores the gate.
 
 Exit status: 0 = all within threshold (improvements always pass), 1 = any
 regression beyond threshold or metric/report missing.
@@ -118,17 +126,32 @@ def main() -> int:
     parser.add_argument("--threshold", type=float, default=15.0,
                         help="allowed regression in percent "
                              "(default: %(default)s)")
+    parser.add_argument("--cpu-sensitive", action="store_true",
+                        help="demote every gated metric to a NOTE when the "
+                             "reports' params.host_cpus differ or are "
+                             "missing (cross-thread wall clock is not "
+                             "comparable across core counts)")
     args = parser.parse_args()
     metrics = args.metrics or [DEFAULT_METRIC]
+    note_metrics = list(args.note_metrics)
 
     old_report = load_report(args.baseline)
     new_report = load_report(args.new)
+    if args.cpu_sensitive:
+        old_cpus = old_report.get("params", {}).get("host_cpus")
+        new_cpus = new_report.get("params", {}).get("host_cpus")
+        if old_cpus is None or new_cpus is None or old_cpus != new_cpus:
+            print(f"NOTE host_cpus mismatch (baseline: {old_cpus}, run: "
+                  f"{new_cpus}): cpu-sensitive gates demoted to NOTEs; "
+                  f"regenerate {args.baseline} on this host to restore them")
+            note_metrics = metrics + note_metrics
+            metrics = []
     ok = True
     for metric in metrics:
         old = find_metric(old_report, args.baseline, metric)
         new = find_metric(new_report, args.new, metric)
         ok = gate_metric(old, new, metric, args.threshold) and ok
-    for metric in args.note_metrics:
+    for metric in note_metrics:
         note_metric(old_report, new_report, metric)
     return 0 if ok else 1
 

@@ -11,6 +11,7 @@
 #include <memory>
 #include <vector>
 
+#include "src/cosim/federation.hpp"
 #include "src/cosim/report.hpp"
 #include "src/obs/report.hpp"
 #include "src/sim/process.hpp"
@@ -51,6 +52,17 @@ double run_pool(int consumers, sim::Time crunch, int producers,
   sim.run_until(3600_s);
   for (auto& c : pool) c->stop();
   return all_done.seconds();
+}
+
+cosim::FederationReport run_federation(int nodes, int jobs,
+                                       sim::Time kill_at = sim::Time::zero()) {
+  cosim::FederationConfig config;
+  config.nodes = nodes;
+  config.producers = 4;
+  config.consumers = 4;
+  config.jobs = jobs;
+  config.kill_at = kill_at;
+  return cosim::run_federation_scenario(config);
 }
 
 }  // namespace
@@ -101,6 +113,69 @@ int main() {
   }
   std::printf("%s\n", shard_table.render().c_str());
   bench.add_table("shard_sweep", shard_table.headers(), shard_table.rows());
+
+  // Node-count axis (DESIGN.md §16): the same workload over a federated
+  // cluster of 1/2/4 space nodes, producers and consumers routing through
+  // fed::FederatedClient. Simulated makespan grows with node count (the
+  // wildcard scatter pays one peek round per node), but the drain order is
+  // ticket-driven and must be byte-identical across node counts — that
+  // equality is the federation determinism gate.
+  const int fed_jobs = short_mode ? 96 : 240;
+  bench.add_param("federation_jobs", obs::JsonValue(std::int64_t{fed_jobs}));
+  std::printf("federation node-count sweep: 4 producers, 4 consumers, %d "
+              "jobs\n", fed_jobs);
+  cosim::TablePrinter fed_table({"nodes", "makespan (s)", "wildcard peeks",
+                                 "drain order"});
+  std::vector<std::uint64_t> reference_order;
+  bool drain_identical = true;
+  for (int nodes : {1, 2, 4}) {
+    const cosim::FederationReport report = run_federation(nodes, fed_jobs);
+    if (reference_order.empty()) reference_order = report.drain_order;
+    const bool same = report.drain_order == reference_order;
+    drain_identical = drain_identical && same && report.drained;
+    fed_table.add_row({std::to_string(nodes),
+                       util::format_double(report.makespan.seconds(), 3),
+                       std::to_string(report.wildcard_ops),
+                       same ? "identical" : "DIVERGED"});
+    bench.add_key_metric("federation.makespan_s." + std::to_string(nodes) +
+                             "nodes",
+                         report.makespan.seconds(), obs::Better::kLower,
+                         {.unit = "s"});
+  }
+  std::printf("%s\n", fed_table.render().c_str());
+  bench.add_table("federation_sweep", fed_table.headers(), fed_table.rows());
+  bench.add_key_metric("federation.drain_identical_across_nodes",
+                       drain_identical ? 1.0 : 0.0, obs::Better::kHigher);
+
+  // Kill-a-node chaos soak: crash the primary mid-drain, let the standby
+  // guard promote the replication standby, and verify the cluster still
+  // drains with zero acked writes lost (merged OpLogs replay clean against
+  // the merged final state). The boolean is the gate; promotion latency is
+  // simulated time — deterministic — reported for trend-watching.
+  const int soak_jobs = short_mode ? 120 : 480;
+  std::printf("kill-a-node soak: 4 nodes + standby, %d jobs, primary "
+              "crashes at t=120ms\n", soak_jobs);
+  const cosim::FederationReport soak =
+      run_federation(4, soak_jobs, sim::Time::ms(120));
+  const bool zero_loss = soak.promoted && soak.drained &&
+                         soak.residual_tuples == 0 && soak.oracle.equivalent;
+  cosim::TablePrinter soak_table({"acked", "consumed", "residual",
+                                  "promoted at (s)", "oracle"});
+  soak_table.add_row({std::to_string(soak.acked_writes),
+                      std::to_string(soak.consumed),
+                      std::to_string(soak.residual_tuples),
+                      util::format_double(soak.promoted_at.seconds(), 3),
+                      soak.oracle.equivalent ? "equivalent" : "DIVERGED"});
+  std::printf("%s\n", soak_table.render().c_str());
+  bench.add_table("kill_a_node_soak", soak_table.headers(), soak_table.rows());
+  bench.add_key_metric("federation.killnode.zero_loss_ok",
+                       zero_loss ? 1.0 : 0.0, obs::Better::kHigher);
+  bench.add_key_metric("federation.killnode.promoted_at_s",
+                       soak.promoted_at.seconds(), obs::Better::kLower,
+                       {.unit = "s", .gate = false});
+  bench.add_key_metric("federation.killnode.makespan_s",
+                       soak.makespan.seconds(), obs::Better::kLower,
+                       {.unit = "s", .gate = false});
 
   std::printf("scaling is proportional while consumers are the bottleneck "
               "and caps at the number of concurrent producers.\n");

@@ -1,0 +1,133 @@
+// N-node federated tuplespace on one sim kernel (DESIGN.md §16).
+//
+// The test/bench harness the node/router split exists for: each node is a
+// full stack — its own SpaceEngine, LoopbackHub and mw::NodeCore — and the
+// cluster wires the federation seams around them: the shared global ticket
+// counter, the ownership filters fed from a SharedRoutingSource, the
+// per-node router channels a FederatedClient resolves through, and (when
+// configured) a standby node receiving the primary's replication stream.
+//
+// kill_primary() is the failover drill: the primary goes dark (crashed-host
+// semantics), the standby replays its buffered stream, and the routing
+// table is republished one epoch up with the standby holding the primary's
+// ring slot. merge_oplogs()/merged_final_state() assemble the cross-node
+// evidence the differential oracle (space/oplog.hpp) replays to prove no
+// acked write was lost.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "src/fed/client.hpp"
+#include "src/fed/routing.hpp"
+#include "src/mw/codec.hpp"
+#include "src/mw/loopback.hpp"
+#include "src/mw/node_core.hpp"
+#include "src/space/oplog.hpp"
+
+namespace tb::fed {
+
+struct ClusterConfig {
+  int nodes = 4;
+  /// Provision a standby fed by the primary's (first node's) replication
+  /// stream; kill_primary() requires it.
+  bool with_standby = false;
+  int virtual_nodes = 64;
+  sim::Time one_way_delay = sim::Time::us(200);
+  mw::ServerConfig server;   ///< per-node template; node_id is overridden
+  space::SpaceConfig space;  ///< per-node engine config
+  mw::ClientConfig client;   ///< router/replication channel config
+  FederatedConfig fed;       ///< router policy for make_router()
+};
+
+class SimCluster {
+ public:
+  SimCluster(sim::Simulator& sim, ClusterConfig config = {});
+
+  SimCluster(const SimCluster&) = delete;
+  SimCluster& operator=(const SimCluster&) = delete;
+
+  sim::Simulator& simulator() { return *sim_; }
+  std::size_t node_count() const { return nodes_.size(); }
+
+  /// Ring nodes carry ids 1..N; the standby is N+1.
+  mw::NodeCore& core(std::size_t index) { return nodes_[index]->core; }
+  const mw::NodeCore& core(std::size_t index) const {
+    return nodes_[index]->core;
+  }
+  std::uint32_t node_id(std::size_t index) const { return nodes_[index]->id; }
+  mw::NodeCore& standby_core();
+  std::uint32_t primary_id() const { return nodes_.front()->id; }
+  std::uint32_t standby_id() const;
+
+  /// The shared channel to a node (also what the resolver hands routers).
+  mw::SpaceClient& channel(std::uint32_t node_id);
+
+  SharedRoutingSource& routing() { return routing_; }
+  const std::shared_ptr<std::uint64_t>& ticket_counter() const {
+    return ticket_counter_;
+  }
+
+  /// A router over this cluster's routing source and channels.
+  std::unique_ptr<FederatedClient> make_router();
+
+  /// Re-stamps every core's ownership epoch from the current table. Call
+  /// after publishing a new table through routing() by hand (tests forcing
+  /// mis-route rejects); the failover path re-stamps on its own.
+  void refresh_ownership() { apply_routing(); }
+
+  /// Failover drill, split so a svc::StandbyGuard can sit between the two
+  /// halves: crash_primary() takes the primary dark (heartbeats stop, all
+  /// in-flight work swallowed); promote_standby() replays the standby's
+  /// replication buffer into service, republished at epoch+1 with the
+  /// standby holding the primary's ring slot, ownership filters re-stamped.
+  /// Returns the number of replication records the promotion replayed.
+  void crash_primary();
+  std::size_t promote_standby();
+  /// Both halves back to back (detection-less drill).
+  std::size_t kill_primary();
+
+  /// Union of every node's OpLog (the dead primary's included — its acked
+  /// operations happened), ready for the oracle.
+  void merge_oplogs(space::OpLog& out) const;
+
+  /// Live cluster contents in global-ticket order (dead nodes excluded;
+  /// their surviving state lives on in the promoted standby).
+  std::vector<space::Tuple> merged_final_state() const;
+
+ private:
+  struct Node {
+    std::uint32_t id;
+    space::SpaceEngine engine;
+    mw::LoopbackHub hub;
+    mw::NodeCore core;
+    mw::SpaceClient* channel = nullptr;  ///< owned via channel storage below
+
+    Node(sim::Simulator& sim, std::uint32_t node_id,
+         const ClusterConfig& config, const mw::Codec& codec);
+  };
+
+  /// Re-stamps every core's ownership filter with the current epoch. The
+  /// predicate itself reads the live table, so membership changes need
+  /// only this epoch refresh.
+  void apply_routing();
+
+  Node* find(std::uint32_t node_id);
+
+  sim::Simulator* sim_;
+  ClusterConfig config_;
+  mw::BinaryCodec codec_;
+  std::shared_ptr<std::uint64_t> ticket_counter_;
+  std::vector<std::unique_ptr<Node>> nodes_;
+  std::unique_ptr<Node> standby_;
+  /// Primary -> standby replication channel (own session on standby's hub).
+  std::unique_ptr<mw::SpaceClient> repl_channel_;
+  std::vector<std::unique_ptr<mw::SpaceClient>> channels_;
+  SharedRoutingSource routing_;
+  bool primary_killed_ = false;
+  bool standby_promoted_ = false;
+};
+
+}  // namespace tb::fed

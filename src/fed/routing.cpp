@@ -1,0 +1,15 @@
+#include "src/fed/routing.hpp"
+
+namespace tb::fed {
+
+RoutingTable table_from_members(std::uint64_t epoch,
+                                const std::vector<std::uint32_t>& members,
+                                int virtual_nodes) {
+  RoutingTable table;
+  table.epoch = epoch;
+  table.ring = HashRing(virtual_nodes);
+  for (std::uint32_t id : members) table.ring.add_node(id);
+  return table;
+}
+
+}  // namespace tb::fed

@@ -13,6 +13,7 @@ constexpr std::uint8_t kOkFlag = 0x04;
 constexpr std::uint8_t kHasBatch = 0x08;        ///< batch_tuples + durations
 constexpr std::uint8_t kHasBatchResult = 0x10;  ///< batch_handles + expires
 constexpr std::uint8_t kHasStatus = 0x20;       ///< non-OK canonical status
+constexpr std::uint8_t kHasEpoch = 0x40;        ///< non-zero routing epoch
 
 void put_value(util::ByteBuffer& buf, const space::Value& value) {
   buf.put_u8(static_cast<std::uint8_t>(value.type()));
@@ -109,6 +110,7 @@ void BinaryCodec::encode_into(const Message& message,
   if (!message.batch_tuples.empty()) flags |= kHasBatch;
   if (!message.batch_handles.empty()) flags |= kHasBatchResult;
   if (message.status != 0) flags |= kHasStatus;
+  if (message.epoch != 0) flags |= kHasEpoch;
   buf.put_u8(flags);
   if (message.tuple) put_tuple(buf, *message.tuple);
   if (message.tmpl) put_template(buf, *message.tmpl);
@@ -134,6 +136,7 @@ void BinaryCodec::encode_into(const Message& message,
   buf.put_varint(message.txn);
   buf.put_string(message.error);
   if (message.status != 0) buf.put_u8(message.status);
+  if (message.epoch != 0) buf.put_varint(message.epoch);
   out = buf.take();
 }
 
@@ -143,8 +146,16 @@ std::optional<Message> BinaryCodec::decode(
     util::ByteCursor cursor(bytes);
     Message message;
     const std::uint8_t type = cursor.get_u8();
-    if (type > static_cast<std::uint8_t>(MsgType::kWriteBatchResponse)) {
-      return std::nullopt;
+    if (type >= static_cast<std::uint8_t>(MsgType::kUnknownFrame)) {
+      // A frame kind from a newer protocol revision. The fixed header
+      // (type, request id, timestamp) decodes on every revision; the rest
+      // of the layout is unknowable, so surface a kUnknownFrame sentinel
+      // carrying the correlation id — the dispatcher answers it with a
+      // typed kUnimplemented reply instead of dropping the session.
+      message.type = MsgType::kUnknownFrame;
+      message.request_id = cursor.get_varint();
+      message.created_at_ns = cursor.get_i64();
+      return message;
     }
     message.type = static_cast<MsgType>(type);
     message.request_id = cursor.get_varint();
@@ -177,6 +188,7 @@ std::optional<Message> BinaryCodec::decode(
     message.txn = cursor.get_varint();
     message.error = cursor.get_string();
     if (flags & kHasStatus) message.status = cursor.get_u8();
+    if (flags & kHasEpoch) message.epoch = cursor.get_varint();
     if (!cursor.at_end()) return std::nullopt;
     return message;
   } catch (const util::PreconditionError&) {

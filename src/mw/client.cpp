@@ -206,6 +206,7 @@ SpaceClient::WriteResult SpaceClient::write_result_of(
     const std::optional<Message>& response) {
   WriteResult result;
   result.status = status_of(response, MsgType::kWriteResponse);
+  if (response) result.epoch = response->epoch;
   if (result.status.ok() && response->ok) {
     result.ok = true;
     result.lease.id = response->handle;
@@ -231,6 +232,7 @@ SpaceClient::MatchResult SpaceClient::typed_match_result_of(
     std::optional<Message> response) {
   MatchResult result;
   result.status = status_of(response, MsgType::kMatchResponse);
+  if (response) result.epoch = response->epoch;
   // DEADLINE_EXCEEDED still answers the match: the deadline passing IS
   // the (empty) outcome of a blocking op, not a malfunction.
   if (result.status.ok() && response->ok) {
@@ -385,6 +387,14 @@ RpcFuture<SpaceClient::MatchResult> SpaceClient::read_match_async(
   request.txn = txn;
   call(std::move(request), [future](std::optional<Message> response) {
     future.resolve(typed_match_result_of(std::move(response)));
+  });
+  return future;
+}
+
+RpcFuture<std::optional<Message>> SpaceClient::rpc_async(Message request) {
+  RpcFuture<std::optional<Message>> future;
+  call(std::move(request), [future](std::optional<Message> response) {
+    future.resolve(std::move(response));
   });
   return future;
 }

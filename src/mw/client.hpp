@@ -136,6 +136,9 @@ class SpaceClient {
     bool ok = false;       ///< status.ok(); kept for existing call sites
     space::Lease lease;    ///< id 0 when the entry expired in transit
     util::Status status;   ///< typed outcome (DESIGN.md §12)
+    /// Server's routing epoch when it rejected a mis-routed key
+    /// (kFailedPrecondition); 0 otherwise. See DESIGN.md §16.
+    std::uint64_t epoch = 0;
   };
 
   /// Typed match outcome: distinguishes a clean miss (OK status, no
@@ -145,6 +148,8 @@ class SpaceClient {
   struct MatchResult {
     util::Status status;
     std::optional<space::Tuple> tuple;
+    /// Server's routing epoch on a mis-route reject (see WriteResult).
+    std::uint64_t epoch = 0;
     bool ok() const { return status.ok() && tuple.has_value(); }
   };
 
@@ -223,6 +228,23 @@ class SpaceClient {
 
   /// Cancels a tuple lease or notify registration.
   sim::Task<bool> cancel(std::uint64_t handle);
+
+  // --- raw frame rpc (federation plumbing, DESIGN.md §16) --------------------
+  // The router and the replication stream speak frames the typed API does
+  // not cover (kPeekRequest, kTakeByIdRequest, kReplicate*). Both entry
+  // points stamp request id + timestamp and run the full rpc machinery
+  // (timeout, retransmission, duplicate-safe ids); nullopt = rpc failure.
+
+  /// Callback form — usable outside a coroutine (the NodeCore replication
+  /// stream completes acks from plain event context).
+  void call_async(Message request,
+                  std::function<void(std::optional<Message>)> on_done) {
+    call(std::move(request), std::move(on_done));
+  }
+
+  /// Future form — co_await it from router coroutines; several scattered
+  /// frames can be in flight on the one connection at once.
+  RpcFuture<std::optional<Message>> rpc_async(Message request);
 
   struct Stats {
     std::uint64_t calls = 0;

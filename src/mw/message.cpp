@@ -28,6 +28,13 @@ const char* to_string(MsgType type) {
     case MsgType::kError: return "error";
     case MsgType::kWriteBatchRequest: return "write-batch-req";
     case MsgType::kWriteBatchResponse: return "write-batch-resp";
+    case MsgType::kPeekRequest: return "peek-req";
+    case MsgType::kPeekResponse: return "peek-resp";
+    case MsgType::kTakeByIdRequest: return "take-by-id-req";
+    case MsgType::kReplicateWriteRequest: return "repl-write-req";
+    case MsgType::kReplicateTakeRequest: return "repl-take-req";
+    case MsgType::kReplicateResponse: return "repl-resp";
+    case MsgType::kUnknownFrame: return "unknown-frame";
   }
   return "?";
 }
@@ -43,6 +50,7 @@ std::string Message::to_string() const {
     os << " status="
        << util::status_code_name(static_cast<util::StatusCode>(status));
   }
+  if (epoch != 0) os << " epoch=" << epoch;
   if (!error.empty()) os << " error=" << error;
   return os.str();
 }

@@ -47,6 +47,18 @@ enum class MsgType : std::uint8_t {
   // (the binary codec writes the enum value as a raw byte).
   kWriteBatchRequest,  ///< N coalesced writes in one framed message
   kWriteBatchResponse, ///< per-write leases, same order as the request
+  // Federation frames (DESIGN.md §16), appended for the same reason.
+  kPeekRequest,        ///< oldest live match, non-destructive; wildcard scatter
+  kPeekResponse,       ///< ok + tuple + handle = global ticket of the entry
+  kTakeByIdRequest,    ///< directed removal; handle = global ticket
+  kReplicateWriteRequest, ///< primary→standby: tuple + handle = write ticket
+  kReplicateTakeRequest,  ///< primary→standby: exact tmpl + handle = ticket
+  kReplicateResponse,     ///< standby ack; ok
+  /// Decode-side sentinel for a frame kind this build does not know. Never
+  /// encoded: codecs map any higher wire value to it (preserving the
+  /// request id) so the server can answer a typed kUnimplemented reply
+  /// instead of dropping the session — the mixed-version degrade path.
+  kUnknownFrame,
 };
 
 const char* to_string(MsgType type);
@@ -71,6 +83,12 @@ struct Message {
   /// Both codecs omit the field when OK, keeping pre-status encodings
   /// byte-identical.
   std::uint8_t status = 0;
+
+  /// Routing-table epoch (DESIGN.md §16). Servers stamp their current
+  /// epoch on kFailedPrecondition mis-route rejects so the client knows
+  /// how stale its table is; 0 = absent. Both codecs omit the field when
+  /// 0, keeping pre-federation encodings byte-identical.
+  std::uint64_t epoch = 0;
 
   // Batch-write payload (kWriteBatchRequest/-Response). Requests carry
   // batch_tuples + batch_durations (parallel arrays); responses carry

@@ -1,4 +1,4 @@
-#include "src/mw/server.hpp"
+#include "src/mw/node_core.hpp"
 
 #include <algorithm>
 #include <climits>
@@ -8,9 +8,27 @@
 #include "src/util/status.hpp"
 
 namespace tb::mw {
+namespace {
 
-SpaceServer::SpaceServer(space::SpaceEngine& space, ServerTransport& transport,
-                         const Codec& codec, ServerConfig config)
+/// The OpLog's take discipline (DESIGN.md §16): a take completion is
+/// recorded as take-if-exists with the exact-value template of its result.
+/// The oldest equal-valued entry is necessarily the one the original match
+/// removed — any older equal-valued tuple would also have matched the
+/// original template — so the replay removes the same entry.
+space::Template exact_template_of(const space::Tuple& tuple) {
+  space::Template tmpl;
+  tmpl.name = tuple.name;
+  tmpl.fields.reserve(tuple.fields.size());
+  for (const space::Value& value : tuple.fields) {
+    tmpl.fields.push_back(space::FieldPattern::exact(value));
+  }
+  return tmpl;
+}
+
+}  // namespace
+
+NodeCore::NodeCore(space::SpaceEngine& space, ServerTransport& transport,
+                   const Codec& codec, ServerConfig config)
     : space_(&space), transport_(&transport), codec_(&codec), config_(config) {
   transport_->on_message().connect(
       [this](SessionId session, std::span<const std::uint8_t> bytes) {
@@ -18,12 +36,12 @@ SpaceServer::SpaceServer(space::SpaceEngine& space, ServerTransport& transport,
       });
 }
 
-sim::Time SpaceServer::duration_of(std::int64_t ns) {
+sim::Time NodeCore::duration_of(std::int64_t ns) {
   if (ns == INT64_MAX) return space::kLeaseForever;
   return sim::Time::ns(ns);
 }
 
-std::optional<sim::Time> SpaceServer::remaining_lease(
+std::optional<sim::Time> NodeCore::remaining_lease(
     std::int64_t duration_ns, std::int64_t created_at_ns) const {
   sim::Time lease_duration = duration_of(duration_ns);
   if (config_.lease_from_send_time && lease_duration != space::kLeaseForever) {
@@ -35,8 +53,114 @@ std::optional<sim::Time> SpaceServer::remaining_lease(
   return lease_duration;
 }
 
-void SpaceServer::handle_bytes(SessionId session,
-                               std::span<const std::uint8_t> bytes) {
+void NodeCore::set_ownership(std::function<bool(std::uint64_t)> owns,
+                             std::uint64_t epoch) {
+  owns_ = std::move(owns);
+  epoch_ = epoch;
+}
+
+void NodeCore::set_ticket_counter(std::shared_ptr<std::uint64_t> counter) {
+  ticket_counter_ = std::move(counter);
+}
+
+void NodeCore::set_standby(SpaceClient* standby) {
+  // Replication records are keyed by global ticket; a stream without a
+  // ticket source could never be replayed in order.
+  TB_ASSERT(standby == nullptr || ticket_counter_ != nullptr);
+  standby_ = standby;
+}
+
+std::uint64_t NodeCore::draw_ticket() {
+  TB_ASSERT(ticket_counter_);
+  return ++*ticket_counter_;
+}
+
+void NodeCore::record_write(std::uint64_t entry_id, const space::Tuple& tuple,
+                            std::uint64_t ticket) {
+  space::OpRecord record;
+  record.ticket = ticket;
+  record.kind = space::OpRecord::Kind::kWrite;
+  record.tuple = tuple;
+  oplog_.append(std::move(record));
+  ticket_of_id_[entry_id] = ticket;
+  id_of_ticket_[ticket] = entry_id;
+}
+
+void NodeCore::record_take(const space::Tuple& taken, std::uint64_t ticket) {
+  space::OpRecord record;
+  record.ticket = ticket;
+  record.kind = space::OpRecord::Kind::kTakeIfExists;
+  record.tmpl = exact_template_of(taken);
+  record.result = taken;
+  oplog_.append(std::move(record));
+}
+
+void NodeCore::replicate(Message frame, std::function<void()> on_acked) {
+  if (!standby_) {
+    on_acked();
+    return;
+  }
+  ++stats_.replication_forwards;
+  // The data-plane ack is withheld until the standby confirms; a stream
+  // failure (standby down, rpc timeout) still acks the client — the
+  // documented at-least-once replica edge, resolved by promotion replay.
+  standby_->call_async(std::move(frame),
+                       [done = std::move(on_acked)](
+                           const std::optional<Message>&) { done(); });
+}
+
+std::size_t NodeCore::promote() {
+  std::sort(repl_buffer_.begin(), repl_buffer_.end(),
+            [](const ReplRecord& a, const ReplRecord& b) {
+              return a.ticket < b.ticket;
+            });
+  std::size_t applied = 0;
+  for (ReplRecord& record : repl_buffer_) {
+    if (!record.take) {
+      const space::Lease lease =
+          space_->write(std::move(record.tuple), duration_of(record.duration_ns));
+      ticket_of_id_[lease.id] = record.ticket;
+      id_of_ticket_[record.ticket] = lease.id;
+      ++applied;
+      continue;
+    }
+    // Peek first to learn the victim's engine id, then remove by id, so the
+    // ticket maps shed the entry along with the store.
+    if (auto found = space_->peek_oldest(record.tmpl)) {
+      space_->take_by_id(found->first);
+      if (auto it = ticket_of_id_.find(found->first);
+          it != ticket_of_id_.end()) {
+        id_of_ticket_.erase(it->second);
+        ticket_of_id_.erase(it);
+      }
+      ++applied;
+    }
+  }
+  repl_buffer_.clear();
+  return applied;
+}
+
+std::vector<std::pair<std::uint64_t, space::Tuple>> NodeCore::ticketed_snapshot()
+    const {
+  std::vector<std::pair<std::uint64_t, space::Tuple>> out;
+  for (auto& [id, tuple] : space_->snapshot_with_ids()) {
+    const auto it = ticket_of_id_.find(id);
+    if (it == ticket_of_id_.end()) continue;
+    out.emplace_back(it->second, std::move(tuple));
+  }
+  std::sort(out.begin(), out.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  return out;
+}
+
+void NodeCore::handle_bytes(SessionId session,
+                            std::span<const std::uint8_t> bytes) {
+  if (dead_) {
+    // Crashed-host semantics: nothing decodes, nothing answers. Clients
+    // observe rpc timeouts, exactly as if the process were gone.
+    ++stats_.dropped_while_dead;
+    return;
+  }
   std::optional<Message> request = codec_->decode(bytes);
   if (!request) {
     ++stats_.decode_errors;
@@ -82,7 +206,7 @@ void SpaceServer::handle_bytes(SessionId session,
   enqueue(session, std::move(*request));
 }
 
-void SpaceServer::enqueue(SessionId session, Message request) {
+void NodeCore::enqueue(SessionId session, Message request) {
   Session& state = sessions_[session];
   if (config_.pipeline_depth > 0 &&
       state.in_service >= config_.pipeline_depth) {
@@ -93,7 +217,7 @@ void SpaceServer::enqueue(SessionId session, Message request) {
   admit(session, std::move(request));
 }
 
-void SpaceServer::admit(SessionId session, Message request) {
+void NodeCore::admit(SessionId session, Message request) {
   if (config_.max_service_slots > 0 &&
       total_in_service_ >= config_.max_service_slots) {
     if (config_.admission_queue_limit > 0 &&
@@ -109,7 +233,7 @@ void SpaceServer::admit(SessionId session, Message request) {
   start_service(session, std::move(request));
 }
 
-void SpaceServer::reject_overload(SessionId session, const Message& request) {
+void NodeCore::reject_overload(SessionId session, const Message& request) {
   // Load shed: answer immediately with a typed, retryable status. Like the
   // id-0 path, the rejection is NOT cached and the id leaves in_flight, so
   // a client retry (same id) re-enters admission instead of replaying the
@@ -130,7 +254,7 @@ void SpaceServer::reject_overload(SessionId session, const Message& request) {
   transport_->send(session, encode_buf_);
 }
 
-void SpaceServer::start_service(SessionId session, Message request) {
+void NodeCore::start_service(SessionId session, Message request) {
   Session& state = sessions_[session];
   ++state.in_service;
   ++total_in_service_;
@@ -148,7 +272,7 @@ void SpaceServer::start_service(SessionId session, Message request) {
       });
 }
 
-void SpaceServer::finish_service(SessionId session) {
+void NodeCore::finish_service(SessionId session) {
   Session& state = sessions_[session];
   --state.in_service;
   --total_in_service_;
@@ -164,7 +288,7 @@ void SpaceServer::finish_service(SessionId session) {
   drain_admission_queue();
 }
 
-void SpaceServer::drain_admission_queue() {
+void NodeCore::drain_admission_queue() {
   while (!admission_queue_.empty() &&
          (config_.max_service_slots == 0 ||
           total_in_service_ < config_.max_service_slots)) {
@@ -183,7 +307,8 @@ void SpaceServer::drain_admission_queue() {
   }
 }
 
-void SpaceServer::respond(SessionId session, Message response) {
+void NodeCore::respond(SessionId session, Message response) {
+  if (dead_) return;  // completions racing a shutdown are swallowed
   response.created_at_ns = space_->simulator().now().count_ns();
   ++stats_.responses;
 
@@ -206,7 +331,52 @@ void SpaceServer::respond(SessionId session, Message response) {
   transport_->send(session, cached->second);
 }
 
-void SpaceServer::process(SessionId session, Message request) {
+bool NodeCore::misrouted(const Message& request) const {
+  if (!owns_) return false;
+  switch (request.type) {
+    case MsgType::kWriteRequest:
+      if (!request.tuple) return false;  // the invalid-argument path answers
+      return !owns_(
+          space::type_key(request.tuple->name, request.tuple->fields.size()));
+    case MsgType::kWriteBatchRequest:
+      for (const space::Tuple& tuple : request.batch_tuples) {
+        if (!owns_(space::type_key(tuple.name, tuple.fields.size()))) {
+          return true;
+        }
+      }
+      return false;
+    case MsgType::kReadRequest:
+    case MsgType::kTakeRequest:
+      // Wildcard (unnamed) templates are never filtered: they arrive via
+      // the scatter path and legitimately touch every node.
+      if (!request.tmpl || !request.tmpl->name) return false;
+      return !owns_(space::type_key(*request.tmpl->name,
+                                    request.tmpl->fields.size()));
+    default:
+      return false;  // peeks, directed takes, replication, control frames
+  }
+}
+
+void NodeCore::reject_misroute(SessionId session, const Message& request) {
+  ++stats_.misroute_rejects;
+  Message err;
+  err.type = MsgType::kError;
+  err.request_id = request.request_id;
+  err.error = "type_key not owned by this node";
+  err.status =
+      static_cast<std::uint8_t>(util::StatusCode::kFailedPrecondition);
+  // The node's current routing epoch rides along so the client can tell a
+  // stale table (its epoch < ours: refresh and re-route) from a race it
+  // should retry against a fresher table it already holds.
+  err.epoch = epoch_;
+  respond(session, err);
+}
+
+void NodeCore::process(SessionId session, Message request) {
+  if (misrouted(request)) {
+    reject_misroute(session, request);
+    return;
+  }
   switch (request.type) {
     case MsgType::kWriteRequest:
       handle_write(session, request);
@@ -234,6 +404,30 @@ void SpaceServer::process(SessionId session, Message request) {
     case MsgType::kTxnAbortRequest:
       handle_txn(session, request);
       return;
+    case MsgType::kPeekRequest:
+      handle_peek(session, request);
+      return;
+    case MsgType::kTakeByIdRequest:
+      handle_take_by_id(session, request);
+      return;
+    case MsgType::kReplicateWriteRequest:
+    case MsgType::kReplicateTakeRequest:
+      handle_replicate(session, request);
+      return;
+    case MsgType::kUnknownFrame: {
+      // A frame kind from a newer protocol revision (the codec decoded only
+      // its header). Answer typed instead of dropping the session, so a
+      // mixed-version peer degrades per-operation rather than per-link.
+      ++stats_.unknown_frames;
+      Message err;
+      err.type = MsgType::kError;
+      err.request_id = request.request_id;
+      err.error = "frame kind not implemented by this node";
+      err.status =
+          static_cast<std::uint8_t>(util::StatusCode::kUnimplemented);
+      respond(session, err);
+      return;
+    }
     default: {
       Message err;
       err.type = MsgType::kError;
@@ -247,7 +441,7 @@ void SpaceServer::process(SessionId session, Message request) {
   }
 }
 
-void SpaceServer::handle_write(SessionId session, Message& request) {
+void NodeCore::handle_write(SessionId session, Message& request) {
   Message response;
   response.type = MsgType::kWriteResponse;
   response.request_id = request.request_id;
@@ -259,6 +453,7 @@ void SpaceServer::handle_write(SessionId session, Message& request) {
     respond(session, response);
     return;
   }
+  ++stats_.named_ops;
 
   const std::optional<sim::Time> lease_duration =
       remaining_lease(request.duration_ns, request.created_at_ns);
@@ -281,6 +476,11 @@ void SpaceServer::handle_write(SessionId session, Message& request) {
     respond(session, response);
     return;
   }
+  // With ticketing active, the payload is copied before the store consumes
+  // it — the OpLog and the replication stream both need the value.
+  space::Tuple recorded;
+  const bool ticketed = ticketing() && request.txn == space::kNoTxn;
+  if (ticketed) recorded = *request.tuple;
   // The decoded tuple's buffers move through into the store untouched.
   const space::Lease lease =
       space_->write(std::move(*request.tuple), *lease_duration, request.txn);
@@ -289,10 +489,28 @@ void SpaceServer::handle_write(SessionId session, Message& request) {
   response.expires_at_ns = lease.expires_at == sim::Time::max()
                                ? INT64_MAX
                                : lease.expires_at.count_ns();
+  if (ticketed) {
+    const std::uint64_t ticket = draw_ticket();
+    record_write(lease.id, recorded, ticket);
+    if (standby_) {
+      Message frame;
+      frame.type = MsgType::kReplicateWriteRequest;
+      frame.tuple = std::move(recorded);
+      frame.handle = ticket;
+      frame.duration_ns = *lease_duration == space::kLeaseForever
+                              ? INT64_MAX
+                              : lease_duration->count_ns();
+      replicate(std::move(frame),
+                [this, session, resp = std::move(response)]() mutable {
+                  respond(session, std::move(resp));
+                });
+      return;
+    }
+  }
   respond(session, response);
 }
 
-void SpaceServer::handle_write_batch(SessionId session, Message& request) {
+void NodeCore::handle_write_batch(SessionId session, Message& request) {
   Message response;
   response.type = MsgType::kWriteBatchResponse;
   response.request_id = request.request_id;
@@ -316,6 +534,8 @@ void SpaceServer::handle_write_batch(SessionId session, Message& request) {
   // One service-stage hop covers the whole batch — that amortization is the
   // point of coalescing. Each write still gets its own lease accounting
   // (shared send timestamp) and its own slot in the response.
+  const bool ticketed = ticketing() && request.txn == space::kNoTxn;
+  std::vector<Message> repl_frames;
   response.ok = true;
   response.batch_handles.reserve(request.batch_tuples.size());
   response.batch_expires.reserve(request.batch_tuples.size());
@@ -329,6 +549,9 @@ void SpaceServer::handle_write_batch(SessionId session, Message& request) {
                                        request.batch_durations[i]);
       continue;
     }
+    ++stats_.named_ops;
+    space::Tuple recorded;
+    if (ticketed) recorded = request.batch_tuples[i];
     const space::Lease lease = space_->write(
         std::move(request.batch_tuples[i]), *lease_duration, request.txn);
     ++stats_.batched_writes;
@@ -336,12 +559,37 @@ void SpaceServer::handle_write_batch(SessionId session, Message& request) {
     response.batch_expires.push_back(lease.expires_at == sim::Time::max()
                                          ? INT64_MAX
                                          : lease.expires_at.count_ns());
+    if (ticketed) {
+      const std::uint64_t ticket = draw_ticket();
+      record_write(lease.id, recorded, ticket);
+      if (standby_) {
+        Message frame;
+        frame.type = MsgType::kReplicateWriteRequest;
+        frame.tuple = std::move(recorded);
+        frame.handle = ticket;
+        frame.duration_ns = *lease_duration == space::kLeaseForever
+                                ? INT64_MAX
+                                : lease_duration->count_ns();
+        repl_frames.push_back(std::move(frame));
+      }
+    }
+  }
+  if (!repl_frames.empty()) {
+    // The batch acks as a unit: hold the response until every member's
+    // replication record is confirmed.
+    auto remaining = std::make_shared<std::size_t>(repl_frames.size());
+    auto resp = std::make_shared<Message>(std::move(response));
+    for (Message& frame : repl_frames) {
+      replicate(std::move(frame), [this, session, remaining, resp] {
+        if (--*remaining == 0) respond(session, std::move(*resp));
+      });
+    }
+    return;
   }
   respond(session, response);
 }
 
-void SpaceServer::handle_match(SessionId session, Message& request,
-                               bool take) {
+void NodeCore::handle_match(SessionId session, Message& request, bool take) {
   if (!request.tmpl) {
     Message response;
     response.type = MsgType::kError;
@@ -352,17 +600,41 @@ void SpaceServer::handle_match(SessionId session, Message& request,
     respond(session, response);
     return;
   }
+  if (request.tmpl->name) {
+    ++stats_.named_ops;
+  } else {
+    ++stats_.wildcard_ops;
+  }
   const sim::Time timeout = duration_of(request.duration_ns);
   // An empty blocking result means the caller's deadline passed while
   // parked — typed DEADLINE_EXCEEDED. An empty if-exists probe (zero
   // timeout) is a clean miss: OK with no tuple.
   const bool blocking = timeout > sim::Time::zero();
-  auto completion = [this, session, id = request.request_id, blocking](
-                        std::optional<space::Tuple> result) {
+  auto completion = [this, session, id = request.request_id, blocking,
+                     take](std::optional<space::Tuple> result) {
     Message response;
     response.type = MsgType::kMatchResponse;
     response.request_id = id;
     response.ok = result.has_value();
+    if (result && take && ticketing()) {
+      // The completion is the linearization point: the removal became
+      // visible just now, so it draws a fresh global ticket here, not at
+      // request arrival (a parked take completes long after it arrives).
+      const std::uint64_t ticket = draw_ticket();
+      record_take(*result, ticket);
+      if (standby_) {
+        Message frame;
+        frame.type = MsgType::kReplicateTakeRequest;
+        frame.tmpl = exact_template_of(*result);
+        frame.handle = ticket;
+        response.tuple = std::move(result);
+        replicate(std::move(frame),
+                  [this, session, resp = std::move(response)]() mutable {
+                    respond(session, std::move(resp));
+                  });
+        return;
+      }
+    }
     if (result) {
       response.tuple = std::move(result);
     } else if (blocking) {
@@ -404,7 +676,120 @@ void SpaceServer::handle_match(SessionId session, Message& request,
   }
 }
 
-void SpaceServer::handle_txn(SessionId session, const Message& request) {
+void NodeCore::handle_peek(SessionId session, const Message& request) {
+  Message response;
+  response.type = MsgType::kPeekResponse;
+  response.request_id = request.request_id;
+  if (!request.tmpl) {
+    response.type = MsgType::kError;
+    response.error = "peek without template";
+    response.status =
+        static_cast<std::uint8_t>(util::StatusCode::kInvalidArgument);
+    respond(session, response);
+    return;
+  }
+  ++stats_.peeks;
+  if (auto found = space_->peek_oldest(*request.tmpl)) {
+    response.ok = true;
+    response.tuple = std::move(found->second);
+    // handle carries the entry's global ticket — the per-node minimum the
+    // router's k-way merge compares. 0 = entry predates ticketing (written
+    // outside the federated path); the router skips such candidates.
+    const auto it = ticket_of_id_.find(found->first);
+    response.handle = it != ticket_of_id_.end() ? it->second : 0;
+  } else {
+    response.ok = false;
+  }
+  respond(session, response);
+}
+
+void NodeCore::handle_take_by_id(SessionId session, const Message& request) {
+  ++stats_.takes_by_id;
+  Message response;
+  response.type = MsgType::kMatchResponse;
+  response.request_id = request.request_id;
+  const std::uint64_t ticket = request.handle;
+  const auto it = id_of_ticket_.find(ticket);
+  if (it == id_of_ticket_.end()) {
+    // Never ours, or already removed by a named take that pruned the maps:
+    // a clean miss — the router re-scatters.
+    response.ok = false;
+    respond(session, response);
+    return;
+  }
+  const std::uint64_t entry_id = it->second;
+  std::optional<space::Tuple> tuple = space_->take_by_id(entry_id);
+  // Win or lose, the mapping is spent: either the entry just left the
+  // store, or it was already gone (expired/taken) and the mapping is stale.
+  id_of_ticket_.erase(it);
+  ticket_of_id_.erase(entry_id);
+  if (!tuple) {
+    response.ok = false;
+    respond(session, response);
+    return;
+  }
+  if (ticketing()) {
+    const std::uint64_t take_ticket = draw_ticket();
+    record_take(*tuple, take_ticket);
+    if (standby_) {
+      Message frame;
+      frame.type = MsgType::kReplicateTakeRequest;
+      frame.tmpl = exact_template_of(*tuple);
+      frame.handle = take_ticket;
+      response.ok = true;
+      response.tuple = std::move(tuple);
+      replicate(std::move(frame),
+                [this, session, resp = std::move(response)]() mutable {
+                  respond(session, std::move(resp));
+                });
+      return;
+    }
+  }
+  response.ok = true;
+  response.tuple = std::move(tuple);
+  respond(session, response);
+}
+
+void NodeCore::handle_replicate(SessionId session, const Message& request) {
+  Message response;
+  response.type = MsgType::kReplicateResponse;
+  response.request_id = request.request_id;
+  response.handle = request.handle;
+  ReplRecord record;
+  record.ticket = request.handle;
+  if (request.type == MsgType::kReplicateWriteRequest) {
+    if (!request.tuple) {
+      response.ok = false;
+      response.error = "replicate-write without tuple";
+      response.status =
+          static_cast<std::uint8_t>(util::StatusCode::kInvalidArgument);
+      respond(session, response);
+      return;
+    }
+    record.tuple = *request.tuple;
+    record.duration_ns = request.duration_ns;
+  } else {
+    if (!request.tmpl) {
+      response.ok = false;
+      response.error = "replicate-take without template";
+      response.status =
+          static_cast<std::uint8_t>(util::StatusCode::kInvalidArgument);
+      respond(session, response);
+      return;
+    }
+    record.take = true;
+    record.tmpl = *request.tmpl;
+  }
+  // Standby discipline: buffer, never apply. Applying eagerly would race
+  // the primary's in-flight completions; promote() replays the buffer in
+  // ticket order once the primary is declared dead.
+  ++stats_.replicated_buffered;
+  repl_buffer_.push_back(std::move(record));
+  response.ok = true;
+  respond(session, response);
+}
+
+void NodeCore::handle_txn(SessionId session, const Message& request) {
   Message response;
   response.request_id = request.request_id;
   switch (request.type) {
@@ -440,7 +825,7 @@ void SpaceServer::handle_txn(SessionId session, const Message& request) {
   respond(session, response);
 }
 
-void SpaceServer::handle_notify(SessionId session, const Message& request) {
+void NodeCore::handle_notify(SessionId session, const Message& request) {
   Message response;
   response.request_id = request.request_id;
   if (!request.tmpl) {
@@ -473,7 +858,7 @@ void SpaceServer::handle_notify(SessionId session, const Message& request) {
   respond(session, response);
 }
 
-void SpaceServer::push_event(SessionId session, Message event) {
+void NodeCore::push_event(SessionId session, Message event) {
   // Batched async fan-out (DESIGN.md §12): one write burst can match many
   // registrations on the same session; instead of encoding and sending
   // inside each space callback, deliveries accumulate and a zero-delay
@@ -490,7 +875,8 @@ void SpaceServer::push_event(SessionId session, Message event) {
       sim::Time::zero(), [this, session] { flush_events(session); });
 }
 
-void SpaceServer::flush_events(SessionId session) {
+void NodeCore::flush_events(SessionId session) {
+  if (dead_) return;
   Session& state = sessions_[session];
   ++stats_.notify_batch_flushes;
   // Callbacks during the sends (a notify matching a tuple written by a
@@ -509,8 +895,8 @@ void SpaceServer::flush_events(SessionId session) {
   }
 }
 
-void SpaceServer::bind_metrics(obs::Registry& registry,
-                               const std::string& prefix) {
+void NodeCore::bind_metrics(obs::Registry& registry,
+                            const std::string& prefix) {
   obs::Counter& requests = registry.counter(prefix + ".requests");
   obs::Counter& responses = registry.counter(prefix + ".responses");
   obs::Counter& events = registry.counter(prefix + ".events_pushed");
@@ -525,6 +911,8 @@ void SpaceServer::bind_metrics(obs::Registry& registry,
   obs::Counter& flushes =
       registry.counter(prefix + ".notify_batch_flushes");
   obs::Counter& batched = registry.counter(prefix + ".batched_writes");
+  obs::Counter& misroutes = registry.counter(prefix + ".misroute_rejects");
+  obs::Counter& unknown = registry.counter(prefix + ".unknown_frames");
   obs::Counter& enc_msgs = registry.counter(prefix + ".codec.messages_encoded");
   obs::Counter& enc_bytes = registry.counter(prefix + ".codec.bytes_encoded");
   obs::Counter& dec_msgs = registry.counter(prefix + ".codec.messages_decoded");
@@ -532,7 +920,8 @@ void SpaceServer::bind_metrics(obs::Registry& registry,
   registry.add_collector([this, &requests, &responses, &events, &decode_errors,
                           &doa, &replayed, &ignored, &rejected, &queued,
                           &adm_queued, &overload, &flushes, &batched,
-                          &enc_msgs, &enc_bytes, &dec_msgs, &dec_bytes] {
+                          &misroutes, &unknown, &enc_msgs, &enc_bytes,
+                          &dec_msgs, &dec_bytes] {
     requests.set(stats_.requests);
     responses.set(stats_.responses);
     events.set(stats_.events_pushed);
@@ -546,6 +935,8 @@ void SpaceServer::bind_metrics(obs::Registry& registry,
     overload.set(stats_.overload_rejects);
     flushes.set(stats_.notify_batch_flushes);
     batched.set(stats_.batched_writes);
+    misroutes.set(stats_.misroute_rejects);
+    unknown.set(stats_.unknown_frames);
     enc_msgs.set(stats_.messages_encoded);
     enc_bytes.set(stats_.bytes_encoded);
     dec_msgs.set(stats_.messages_decoded);
@@ -553,7 +944,7 @@ void SpaceServer::bind_metrics(obs::Registry& registry,
   });
 }
 
-void SpaceServer::handle_renew(SessionId session, const Message& request) {
+void NodeCore::handle_renew(SessionId session, const Message& request) {
   Message response;
   response.type = MsgType::kRenewResponse;
   response.request_id = request.request_id;
@@ -573,7 +964,7 @@ void SpaceServer::handle_renew(SessionId session, const Message& request) {
   respond(session, response);
 }
 
-void SpaceServer::handle_cancel(SessionId session, const Message& request) {
+void NodeCore::handle_cancel(SessionId session, const Message& request) {
   Message response;
   response.type = MsgType::kCancelResponse;
   response.request_id = request.request_id;

@@ -1,184 +1,15 @@
-// The space server: SpaceEngine exposed over a ServerTransport.
-//
-// Plays the paper's "SpaceServer" Java class (Figure 3/4), restructured as a
-// session-based dispatcher (DESIGN.md §10): each connection owns a Session
-// that accepts multiple outstanding requests (correlated by request id),
-// pushes them through a configurable service stage (the RMI + Java/socket-
-// wrapper hop inside the server host), routes them to the sharded space
-// engine, and interleaves replies as operations complete. Blocking read/take
-// requests park inside the space without holding a service slot, so later
-// requests on the same session can answer first — replies are matched by id,
-// not by order. Notify registrations push kEvent messages to their session.
-//
-// ServerConfig::pipeline_depth bounds how many requests per session may sit
-// in the service stage at once (0 = unbounded, the historical behavior —
-// and bit-exact with it: no extra events are scheduled). With a bound, rear
-// requests wait in the session's FIFO dispatch queue for a slot.
-//
-// Lease accounting (ServerConfig::lease_from_send_time, default on): a
-// written entry's lifetime counts from the client-side send timestamp, so
-// transport time eats into the lease — the mechanism behind Table 4's
-// "Out of Time" row (see message.hpp).
+// Compatibility shim: the session-based space server now lives in
+// node_core.hpp as mw::NodeCore, extracted so federation tests and the
+// fed::SimCluster can instantiate many nodes on one sim kernel. A NodeCore
+// with no ownership predicate, ticket counter or standby behaves bit-exactly
+// like the historical single SpaceServer, so existing call sites keep the
+// old name.
 #pragma once
 
-#include <cstdint>
-#include <deque>
-#include <set>
-#include <span>
-#include <string>
-#include <unordered_map>
-
-#include "src/mw/codec.hpp"
-#include "src/mw/transport.hpp"
-#include "src/sim/simulator.hpp"
-#include "src/space/space.hpp"
-
-namespace tb::obs {
-class Registry;
-}
+#include "src/mw/node_core.hpp"
 
 namespace tb::mw {
 
-struct ServerConfig {
-  /// Per-request processing latency (RMI dispatch + socket wrapper).
-  sim::Time service_delay = sim::Time::ms(2);
-
-  /// Count entry leases from the request's send timestamp rather than from
-  /// server arrival.
-  bool lease_from_send_time = true;
-
-  /// Max requests per session concurrently in the service stage; excess
-  /// arrivals queue FIFO in the session. 0 = unbounded (legacy behavior,
-  /// bit-exact event schedule).
-  int pipeline_depth = 0;
-
-  /// Server-wide service-stage bound on top of pipeline_depth: at most
-  /// this many requests (across all sessions) may occupy the service
-  /// stage at once. 0 = unbounded (legacy behavior, bit-exact event
-  /// schedule). Excess requests wait in a global FIFO.
-  int max_service_slots = 0;
-
-  /// Bound on the global admission FIFO (only meaningful with
-  /// max_service_slots > 0). When the queue is full the server sheds
-  /// load: the request is answered immediately with a typed
-  /// RESOURCE_EXHAUSTED kError — uncached, so a client retry re-enters
-  /// admission. 0 = unbounded queue (never sheds).
-  int admission_queue_limit = 0;
-};
-
-class SpaceServer {
- public:
-  SpaceServer(space::SpaceEngine& space, ServerTransport& transport,
-              const Codec& codec, ServerConfig config = {});
-
-  SpaceServer(const SpaceServer&) = delete;
-  SpaceServer& operator=(const SpaceServer&) = delete;
-
-  struct Stats {
-    std::uint64_t requests = 0;
-    std::uint64_t responses = 0;
-    std::uint64_t events_pushed = 0;
-    std::uint64_t decode_errors = 0;
-    std::uint64_t dead_on_arrival = 0;  ///< writes whose lease had expired in transit
-    std::uint64_t duplicates_replayed = 0;  ///< cached response resent
-    std::uint64_t duplicates_ignored = 0;   ///< original still in flight
-    std::uint64_t rejected_requests = 0;    ///< request_id 0: uncorrelatable
-    std::uint64_t pipeline_queued = 0;      ///< waited for a session slot
-    std::uint64_t admission_queued = 0;     ///< waited for a global slot
-    std::uint64_t overload_rejects = 0;     ///< shed with RESOURCE_EXHAUSTED
-    std::uint64_t notify_batch_flushes = 0; ///< batched event deliveries
-    std::uint64_t batched_writes = 0;   ///< tuples written via batch requests
-    std::uint64_t messages_encoded = 0;
-    std::uint64_t bytes_encoded = 0;   ///< codec output, pre-framing
-    std::uint64_t messages_decoded = 0;
-    std::uint64_t bytes_decoded = 0;   ///< codec input, post-framing
-  };
-  const Stats& stats() const { return stats_; }
-
-  space::SpaceEngine& space() { return *space_; }
-
-  /// Peak service-stage occupancy across sessions (pipelining diagnostics).
-  std::size_t peak_in_service() const { return peak_in_service_; }
-
-  /// Observability hook (DESIGN.md §7): mirrors Stats into `<p>.*` counters
-  /// at snapshot time. The registry must outlive the server. Default
-  /// prefix: "mw.server".
-  void bind_metrics(obs::Registry& registry,
-                    const std::string& prefix = "mw.server");
-
- private:
-  using SessionId = ServerTransport::SessionId;
-
-  /// Per-connection dispatcher state: the duplicate-suppression response
-  /// cache, the set of requests currently anywhere between arrival and
-  /// response, and the pipeline's service-stage accounting.
-  struct Session {
-    /// Duplicate-request suppression: clients on lossy transports
-    /// retransmit byte-identical requests (same id); replaying the cached
-    /// response keeps non-idempotent operations (write, take) exactly-once.
-    std::unordered_map<std::uint64_t, std::vector<std::uint8_t>> responses;
-    std::deque<std::uint64_t> response_order;  ///< FIFO eviction
-    std::set<std::uint64_t> in_flight;
-
-    std::deque<Message> dispatch_queue;  ///< waiting for a session slot
-    int in_service = 0;                  ///< requests inside the service stage
-
-    /// Notify deliveries accumulated this turn; a zero-delay flush event
-    /// drains them back-to-back (batched async fan-out, DESIGN.md §12).
-    std::vector<Message> pending_events;
-    sim::EventHandle flush_event;
-  };
-
-  void handle_bytes(SessionId session, std::span<const std::uint8_t> bytes);
-  /// Admits a decoded request to the session pipeline: service stage if a
-  /// slot is free, dispatch queue otherwise.
-  void enqueue(SessionId session, Message request);
-  /// Server-wide admission (DESIGN.md §12): free global slot -> service;
-  /// full slots -> global FIFO; full FIFO -> typed RESOURCE_EXHAUSTED shed.
-  void admit(SessionId session, Message request);
-  void reject_overload(SessionId session, const Message& request);
-  void start_service(SessionId session, Message request);
-  /// Releases a service slot and admits the next queued request, if any.
-  void finish_service(SessionId session);
-  void drain_admission_queue();
-  /// Queues a notify kEvent for the session and arms its flush event.
-  void push_event(SessionId session, Message event);
-  void flush_events(SessionId session);
-  void process(SessionId session, Message request);
-  void respond(SessionId session, Message response);
-
-  void handle_write(SessionId session, Message& request);
-  void handle_write_batch(SessionId session, Message& request);
-  void handle_match(SessionId session, Message& request, bool take);
-  void handle_notify(SessionId session, const Message& request);
-  void handle_renew(SessionId session, const Message& request);
-  void handle_cancel(SessionId session, const Message& request);
-  void handle_txn(SessionId session, const Message& request);
-
-  /// Lease/timeout duration left after transit; nullopt = dead on arrival.
-  std::optional<sim::Time> remaining_lease(std::int64_t duration_ns,
-                                           std::int64_t created_at_ns) const;
-
-  static sim::Time duration_of(std::int64_t ns);
-
-  space::SpaceEngine* space_;
-  ServerTransport* transport_;
-  const Codec* codec_;
-  ServerConfig config_;
-  /// notify registration -> owning session (for event push & cancel).
-  std::unordered_map<std::uint64_t, SessionId> notify_sessions_;
-
-  static constexpr std::size_t kResponseCacheSize = 64;
-  std::unordered_map<SessionId, Session> sessions_;
-  std::vector<std::uint8_t> encode_buf_;  ///< reused for event pushes
-
-  /// Requests admitted past their session bound but waiting for a global
-  /// service slot (max_service_slots), FIFO across sessions.
-  std::deque<std::pair<SessionId, Message>> admission_queue_;
-  int total_in_service_ = 0;
-
-  Stats stats_;
-  std::size_t peak_in_service_ = 0;
-};
+using SpaceServer = NodeCore;
 
 }  // namespace tb::mw

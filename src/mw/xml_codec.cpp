@@ -11,11 +11,14 @@ namespace {
 const char* msg_type_tag(MsgType type) { return to_string(type); }
 
 std::optional<MsgType> msg_type_from(std::string_view tag) {
-  for (int i = 0; i <= static_cast<int>(MsgType::kWriteBatchResponse); ++i) {
+  for (int i = 0; i <= static_cast<int>(MsgType::kReplicateResponse); ++i) {
     const auto t = static_cast<MsgType>(i);
     if (tag == to_string(t)) return t;
   }
-  return std::nullopt;
+  // A type tag from a newer protocol revision: surface the kUnknownFrame
+  // sentinel (the request id still decodes) so the dispatcher can answer a
+  // typed kUnimplemented reply instead of dropping the session.
+  return MsgType::kUnknownFrame;
 }
 
 std::string i64_str(std::int64_t v) { return std::to_string(v); }
@@ -118,6 +121,13 @@ void XmlCodec::encode_into(const Message& message,
     w.text_u64(message.status);
     w.close();
   }
+  // Routing epoch, omitted when 0 (see status above): pre-federation
+  // encodings stay byte-identical.
+  if (message.epoch != 0) {
+    w.open("epoch");
+    w.text_u64(message.epoch);
+    w.close();
+  }
   w.open("ok");
   w.text(message.ok ? "true" : "false");
   w.close();
@@ -170,6 +180,8 @@ std::vector<std::uint8_t> XmlCodec::encode_via_tree(const Message& message) cons
   if (message.txn != 0) add_text_child(root, "txn", std::to_string(message.txn));
   if (message.status != 0)
     add_text_child(root, "status", std::to_string(message.status));
+  if (message.epoch != 0)
+    add_text_child(root, "epoch", std::to_string(message.epoch));
   add_text_child(root, "ok", message.ok ? "true" : "false");
   if (!message.error.empty()) add_text_child(root, "error", message.error);
   const std::string xml = root.serialize();
@@ -264,6 +276,11 @@ std::optional<Message> XmlCodec::decode(
     auto v = parse_u64(node->text);
     if (!v || *v > 255) return std::nullopt;
     message.status = static_cast<std::uint8_t>(*v);
+  }
+  if (const XmlNode* node = root->child("epoch")) {
+    auto v = parse_u64(node->text);
+    if (!v) return std::nullopt;
+    message.epoch = *v;
   }
   if (const XmlNode* node = root->child("ok")) {
     message.ok = (util::trim(node->text) == "true");

@@ -42,6 +42,51 @@ std::vector<Tuple> SpaceEngine::snapshot() const {
   return out;
 }
 
+std::optional<std::pair<std::uint64_t, Tuple>> SpaceEngine::peek_oldest(
+    const Template& tmpl) {
+  const Found found = find_match(tmpl);
+  if (!found.ok) return std::nullopt;
+  return std::make_pair(found.it->first, found.it->second.tuple);
+}
+
+std::optional<Tuple> SpaceEngine::take_by_id(std::uint64_t id) {
+  const sim::Time now = sim_->now();
+  for (std::size_t s = 0; s < shards_.size(); ++s) {
+    auto it = shards_[s].entries.find(id);
+    if (it == shards_[s].entries.end()) continue;
+    if (it->second.expires_at <= now) return std::nullopt;  // expiry queued
+    Tuple tuple = std::move(it->second.tuple);
+    erase_entry(static_cast<int>(s), it);
+    ++stats_.takes;
+    return tuple;
+  }
+  return std::nullopt;
+}
+
+std::vector<std::pair<std::uint64_t, Tuple>> SpaceEngine::snapshot_with_ids()
+    const {
+  std::vector<std::pair<std::uint64_t, Tuple>> out;
+  out.reserve(entry_count_);
+  const sim::Time now = sim_->now();
+  std::vector<std::map<std::uint64_t, Entry>::const_iterator> cursor;
+  cursor.reserve(shards_.size());
+  for (const Shard& shard : shards_) cursor.push_back(shard.entries.begin());
+  for (;;) {
+    int best = -1;
+    for (std::size_t s = 0; s < shards_.size(); ++s) {
+      if (cursor[s] == shards_[s].entries.end()) continue;
+      if (best < 0 || cursor[s]->first < cursor[best]->first) {
+        best = static_cast<int>(s);
+      }
+    }
+    if (best < 0) break;
+    const auto& [id, entry] = *(cursor[best]++);
+    if (entry.expires_at <= now) continue;
+    out.emplace_back(id, entry.tuple);
+  }
+  return out;
+}
+
 std::size_t SpaceEngine::stored_bytes() const {
   std::size_t total = 0;
   for (const Shard& shard : shards_) total += shard.stored_bytes;

@@ -191,6 +191,28 @@ class SpaceEngine {
   /// Cancels the lease, removing the tuple. False when already gone.
   bool cancel(std::uint64_t tuple_id);
 
+  // --- federation hooks (DESIGN.md §16) ---------------------------------------
+  // Additive observers/removers consumed by mw::NodeCore; none of them
+  // changes matching, waiter or notify semantics. Single-node runs never
+  // call them, so the legacy event schedule is untouched.
+
+  /// Oldest live entry matching `tmpl`, as (entry id, tuple copy); nullopt
+  /// when none. Non-destructive and serves no waiters — the scatter half of
+  /// the federated wildcard merge (the node reports its local minimum, the
+  /// router picks the global one). Counts scan_steps like any match.
+  std::optional<std::pair<std::uint64_t, Tuple>> peek_oldest(
+      const Template& tmpl);
+
+  /// Removes the entry with exactly this id, returning its tuple; nullopt
+  /// when gone (taken, expired, cancelled — the router re-scatters).
+  /// Counts as a take. Serves no waiters: removal cannot unblock anyone.
+  std::optional<Tuple> take_by_id(std::uint64_t id);
+
+  /// snapshot() with each tuple's entry id — the per-node half of the
+  /// federated merged-final-state check (ids map to global tickets at the
+  /// node layer).
+  std::vector<std::pair<std::uint64_t, Tuple>> snapshot_with_ids() const;
+
   // --- introspection -----------------------------------------------------------
 
   std::size_t size() const;

@@ -113,6 +113,72 @@ sim::Task<void> ActuatorAgent::stand_by() {
   }
 }
 
+space::Tuple StandbyGuard::heartbeat(std::uint32_t node_id) {
+  return space::Tuple("fed-heartbeat",
+                      {static_cast<std::int64_t>(node_id),
+                       std::string("operating OK")});
+}
+
+namespace {
+
+space::Template node_heartbeat_template(std::uint32_t node_id) {
+  return space::Template(
+      std::string("fed-heartbeat"),
+      {space::FieldPattern::exact(
+           space::Value(static_cast<std::int64_t>(node_id))),
+       space::FieldPattern::typed(space::ValueType::kString)});
+}
+
+}  // namespace
+
+const char* StandbyGuard::to_string(State state) {
+  switch (state) {
+    case State::kIdle: return "idle";
+    case State::kWatching: return "watching";
+    case State::kPromoting: return "promoting";
+    case State::kActive: return "active";
+  }
+  return "?";
+}
+
+StandbyGuard::StandbyGuard(SpaceApi& api, std::uint32_t watched_node,
+                           FailoverConfig config,
+                           std::function<void()> promote)
+    : api_(&api),
+      watched_node_(watched_node),
+      config_(config),
+      promote_(std::move(promote)) {
+  TB_REQUIRE(config.tick > sim::Time::zero());
+  TB_REQUIRE(config.grace >= config.tick);
+}
+
+void StandbyGuard::start() {
+  TB_REQUIRE_MSG(state_ == State::kIdle, "guard already started");
+  state_ = State::kWatching;
+  sim::spawn(run());
+}
+
+sim::Task<void> StandbyGuard::run() {
+  while (state_ == State::kWatching) {
+    std::optional<space::Tuple> beat = co_await api_->take(
+        node_heartbeat_template(watched_node_), config_.grace);
+    if (stopped_) {
+      state_ = State::kIdle;
+      co_return;
+    }
+    if (beat.has_value()) {
+      ++stats_.heartbeats_consumed;
+      continue;
+    }
+    // Grace window dry: the primary is declared dead. Promote exactly once.
+    state_ = State::kPromoting;
+    ++stats_.promotions;
+    stats_.promoted_at = api_->simulator().now();
+    if (promote_) promote_();
+    state_ = State::kActive;
+  }
+}
+
 sim::Task<bool> ControlAgent::arm(sim::Time timeout) {
   // Step 1: put the start tuple into the space...
   const util::Status written =

@@ -111,4 +111,60 @@ class ControlAgent {
   FailoverConfig config_;
 };
 
+// --- federation standby promotion (DESIGN.md §16) ----------------------------
+//
+// The actuator pattern, rewired for space nodes: a primary node keeps a
+// leased ("fed-heartbeat", node_id) tuple alive in the control space; the
+// StandbyGuard consumes the beats and, when a grace window runs dry,
+// invokes the promote callback (fed::SimCluster::kill_primary's second
+// half: replay the replication buffer, republish the table one epoch up).
+// The callback runs exactly once — after promotion the guard reports
+// kActive and stops watching.
+
+class StandbyGuard {
+ public:
+  enum class State : std::uint8_t {
+    kIdle,       ///< not started
+    kWatching,   ///< consuming primary heartbeats
+    kPromoting,  ///< grace expired, promote callback running
+    kActive,     ///< promotion done; this node is primary now
+  };
+
+  /// `promote` runs on the guard's coroutine when the primary is declared
+  /// dead. `watched_node` selects whose heartbeats to consume.
+  StandbyGuard(SpaceApi& api, std::uint32_t watched_node,
+               FailoverConfig config, std::function<void()> promote);
+
+  /// Spawns the watch loop.
+  void start();
+  /// Stops a watching guard (e.g. controlled shutdown); no promotion runs.
+  void stop() { stopped_ = true; }
+
+  State state() const { return state_; }
+
+  struct Stats {
+    std::uint64_t heartbeats_consumed = 0;
+    std::uint64_t promotions = 0;  ///< 0 or 1
+    sim::Time promoted_at;
+  };
+  const Stats& stats() const { return stats_; }
+
+  /// The heartbeat the primary must keep alive (write each tick with
+  /// FailoverConfig::heartbeat_lease).
+  static space::Tuple heartbeat(std::uint32_t node_id);
+
+  static const char* to_string(State state);
+
+ private:
+  sim::Task<void> run();
+
+  SpaceApi* api_;
+  std::uint32_t watched_node_;
+  FailoverConfig config_;
+  std::function<void()> promote_;
+  State state_ = State::kIdle;
+  bool stopped_ = false;
+  Stats stats_;
+};
+
 }  // namespace tb::svc

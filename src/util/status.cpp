@@ -18,6 +18,10 @@ std::string_view status_code_name(StatusCode code) {
       return "aborted";
     case StatusCode::kUnavailable:
       return "unavailable";
+    case StatusCode::kFailedPrecondition:
+      return "failed_precondition";
+    case StatusCode::kUnimplemented:
+      return "unimplemented";
   }
   return "unknown";
 }

@@ -31,6 +31,16 @@ enum class StatusCode : std::uint8_t {
   kResourceExhausted = 4,
   kAborted = 5,
   kUnavailable = 6,
+  /// The request was well-formed but the receiver's state rejects it — the
+  /// federation mis-route signal: "this node does not own that type_key
+  /// (any more)". Not retryable verbatim: the caller must refresh its
+  /// routing table (the rejecting server stamps its epoch on the reply)
+  /// and re-route, not retransmit.
+  kFailedPrecondition = 7,
+  /// The receiver does not implement the requested frame kind — the
+  /// mixed-version degrade signal during rollout. Terminal for this
+  /// request; the caller should fall back to an older protocol feature.
+  kUnimplemented = 8,
 };
 
 /// Stable lowercase name for a code ("ok", "resource_exhausted", ...).
@@ -87,6 +97,12 @@ inline Status Aborted(std::string msg) {
 }
 inline Status Unavailable(std::string msg) {
   return Status(StatusCode::kUnavailable, std::move(msg));
+}
+inline Status FailedPrecondition(std::string msg) {
+  return Status(StatusCode::kFailedPrecondition, std::move(msg));
+}
+inline Status Unimplemented(std::string msg) {
+  return Status(StatusCode::kUnimplemented, std::move(msg));
 }
 
 /// Value-or-error. Holds T when status().ok(), nothing otherwise.

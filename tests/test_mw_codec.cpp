@@ -114,13 +114,31 @@ TEST(XmlCodecTest, RejectsWrongRoot) {
           .has_value());
 }
 
-TEST(XmlCodecTest, RejectsUnknownType) {
+// Wire-protocol negotiation: a type tag from a newer protocol revision is
+// not a decode failure. The header still decodes — request id preserved —
+// as a kUnknownFrame sentinel, so the server can answer a typed
+// kUnimplemented instead of dropping the session.
+TEST(XmlCodecTest, UnknownTypeDecodesAsUnknownFrame) {
   XmlCodec codec;
-  const std::string text = R"(<msg type="nope" id="1"/>)";
-  EXPECT_FALSE(
+  const std::string text = R"(<msg type="hologram-req" id="41"/>)";
+  auto decoded =
       codec.decode({reinterpret_cast<const std::uint8_t*>(text.data()),
-                    text.size()})
-          .has_value());
+                    text.size()});
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(decoded->type, MsgType::kUnknownFrame);
+  EXPECT_EQ(decoded->request_id, 41u);
+}
+
+TEST(BinaryCodecTest, UnknownTypeDecodesAsUnknownFrame) {
+  BinaryCodec codec;
+  auto bytes = codec.encode(sample_response());
+  // A future revision's frame kind: the type byte is past everything this
+  // build knows. Only the fixed header (type, id, timestamp) is readable.
+  bytes[0] = 0x7E;
+  auto decoded = codec.decode(bytes);
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(decoded->type, MsgType::kUnknownFrame);
+  EXPECT_EQ(decoded->request_id, sample_response().request_id);
 }
 
 TEST(BinaryCodecTest, RejectsTruncated) {
@@ -193,6 +211,87 @@ TEST(CodecTest, EmptyTupleAndTemplate) {
   auto decoded = codec.decode(codec.encode(m));
   ASSERT_TRUE(decoded.has_value());
   EXPECT_EQ(*decoded, m);
+}
+
+// Routing epoch (DESIGN.md §16): carried on mis-route rejects, omitted on
+// the wire when 0 so pre-federation encodings stay byte-identical.
+TEST(CodecTest, EpochRoundTripsAndZeroIsFree) {
+  for (Codec* codec :
+       std::initializer_list<Codec*>{new XmlCodec, new BinaryCodec}) {
+    Message reject = sample_error();
+    reject.status = 7;  // kFailedPrecondition
+    reject.epoch = 42;
+    auto decoded = codec->decode(codec->encode(reject));
+    ASSERT_TRUE(decoded.has_value());
+    EXPECT_EQ(*decoded, reject);
+    EXPECT_EQ(decoded->epoch, 42u);
+
+    Message plain = sample_error();
+    const auto with_epoch_size = codec->encode(reject).size();
+    const auto without_epoch_size = codec->encode(plain).size();
+    EXPECT_LT(without_epoch_size, with_epoch_size);
+    delete codec;
+  }
+}
+
+// Federation frames round-trip through both codecs.
+TEST(CodecTest, FederationFramesRoundTrip) {
+  std::vector<Message> frames;
+  {
+    Message peek;
+    peek.type = MsgType::kPeekRequest;
+    peek.request_id = 100;
+    peek.tmpl = space::Template(std::nullopt,
+                                {space::FieldPattern::typed(
+                                    space::ValueType::kInt)});
+    frames.push_back(peek);
+
+    Message peeked;
+    peeked.type = MsgType::kPeekResponse;
+    peeked.request_id = 100;
+    peeked.ok = true;
+    peeked.tuple = space::make_tuple("entry", space::Value(7));
+    peeked.handle = 314;  // global ticket
+    frames.push_back(peeked);
+
+    Message directed;
+    directed.type = MsgType::kTakeByIdRequest;
+    directed.request_id = 101;
+    directed.handle = 314;
+    frames.push_back(directed);
+
+    Message repl_write;
+    repl_write.type = MsgType::kReplicateWriteRequest;
+    repl_write.request_id = 102;
+    repl_write.tuple = space::make_tuple("entry", space::Value(7));
+    repl_write.handle = 314;
+    repl_write.duration_ns = INT64_MAX;
+    frames.push_back(repl_write);
+
+    Message repl_take;
+    repl_take.type = MsgType::kReplicateTakeRequest;
+    repl_take.request_id = 103;
+    repl_take.tmpl = space::Template(
+        std::string("entry"),
+        {space::FieldPattern::exact(space::Value(7))});
+    repl_take.handle = 314;
+    frames.push_back(repl_take);
+
+    Message repl_ack;
+    repl_ack.type = MsgType::kReplicateResponse;
+    repl_ack.request_id = 103;
+    repl_ack.ok = true;
+    frames.push_back(repl_ack);
+  }
+  for (Codec* codec :
+       std::initializer_list<Codec*>{new XmlCodec, new BinaryCodec}) {
+    for (const Message& frame : frames) {
+      auto decoded = codec->decode(codec->encode(frame));
+      ASSERT_TRUE(decoded.has_value()) << frame.to_string();
+      EXPECT_EQ(*decoded, frame);
+    }
+    delete codec;
+  }
 }
 
 }  // namespace

@@ -181,5 +181,79 @@ TEST_F(FailoverTest, CannotStartTwice) {
   EXPECT_THROW(a.start(), util::PreconditionError);
 }
 
+// --- StandbyGuard (federation promotion, DESIGN.md §16) ----------------------
+
+class StandbyGuardTest : public FailoverTest {
+ protected:
+  /// Primary-side beat loop: writes heartbeats until `beats` have gone out,
+  /// then falls silent (the crash).
+  sim::Task<void> beat_then_die(std::uint32_t node, int beats) {
+    for (int i = 0; i < beats; ++i) {
+      co_await api_.write(StandbyGuard::heartbeat(node),
+                          config().heartbeat_lease);
+      co_await sim::delay(sim_, config().tick);
+    }
+  }
+};
+
+TEST_F(StandbyGuardTest, HealthyPrimaryIsNeverPromotedOver) {
+  int promoted = 0;
+  StandbyGuard guard(api_, 1, config(), [&] { ++promoted; });
+  guard.start();
+  sim::spawn(beat_then_die(1, 40));
+  sim_.run_until(3_s);
+
+  EXPECT_EQ(guard.state(), StandbyGuard::State::kWatching);
+  EXPECT_EQ(promoted, 0);
+  EXPECT_GT(guard.stats().heartbeats_consumed, 10u);
+  guard.stop();
+}
+
+TEST_F(StandbyGuardTest, SilenceTriggersExactlyOnePromotion) {
+  int promoted = 0;
+  StandbyGuard guard(api_, 1, config(), [&] { ++promoted; });
+  guard.start();
+  sim::spawn(beat_then_die(1, 5));  // last beat goes out at t = 400ms
+  sim_.run_until(10_s);
+
+  EXPECT_EQ(guard.state(), StandbyGuard::State::kActive);
+  EXPECT_EQ(promoted, 1);
+  EXPECT_EQ(guard.stats().promotions, 1u);
+  // Detection cost: one grace window after the last beat, not sooner.
+  EXPECT_GE(guard.stats().promoted_at, 400_ms + config().grace);
+  EXPECT_LT(guard.stats().promoted_at, 2_s);
+}
+
+TEST_F(StandbyGuardTest, IgnoresOtherNodesHeartbeats) {
+  int promoted = 0;
+  StandbyGuard guard(api_, 1, config(), [&] { ++promoted; });
+  guard.start();
+  sim::spawn(beat_then_die(2, 40));  // wrong node keeps beating
+  sim_.run_until(5_s);
+
+  EXPECT_EQ(guard.state(), StandbyGuard::State::kActive);
+  EXPECT_EQ(promoted, 1);
+  EXPECT_EQ(guard.stats().heartbeats_consumed, 0u);
+}
+
+TEST_F(StandbyGuardTest, StopBeforeExpiryNeverPromotes) {
+  int promoted = 0;
+  StandbyGuard guard(api_, 1, config(), [&] { ++promoted; });
+  guard.start();
+  guard.stop();
+  sim_.run_until(5_s);
+
+  EXPECT_EQ(guard.state(), StandbyGuard::State::kIdle);
+  EXPECT_EQ(promoted, 0);
+  EXPECT_EQ(guard.stats().promotions, 0u);
+}
+
+TEST_F(StandbyGuardTest, CannotStartTwice) {
+  StandbyGuard guard(api_, 1, config(), {});
+  guard.start();
+  EXPECT_THROW(guard.start(), util::PreconditionError);
+  guard.stop();
+}
+
 }  // namespace
 }  // namespace tb::svc
